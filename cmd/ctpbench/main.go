@@ -1,0 +1,91 @@
+// Command ctpbench compares CTP evaluation algorithms on one
+// parameterized synthetic workload, the interactive companion to the
+// Figure 10/11 experiments.
+//
+// Usage:
+//
+//	ctpbench -topology star -m 5 -sl 4
+//	ctpbench -topology comb -na 4 -ns 2 -sl 3 -dba 2 -algos GAM,ESP,MoLESP
+//	ctpbench -topology chain -n 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ctpquery/internal/bench"
+	"ctpquery/internal/core"
+	"ctpquery/internal/gen"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "star", "line | comb | star | chain")
+		m        = flag.Int("m", 3, "seed sets (line, star)")
+		sl       = flag.Int("sl", 3, "seed distance / segment length")
+		na       = flag.Int("na", 2, "comb: number of bristles")
+		ns       = flag.Int("ns", 2, "comb: segments per bristle")
+		dba      = flag.Int("dba", 2, "comb: line nodes between bristles")
+		n        = flag.Int("n", 10, "chain: length")
+		algos    = flag.String("algos", "", "comma-separated algorithms (default: all)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-algorithm timeout")
+		alt      = flag.Bool("alternate", true, "alternate edge directions")
+	)
+	flag.Parse()
+
+	dir := gen.Forward
+	if *alt {
+		dir = gen.Alternate
+	}
+	var w *gen.Workload
+	switch *topology {
+	case "line":
+		w = gen.Line(*m, *sl-1, dir)
+	case "comb":
+		w = gen.Comb(*na, *ns, *sl, *dba, dir)
+	case "star":
+		w = gen.Star(*m, *sl, dir)
+	case "chain":
+		w = gen.Chain(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "ctpbench: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	selected := core.Algorithms()
+	if *algos != "" {
+		selected = nil
+		for _, name := range strings.Split(*algos, ",") {
+			found := false
+			for _, a := range core.Algorithms() {
+				if strings.EqualFold(a.String(), strings.TrimSpace(name)) {
+					selected = append(selected, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "ctpbench: unknown algorithm %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	fmt.Printf("%s: %d nodes, %d edges, m=%d\n",
+		w.Name, w.Graph.NumNodes(), w.Graph.NumEdges(), w.M())
+	fmt.Printf("%-8s %10s %12s %10s %8s %8s\n",
+		"algo", "time_ms", "provenances", "created", "results", "status")
+	for _, alg := range selected {
+		d, st := bench.MeasureCTP(w, alg, *timeout)
+		status := "ok"
+		if st.TimedOut {
+			status = "timeout"
+		} else if st.Results == 0 {
+			status = "MISS"
+		}
+		fmt.Printf("%-8s %10.1f %12d %10d %8d %8s\n",
+			alg, float64(d.Microseconds())/1000, st.Kept(), st.Created, st.Results, status)
+	}
+}

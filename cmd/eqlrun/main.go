@@ -1,0 +1,168 @@
+// Command eqlrun executes an Extended Query Language query over a graph
+// stored in the triple text format (src edgeLabel dst per line; see
+// internal/graph.LoadTriples) and prints the result rows and connecting
+// trees.
+//
+// Usage:
+//
+//	eqlrun -graph data.triples -query query.eql
+//	eqlrun -sample -q 'SELECT ?x ?w WHERE { ?x citizenOf USA . CONNECT ?x France AS ?w MAX 4 . }'
+//
+// With -sample, the paper's Figure 1 example graph is used. The CTP
+// evaluation algorithm defaults to MoLESP; -algo selects another variant
+// (BFT, BFT-M, BFT-AM, GAM, ESP, MoESP, LESP, MoLESP).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/engine"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (triples, or .snap binary snapshot)")
+		sample    = flag.String("sample", "", "use a built-in graph instead of -graph (fig1)")
+		queryPath = flag.String("query", "", "file holding the EQL query")
+		queryText = flag.String("q", "", "inline EQL query text")
+		algoName  = flag.String("algo", "MoLESP", "CTP algorithm")
+		timeout   = flag.Duration("timeout", 0, "default CTP timeout (0 = none)")
+		maxRows   = flag.Int("rows", 20, "result rows to print (0 = all)")
+		showTrees = flag.Bool("trees", true, "print the connecting trees")
+		explain   = flag.Bool("explain", false, "print the query plan instead of executing")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *sample, *queryPath, *queryText, *algoName, *timeout, *maxRows, *showTrees, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "eqlrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, sample, queryPath, queryText, algoName string, timeout time.Duration, maxRows int, showTrees, explain bool) error {
+	g, err := loadGraph(graphPath, sample)
+	if err != nil {
+		return err
+	}
+	text, err := loadQuery(queryPath, queryText)
+	if err != nil {
+		return err
+	}
+	q, err := eql.Parse(text)
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+
+	eng := engine.New(g, engine.Options{Algorithm: alg, DefaultTimeout: timeout})
+	if explain {
+		plan, err := eng.Explain(q)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	start := time.Now()
+	res, err := eng.Execute(q)
+	if err != nil {
+		return err
+	}
+	total := time.Since(start)
+
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("rows: %d  (BGP %v, CTP %v, join %v, total %v)\n",
+		res.Table.NumRows(), res.BGPTime.Round(time.Microsecond),
+		res.CTPTime.Round(time.Microsecond), res.JoinTime.Round(time.Microsecond),
+		total.Round(time.Microsecond))
+	for i, st := range res.CTPStats {
+		fmt.Printf("CTP %d: %d results, %d provenances, timed out: %v\n",
+			i, st.Results, st.Kept(), st.TimedOut)
+	}
+
+	treeVars := map[string]bool{}
+	for _, tv := range q.TreeVars() {
+		treeVars[tv] = true
+	}
+	n := res.Table.NumRows()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("-- row %d: %s\n", i, res.FormatRow(g, q, i))
+		if !showTrees {
+			continue
+		}
+		for ci, c := range res.Table.Cols() {
+			if !treeVars[c] {
+				continue
+			}
+			t := res.Tree(res.Table.Row(i)[ci])
+			fmt.Println(indent(engine.FormatTree(g, t), "   "))
+		}
+	}
+	if res.Table.NumRows() > n {
+		fmt.Printf("... %d more rows\n", res.Table.NumRows()-n)
+	}
+	return nil
+}
+
+func loadGraph(path, sample string) (*graph.Graph, error) {
+	switch {
+	case sample == "fig1" || (sample != "" && path == ""):
+		return gen.Sample(), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".snap") {
+			return graph.ReadSnapshot(f)
+		}
+		return graph.LoadTriples(f)
+	}
+	return nil, fmt.Errorf("need -graph FILE or -sample fig1")
+}
+
+func loadQuery(path, inline string) (string, error) {
+	switch {
+	case inline != "":
+		return inline, nil
+	case path == "-":
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	case path != "":
+		b, err := os.ReadFile(path)
+		return string(b), err
+	}
+	return "", fmt.Errorf("need -query FILE or -q 'QUERY'")
+}
+
+func parseAlgo(name string) (core.Algorithm, error) {
+	for _, a := range core.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

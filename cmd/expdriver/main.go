@@ -1,0 +1,64 @@
+// Command expdriver regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// expected shapes).
+//
+// Usage:
+//
+//	expdriver -list
+//	expdriver -exp fig11b
+//	expdriver -all -scale 0.5 -timeout 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctpquery/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id to run (fig2, fig10a..c, fig11a..f, fig12, fig13, fig14, table1)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.Float64("scale", 1, "workload scale factor")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-point timeout")
+		seed    = flag.Int64("seed", 1, "synthetic data seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	cfg := bench.Config{Scale: *scale, Timeout: *timeout, Seed: *seed}
+	run := func(e bench.Experiment) {
+		fmt.Printf("## %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "expdriver: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	switch {
+	case *all:
+		for _, e := range bench.All() {
+			run(e)
+		}
+	case *expID != "":
+		e, ok := bench.Get(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "expdriver: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(1)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command graphgen writes synthetic benchmark graphs (the paper's Line,
+// Comb, Star, Chain, CDF topologies and the YAGO/DBPedia-like knowledge
+// graphs) to the triple text format or the binary snapshot format, for use
+// with eqlrun and external tools.
+//
+// Usage:
+//
+//	graphgen -topology star -m 5 -sl 3 -o star.triples
+//	graphgen -topology cdf -m 2 -nt 64 -nl 128 -sl 3 -o cdf.snap
+//	graphgen -topology yago -scale 1000 -o kg.snap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "", "line | comb | star | chain | cdf | yago | dbpedia")
+		m        = flag.Int("m", 3, "seed sets (line, star, cdf)")
+		sl       = flag.Int("sl", 3, "segment length")
+		na       = flag.Int("na", 2, "comb: bristles")
+		ns       = flag.Int("ns", 2, "comb: segments per bristle")
+		dba      = flag.Int("dba", 2, "comb: spacing")
+		n        = flag.Int("n", 10, "chain: length")
+		nt       = flag.Int("nt", 16, "cdf: trees per forest")
+		nl       = flag.Int("nl", 32, "cdf: links")
+		scale    = flag.Int("scale", 1000, "kg: entity scale")
+		seed     = flag.Int64("seed", 1, "kg: generation seed")
+		out      = flag.String("o", "", "output file (.snap for binary, else triples)")
+	)
+	flag.Parse()
+	if *topology == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	switch *topology {
+	case "line":
+		g = gen.Line(*m, *sl-1, gen.Alternate).Graph
+	case "comb":
+		g = gen.Comb(*na, *ns, *sl, *dba, gen.Alternate).Graph
+	case "star":
+		g = gen.Star(*m, *sl, gen.Alternate).Graph
+	case "chain":
+		g = gen.Chain(*n).Graph
+	case "cdf":
+		g = gen.NewCDF(*m, *nt, *nl, *sl).Graph
+	case "yago":
+		g = gen.YAGOLike(*scale, *seed).Graph
+	case "dbpedia":
+		g = gen.DBPediaLike(*scale, *seed).Graph
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".snap") {
+		err = graph.WriteSnapshot(f, g)
+	} else {
+		err = graph.WriteTriples(f, g)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
+}

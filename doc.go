@@ -1,0 +1,11 @@
+// Package ctpquery is a Go reproduction of "Integrating connection search
+// in graph queries" (Anadiotis, Manolescu, Mohanty; ICDE 2023): an
+// Extended Query Language that joins conjunctive graph patterns with
+// Connecting Tree Patterns — "how are these m groups of nodes connected?"
+// — and the family of CTP evaluation algorithms the paper studies,
+// culminating in MoLESP.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); cmd/eqlrun, cmd/ctpbench, and cmd/expdriver are the entry points,
+// and examples/ holds runnable walkthroughs.
+package ctpquery

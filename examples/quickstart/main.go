@@ -1,0 +1,55 @@
+// Quickstart: build a small graph, ask for the connections between three
+// node groups with a CONNECT query, and print the trees.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctpquery/internal/engine"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/graph"
+)
+
+func main() {
+	// A tiny collaboration graph.
+	b := graph.NewBuilder()
+	ada := b.AddNode("Ada")
+	bob := b.AddNode("Bob")
+	eve := b.AddNode("Eve")
+	acme := b.AddNode("Acme")
+	lab := b.AddNode("Lab")
+	paper := b.AddNode("Paper")
+	b.AddType(ada, "person")
+	b.AddType(bob, "person")
+	b.AddType(eve, "person")
+	b.AddEdge(ada, "worksFor", acme)
+	b.AddEdge(bob, "worksFor", acme)
+	b.AddEdge(bob, "memberOf", lab)
+	b.AddEdge(eve, "memberOf", lab)
+	b.AddEdge(ada, "wrote", paper)
+	b.AddEdge(eve, "reviewed", paper)
+	g := b.Build()
+
+	// How are Ada, Bob, and Eve connected? Note there is no directed path
+	// between any two of them — connection search is bidirectional.
+	q, err := eql.Parse(`
+SELECT ?w WHERE {
+  CONNECT Ada Bob Eve AS ?w MAX 4 .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := engine.NewDefault(g).Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d connecting trees:\n\n", res.Table.NumRows())
+	for i := 0; i < res.Table.NumRows(); i++ {
+		t := res.Tree(res.Table.Row(i)[0])
+		fmt.Printf("tree %d (%d edges):\n%s\n\n", i+1, t.Size(), engine.FormatTree(g, t))
+	}
+}

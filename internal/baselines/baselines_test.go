@@ -1,0 +1,259 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/storage"
+	"ctpquery/internal/tree"
+)
+
+func TestVirtuosoCheckDirected(t *testing.T) {
+	w := gen.Line(2, 2, gen.Forward) // A -> x -> y -> B
+	r := VirtuosoCheck(w.Graph, w.Seeds[0], w.Seeds[1], nil)
+	if !r.Reachable || r.Visited == 0 {
+		t.Fatalf("forward reachability failed: %+v", r)
+	}
+	// Unidirectional: B cannot reach A.
+	back := VirtuosoCheck(w.Graph, w.Seeds[1], w.Seeds[0], nil)
+	if back.Reachable {
+		t.Fatal("check-only baseline must be unidirectional")
+	}
+	// Alternating directions break directed reachability entirely.
+	alt := gen.Line(2, 2, gen.Alternate)
+	if VirtuosoCheck(alt.Graph, alt.Seeds[0], alt.Seeds[1], nil).Reachable {
+		t.Fatal("alternating line should not be directed-reachable")
+	}
+}
+
+func TestVirtuosoCheckLabelled(t *testing.T) {
+	w := gen.Chain(4)
+	if !VirtuosoCheck(w.Graph, w.Seeds[0], w.Seeds[1], []string{"a"}).Reachable {
+		t.Fatal("a-labelled path exists")
+	}
+	if VirtuosoCheck(w.Graph, w.Seeds[0], w.Seeds[1], []string{"zzz"}).Reachable {
+		t.Fatal("no zzz-labelled path exists")
+	}
+}
+
+func TestVirtuosoCheckSelf(t *testing.T) {
+	g := gen.Sample()
+	alice, _ := g.NodeByLabel("Alice")
+	if !VirtuosoCheck(g, []graph.NodeID{alice}, []graph.NodeID{alice}, nil).Reachable {
+		t.Fatal("a node reaches itself")
+	}
+}
+
+func TestNeo4jPathsUndirected(t *testing.T) {
+	w := gen.Line(2, 2, gen.Alternate) // mixed directions
+	r := Neo4jPaths(w.Graph, w.Seeds[0], w.Seeds[1], PathOptions{})
+	if len(r.Paths) != 1 || len(r.Paths[0]) != 3 {
+		t.Fatalf("undirected paths = %v", r.Paths)
+	}
+	// Directed mode finds nothing on the alternating line.
+	rd := Neo4jPaths(w.Graph, w.Seeds[0], w.Seeds[1], PathOptions{Directed: true})
+	if len(rd.Paths) != 0 {
+		t.Fatal("directed mode should fail on alternating line")
+	}
+}
+
+func TestNeo4jPathsChainCount(t *testing.T) {
+	w := gen.Chain(5)
+	r := Neo4jPaths(w.Graph, w.Seeds[0], w.Seeds[1], PathOptions{MaxDepth: 10})
+	if len(r.Paths) != 32 {
+		t.Fatalf("paths = %d, want 32", len(r.Paths))
+	}
+	// Limit cuts the enumeration short.
+	rl := Neo4jPaths(w.Graph, w.Seeds[0], w.Seeds[1], PathOptions{Limit: 5})
+	if len(rl.Paths) != 5 {
+		t.Fatalf("limited paths = %d, want 5", len(rl.Paths))
+	}
+}
+
+func TestNeo4jPathsTimeout(t *testing.T) {
+	w := gen.Chain(20)
+	r := Neo4jPaths(w.Graph, w.Seeds[0], w.Seeds[1], PathOptions{
+		MaxDepth: 25, Timeout: time.Nanosecond})
+	if !r.TimedOut {
+		t.Fatal("timeout not reported")
+	}
+}
+
+func TestNeo4jZeroLengthPath(t *testing.T) {
+	g := gen.Sample()
+	alice, _ := g.NodeByLabel("Alice")
+	r := Neo4jPaths(g, []graph.NodeID{alice}, []graph.NodeID{alice}, PathOptions{MaxDepth: 1})
+	if len(r.Paths) == 0 || len(r.Paths[0]) != 0 {
+		t.Fatal("self-path missing")
+	}
+}
+
+func TestJEDIAndPostgresPaths(t *testing.T) {
+	w := gen.Chain(4)
+	ts := storage.NewTripleStore(w.Graph)
+	jedi := JEDIPaths(ts, w.Seeds[0], w.Seeds[1], []string{"a"}, PathOptions{})
+	if len(jedi.Paths) != 1 {
+		t.Fatalf("JEDI a-paths = %d, want 1", len(jedi.Paths))
+	}
+	pg := PostgresPaths(ts, w.Seeds[0], w.Seeds[1], PathOptions{})
+	if len(pg.Paths) != 16 {
+		t.Fatalf("Postgres paths = %d, want 16", len(pg.Paths))
+	}
+}
+
+func TestQGSTPOnStar(t *testing.T) {
+	w := gen.Star(4, 2, gen.Forward) // center -> ... -> seeds
+	groups := w.Seeds
+	r := QGSTP(w.Graph, groups)
+	if !r.Found {
+		t.Fatal("QGSTP found nothing")
+	}
+	if lbl := w.Graph.NodeLabel(r.Root); lbl != "center" {
+		t.Fatalf("root = %q, want center", lbl)
+	}
+	if len(r.Edges) != w.Graph.NumEdges() {
+		t.Fatalf("tree size = %d, want the whole star %d", len(r.Edges), w.Graph.NumEdges())
+	}
+	if !tree.IsTree(w.Graph, r.Edges) {
+		t.Fatal("QGSTP returned a non-tree")
+	}
+	// The result must be unidirectional from the root.
+	if root, ok := tree.UnidirectionalRoot(w.Graph, r.Edges); !ok || root != r.Root {
+		t.Fatal("QGSTP result not rooted-directed")
+	}
+}
+
+func TestQGSTPUnreachable(t *testing.T) {
+	// Two disconnected nodes: no tree connects the groups.
+	b := graph.NewBuilder()
+	a := b.AddNode("a")
+	c := b.AddNode("c")
+	g := b.Build()
+	r := QGSTP(g, [][]graph.NodeID{{a}, {c}})
+	if r.Found {
+		t.Fatal("disconnected groups should not be connectable")
+	}
+	if QGSTP(g, nil).Found {
+		t.Fatal("no groups should yield nothing")
+	}
+}
+
+func TestQGSTPDirectionality(t *testing.T) {
+	// A <- x -> B: x reaches both seeds; seeds reach nothing.
+	b := graph.NewBuilder()
+	a := b.AddNode("A")
+	x := b.AddNode("x")
+	bb := b.AddNode("B")
+	b.AddEdge(x, "t", a)
+	b.AddEdge(x, "t", bb)
+	g := b.Build()
+	r := QGSTP(g, [][]graph.NodeID{{a}, {bb}})
+	if !r.Found || r.Root != x || len(r.Edges) != 2 {
+		t.Fatalf("QGSTP = %+v", r)
+	}
+	// Flip one edge: no single root reaches both.
+	b2 := graph.NewBuilder()
+	a2 := b2.AddNode("A")
+	x2 := b2.AddNode("x")
+	bb2 := b2.AddNode("B")
+	b2.AddEdge(a2, "t", x2)
+	b2.AddEdge(x2, "t", bb2)
+	g2 := b2.Build()
+	r2 := QGSTP(g2, [][]graph.NodeID{{a2}, {bb2}})
+	if !r2.Found || r2.Root != a2 {
+		t.Fatalf("chain QGSTP = %+v", r2)
+	}
+}
+
+func TestQGSTPPicksShortestConnection(t *testing.T) {
+	// Two candidate roots: one 2-hop, one 4-hop star; QGSTP must choose
+	// the cheaper one.
+	b := graph.NewBuilder()
+	a := b.AddNode("A")
+	c := b.AddNode("B")
+	near := b.AddNode("near")
+	far1 := b.AddNode("f1")
+	far2 := b.AddNode("f2")
+	far := b.AddNode("far")
+	b.AddEdge(near, "t", a)
+	b.AddEdge(near, "t", c)
+	b.AddEdge(far, "t", far1)
+	b.AddEdge(far1, "t", a)
+	b.AddEdge(far, "t", far2)
+	b.AddEdge(far2, "t", c)
+	g := b.Build()
+	r := QGSTP(g, [][]graph.NodeID{{a}, {c}})
+	if !r.Found || r.Root != near || len(r.Edges) != 2 {
+		t.Fatalf("QGSTP chose %v (%d edges), want root near with 2 edges",
+			g.NodeLabel(r.Root), len(r.Edges))
+	}
+}
+
+func TestStitchCountsDuplicatesAndNonTrees(t *testing.T) {
+	// A Y: r -> b1, r -> b2, plus a path t -> r. Paths from r: to b1 and
+	// b2. Stitching paths (r ~> b1) with (r ~> b2) gives the tree; pairing
+	// a path with itself is non-tree (same edge) or duplicate.
+	b := graph.NewBuilder()
+	top := b.AddNode("t")
+	r := b.AddNode("r")
+	b1 := b.AddNode("b1")
+	b2 := b.AddNode("b2")
+	e0 := b.AddEdge(top, "l", r)
+	e1 := b.AddEdge(r, "l", b1)
+	e2 := b.AddEdge(r, "l", b2)
+	g := b.Build()
+	isSeed := func(n graph.NodeID) bool { return n == top || n == b1 || n == b2 }
+
+	pTo1 := []storage.PathRow{{Src: top, Dst: b1, Edges: []graph.EdgeID{e0, e1}}}
+	pTo2 := []storage.PathRow{{Src: top, Dst: b2, Edges: []graph.EdgeID{e0, e2}}}
+	res := Stitch(g, pTo1, pTo2, isSeed)
+	if res.Raw != 1 || res.Trees != 1 || res.NonTree != 0 {
+		t.Fatalf("stitch = %+v", res)
+	}
+}
+
+func TestStitchDuplicateTrees(t *testing.T) {
+	b := graph.NewBuilder()
+	top := b.AddNode("t")
+	r := b.AddNode("r")
+	b1 := b.AddNode("b1")
+	b2 := b.AddNode("b2")
+	e0 := b.AddEdge(top, "l", r)
+	e1 := b.AddEdge(r, "l", b1)
+	e2 := b.AddEdge(r, "l", b2)
+	g := b.Build()
+	isSeed := func(n graph.NodeID) bool { return n == top || n == b1 || n == b2 }
+	pTo1 := []storage.PathRow{{Src: top, Dst: b1, Edges: []graph.EdgeID{e0, e1}}}
+	pTo2 := []storage.PathRow{
+		{Src: top, Dst: b2, Edges: []graph.EdgeID{e0, e2}},
+		{Src: top, Dst: b2, Edges: []graph.EdgeID{e0, e2}},
+	}
+	res := Stitch(g, pTo1, pTo2, isSeed)
+	if res.Raw != 2 || res.Trees != 1 || res.Duplicates != 1 {
+		t.Fatalf("stitch = %+v", res)
+	}
+}
+
+func TestStitchNonTree(t *testing.T) {
+	// Two paths sharing an intermediate node beyond the junction: their
+	// union has a cycle — not a tree.
+	b := graph.NewBuilder()
+	s := b.AddNode("s")
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	d1 := b.AddNode("d1")
+	e0 := b.AddEdge(s, "l", x)
+	e1 := b.AddEdge(s, "l", y)
+	e2 := b.AddEdge(x, "l", d1)
+	e3 := b.AddEdge(y, "l", d1)
+	g := b.Build()
+	isSeed := func(n graph.NodeID) bool { return n == s || n == d1 }
+	p1 := []storage.PathRow{{Src: s, Dst: d1, Edges: []graph.EdgeID{e0, e2}}}
+	p2 := []storage.PathRow{{Src: s, Dst: d1, Edges: []graph.EdgeID{e1, e3}}}
+	res := Stitch(g, p1, p2, isSeed)
+	if res.NonTree != 1 || res.Trees != 0 {
+		t.Fatalf("stitch = %+v", res)
+	}
+}

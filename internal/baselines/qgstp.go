@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// GSTResult is the single tree a Group Steiner Tree approximation returns.
+type GSTResult struct {
+	Root    graph.NodeID
+	Edges   []graph.EdgeID
+	Seeds   []graph.NodeID // the chosen group representatives
+	Found   bool
+	Visited int // BFS work, for effort comparisons
+}
+
+// QGSTP approximates the (unidirectional) Group Steiner Tree connecting
+// one node from each group, standing in for the QGSTP system of Shi et
+// al. used as the Figure 12 baseline. It is the classical polynomial
+// shortest-path-star approximation:
+//
+//  1. for each group, a reverse BFS computes, for every node v, the
+//     directed distance from v to the nearest group member and the first
+//     edge on that shortest path;
+//  2. the connecting root is the node minimizing the total distance to
+//     all groups;
+//  3. the answer is the union of the root's shortest paths, reduced to a
+//     tree and minimized.
+//
+// Like the original, it runs in polynomial time, traverses edges
+// unidirectionally, and returns exactly one result (the paper aligned the
+// comparison by running MoLESP with UNI and LIMIT 1). It returns Found ==
+// false when no node reaches every group.
+func QGSTP(g *graph.Graph, groups [][]graph.NodeID) GSTResult {
+	n := g.NumNodes()
+	res := GSTResult{}
+	if len(groups) == 0 {
+		return res
+	}
+	const inf = int32(1) << 30
+	dist := make([][]int32, len(groups))
+	via := make([][]graph.EdgeID, len(groups))
+	for gi, group := range groups {
+		d := make([]int32, n)
+		v := make([]graph.EdgeID, n)
+		for i := range d {
+			d[i] = inf
+			v[i] = -1
+		}
+		queue := make([]graph.NodeID, 0, len(group))
+		for _, s := range group {
+			if d[s] == inf {
+				d[s] = 0
+				queue = append(queue, s)
+			}
+		}
+		// Reverse BFS: relax edges e = (u -> w) from w to u, so d[u] is
+		// the directed distance u ~> group.
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			res.Visited++
+			for _, e := range g.In(w) {
+				u := g.Source(e)
+				if d[u] == inf {
+					d[u] = d[w] + 1
+					v[u] = e
+					queue = append(queue, u)
+				}
+			}
+		}
+		dist[gi] = d
+		via[gi] = v
+	}
+
+	// Root selection: minimize the distance sum.
+	best := inf
+	bestNode := graph.NodeID(-1)
+	for i := 0; i < n; i++ {
+		total := int32(0)
+		ok := true
+		for gi := range groups {
+			d := dist[gi][i]
+			if d >= inf {
+				ok = false
+				break
+			}
+			total += d
+		}
+		if ok && total < best {
+			best = total
+			bestNode = graph.NodeID(i)
+		}
+	}
+	if bestNode < 0 {
+		return res
+	}
+
+	// Union of the shortest paths root ~> each group.
+	edgeSet := make(map[graph.EdgeID]bool)
+	isSeed := make(map[graph.NodeID]bool)
+	for gi := range groups {
+		at := bestNode
+		for dist[gi][at] > 0 {
+			e := via[gi][at]
+			edgeSet[e] = true
+			at = g.Target(e)
+		}
+		isSeed[at] = true
+		res.Seeds = append(res.Seeds, at)
+	}
+	edges := make([]graph.EdgeID, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	// The union of shortest paths can contain convergent branches; extract
+	// a tree by BFS from the root within the union, then peel non-seed
+	// leaves (the root itself counts as required so a root-only tree for
+	// coinciding groups stays valid).
+	treeEdges := spanFromRoot(g, bestNode, edges)
+	isSeed[bestNode] = true
+	res.Edges = tree.Minimize(g, treeEdges, func(n graph.NodeID) bool { return isSeed[n] })
+	res.Root = bestNode
+	res.Found = true
+	return res
+}
+
+// spanFromRoot extracts a BFS spanning tree of the subgraph induced by
+// edges, rooted at root, following edge direction.
+func spanFromRoot(g *graph.Graph, root graph.NodeID, edges []graph.EdgeID) []graph.EdgeID {
+	outEdges := make(map[graph.NodeID][]graph.EdgeID)
+	for _, e := range edges {
+		s := g.Source(e)
+		outEdges[s] = append(outEdges[s], e)
+	}
+	var span []graph.EdgeID
+	visited := map[graph.NodeID]bool{root: true}
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range outEdges[u] {
+			w := g.Target(e)
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			span = append(span, e)
+			queue = append(queue, w)
+		}
+	}
+	return span
+}

@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"sort"
+
+	"ctpquery/internal/graph"
+	"ctpquery/internal/storage"
+	"ctpquery/internal/tree"
+)
+
+// StitchResult quantifies what happens when per-pair paths are joined at
+// a shared endpoint to emulate a 3-way connection — the "path stitching"
+// approach Section 2 shows to be semantically different from CTP results:
+// the raw join count includes duplicates (each n-node tree appears once
+// per stitching root) and combinations that are not trees at all (paths
+// sharing nodes or edges beyond the junction).
+type StitchResult struct {
+	Raw        int // all (p1, p2) combinations sharing the junction
+	NonTree    int // combinations whose union is not a tree
+	Duplicates int // tree combinations whose edge set was already produced
+	Trees      int // distinct minimal trees after dedup + minimization
+}
+
+// Stitch joins two path sets on their shared Src endpoint (the common
+// root) and classifies every combination. isSeed marks the CTP's seed
+// nodes, needed to minimize the stitched trees for a fair comparison with
+// set-based CTP results.
+func Stitch(g *graph.Graph, a, b []storage.PathRow, isSeed func(graph.NodeID) bool) StitchResult {
+	byRoot := make(map[graph.NodeID][]storage.PathRow)
+	for _, p := range b {
+		byRoot[p.Src] = append(byRoot[p.Src], p)
+	}
+	var res StitchResult
+	seen := make(map[string]bool)
+	for _, p1 := range a {
+		for _, p2 := range byRoot[p1.Src] {
+			res.Raw++
+			union := unionEdges(p1.Edges, p2.Edges)
+			if !tree.IsTree(g, union) {
+				res.NonTree++
+				continue
+			}
+			min := tree.Minimize(g, union, isSeed)
+			key := tree.EdgeSetKey(min)
+			if seen[key] {
+				res.Duplicates++
+				continue
+			}
+			seen[key] = true
+			res.Trees++
+		}
+	}
+	return res
+}
+
+func unionEdges(a, b []graph.EdgeID) []graph.EdgeID {
+	set := make(map[graph.EdgeID]bool, len(a)+len(b))
+	for _, e := range a {
+		set[e] = true
+	}
+	for _, e := range b {
+		set[e] = true
+	}
+	out := make([]graph.EdgeID, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

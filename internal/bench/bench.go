@@ -1,0 +1,97 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) on laptop-scale instances: the baseline
+// comparison of Figure 10, the GAM-variant comparison of Figure 11 (times
+// and provenance counts), the QGSTP comparison of Figure 12, the CDF
+// benchmarks of Figures 13 and 14, the YAGO query table (Table 1), and
+// the Figure 2 result-explosion demonstration.
+//
+// Each experiment prints the same rows/series as the paper's plot; the
+// absolute numbers differ from the authors' Xeon/Postgres testbed, but
+// the shapes — who wins, by what factor, where systems time out — are the
+// reproduction target (see EXPERIMENTS.md). cmd/expdriver runs experiments
+// from the command line; the repository-root bench_test.go exposes each as
+// a testing.B benchmark.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config tunes experiment sizes. The zero value is replaced by defaults
+// sized for a laptop run of a few minutes total.
+type Config struct {
+	// Scale multiplies workload sizes (graph dimensions); 1 is the
+	// laptop-scale default, larger values approach the paper's sizes.
+	Scale float64
+	// Timeout bounds each measured point, standing in for the paper's 10-
+	// and 15-minute timeouts at our scale.
+	Timeout time.Duration
+	// Seed drives all synthetic data generation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scaled applies the scale factor with a minimum of 1.
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config, w io.Writer) error
+}
+
+var experiments = map[string]Experiment{}
+
+func register(e Experiment) { experiments[e.ID] = e }
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(experiments))
+	for _, e := range experiments {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "## %s — %s\n", e.ID, e.Title)
+}
+
+// ms formats a duration in milliseconds with a timeout marker, the unit
+// of the paper's plots.
+func ms(d time.Duration, timedOut bool) string {
+	if timedOut {
+		return fmt.Sprintf("%.1f(timeout)", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/gen"
+)
+
+// Smoke-run every registered experiment at a tiny scale: the harness must
+// produce output rows for every figure and table without panicking.
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := Config{Scale: 0.25, Timeout: 300 * time.Millisecond, Seed: 3}
+	wanted := []string{
+		"fig2", "fig10a", "fig10b", "fig10c",
+		"fig11a", "fig11b", "fig11c", "fig11d", "fig11e", "fig11f",
+		"fig12", "fig13", "fig14", "table1",
+	}
+	if len(All()) != len(wanted) {
+		t.Fatalf("registered %d experiments, want %d", len(All()), len(wanted))
+	}
+	for _, id := range wanted {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		var sb strings.Builder
+		if err := e.Run(cfg, &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(strings.Split(sb.String(), "\n")) < 3 {
+			t.Fatalf("%s produced no rows:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+}
+
+// The Figure 11 shape claims, validated quantitatively at small scale:
+// pruning reduces provenances (MoLESP < GAM), and on Line/Comb the
+// ESP/LESP variants lose the results while MoESP/MoLESP keep them.
+func TestFig11Shapes(t *testing.T) {
+	comb := gen.Comb(4, 2, 3, 2, gen.Alternate)
+	_, gamStats := MeasureCTP(comb, core.GAM, 5*time.Second)
+	_, molespStats := MeasureCTP(comb, core.MoLESP, 5*time.Second)
+	if molespStats.Kept() >= gamStats.Kept() {
+		t.Fatalf("MoLESP kept %d provenances, GAM %d: pruning should win",
+			molespStats.Kept(), gamStats.Kept())
+	}
+	if molespStats.Results != 1 {
+		t.Fatalf("MoLESP results = %d, want 1", molespStats.Results)
+	}
+	_, espStats := MeasureCTP(comb, core.ESP, 5*time.Second)
+	if espStats.Results != 0 {
+		t.Fatalf("ESP on Comb should miss (Section 5.4.2), found %d", espStats.Results)
+	}
+}
+
+// The Figure 12 protocol: MoLESP with UNI+LIMIT 1 returns at most one
+// result and must find one whenever QGSTP does (Property 9's guarantee as
+// invoked in Section 5.4.3).
+func TestFig12Protocol(t *testing.T) {
+	w := gen.Star(4, 2, gen.Forward)
+	d, st := Fig12Point(w.Graph, w.Seeds, core.MoLESP, time.Second)
+	if st.Results != 1 {
+		t.Fatalf("results = %d, want 1", st.Results)
+	}
+	if d <= 0 {
+		t.Fatal("no time measured")
+	}
+}
+
+// CDF system runs: MoLESP must answer and the check-only baselines must
+// report pair counts.
+func TestRunCDFSystems(t *testing.T) {
+	c := gen.NewCDF(2, 4, 8, 3)
+	rows := RunCDFSystems(c, 2*time.Second)
+	byName := map[string]CDFSystemResult{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	if byName["MoLESP"].Answers != c.NL {
+		t.Fatalf("MoLESP answers = %d, want %d", byName["MoLESP"].Answers, c.NL)
+	}
+	if byName["UNI-MoLESP"].Answers != c.NL {
+		t.Fatalf("UNI-MoLESP answers = %d, want %d", byName["UNI-MoLESP"].Answers, c.NL)
+	}
+	// The link chains are directed top->bottom: the directed path
+	// baselines see exactly the NL link paths.
+	if byName["Postgres"].Answers != c.NL && !byName["Postgres"].TimedOut {
+		t.Fatalf("Postgres answers = %d, want %d", byName["Postgres"].Answers, c.NL)
+	}
+	if byName["UNI-JEDI"].Answers != c.NL && !byName["UNI-JEDI"].TimedOut {
+		t.Fatalf("JEDI answers = %d, want %d", byName["UNI-JEDI"].Answers, c.NL)
+	}
+	if byName["Virtuoso-lbl"].Answers == 0 {
+		t.Fatal("check-only baseline found no reachable pairs")
+	}
+}
+
+func TestRunCDFSystemsM3(t *testing.T) {
+	c := gen.NewCDF(3, 4, 8, 3)
+	rows := RunCDFSystems(c, 2*time.Second)
+	byName := map[string]CDFSystemResult{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	if byName["MoLESP"].Answers < c.NL {
+		t.Fatalf("MoLESP answers = %d, want >= %d", byName["MoLESP"].Answers, c.NL)
+	}
+	// Stitching produces raw combinations; they at least cover the links.
+	if byName["Postgres+stitch"].Answers < c.NL && !byName["Postgres+stitch"].TimedOut {
+		t.Fatalf("stitch answers = %d, want >= %d", byName["Postgres+stitch"].Answers, c.NL)
+	}
+}
+
+// Table 1 rows: every query/system cell must be measured; MoLESP must
+// answer J2 and J3 (the Section 4.9 robustness claims).
+func TestRunTable1(t *testing.T) {
+	kg := gen.YAGOLike(200, 5)
+	rows := RunTable1(kg, 2*time.Second)
+	if len(rows) != 12 { // 3 queries x 4 systems
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.System == "MoLESP" && (r.Query == "J2" || r.Query == "J3") {
+			if r.Answers == 0 {
+				t.Fatalf("MoLESP on %s found nothing", r.Query)
+			}
+		}
+	}
+}

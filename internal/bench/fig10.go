@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+)
+
+// Figure 10: the complete baselines — BFT, BFT-M, BFT-AM, GAM — on Line,
+// Comb, and Star workloads of growing seed distance sL, with three curve
+// groups per plot (m for Line/Star, nA for Comb). Missing points in the
+// paper are timeouts; we print "(timeout)" markers instead.
+
+// MeasureCTP runs one algorithm on one workload and returns its runtime
+// and search statistics. It is the measurement primitive every synthetic
+// experiment and the root-level testing.B benchmarks share.
+func MeasureCTP(w *gen.Workload, alg core.Algorithm, timeout time.Duration) (time.Duration, *core.Stats) {
+	opts := core.Options{
+		Algorithm: alg,
+		Filters:   eql.Filters{Timeout: timeout},
+	}
+	start := time.Now()
+	_, stats, err := core.Search(w.Graph, core.Explicit(w.Seeds...), opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s on %s: %v", alg, w.Name, err))
+	}
+	return time.Since(start), stats
+}
+
+// fig10Algorithms are the complete baselines of Section 5.4.1.
+var fig10Algorithms = []core.Algorithm{core.BFT, core.BFTM, core.BFTAM, core.GAM}
+
+// lineWorkloads builds the Figure 10/11 Line grid: m in {3,5,10}, seed
+// distance sL = nL+1 in 2..maxSL.
+func lineWorkloads(maxSL int) []*gen.Workload {
+	var out []*gen.Workload
+	for _, m := range []int{3, 5, 10} {
+		for sL := 2; sL <= maxSL; sL++ {
+			out = append(out, gen.Line(m, sL-1, gen.Alternate))
+		}
+	}
+	return out
+}
+
+// combWorkloads builds the Comb grid: nA in {2,4,6} (m = 3*nA with nS=2),
+// segment length sL in 2..maxSL, dBA=2.
+func combWorkloads(maxSL int) []*gen.Workload {
+	var out []*gen.Workload
+	for _, nA := range []int{2, 4, 6} {
+		for sL := 2; sL <= maxSL; sL++ {
+			out = append(out, gen.Comb(nA, 2, sL, 2, gen.Alternate))
+		}
+	}
+	return out
+}
+
+// starWorkloads builds the Star grid: m in {3,5,10}, ray length sL.
+func starWorkloads(maxSL int) []*gen.Workload {
+	var out []*gen.Workload
+	for _, m := range []int{3, 5, 10} {
+		for sL := 2; sL <= maxSL; sL++ {
+			out = append(out, gen.Star(m, sL, gen.Alternate))
+		}
+	}
+	return out
+}
+
+func runFig10(workloads []*gen.Workload, cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-28s %-8s %10s %12s %8s\n", "workload", "algo", "time_ms", "provenances", "results")
+	for _, wl := range workloads {
+		for _, alg := range fig10Algorithms {
+			d, st := MeasureCTP(wl, alg, cfg.Timeout)
+			fmt.Fprintf(w, "%-28s %-8s %10s %12d %8d\n",
+				wl.Name, alg, ms(d, st.TimedOut), st.Kept(), st.Results)
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig10a",
+		Title: "Complete CTP baselines on Line graphs (runtime vs seed distance)",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			return runFig10(lineWorkloads(4+cfg.scaled(4)), cfg, w)
+		},
+	})
+	register(Experiment{
+		ID:    "fig10b",
+		Title: "Complete CTP baselines on Comb graphs",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			return runFig10(combWorkloads(3+cfg.scaled(3)), cfg, w)
+		},
+	})
+	register(Experiment{
+		ID:    "fig10c",
+		Title: "Complete CTP baselines on Star graphs",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			return runFig10(starWorkloads(3+cfg.scaled(3)), cfg, w)
+		},
+	})
+}

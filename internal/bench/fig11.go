@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/gen"
+)
+
+// Figure 11: the GAM pruning variants — GAM, ESP, MoESP, LESP, MoLESP —
+// on the same Line/Comb/Star grids. Subfigures (a)-(c) plot runtime;
+// (d)-(f) plot the number of provenances built; one run produces both
+// columns here. Variants that find no results (ESP and LESP on Line and
+// Comb, Section 5.4.2) are marked "MISS", matching the paper's missing
+// curves.
+
+func runFig11(workloads []*gen.Workload, cfg Config, w io.Writer) error {
+	fmt.Fprintf(w, "%-28s %-8s %10s %12s %8s\n", "workload", "algo", "time_ms", "provenances", "results")
+	for _, wl := range workloads {
+		for _, alg := range core.GAMFamily() {
+			d, st := MeasureCTP(wl, alg, cfg.Timeout)
+			marker := ""
+			if st.Results == 0 && !st.TimedOut {
+				marker = " MISS"
+			}
+			fmt.Fprintf(w, "%-28s %-8s %10s %12d %8d%s\n",
+				wl.Name, alg, ms(d, st.TimedOut), st.Kept(), st.Results, marker)
+		}
+	}
+	return nil
+}
+
+func init() {
+	runLine := func(cfg Config, w io.Writer) error {
+		cfg = cfg.withDefaults()
+		return runFig11(lineWorkloads(4+cfg.scaled(4)), cfg, w)
+	}
+	runComb := func(cfg Config, w io.Writer) error {
+		cfg = cfg.withDefaults()
+		return runFig11(combWorkloads(3+cfg.scaled(3)), cfg, w)
+	}
+	runStar := func(cfg Config, w io.Writer) error {
+		cfg = cfg.withDefaults()
+		return runFig11(starWorkloads(3+cfg.scaled(3)), cfg, w)
+	}
+	register(Experiment{ID: "fig11a", Title: "GAM variants on Line graphs (runtime)", Run: runLine})
+	register(Experiment{ID: "fig11b", Title: "GAM variants on Comb graphs (runtime)", Run: runComb})
+	register(Experiment{ID: "fig11c", Title: "GAM variants on Star graphs (runtime)", Run: runStar})
+	// (d)-(f) plot the provenance column of the same runs.
+	register(Experiment{ID: "fig11d", Title: "GAM variants on Line graphs (provenances built)", Run: runLine})
+	register(Experiment{ID: "fig11e", Title: "GAM variants on Comb graphs (provenances built)", Run: runComb})
+	register(Experiment{ID: "fig11f", Title: "GAM variants on Star graphs (provenances built)", Run: runStar})
+}

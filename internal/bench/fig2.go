@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+)
+
+// Figure 2 (motivation): the chain graph whose 2-seed CTP has 2^N
+// results. The experiment shows the exponential growth and how the CTP
+// filters (LIMIT, TIMEOUT) keep evaluation bounded — the reason the
+// language includes them (Section 2).
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Chain graphs: exponential CTP result counts, bounded by filters",
+		Run: func(cfg Config, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			fmt.Fprintf(w, "%-12s %10s %10s %10s\n", "chain N", "results", "time_ms", "truncated")
+			maxN := 8 + cfg.scaled(4)
+			for n := 4; n <= maxN; n += 2 {
+				wl := gen.Chain(n)
+				start := time.Now()
+				rs, st, err := core.Search(wl.Graph, core.Explicit(wl.Seeds...), core.Options{
+					Algorithm: core.MoLESP,
+					Filters:   eql.Filters{Timeout: cfg.Timeout, Limit: 1 << 14},
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%-12d %10d %10s %10v\n",
+					n, rs.Len(), ms(time.Since(start), st.TimedOut), st.Truncated)
+			}
+			return nil
+		},
+	})
+}

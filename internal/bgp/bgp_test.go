@@ -1,0 +1,233 @@
+package bgp
+
+import (
+	"testing"
+
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+)
+
+func mustParse(t *testing.T, src string) *eql.Query {
+	t.Helper()
+	q, err := eql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestSinglePattern(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?x WHERE { ?x citizenOf ?c . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5 citizenOf bindings", tb.NumRows())
+	}
+	if !tb.HasColumn("x") || !tb.HasColumn("c") {
+		t.Fatalf("cols = %v", tb.Cols())
+	}
+}
+
+func TestConstantObjectDedup(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?x WHERE { ?x citizenOf France . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice, Doug, Elon.
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tb.NumRows())
+	}
+	if len(tb.Cols()) != 1 {
+		t.Fatalf("anonymous positions must be projected away: %v", tb.Cols())
+	}
+}
+
+func TestJoinAcrossPatterns(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?x ?o WHERE { ?x citizenOf USA . ?x founded ?o . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob founded OrgB; Carole founded OrgA and OrgC.
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3\n%s", tb.NumRows(), tb)
+	}
+}
+
+func TestTriangleJoin(t *testing.T) {
+	g := gen.Sample()
+	// Entrepreneurs investing in a company located in the USA.
+	q := mustParse(t, `SELECT ?p ?c WHERE {
+		?p investsIn ?c .
+		?c locatedIn USA .
+	}`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OrgC is in the USA; Doug and Falcon invest in OrgC.
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2\n%s", tb.NumRows(), tb)
+	}
+}
+
+func TestEdgeVariableBinding(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?e WHERE { Alice ?e France . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", tb.NumRows())
+	}
+	e := graph.EdgeID(tb.Row(0)[tb.Column("e")])
+	if g.EdgeLabel(e) != "citizenOf" {
+		t.Fatalf("edge label = %q", g.EdgeLabel(e))
+	}
+}
+
+func TestTypeFilterInPattern(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?x WHERE {
+		?x citizenOf France .
+		FILTER type(?x) = politician .
+	}`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1 (Elon)", tb.NumRows())
+	}
+	n := graph.NodeID(tb.Row(0)[tb.Column("x")])
+	if g.NodeLabel(n) != "Elon" {
+		t.Fatalf("bound %q", g.NodeLabel(n))
+	}
+}
+
+func TestSelfLoopVariable(t *testing.T) {
+	b := graph.NewBuilder()
+	n := b.AddNode("n")
+	m := b.AddNode("m")
+	b.AddEdge(n, "self", n)
+	b.AddEdge(n, "self", m)
+	g := b.Build()
+	q := mustParse(t, `SELECT ?x WHERE { ?x self ?x . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d, want only the true self-loop", tb.NumRows())
+	}
+}
+
+func TestExistenceOnlyPattern(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT * WHERE { Alice citizenOf France . }`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Cols()) != 0 || tb.NumRows() != 1 {
+		t.Fatalf("existence check: %d cols, %d rows", len(tb.Cols()), tb.NumRows())
+	}
+	q2 := mustParse(t, `SELECT * WHERE { Alice citizenOf USA . }`)
+	tb2, err := Evaluate(g, q2.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.NumRows() != 0 {
+		t.Fatalf("false existence check returned %d rows", tb2.NumRows())
+	}
+}
+
+func TestVariableRoleConflict(t *testing.T) {
+	b := eql.BGP{Patterns: []eql.EdgePattern{
+		{Src: eql.Var("x"), Edge: eql.Var("e"), Dst: eql.Var("y")},
+		{Src: eql.Var("e"), Edge: eql.Var("f"), Dst: eql.Var("y")},
+	}}
+	if _, err := Evaluate(gen.Sample(), b); err == nil {
+		t.Fatal("node/edge role conflict should error")
+	}
+}
+
+func TestEmptyBGP(t *testing.T) {
+	if _, err := Evaluate(gen.Sample(), eql.BGP{}); err == nil {
+		t.Fatal("empty BGP should error")
+	}
+}
+
+func TestGlobPredicateScan(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?x WHERE {
+		?x founded ?o .
+		FILTER label(?o) ~ "Org*" .
+	}`)
+	tb, err := Evaluate(g, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tb.NumRows())
+	}
+}
+
+func TestLargeScanChoosesIndex(t *testing.T) {
+	// On a KG-sized graph a label-indexed scan must return the same rows
+	// as the semantics require, quickly.
+	kg := gen.YAGOLike(200, 1)
+	q := mustParse(t, `SELECT ?p ?o WHERE { ?p worksFor ?o . }`)
+	tb, err := Evaluate(kg.Graph, q.BGPs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(kg.Graph.EdgesWithLabel(mustLabel(t, kg.Graph, "worksFor")))
+	if tb.NumRows() > want {
+		t.Fatalf("rows = %d, more than worksFor edge count %d", tb.NumRows(), want)
+	}
+	if tb.NumRows() == 0 {
+		t.Fatal("no worksFor bindings")
+	}
+}
+
+func mustLabel(t *testing.T, g *graph.Graph, s string) graph.LabelID {
+	t.Helper()
+	l, ok := g.LabelIDOf(s)
+	if !ok {
+		t.Fatalf("label %q missing", s)
+	}
+	return l
+}
+
+func TestDuplicateEliminationSetSemantics(t *testing.T) {
+	// Two anonymous France memberships for the same person must collapse.
+	b := graph.NewBuilder()
+	p := b.AddNode("p")
+	f1 := b.AddNode("f1")
+	f2 := b.AddNode("f2")
+	b.AddEdge(p, "knows", f1)
+	b.AddEdge(p, "knows", f2)
+	g := b.Build()
+	q := mustParse(t, `SELECT ?x WHERE { ?x knows ?anyone . }`)
+	_ = q
+	// With the object anonymous, ?x must appear once.
+	bgpAnon := eql.BGP{Patterns: []eql.EdgePattern{
+		{Src: eql.Var("x"), Edge: eql.Label("knows"), Dst: eql.Predicate{}},
+	}}
+	tb, err := Evaluate(g, bgpAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1 after dedup", tb.NumRows())
+	}
+}

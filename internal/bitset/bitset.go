@@ -1,0 +1,247 @@
+// Package bitset provides small, allocation-friendly bit sets used to
+// represent seed signatures: for a connecting-tree search over m seed sets,
+// bit i of a signature records a fact about seed set i (for example, that a
+// tree contains a seed from set i, or that a rooted path from set i has
+// reached a node). Widths are arbitrary; the common case m <= 64 stays in a
+// single word.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Bits is a variable-width bit set. The zero value is an empty set. All
+// methods treat missing high words as zero, so sets of different widths can
+// be combined freely.
+type Bits []uint64
+
+// New returns a bit set able to hold at least n bits without growing.
+func New(n int) Bits {
+	if n <= 0 {
+		return nil
+	}
+	return make(Bits, (n+63)/64)
+}
+
+// Single returns a bit set with exactly bit i set.
+func Single(i int) Bits {
+	b := New(i + 1)
+	b.Set(i)
+	return b
+}
+
+// grow extends b so that bit i is addressable and returns the result.
+func (b *Bits) grow(i int) {
+	w := i/64 + 1
+	for len(*b) < w {
+		*b = append(*b, 0)
+	}
+}
+
+// Set turns bit i on, growing the set as needed.
+func (b *Bits) Set(i int) {
+	b.grow(i)
+	(*b)[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear turns bit i off. Clearing a bit beyond the current width is a no-op.
+func (b Bits) Clear(i int) {
+	if w := i / 64; w < len(b) {
+		b[w] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Has reports whether bit i is set.
+func (b Bits) Has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of set bits (the Σ(ss) of the paper).
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether no bit is set.
+func (b Bits) IsEmpty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether b and o share at least one set bit.
+func (b Bits) Intersects(o Bits) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsOutside reports whether b and o share a set bit that is not
+// also set in mask. It implements the merge precondition "no seed set is
+// represented in both trees, except by the shared root node": mask carries
+// the root's own seed memberships.
+func (b Bits) IntersectsOutside(o, mask Bits) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		common := b[i] & o[i]
+		if i < len(mask) {
+			common &^= mask[i]
+		}
+		if common != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns a new set holding b ∪ o.
+func (b Bits) Union(o Bits) Bits {
+	n := len(b)
+	if len(o) > n {
+		n = len(o)
+	}
+	out := make(Bits, n)
+	copy(out, b)
+	for i, w := range o {
+		out[i] |= w
+	}
+	return out
+}
+
+// UnionInPlace sets b = b ∪ o, growing b as needed, and returns b.
+func (b *Bits) UnionInPlace(o Bits) Bits {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for i, w := range o {
+		(*b)[i] |= w
+	}
+	return *b
+}
+
+// Minus returns a new set holding b \ o.
+func (b Bits) Minus(o Bits) Bits {
+	out := make(Bits, len(b))
+	copy(out, b)
+	for i := range out {
+		if i < len(o) {
+			out[i] &^= o[i]
+		}
+	}
+	return out
+}
+
+// Contains reports whether every set bit of o is also set in b.
+func (b Bits) Contains(o Bits) bool {
+	for i, w := range o {
+		var bw uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if w&^bw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o denote the same set, ignoring width.
+func (b Bits) Equal(o Bits) bool {
+	n := len(b)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		var bw, ow uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if i < len(o) {
+			ow = o[i]
+		}
+		if bw != ow {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b Bits) Clone() Bits {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(Bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (b Bits) Indices() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			out = append(out, wi*64+i)
+			w &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Full returns a set with bits 0..n-1 all set.
+func Full(n int) Bits {
+	b := New(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}
+
+// Key returns a compact string usable as a map key. Two sets that are Equal
+// produce the same key regardless of trailing zero words.
+func (b Bits) Key() string {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		var buf [8]byte
+		w := b[i]
+		for j := 0; j < 8; j++ {
+			buf[j] = byte(w >> (8 * uint(j)))
+		}
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+// String renders the set as {i1,i2,...} for debugging.
+func (b Bits) String() string {
+	idx := b.Indices()
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,248 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var b Bits
+	if !b.IsEmpty() {
+		t.Fatal("zero value should be empty")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", b.Count())
+	}
+	if b.Has(0) || b.Has(100) {
+		t.Fatal("empty set should have no bits")
+	}
+	if b.Key() != "" {
+		t.Fatalf("empty key = %q", b.Key())
+	}
+	if b.String() != "{}" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestSetHasClear(t *testing.T) {
+	var b Bits
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 300} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	b.Clear(100000) // beyond width: no-op
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+}
+
+func TestSingleAndFull(t *testing.T) {
+	s := Single(70)
+	if s.Count() != 1 || !s.Has(70) {
+		t.Fatalf("Single(70) = %v", s)
+	}
+	f := Full(5)
+	if f.Count() != 5 {
+		t.Fatalf("Full(5).Count = %d", f.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if !f.Has(i) {
+			t.Fatalf("Full(5) missing bit %d", i)
+		}
+	}
+	if f.Has(5) {
+		t.Fatal("Full(5) has bit 5")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Single(3)
+	b := Single(3)
+	c := Single(64)
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a should not intersect c")
+	}
+	if c.Intersects(nil) {
+		t.Fatal("c should not intersect empty")
+	}
+	ab := a.Union(c)
+	if !ab.Intersects(c) || !ab.Intersects(a) {
+		t.Fatal("union should intersect both operands")
+	}
+}
+
+func TestIntersectsOutside(t *testing.T) {
+	// Shared bit 2 masked out: no intersection outside the mask.
+	a := Single(2).Union(Single(5))
+	b := Single(2).Union(Single(9))
+	mask := Single(2)
+	if a.IntersectsOutside(b, mask) {
+		t.Fatal("only shared bit is masked; want false")
+	}
+	if !a.IntersectsOutside(b, nil) {
+		t.Fatal("without mask, bit 2 is shared; want true")
+	}
+	b2 := b.Union(Single(5))
+	if !a.IntersectsOutside(b2, mask) {
+		t.Fatal("bit 5 shared outside mask; want true")
+	}
+}
+
+func TestUnionMinusContains(t *testing.T) {
+	a := Single(1).Union(Single(70))
+	b := Single(70).Union(Single(2))
+	u := a.Union(b)
+	if u.Count() != 3 {
+		t.Fatalf("union count = %d, want 3", u.Count())
+	}
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Fatal("union should contain operands")
+	}
+	if a.Contains(u) {
+		t.Fatal("operand should not contain strict superset")
+	}
+	m := u.Minus(a)
+	if m.Count() != 1 || !m.Has(2) {
+		t.Fatalf("minus = %v", m)
+	}
+}
+
+func TestUnionInPlaceGrows(t *testing.T) {
+	var a Bits
+	a.Set(1)
+	a.UnionInPlace(Single(130))
+	if !a.Has(1) || !a.Has(130) || a.Count() != 2 {
+		t.Fatalf("in-place union wrong: %v", a)
+	}
+}
+
+func TestEqualIgnoresWidth(t *testing.T) {
+	a := Bits{0b101}
+	b := Bits{0b101, 0, 0}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("width-padded sets should be equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("keys of equal sets should match")
+	}
+	c := Bits{0b101, 1}
+	if a.Equal(c) {
+		t.Fatal("distinct sets reported equal")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct sets share key")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Single(3)
+	b := a.Clone()
+	b.Set(4)
+	if a.Has(4) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestIndices(t *testing.T) {
+	var b Bits
+	want := []int{0, 5, 64, 190}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: for random index sets A and B, Union/Minus/Intersects agree
+// with set semantics computed naively.
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(aIdx, bIdx []uint8) bool {
+		var a, b Bits
+		am := map[int]bool{}
+		bm := map[int]bool{}
+		for _, i := range aIdx {
+			a.Set(int(i))
+			am[int(i)] = true
+		}
+		for _, i := range bIdx {
+			b.Set(int(i))
+			bm[int(i)] = true
+		}
+		u := a.Union(b)
+		for i := 0; i < 256; i++ {
+			if u.Has(i) != (am[i] || bm[i]) {
+				return false
+			}
+		}
+		m := a.Minus(b)
+		for i := 0; i < 256; i++ {
+			if m.Has(i) != (am[i] && !bm[i]) {
+				return false
+			}
+		}
+		inter := false
+		for i := range am {
+			if bm[i] {
+				inter = true
+			}
+		}
+		return a.Intersects(b) == inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective on distinct sets and stable across widths.
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(aIdx, bIdx []uint8) bool {
+		var a, b Bits
+		for _, i := range aIdx {
+			a.Set(int(i))
+		}
+		for _, i := range bIdx {
+			b.Set(int(i))
+		}
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMatchesIndices(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var b Bits
+		n := r.Intn(100)
+		for i := 0; i < n; i++ {
+			b.Set(r.Intn(400))
+		}
+		if b.Count() != len(b.Indices()) {
+			t.Fatalf("Count=%d len(Indices)=%d", b.Count(), len(b.Indices()))
+		}
+	}
+}

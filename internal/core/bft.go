@@ -1,0 +1,380 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// The breadth-first baselines of Sections 4.1 and 4.3. Unlike GAM, BFT
+// views a tree as a plain set of edges (no root) and grows it from any of
+// its nodes, so a potential result must be minimized (non-seed leaves
+// peeled) before being reported — the overhead the paper measures in
+// Figure 10. BFT-M additionally merges each freshly grown tree with every
+// compatible partner once; BFT-AM re-merges merge results aggressively.
+
+// bftTree is an unrooted tree: sorted edges and nodes plus seed coverage.
+type bftTree struct {
+	edges []graph.EdgeID
+	nodes []graph.NodeID
+	sat   bitset.Bits
+	seq   uint64
+}
+
+func (t *bftTree) size() int { return len(t.edges) }
+
+// key identifies the tree as an edge set; single-node trees are keyed by
+// their node instead.
+func (t *bftTree) key() string {
+	if len(t.edges) == 0 {
+		return "n" + tree.EdgeSetKey([]graph.EdgeID{graph.EdgeID(t.nodes[0])})
+	}
+	return tree.EdgeSetKey(t.edges)
+}
+
+func (t *bftTree) containsNode(n graph.NodeID) bool {
+	i := sort.Search(len(t.nodes), func(i int) bool { return t.nodes[i] >= n })
+	return i < len(t.nodes) && t.nodes[i] == n
+}
+
+// bftHeap orders trees smallest-first (BFS generations), FIFO among equals.
+type bftHeap []*bftTree
+
+func (h bftHeap) Len() int { return len(h) }
+func (h bftHeap) Less(i, j int) bool {
+	if len(h[i].edges) != len(h[j].edges) {
+		return len(h[i].edges) < len(h[j].edges)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h bftHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bftHeap) Push(x interface{}) { *h = append(*h, x.(*bftTree)) }
+func (h *bftHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type bftState struct {
+	g        *graph.Graph
+	si       *seedIndex
+	opts     Options
+	variant  Algorithm
+	allowed  map[graph.LabelID]bool
+	maxEdges int
+
+	queue  bftHeap
+	seq    uint64
+	hist   map[string]bool
+	byNode map[graph.NodeID][]*bftTree
+
+	collector *resultCollector
+	stats     *Stats
+	dl        *deadline
+	stop      bool
+}
+
+// bftSearch runs BFT, BFT-M, or BFT-AM.
+func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error) {
+	start := time.Now()
+	si := buildSeedIndex(seeds)
+	s := &bftState{
+		g:        g,
+		si:       si,
+		opts:     opts,
+		variant:  opts.Algorithm,
+		allowed:  labelFilter(g, opts.Filters.Labels),
+		maxEdges: opts.Filters.MaxEdges,
+		hist:     make(map[string]bool),
+		byNode:   make(map[graph.NodeID][]*bftTree),
+		stats:    &Stats{},
+		dl:       newDeadline(opts.Filters.Timeout),
+	}
+	s.collector = newResultCollector(g, si, opts)
+
+	// Generation T0: one-node trees for every seed.
+	inited := make(map[graph.NodeID]bool)
+	for _, set := range seeds {
+		if set.Universal {
+			continue
+		}
+		for _, n := range set.Nodes {
+			if inited[n] {
+				continue
+			}
+			inited[n] = true
+			t := &bftTree{nodes: []graph.NodeID{n}, sat: si.mask(n).Clone()}
+			s.stats.Created++
+			s.admit(t, tree.Init)
+			if s.stop {
+				break
+			}
+		}
+		if s.stop {
+			break
+		}
+	}
+
+	for !s.stop && len(s.queue) > 0 {
+		t := heap.Pop(&s.queue).(*bftTree)
+		s.stats.QueuePops++
+		if s.dl.expired() {
+			s.stats.TimedOut = true
+			break
+		}
+		s.growAll(t)
+	}
+
+	s.stats.Duration = time.Since(start)
+	rs := s.collector.finish()
+	s.stats.Results = len(rs.Results)
+	return rs, s.stats, nil
+}
+
+// admit deduplicates a freshly built tree and routes it: covering trees
+// are minimized and reported; other trees are indexed, queued for growth,
+// and — depending on the variant and the tree's provenance kind — merged
+// with their partners (BFT-M merges Grow trees once; BFT-AM merges
+// everything, recursively).
+func (s *bftState) admit(t *bftTree, kind tree.Kind) {
+	if s.stop {
+		return
+	}
+	if s.dl.expired() {
+		s.stats.TimedOut = true
+		s.stop = true
+		return
+	}
+	if s.hist[t.key()] {
+		s.stats.Pruned++
+		return
+	}
+	s.hist[t.key()] = true
+	switch kind {
+	case tree.Init:
+		s.stats.Inits++
+	case tree.Grow:
+		s.stats.Grows++
+	case tree.Merge:
+		s.stats.Merges++
+	}
+	if s.opts.MaxTrees > 0 && s.stats.Kept() >= s.opts.MaxTrees {
+		s.stats.Truncated = true
+		s.stop = true
+		return
+	}
+
+	if s.si.covers(t.sat) {
+		s.reportMinimized(t)
+		if !s.si.hasUniversal {
+			return
+		}
+		if s.stop {
+			return
+		}
+	}
+
+	for _, n := range t.nodes {
+		s.byNode[n] = append(s.byNode[n], t)
+	}
+	s.seq++
+	t.seq = s.seq
+	heap.Push(&s.queue, t)
+
+	merge := false
+	switch s.variant {
+	case BFTM:
+		merge = kind == tree.Grow // no Merge on top of Merge results
+	case BFTAM:
+		merge = kind != tree.Init
+	}
+	if merge {
+		s.mergePass(t)
+	}
+}
+
+// growAll extends t by every admissible adjacent edge — from any node, the
+// defining difference with GAM's root-only growth.
+func (s *bftState) growAll(t *bftTree) {
+	if s.maxEdges > 0 && t.size() >= s.maxEdges {
+		return
+	}
+	for _, n := range t.nodes {
+		for _, e := range s.g.Incident(n) {
+			if s.stop {
+				return
+			}
+			if s.allowed != nil && !s.allowed[s.g.EdgeLabelID(e)] {
+				continue
+			}
+			other := s.g.Other(e, n)
+			if t.containsNode(other) {
+				continue // Grow1
+			}
+			if s.si.mask(other).Intersects(t.sat) {
+				continue // Grow2
+			}
+			grown := &bftTree{
+				edges: insertEdgeSorted(t.edges, e),
+				nodes: insertNodeSorted(t.nodes, other),
+				sat:   t.sat.Union(s.si.mask(other)),
+			}
+			s.stats.Created++
+			s.admit(grown, tree.Grow)
+		}
+	}
+}
+
+// mergePass merges t with every compatible partner: trees sharing exactly
+// one node, with disjoint coverage outside that node's own seed sets.
+// Merge results re-enter admit, which re-merges them only under BFT-AM.
+func (s *bftState) mergePass(t *bftTree) {
+	for _, n := range t.nodes {
+		partners := s.byNode[n]
+		limit := len(partners) // snapshot: admit may append
+		for i := 0; i < limit; i++ {
+			if s.stop {
+				return
+			}
+			p := partners[i]
+			if p == t || !s.bftMergeable(t, p, n) {
+				continue
+			}
+			merged := &bftTree{
+				edges: unionEdgesSorted(t.edges, p.edges),
+				nodes: unionNodesSorted(t.nodes, p.nodes),
+				sat:   t.sat.Union(p.sat),
+			}
+			s.stats.Created++
+			s.admit(merged, tree.Merge)
+		}
+	}
+}
+
+// bftMergeable checks the unrooted merge preconditions at shared node n:
+// the node sets intersect exactly in {n} and no seed set is represented on
+// both sides except through n itself.
+func (s *bftState) bftMergeable(a, b *bftTree, n graph.NodeID) bool {
+	if len(a.edges) == 0 || len(b.edges) == 0 {
+		return false
+	}
+	if s.maxEdges > 0 && len(a.edges)+len(b.edges) > s.maxEdges {
+		return false
+	}
+	if a.sat.IntersectsOutside(b.sat, s.si.mask(n)) {
+		return false
+	}
+	common := 0
+	i, j := 0, 0
+	for i < len(a.nodes) && j < len(b.nodes) {
+		switch {
+		case a.nodes[i] < b.nodes[j]:
+			i++
+		case a.nodes[i] > b.nodes[j]:
+			j++
+		default:
+			if a.nodes[i] != n {
+				return false
+			}
+			common++
+			i++
+			j++
+		}
+	}
+	return common == 1
+}
+
+// reportMinimized peels non-seed leaves (Section 4.1's minimization) and
+// reports the minimal tree.
+func (s *bftState) reportMinimized(t *bftTree) {
+	edges := tree.Minimize(s.g, t.edges, s.si.isSeed)
+	var rt *tree.Tree
+	if len(edges) == 0 {
+		rt = tree.NewInit(t.nodes[0], s.si.mask(t.nodes[0]))
+		if !s.si.covers(rt.Sat) {
+			return
+		}
+	} else {
+		nodes := tree.NodesOfEdges(s.g, edges)
+		var sat bitset.Bits
+		for _, n := range nodes {
+			(&sat).UnionInPlace(s.si.mask(n))
+		}
+		if !s.si.covers(sat) {
+			return
+		}
+		rt = &tree.Tree{Root: nodes[0], Edges: edges, Nodes: nodes, Sat: sat}
+	}
+	if s.collector.add(rt) {
+		s.stats.Truncated = true
+		s.stop = true
+	}
+}
+
+func insertEdgeSorted(s []graph.EdgeID, e graph.EdgeID) []graph.EdgeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	out := make([]graph.EdgeID, len(s)+1)
+	copy(out, s[:i])
+	out[i] = e
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+func insertNodeSorted(s []graph.NodeID, n graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
+	out := make([]graph.NodeID, len(s)+1)
+	copy(out, s[:i])
+	out[i] = n
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+func unionEdgesSorted(a, b []graph.EdgeID) []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func unionNodesSorted(a, b []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// These tests encode the paper's formal guarantees (Properties 1–9) as
+// executable checks: each algorithm's result set is compared against the
+// brute-force reference enumeration on many small random graphs and under
+// randomized exploration orders.
+
+// randomPriority returns a deterministic pseudo-random exploration order.
+// Completeness claims must hold for every order; incompleteness means some
+// order misses results.
+func randomPriority(seed int64) PriorityFunc {
+	rng := rand.New(rand.NewSource(seed))
+	return func(t *tree.Tree, e graph.EdgeID) float64 { return rng.Float64() }
+}
+
+// refMaxEdges caps result sizes in cross-checks. The cap also bounds the
+// GAM baseline's search space: GAM keeps every distinct rooted tree and
+// merges quadratically within each root's bucket, so instances must stay
+// small for the exhaustive comparisons to run in test time.
+const refMaxEdges = 4
+
+func crossCheck(t *testing.T, alg Algorithm, m int, trials int, mustBeComplete bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(1000*m) + int64(alg)))
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		g := gen.Random(7+rng.Intn(3), 8+rng.Intn(3), []string{"a", "b"}, rng)
+		seeds := Explicit(gen.RandomSeedSets(g, m, 2, rng)...)
+		ref := referenceResults(g, seeds, refMaxEdges)
+
+		for _, order := range []PriorityFunc{nil, randomPriority(int64(trial)), randomPriority(int64(trial) + 7777)} {
+			rs, _, err := Search(g, seeds, Options{
+				Algorithm: alg,
+				Filters:   eql.Filters{MaxEdges: refMaxEdges},
+				Priority:  order,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := resultKeys(rs)
+			// Soundness: never report an invalid or non-minimal result.
+			for k := range got {
+				if !ref[k] {
+					t.Fatalf("%v (m=%d, trial %d): reported a tree outside the reference set\nref: %v\ngot: %v",
+						alg, m, trial, sortedKeys(ref), sortedKeys(got))
+				}
+			}
+			for k := range ref {
+				if !got[k] {
+					misses++
+					if mustBeComplete {
+						t.Fatalf("%v (m=%d, trial %d): missed a result (completeness violation)\nref: %v\ngot: %v",
+							alg, m, trial, sortedKeys(ref), sortedKeys(got))
+					}
+				}
+			}
+		}
+	}
+	if !mustBeComplete && misses == 0 {
+		// Not a failure — incompleteness only shows on some orders — but
+		// record it so a silent regression in the test setup is visible.
+		t.Logf("%v (m=%d): no misses observed in %d trials", alg, m, trials)
+	}
+}
+
+// Property 1: GAM is complete (any m, any order).
+func TestGAMComplete(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		crossCheck(t, GAM, m, 8, true)
+	}
+}
+
+// BFT and its merge variants are complete (Sections 4.1, 4.3).
+func TestBFTFamilyComplete(t *testing.T) {
+	for _, alg := range []Algorithm{BFT, BFTM, BFTAM} {
+		for _, m := range []int{2, 3} {
+			crossCheck(t, alg, m, 6, true)
+		}
+	}
+}
+
+// Property 3: ESP is complete for m = 2, under any order.
+func TestESPCompleteTwoSets(t *testing.T) {
+	crossCheck(t, ESP, 2, 12, true)
+}
+
+// Property 8: MoLESP is complete for m <= 3, under any order.
+func TestMoLESPCompleteUpToThreeSets(t *testing.T) {
+	crossCheck(t, MoLESP, 2, 10, true)
+	crossCheck(t, MoLESP, 3, 10, true)
+}
+
+// For m >= 4 MoLESP is sound but may be incomplete; the cross-check
+// verifies soundness and tolerates misses.
+func TestMoLESPFourSetsSound(t *testing.T) {
+	crossCheck(t, MoLESP, 4, 6, false)
+	crossCheck(t, MoLESP, 5, 4, false)
+}
+
+// ESP, MoESP and LESP are sound for any m but incomplete in general.
+func TestPrunedVariantsSound(t *testing.T) {
+	for _, alg := range []Algorithm{ESP, MoESP, LESP} {
+		for _, m := range []int{3, 4} {
+			crossCheck(t, alg, m, 5, false)
+		}
+	}
+}
+
+// Property 5: MoESP (and MoLESP) find all path results for any m. On Line
+// workloads every result is a path.
+func TestMoESPFindsAllPathResults(t *testing.T) {
+	for _, m := range []int{3, 5, 7} {
+		w := gen.Line(m, 1, gen.Alternate)
+		for _, alg := range []Algorithm{MoESP, MoLESP} {
+			for seed := int64(0); seed < 4; seed++ {
+				var order PriorityFunc
+				if seed > 0 {
+					order = randomPriority(seed)
+				}
+				rs, _ := run(t, w.Graph, Explicit(w.Seeds...),
+					Options{Algorithm: alg, Priority: order})
+				if rs.Len() != 1 {
+					t.Fatalf("%v on %s (order %d): %d results, want 1 (Property 5)",
+						alg, w.Name, seed, rs.Len())
+				}
+			}
+		}
+	}
+}
+
+// Property 6: LESP finds every (u,n) rooted merge, under any order. On
+// Star graphs the unique result is exactly such a merge.
+func TestLESPFindsRootedMergesAnyOrder(t *testing.T) {
+	for _, m := range []int{3, 4, 6} {
+		w := gen.Star(m, 2, gen.Forward)
+		for seed := int64(0); seed < 5; seed++ {
+			var order PriorityFunc
+			if seed > 0 {
+				order = randomPriority(seed * 13)
+			}
+			for _, alg := range []Algorithm{LESP, MoLESP} {
+				rs, _ := run(t, w.Graph, Explicit(w.Seeds...),
+					Options{Algorithm: alg, Priority: order})
+				if rs.Len() != 1 {
+					t.Fatalf("%v on Star(%d,2) order %d: %d results, want 1 (Property 6)",
+						alg, m, seed, rs.Len())
+				}
+			}
+		}
+	}
+}
+
+// Property 9: results whose decomposition pieces are all rooted merges
+// are found by MoLESP for any m. The Figure 7 workload — two stars glued
+// by a seed-to-seed path — is 2ps+rooted-merge shaped; we emulate it with
+// a Comb-of-stars: Star pieces joined at seeds.
+func TestMoLESPProperty9Figure7(t *testing.T) {
+	// Build Figure 7: A-1-2-3-C with F at 7 below 2... the published
+	// figure is a 6-seed tree whose pieces are rooted merges. We construct
+	// it directly: hub1 with seeds A, C, F attached by short paths; hub2
+	// with seeds D, E attached; hub1 and hub2 joined by a path through
+	// seed... simpler faithful shape: two (3,n)-rooted merges sharing a
+	// seed leaf B.
+	b := graph.NewBuilder()
+	mk := func(l string) graph.NodeID { return b.AddNode(l) }
+	A, B, C, D, E, F := mk("A"), mk("B"), mk("C"), mk("D"), mk("E"), mk("F")
+	h1, h2 := mk("h1"), mk("h2")
+	b.AddEdge(A, "t", h1)
+	b.AddEdge(h1, "t", C)
+	b.AddEdge(F, "t", h1)
+	b.AddEdge(h1, "t", B)
+	b.AddEdge(B, "t", h2)
+	b.AddEdge(h2, "t", D)
+	b.AddEdge(E, "t", h2)
+	g := b.Build()
+	seeds := singletons(A, B, C, D, E, F)
+
+	ref := referenceResults(g, seeds, 7)
+	if len(ref) != 1 {
+		t.Fatalf("fixture should have exactly 1 result, got %d", len(ref))
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		var order PriorityFunc
+		if seed > 0 {
+			order = randomPriority(seed * 31)
+		}
+		rs, _ := run(t, g, seeds, Options{Algorithm: MoLESP, Priority: order})
+		if rs.Len() != 1 {
+			t.Fatalf("MoLESP (order %d): %d results, want 1 (Property 9)", seed, rs.Len())
+		}
+		if got := rs.Results[0].Tree.Size(); got != 7 {
+			t.Fatalf("result size = %d, want 7", got)
+		}
+	}
+}
+
+// The decomposition of the Property-9 fixture: pieces must be the two
+// rooted merges, i.e. piecewise-simple degree 4 (h1 joins A, C, F, B).
+func TestProperty9FixtureShape(t *testing.T) {
+	b := graph.NewBuilder()
+	mk := func(l string) graph.NodeID { return b.AddNode(l) }
+	A, B, C, D, E, F := mk("A"), mk("B"), mk("C"), mk("D"), mk("E"), mk("F")
+	h1, h2 := mk("h1"), mk("h2")
+	e := []graph.EdgeID{
+		b.AddEdge(A, "t", h1),
+		b.AddEdge(h1, "t", C),
+		b.AddEdge(F, "t", h1),
+		b.AddEdge(h1, "t", B),
+		b.AddEdge(B, "t", h2),
+		b.AddEdge(h2, "t", D),
+		b.AddEdge(E, "t", h2),
+	}
+	g := b.Build()
+	isSeed := func(n graph.NodeID) bool {
+		switch n {
+		case A, B, C, D, E, F:
+			return true
+		}
+		return false
+	}
+	pieces := tree.Decompose(g, e, isSeed)
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %d, want 2", len(pieces))
+	}
+	if p := tree.PiecewiseSimple(g, e, isSeed); p != 4 {
+		t.Fatalf("piecewise-simple degree = %d, want 4", p)
+	}
+}
+
+// Subset relations among the variants: under identical (default) orders,
+// MoESP finds everything ESP finds, MoLESP everything LESP and MoESP
+// find, and GAM everything any pruned variant finds.
+func TestVariantResultContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		g := gen.Random(7+rng.Intn(3), 8+rng.Intn(4), nil, rng)
+		m := 2 + rng.Intn(3)
+		seeds := Explicit(gen.RandomSeedSets(g, m, 2, rng)...)
+		results := map[Algorithm]map[string]bool{}
+		for _, alg := range GAMFamily() {
+			rs, _ := run(t, g, seeds, Options{Algorithm: alg, Filters: eql.Filters{MaxEdges: refMaxEdges}})
+			results[alg] = resultKeys(rs)
+		}
+		contains := func(sup, sub Algorithm) {
+			for k := range results[sub] {
+				if !results[sup][k] {
+					t.Fatalf("trial %d (m=%d): %v found a result %v missed", trial, m, sub, sup)
+				}
+			}
+		}
+		contains(GAM, ESP)
+		contains(GAM, MoESP)
+		contains(GAM, LESP)
+		contains(GAM, MoLESP)
+		contains(MoESP, ESP)
+		contains(MoLESP, LESP)
+	}
+}
+
+// MultiQueue scheduling (Section 4.9) must not change the result set on
+// complete algorithms.
+func TestMultiQueueEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.Random(8, 10, nil, rng)
+		m := 2 + rng.Intn(2)
+		seeds := Explicit(gen.RandomSeedSets(g, m, 3, rng)...)
+		a, _ := run(t, g, seeds, Options{Algorithm: MoLESP, Filters: eql.Filters{MaxEdges: refMaxEdges}})
+		b, _ := run(t, g, seeds, Options{Algorithm: MoLESP, MultiQueue: true, Filters: eql.Filters{MaxEdges: refMaxEdges}})
+		ka, kb := resultKeys(a), resultKeys(b)
+		if len(ka) != len(kb) {
+			t.Fatalf("trial %d: single-queue %d results, multi-queue %d", trial, len(ka), len(kb))
+		}
+		for k := range ka {
+			if !kb[k] {
+				t.Fatalf("trial %d: multi-queue missed a result", trial)
+			}
+		}
+	}
+}
+
+// Universal seed sets (Section 4.9): with S2 = N over a 2-node graph, the
+// results are the single-seed tree plus every tree hanging off the seed.
+func TestUniversalSeedSet(t *testing.T) {
+	w := gen.Line(2, 1, gen.Forward) // A - x - B: 2 edges
+	g := w.Graph
+	a := w.Seeds[0][0]
+	seeds := []SeedSet{{Nodes: []graph.NodeID{a}}, {Universal: true}}
+	rs, _ := run(t, g, seeds, Options{Algorithm: MoLESP})
+	// Expected: the node A alone; A-x; A-x-B — 3 results.
+	if rs.Len() != 3 {
+		t.Fatalf("universal set: %d results, want 3", rs.Len())
+	}
+	// Every result must contain the anchor seed.
+	for _, r := range rs.Results {
+		if r.Tree.Size() > 0 && !r.Tree.ContainsNode(a) {
+			t.Fatalf("result does not contain the anchor seed")
+		}
+		if r.Seeds[0] != a {
+			t.Fatalf("seed tuple = %v, want anchor %d first", r.Seeds, a)
+		}
+	}
+}
+
+// A quick exhaustive sanity run over every algorithm on one fixed
+// workload, so a regression in any variant is caught even if its
+// dedicated tests are skipped.
+func TestAllAlgorithmsAgreeOnFixture(t *testing.T) {
+	w := gen.Comb(2, 1, 2, 1, gen.Forward) // m=4 seeds, unique result
+	want := -1
+	for _, alg := range Algorithms() {
+		rs, _ := run(t, w.Graph, Explicit(w.Seeds...), Options{Algorithm: alg})
+		n := rs.Len()
+		if alg == BFT {
+			want = n
+		}
+		switch alg {
+		case BFT, BFTM, BFTAM, GAM:
+			if n != want {
+				t.Fatalf("%v: %d results, want %d (complete baselines must agree)", alg, n, want)
+			}
+		default:
+			if n > want {
+				t.Fatalf("%v: %d results exceeds complete baseline's %d", alg, n, want)
+			}
+		}
+	}
+	if want != 1 {
+		t.Fatalf("fixture should have exactly 1 result, got %d", want)
+	}
+}
+
+// Determinism: identical inputs and options yield identical result sets
+// and statistics.
+func TestSearchDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.Random(9, 12, []string{"a", "b", "c"}, rng)
+	seeds := Explicit(gen.RandomSeedSets(g, 3, 2, rng)...)
+	var prev *Stats
+	var prevKeys []string
+	for i := 0; i < 3; i++ {
+		rs, st := run(t, g, seeds, Options{Algorithm: MoLESP, Filters: eql.Filters{MaxEdges: 5}})
+		keys := sortedKeys(resultKeys(rs))
+		if prev != nil {
+			if st.Kept() != prev.Kept() || st.Created != prev.Created {
+				t.Fatalf("run %d: stats differ: %+v vs %+v", i, st, prev)
+			}
+			if fmt.Sprint(keys) != fmt.Sprint(prevKeys) {
+				t.Fatalf("run %d: results differ", i)
+			}
+		}
+		prev, prevKeys = st, keys
+	}
+}

@@ -1,0 +1,303 @@
+// Package core implements the paper's primary contribution: the evaluation
+// of set-based Connecting Tree Pattern (CTP) results (Section 4). Given a
+// graph and m seed sets, a CTP search enumerates the minimal subtrees of
+// the graph containing exactly one node from each seed set, traversing
+// edges in both directions by default.
+//
+// Eight algorithms are provided, exactly as studied in the paper:
+//
+//	BFT     — breadth-first tree search (Section 4.1)
+//	BFTM    — BFT + one-shot Merge (Section 4.3)
+//	BFTAM   — BFT + aggressive Merge (Section 4.3)
+//	GAM     — Grow and Aggressive Merge (Section 4.2)
+//	ESP     — GAM + Edge Set Pruning (Section 4.4)
+//	MoESP   — Merge-oriented ESP (Section 4.5)
+//	LESP    — Limited Edge Set Pruning (Section 4.6)
+//	MoLESP  — Mo + LESP combined (Section 4.7, Algorithms 1–5); complete
+//	          for m <= 3 and for every result whose simple tree
+//	          decomposition consists of rooted merges (Property 9)
+//
+// The CTP filters of Section 2 (UNI, LABEL, MAX, LIMIT, TIMEOUT, and
+// SCORE/TOP via a score callback) are pushed into the search (Section 4.8),
+// and the very-large-seed-set strategies of Section 4.9 (universal seed
+// sets, multi-queue scheduling) are supported.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// Algorithm selects a CTP evaluation strategy.
+type Algorithm int
+
+// The CTP evaluation algorithms of Section 4.
+const (
+	BFT Algorithm = iota
+	BFTM
+	BFTAM
+	GAM
+	ESP
+	MoESP
+	LESP
+	MoLESP
+)
+
+var algorithmNames = [...]string{"BFT", "BFT-M", "BFT-AM", "GAM", "ESP", "MoESP", "LESP", "MoLESP"}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	if a < 0 || int(a) >= len(algorithmNames) {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return algorithmNames[a]
+}
+
+// Algorithms lists every algorithm, in the paper's presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{BFT, BFTM, BFTAM, GAM, ESP, MoESP, LESP, MoLESP}
+}
+
+// GAMFamily lists the Grow-and-Merge variants compared in Figure 11.
+func GAMFamily() []Algorithm { return []Algorithm{GAM, ESP, MoESP, LESP, MoLESP} }
+
+// SeedSet is one S_i of a CTP. Universal marks the set as N, the set of
+// all graph nodes (Section 4.9): universal sets spawn no Init trees and
+// every node counts as a match for them.
+type SeedSet struct {
+	Nodes     []graph.NodeID
+	Universal bool
+}
+
+// Explicit wraps node lists as non-universal seed sets.
+func Explicit(sets ...[]graph.NodeID) []SeedSet {
+	out := make([]SeedSet, len(sets))
+	for i, s := range sets {
+		out[i] = SeedSet{Nodes: s}
+	}
+	return out
+}
+
+// ScoreFunc assigns a score to a result tree; higher is better (Section 2).
+type ScoreFunc func(g *graph.Graph, t *tree.Tree) float64
+
+// PriorityFunc orders the search: Grow opportunities with lower values are
+// popped first. The default prioritizes smallest trees, breaking ties in
+// insertion (FIFO) order, as in the paper's experiments. Completeness of
+// MoLESP holds for any order (Section 4.8).
+type PriorityFunc func(t *tree.Tree, e graph.EdgeID) float64
+
+// Options configures a Search.
+type Options struct {
+	Algorithm Algorithm
+
+	// Filters are pushed into the search (Section 4.8). Filters.Score is
+	// resolved by the caller into Score below; the name itself is ignored
+	// here.
+	Filters eql.Filters
+
+	// Score annotates results; combined with Filters.TopK it keeps only
+	// the k best.
+	Score ScoreFunc
+
+	// Priority overrides the exploration order.
+	Priority PriorityFunc
+
+	// OnResult, when set, streams each deduplicated result as it is
+	// found (before LIMIT/TOP-k trimming); returning false stops the
+	// search, reported as Stats.Truncated. Useful for interactive
+	// exploration, where a journalist inspects connections as they
+	// surface instead of waiting for the full enumeration.
+	OnResult func(Result) bool
+
+	// MultiQueue enables the skewed-seed-set strategy of Section 4.9: one
+	// priority queue per tree signature, always growing from the queue
+	// with the fewest entries.
+	MultiQueue bool
+
+	// MaxTrees aborts the search (reporting Stats.Truncated) once this
+	// many provenances have been kept; a safety valve for the exponential
+	// breadth-first baselines. Zero means no bound.
+	MaxTrees int
+}
+
+// Result is one (s_1, ..., s_m, t) tuple of a set-based CTP result
+// (Definition 2.8). Seeds[i] is the tree's node from seed set i; for
+// universal sets it is the tree root (any tree node matches, see
+// Definition 2.8's adjustment for N seed sets).
+type Result struct {
+	Tree  *tree.Tree
+	Seeds []graph.NodeID
+	Score float64
+}
+
+// ResultSet collects CTP results, deduplicated by edge set.
+type ResultSet struct {
+	Results []Result
+}
+
+// Len returns the number of results.
+func (r *ResultSet) Len() int { return len(r.Results) }
+
+// Stats reports search effort, matching the quantities plotted in the
+// paper (Figure 11 reports Kept, the number of provenances built).
+type Stats struct {
+	Inits   int // Init provenances kept
+	Grows   int // Grow provenances kept
+	Merges  int // Merge provenances kept
+	MoTrees int // Mo provenances kept (MoESP/MoLESP)
+
+	Created   int // provenances constructed, incl. discarded ones
+	Pruned    int // provenances discarded by (rooted or edge-set) pruning
+	Spared    int // trees the LESP exemption rescued from pruning
+	QueuePops int
+
+	Results   int
+	TimedOut  bool
+	Truncated bool // stopped by MaxTrees or Limit
+	Duration  time.Duration
+}
+
+// Kept returns the total number of provenances kept — the paper's "number
+// of provenances built" metric.
+func (s *Stats) Kept() int { return s.Inits + s.Grows + s.Merges + s.MoTrees }
+
+// Search evaluates the CTP defined by the seed sets over g. It returns
+// the (possibly filter-restricted) set-based CTP result and search
+// statistics. An error is returned only for invalid configurations;
+// timeouts and truncations are reported through Stats.
+func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error) {
+	if len(seeds) == 0 {
+		return nil, nil, fmt.Errorf("core: no seed sets")
+	}
+	if len(seeds) > 1<<16 {
+		return nil, nil, fmt.Errorf("core: too many seed sets (%d)", len(seeds))
+	}
+	allUniversal := true
+	for i, s := range seeds {
+		if !s.Universal {
+			allUniversal = false
+			if len(s.Nodes) == 0 {
+				// An empty seed set has no matches: the CTP result is empty.
+				return &ResultSet{}, &Stats{}, nil
+			}
+		} else {
+			_ = i
+		}
+	}
+	if allUniversal {
+		return nil, nil, fmt.Errorf("core: all seed sets are universal; the search has no anchor")
+	}
+	switch opts.Algorithm {
+	case BFT, BFTM, BFTAM:
+		return bftSearch(g, seeds, opts)
+	case GAM, ESP, MoESP, LESP, MoLESP:
+		return gamSearch(g, seeds, opts)
+	}
+	return nil, nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+}
+
+// seedIndex resolves node -> seed-set membership and tracks universal
+// sets.
+type seedIndex struct {
+	masks        map[graph.NodeID]bitset.Bits
+	required     bitset.Bits // all non-universal set indices
+	numSets      int
+	hasUniversal bool
+}
+
+func buildSeedIndex(seeds []SeedSet) *seedIndex {
+	idx := &seedIndex{
+		masks:   make(map[graph.NodeID]bitset.Bits),
+		numSets: len(seeds),
+	}
+	for i, s := range seeds {
+		if s.Universal {
+			idx.hasUniversal = true
+			continue
+		}
+		idx.required.Set(i)
+		for _, n := range s.Nodes {
+			m := idx.masks[n]
+			m.Set(i)
+			idx.masks[n] = m
+		}
+	}
+	return idx
+}
+
+// mask returns the seed-set membership of n (nil for non-seeds).
+func (si *seedIndex) mask(n graph.NodeID) bitset.Bits { return si.masks[n] }
+
+// isSeed reports whether n belongs to any non-universal seed set.
+func (si *seedIndex) isSeed(n graph.NodeID) bool {
+	return len(si.masks[n]) > 0 && !si.masks[n].IsEmpty()
+}
+
+// covers reports whether sat covers every non-universal seed set.
+func (si *seedIndex) covers(sat bitset.Bits) bool { return sat.Contains(si.required) }
+
+// seedTuple extracts, for each seed set, the tree's node belonging to it;
+// universal sets get the tree root.
+func (si *seedIndex) seedTuple(t *tree.Tree) []graph.NodeID {
+	out := make([]graph.NodeID, si.numSets)
+	for i := range out {
+		out[i] = t.Root // default for universal sets
+	}
+	for _, n := range t.Nodes {
+		if m := si.masks[n]; m != nil {
+			for _, i := range m.Indices() {
+				out[i] = n
+			}
+		}
+	}
+	return out
+}
+
+// labelFilter compiles the LABEL filter into a set of permitted label IDs;
+// nil means unrestricted. Labels absent from the graph simply never match.
+func labelFilter(g *graph.Graph, labels []string) map[graph.LabelID]bool {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[graph.LabelID]bool, len(labels))
+	for _, l := range labels {
+		if id, ok := g.LabelIDOf(l); ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// deadline tracks the TIMEOUT filter with cheap periodic checks.
+type deadline struct {
+	at    time.Time
+	armed bool
+	tick  int
+}
+
+func newDeadline(timeout time.Duration) *deadline {
+	d := &deadline{}
+	if timeout > 0 {
+		d.at = time.Now().Add(timeout)
+		d.armed = true
+	}
+	return d
+}
+
+// expired polls the clock every 64 calls to stay cheap in the hot loop.
+func (d *deadline) expired() bool {
+	if !d.armed {
+		return false
+	}
+	d.tick++
+	if d.tick&63 != 0 {
+		return false
+	}
+	return time.Now().After(d.at)
+}

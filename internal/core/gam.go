@@ -1,0 +1,357 @@
+package core
+
+import (
+	"time"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// gamVariant toggles the three orthogonal refinements that turn GAM into
+// ESP, MoESP, LESP, and MoLESP.
+type gamVariant struct {
+	esp  bool // prune on edge sets (Definition 4.3) instead of rooted trees
+	mo   bool // inject seed-rooted Mo copies (Section 4.5)
+	lesp bool // exempt well-connected merge roots from pruning (Section 4.6)
+}
+
+func variantOf(a Algorithm) gamVariant {
+	switch a {
+	case GAM:
+		return gamVariant{}
+	case ESP:
+		return gamVariant{esp: true}
+	case MoESP:
+		return gamVariant{esp: true, mo: true}
+	case LESP:
+		return gamVariant{esp: true, lesp: true}
+	case MoLESP:
+		return gamVariant{esp: true, mo: true, lesp: true}
+	}
+	panic("core: not a GAM-family algorithm: " + a.String())
+}
+
+// gamState carries the shared globals of Algorithms 1–5: the priority
+// queue, the history, the TreesRootedIn index, the seed signatures ss_n,
+// and the result set.
+type gamState struct {
+	g       *graph.Graph
+	si      *seedIndex
+	variant gamVariant
+	opts    Options
+
+	allowed  map[graph.LabelID]bool // LABEL filter; nil = all
+	maxEdges int                    // MAX filter; 0 = unlimited
+	uni      bool
+
+	queue    opQueue
+	seq      uint64
+	priority PriorityFunc
+
+	histEdge   map[string]bool               // ESP history: edge-set keys
+	rootedSeen map[string]bool               // kept rooted trees, by rooted key
+	byRoot     map[graph.NodeID][]*tree.Tree // TreesRootedIn
+	ss         map[graph.NodeID]bitset.Bits  // seed signatures (Section 4.6)
+
+	collector *resultCollector
+	stats     *Stats
+	dl        *deadline
+	stop      bool
+}
+
+// gamSearch runs GAM or one of its pruning variants (Algorithm 1).
+func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error) {
+	start := time.Now()
+	si := buildSeedIndex(seeds)
+	s := &gamState{
+		g:          g,
+		si:         si,
+		variant:    variantOf(opts.Algorithm),
+		opts:       opts,
+		allowed:    labelFilter(g, opts.Filters.Labels),
+		maxEdges:   opts.Filters.MaxEdges,
+		uni:        opts.Filters.Uni,
+		priority:   opts.Priority,
+		histEdge:   make(map[string]bool),
+		rootedSeen: make(map[string]bool),
+		byRoot:     make(map[graph.NodeID][]*tree.Tree),
+		ss:         make(map[graph.NodeID]bitset.Bits),
+		stats:      &Stats{},
+		dl:         newDeadline(opts.Filters.Timeout),
+	}
+	if s.priority == nil {
+		// Default order: smallest trees first (the order used in all of
+		// the paper's experiments), FIFO among equals.
+		s.priority = func(t *tree.Tree, e graph.EdgeID) float64 { return float64(t.Size()) }
+	}
+	if opts.MultiQueue {
+		s.queue = newMultiQueue()
+	} else {
+		s.queue = newSingleQueue()
+	}
+	s.collector = newResultCollector(g, si, opts)
+
+	// Init trees: one per distinct seed node, over all non-universal sets
+	// (universal sets spawn no Init trees, Section 4.9).
+	inited := make(map[graph.NodeID]bool)
+	for _, set := range seeds {
+		if set.Universal {
+			continue
+		}
+		for _, n := range set.Nodes {
+			if inited[n] {
+				continue
+			}
+			inited[n] = true
+			mask := si.mask(n)
+			t := tree.NewInit(n, mask)
+			s.stats.Created++
+			s.updateSignature(t)
+			s.processTree(t)
+			if s.stop {
+				break
+			}
+		}
+		if s.stop {
+			break
+		}
+	}
+
+	// Main loop (Algorithm 1 lines 8–11).
+	for !s.stop {
+		op, ok := s.queue.pop()
+		if !ok {
+			break
+		}
+		s.stats.QueuePops++
+		if s.dl.expired() {
+			s.stats.TimedOut = true
+			break
+		}
+		newRoot := s.g.Other(op.e, op.t.Root)
+		t := tree.NewGrow(op.t, op.e, newRoot, s.si.mask(newRoot))
+		s.stats.Created++
+		s.updateSignature(t)
+		s.processTree(t)
+	}
+
+	s.stats.Duration = time.Since(start)
+	rs := s.collector.finish()
+	s.stats.Results = len(rs.Results)
+	return rs, s.stats, nil
+}
+
+// updateSignature maintains ss_n: when a new (n,s)-rooted path (Definition
+// 4.4) reaches n, the bits of its origin seed are set on n.
+func (s *gamState) updateSignature(t *tree.Tree) {
+	if !s.variant.lesp || !t.SeedPath {
+		return
+	}
+	m := s.ss[t.Root]
+	(&m).UnionInPlace(t.Sat)
+	s.ss[t.Root] = m
+}
+
+// isNew implements Algorithm 4 for the ESP family, plain rooted-tree
+// deduplication for GAM, and always-true for 0-edge (Init) trees, which
+// are deduplicated at creation.
+func (s *gamState) isNew(t *tree.Tree) bool {
+	if t.Size() == 0 {
+		return !s.rootedSeen[t.RootedKey()]
+	}
+	if !s.variant.esp {
+		// GAM: discard all but the first provenance of a rooted tree.
+		return !s.rootedSeen[t.RootedKey()]
+	}
+	if !s.histEdge[t.EdgeKey()] {
+		return true
+	}
+	if s.variant.lesp {
+		// The LESP exemption: roots already connected to >= 3 seed sets
+		// with graph degree >= 3 keep their (new) rooted trees.
+		if s.ss[t.Root].Count() >= 3 && s.g.Degree(t.Root) >= 3 &&
+			!s.rootedSeen[t.RootedKey()] {
+			s.stats.Spared++
+			return true
+		}
+	}
+	return false
+}
+
+// keep records a tree in the history and statistics.
+func (s *gamState) keep(t *tree.Tree) {
+	s.rootedSeen[t.RootedKey()] = true
+	if s.variant.esp && t.Size() > 0 {
+		s.histEdge[t.EdgeKey()] = true
+	}
+	switch t.Kind {
+	case tree.Init:
+		s.stats.Inits++
+	case tree.Grow:
+		s.stats.Grows++
+	case tree.Merge:
+		s.stats.Merges++
+	case tree.Mo:
+		s.stats.MoTrees++
+	}
+	if s.opts.MaxTrees > 0 && s.stats.Kept() >= s.opts.MaxTrees {
+		s.stats.Truncated = true
+		s.stop = true
+	}
+}
+
+// isResult reports whether the tree covers every (non-universal) seed set.
+func (s *gamState) isResult(t *tree.Tree) bool { return s.si.covers(t.Sat) }
+
+// processTree implements Algorithm 2: deduplicate, report results, record
+// for merging (with Mo injection), feed the queue, and merge aggressively.
+func (s *gamState) processTree(t *tree.Tree) {
+	if s.stop {
+		return
+	}
+	if s.dl.expired() {
+		s.stats.TimedOut = true
+		s.stop = true
+		return
+	}
+	if !s.isNew(t) {
+		s.stats.Pruned++
+		return
+	}
+	s.keep(t)
+	if s.stop {
+		return
+	}
+	if s.isResult(t) {
+		if s.collector.add(t) {
+			s.stats.Truncated = true
+			s.stop = true
+			return
+		}
+		// With universal seed sets, larger results exist (Definition 2.8's
+		// adjustment for N seed sets): results keep growing and merging.
+		if !s.si.hasUniversal {
+			return
+		}
+	}
+	s.recordForMerging(t)
+	if !t.HasMo {
+		s.pushGrows(t)
+	}
+	s.mergeAll(t)
+}
+
+// recordForMerging implements Algorithm 3: index the tree by its root and,
+// for Mo variants, inject copies rooted at each seed node of the tree
+// whenever the provenance gained seeds over its children (Section 4.5).
+// Mo trees are skipped under UNI: re-rooting breaks the directed-tree
+// invariant the UNI filter requires.
+func (s *gamState) recordForMerging(t *tree.Tree) {
+	s.byRoot[t.Root] = append(s.byRoot[t.Root], t)
+	if !s.variant.mo || s.uni || !s.gainedSeeds(t) {
+		return
+	}
+	for _, n := range t.Nodes {
+		if n == t.Root || !s.si.isSeed(n) {
+			continue
+		}
+		mo := tree.NewMo(t, n)
+		s.stats.Created++
+		if s.rootedSeen[mo.RootedKey()] {
+			s.stats.Pruned++
+			continue
+		}
+		s.keep(mo)
+		if s.stop {
+			return
+		}
+		s.byRoot[n] = append(s.byRoot[n], mo)
+		s.mergeAll(mo)
+		if s.stop {
+			return
+		}
+	}
+}
+
+// gainedSeeds reports whether t has strictly more seeds than each of its
+// provenance children — the Section 4.5 trigger for Mo injection.
+func (s *gamState) gainedSeeds(t *tree.Tree) bool {
+	switch t.Kind {
+	case tree.Init:
+		return false // single node: no other seed to re-root at
+	case tree.Grow:
+		return t.Sat.Count() > t.Left.Sat.Count()
+	case tree.Merge:
+		return true // children have disjoint, non-empty coverage
+	}
+	return false
+}
+
+// pushGrows feeds the queue with the (t, e) pairs satisfying Grow1, Grow2,
+// and the pushed-down filters (Section 4.8).
+func (s *gamState) pushGrows(t *tree.Tree) {
+	if s.maxEdges > 0 && t.Size() >= s.maxEdges {
+		return
+	}
+	for _, e := range s.g.Incident(t.Root) {
+		if s.allowed != nil && !s.allowed[s.g.EdgeLabelID(e)] {
+			continue
+		}
+		other := s.g.Other(e, t.Root)
+		if t.ContainsNode(other) {
+			continue // Grow1
+		}
+		if s.si.mask(other).Intersects(t.Sat) {
+			continue // Grow2
+		}
+		if s.uni && s.g.Source(e) != other {
+			// UNI: grow backward over the edge so the eventual root
+			// reaches every seed along directed paths.
+			continue
+		}
+		s.seq++
+		s.queue.push(growOp{t: t, e: e, prio: s.priority(t, e), seq: s.seq})
+	}
+}
+
+// mergeable checks Merge1/Merge2 (Section 4.2) plus the MAX filter. The
+// Merge2 condition "sat(t1) ∩ sat(t2) = ∅" is implemented as "no seed set
+// is represented in both trees except through the shared root": trees
+// rooted at a seed node legitimately share that seed's sets (e.g. the
+// Figure 3 merge of A-1-2-B with B-3-C at root B).
+func (s *gamState) mergeable(a, b *tree.Tree) bool {
+	if a.Size() == 0 || b.Size() == 0 {
+		return false // merging with a single-node tree recreates the partner
+	}
+	if s.maxEdges > 0 && a.Size()+b.Size() > s.maxEdges {
+		return false
+	}
+	if a.Sat.IntersectsOutside(b.Sat, s.si.mask(a.Root)) {
+		return false // Merge2
+	}
+	return tree.OverlapOnlyRoot(a, b) // Merge1
+}
+
+// mergeAll implements Algorithm 5: aggressively merge t with every
+// compatible tree sharing its root. New merges recurse through
+// processTree, which records them before merging further, so every
+// compatible pair is eventually examined from its later member.
+func (s *gamState) mergeAll(t *tree.Tree) {
+	partners := s.byRoot[t.Root]
+	// Snapshot: processTree below may append to byRoot[t.Root]; new
+	// entries merge with t from their own mergeAll.
+	n := len(partners)
+	for i := 0; i < n; i++ {
+		if s.stop {
+			return
+		}
+		tp := partners[i]
+		if tp == t || !s.mergeable(t, tp) {
+			continue
+		}
+		merged := tree.NewMerge(t, tp)
+		s.stats.Created++
+		s.processTree(merged)
+	}
+}

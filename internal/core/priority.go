@@ -1,0 +1,78 @@
+package core
+
+import (
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// This file implements the exploration-order extensions of Section 4.8:
+// since MoLESP's completeness guarantees are independent of the queue
+// order, any priority can be plugged in — in particular orders that favor
+// the early production of high-score results (useful with SCORE/TOP and
+// LIMIT), or orders guided by seed distances (useful when only the first
+// few results are needed, as in the Figure 12 protocol).
+
+// ScoreGuidedPriority explores trees with the highest partial score
+// first: a greedy order for score functions that can evaluate partial
+// trees (all the built-in ones can). Ties fall back to smallest-first.
+func ScoreGuidedPriority(g *graph.Graph, f ScoreFunc) PriorityFunc {
+	return func(t *tree.Tree, e graph.EdgeID) float64 {
+		// Lower priority value pops first: negate the score; the size
+		// epsilon keeps the search from stalling on large equal-score
+		// trees.
+		return -f(g, t)*1024 + float64(t.Size())
+	}
+}
+
+// SeedDistancePriority builds an A*-flavored order: a Grow opportunity is
+// ranked by the tree's size plus the largest remaining distance from the
+// grow target to any seed set the tree does not cover yet. Distances are
+// one undirected multi-source BFS per seed set, computed once up front.
+// Results reachable through few edges surface early, which pairs well
+// with LIMIT and TIMEOUT on large graphs.
+func SeedDistancePriority(g *graph.Graph, seeds []SeedSet) PriorityFunc {
+	const unreachable = 1 << 20
+	var dists [][]int32
+	for _, s := range seeds {
+		if s.Universal {
+			dists = append(dists, nil) // universal: distance 0 everywhere
+			continue
+		}
+		d := make([]int32, g.NumNodes())
+		for i := range d {
+			d[i] = unreachable
+		}
+		queue := make([]graph.NodeID, 0, len(s.Nodes))
+		for _, n := range s.Nodes {
+			if d[n] == unreachable {
+				d[n] = 0
+				queue = append(queue, n)
+			}
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Incident(n) {
+				o := g.Other(e, n)
+				if d[o] == unreachable {
+					d[o] = d[n] + 1
+					queue = append(queue, o)
+				}
+			}
+		}
+		dists = append(dists, d)
+	}
+	return func(t *tree.Tree, e graph.EdgeID) float64 {
+		next := g.Other(e, t.Root)
+		remaining := int32(0)
+		for i, d := range dists {
+			if t.Sat.Has(i) || d == nil {
+				continue
+			}
+			if d[next] > remaining {
+				remaining = d[next]
+			}
+		}
+		return float64(t.Size()) + 1 + float64(remaining)
+	}
+}

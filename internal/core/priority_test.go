@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// Local score functions (the score package imports core, so tests here
+// cannot import it back).
+func sizeScore(g *graph.Graph, t *tree.Tree) float64 { return -float64(t.Size()) }
+
+func diversityScore(g *graph.Graph, t *tree.Tree) float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	seen := map[graph.LabelID]bool{}
+	for _, e := range t.Edges {
+		seen[g.EdgeLabelID(e)] = true
+	}
+	return float64(len(seen)) / float64(t.Size())
+}
+
+// Guided orders must not change the result set of complete algorithms
+// (Section 4.8: MoLESP's guarantees are order-independent).
+func TestGuidedOrdersPreserveCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		g := gen.Random(8, 10, nil, rng)
+		seeds := Explicit(gen.RandomSeedSets(g, 3, 2, rng)...)
+		base, _ := run(t, g, seeds, Options{Algorithm: MoLESP, Filters: eql.Filters{MaxEdges: 4}})
+		for name, prio := range map[string]PriorityFunc{
+			"seed-distance": SeedDistancePriority(g, seeds),
+			"score-guided":  ScoreGuidedPriority(g, diversityScore),
+		} {
+			rs, _ := run(t, g, seeds, Options{
+				Algorithm: MoLESP, Priority: prio, Filters: eql.Filters{MaxEdges: 4}})
+			if rs.Len() != base.Len() {
+				t.Fatalf("trial %d, %s order: %d results vs %d under default",
+					trial, name, rs.Len(), base.Len())
+			}
+		}
+	}
+}
+
+// On a graph with one near and one far connection, the seed-distance
+// order must surface the near result first when LIMIT 1 is set.
+func TestSeedDistancePriorityFindsNearResultFirst(t *testing.T) {
+	// A and B joined by a 2-edge path and, separately, a 6-edge path.
+	b := graph.NewBuilder()
+	a := b.AddNode("A")
+	bb := b.AddNode("B")
+	mid := b.AddNode("m")
+	b.AddEdge(a, "t", mid)
+	b.AddEdge(mid, "t", bb)
+	prev := a
+	for i := 0; i < 5; i++ {
+		n := b.AddNodes(1)
+		b.AddEdge(prev, "t", n)
+		prev = n
+	}
+	b.AddEdge(prev, "t", bb)
+	g := b.Build()
+	seeds := singletons(a, bb)
+
+	rs, _ := run(t, g, seeds, Options{
+		Algorithm: MoLESP,
+		Priority:  SeedDistancePriority(g, seeds),
+		Filters:   eql.Filters{Limit: 1},
+	})
+	if rs.Len() != 1 || rs.Results[0].Tree.Size() != 2 {
+		t.Fatalf("guided LIMIT 1 returned a %d-edge tree, want the 2-edge one",
+			rs.Results[0].Tree.Size())
+	}
+}
+
+// ScoreGuidedPriority pops higher-scoring trees first.
+func TestScoreGuidedPriorityOrdering(t *testing.T) {
+	g := gen.Sample()
+	f := ScoreGuidedPriority(g, sizeScore)
+	small := tree.NewInit(0, nil)
+	big := &tree.Tree{Root: 0, Edges: []graph.EdgeID{0, 1, 2}}
+	if f(small, 0) >= f(big, 0) {
+		t.Fatal("higher score (smaller tree) should pop first")
+	}
+}
+
+// The OnResult hook streams results as found and can stop the search.
+func TestOnResultStreaming(t *testing.T) {
+	w := gen.Chain(6)
+	var streamed []Result
+	rs, st, err := Search(w.Graph, Explicit(w.Seeds...), Options{
+		Algorithm: MoLESP,
+		OnResult: func(r Result) bool {
+			streamed = append(streamed, r)
+			return len(streamed) < 5
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 5 {
+		t.Fatalf("streamed %d results, want 5", len(streamed))
+	}
+	if rs.Len() != 5 {
+		t.Fatalf("result set has %d, want 5", rs.Len())
+	}
+	if !st.Truncated {
+		t.Fatal("stop-via-hook must set Truncated")
+	}
+	// A pass-through hook must not change the outcome.
+	count := 0
+	rs2, _, err := Search(w.Graph, Explicit(w.Seeds...), Options{
+		Algorithm: MoLESP,
+		OnResult:  func(Result) bool { count++; return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != rs2.Len() || rs2.Len() != 64 {
+		t.Fatalf("hook saw %d, result set %d, want 64", count, rs2.Len())
+	}
+}
+
+// SeedDistancePriority with universal sets treats them as distance zero.
+func TestSeedDistancePriorityUniversal(t *testing.T) {
+	w := gen.Line(2, 1, gen.Forward)
+	seeds := []SeedSet{{Nodes: w.Seeds[0]}, {Universal: true}}
+	prio := SeedDistancePriority(w.Graph, seeds)
+	it := tree.NewInit(w.Seeds[0][0], nil)
+	if prio(it, w.Graph.Incident(w.Seeds[0][0])[0]) <= 0 {
+		t.Fatal("priority should still reflect tree size")
+	}
+	rs, _ := run(t, w.Graph, seeds, Options{Algorithm: MoLESP, Priority: prio})
+	if rs.Len() != 3 {
+		t.Fatalf("results = %d, want 3", rs.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"container/heap"
+
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// growOp is a (tree, edge) Grow opportunity (Section 4.2).
+type growOp struct {
+	t    *tree.Tree
+	e    graph.EdgeID
+	prio float64
+	seq  uint64 // FIFO tiebreak
+}
+
+// opHeap is a min-heap of growOps ordered by (prio, seq).
+type opHeap []growOp
+
+func (h opHeap) Len() int { return len(h) }
+func (h opHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(growOp)) }
+func (h *opHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// opQueue abstracts the single- and multi-queue (Section 4.9) scheduling
+// strategies behind push/pop.
+type opQueue interface {
+	push(op growOp)
+	pop() (growOp, bool)
+	len() int
+}
+
+// singleQueue is the default: one global priority queue.
+type singleQueue struct{ h opHeap }
+
+func newSingleQueue() *singleQueue { return &singleQueue{} }
+
+func (q *singleQueue) push(op growOp) { heap.Push(&q.h, op) }
+func (q *singleQueue) len() int       { return len(q.h) }
+func (q *singleQueue) pop() (growOp, bool) {
+	if len(q.h) == 0 {
+		return growOp{}, false
+	}
+	return heap.Pop(&q.h).(growOp), true
+}
+
+// multiQueue keeps one priority queue per tree signature (the sat bitset)
+// and always pops from the queue holding the fewest entries, so that
+// exploration initially concentrates around the smallest seed sets
+// (Section 4.9, following the bidirectional-expansion idea of Kacholia et
+// al.).
+type multiQueue struct {
+	queues map[string]*opHeap
+	keys   []string // stable iteration order for determinism
+	total  int
+}
+
+func newMultiQueue() *multiQueue {
+	return &multiQueue{queues: make(map[string]*opHeap)}
+}
+
+func (q *multiQueue) push(op growOp) {
+	key := op.t.Sat.Key()
+	h, ok := q.queues[key]
+	if !ok {
+		h = &opHeap{}
+		q.queues[key] = h
+		q.keys = append(q.keys, key)
+	}
+	heap.Push(h, op)
+	q.total++
+}
+
+func (q *multiQueue) len() int { return q.total }
+
+func (q *multiQueue) pop() (growOp, bool) {
+	if q.total == 0 {
+		return growOp{}, false
+	}
+	var best *opHeap
+	bestLen := -1
+	for _, k := range q.keys {
+		h := q.queues[k]
+		if h.Len() == 0 {
+			continue
+		}
+		if bestLen == -1 || h.Len() < bestLen {
+			best = h
+			bestLen = h.Len()
+		}
+	}
+	if best == nil {
+		return growOp{}, false
+	}
+	q.total--
+	return heap.Pop(best).(growOp), true
+}

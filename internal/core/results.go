@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// resultCollector accumulates result trees, deduplicating by edge set
+// (single-node results by their node), verifying the UNI filter, scoring,
+// and enforcing LIMIT / TOP k.
+type resultCollector struct {
+	g        *graph.Graph
+	si       *seedIndex
+	uni      bool
+	score    ScoreFunc
+	topK     int
+	limit    int
+	onResult func(Result) bool
+
+	seen     map[string]bool
+	results  []Result
+	limitHit bool
+}
+
+func newResultCollector(g *graph.Graph, si *seedIndex, opts Options) *resultCollector {
+	return &resultCollector{
+		g:        g,
+		si:       si,
+		uni:      opts.Filters.Uni,
+		score:    opts.Score,
+		topK:     opts.Filters.TopK,
+		limit:    opts.Filters.Limit,
+		onResult: opts.OnResult,
+		seen:     make(map[string]bool),
+	}
+}
+
+// add records a result tree. It returns true when the LIMIT filter is
+// reached and the search should stop.
+func (rc *resultCollector) add(t *tree.Tree) bool {
+	if rc.limitHit {
+		return true
+	}
+	key := t.EdgeKey()
+	if t.Size() == 0 {
+		key = "n" + t.RootedKey()
+	}
+	if rc.seen[key] {
+		return false
+	}
+	if rc.uni && t.Size() > 0 {
+		if _, ok := tree.UnidirectionalRoot(rc.g, t.Edges); !ok {
+			return false
+		}
+	}
+	rc.seen[key] = true
+	r := Result{Tree: t, Seeds: rc.si.seedTuple(t)}
+	if rc.score != nil {
+		r.Score = rc.score(rc.g, t)
+	}
+	rc.results = append(rc.results, r)
+	if rc.onResult != nil && !rc.onResult(r) {
+		rc.limitHit = true
+		return true
+	}
+	if rc.limit > 0 && len(rc.results) >= rc.limit {
+		rc.limitHit = true
+		return true
+	}
+	return false
+}
+
+// finish applies TOP k and returns the final result set.
+func (rc *resultCollector) finish() *ResultSet {
+	rs := &ResultSet{Results: rc.results}
+	if rc.topK > 0 && rc.score != nil && len(rs.Results) > rc.topK {
+		// Stable: equal scores keep discovery order.
+		idx := make([]int, len(rs.Results))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return rs.Results[idx[a]].Score > rs.Results[idx[b]].Score
+		})
+		top := make([]Result, rc.topK)
+		for i := 0; i < rc.topK; i++ {
+			top[i] = rs.Results[idx[i]]
+		}
+		rs.Results = top
+	}
+	return rs
+}

@@ -1,0 +1,355 @@
+// Package engine executes Extended Query Language queries end to end,
+// implementing the evaluation strategy of Section 3:
+//
+//	(A) evaluate each BGP into a binding table (internal/bgp);
+//	(B) derive each CTP's seed sets from the binding tables (or from the
+//	    graph, for variables the BGPs do not bind), evaluate the CTP with
+//	    a connection-search algorithm (internal/core), filters pushed in;
+//	(C) natural-join the BGP and CTP tables and project the head.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ctpquery/internal/bgp"
+	"ctpquery/internal/core"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/score"
+	"ctpquery/internal/storage"
+	"ctpquery/internal/tree"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Algorithm evaluates CTPs; the default is MoLESP, the paper's
+	// recommended variant.
+	Algorithm core.Algorithm
+
+	// MultiQueue forces the Section 4.9 multi-queue scheduling. When
+	// false, the engine still enables it automatically for CTPs with
+	// universal or heavily skewed seed sets (as the paper does for the
+	// YAGO queries J2 and J3).
+	MultiQueue bool
+
+	// SkewThreshold is the largest-to-smallest seed set size ratio beyond
+	// which multi-queue scheduling is auto-enabled (default 32).
+	SkewThreshold int
+
+	// DefaultTimeout bounds each CTP evaluation when the query does not
+	// specify TIMEOUT (0 = unbounded).
+	DefaultTimeout time.Duration
+
+	// Parallel evaluates the query's CTPs concurrently (one goroutine
+	// each). CTP searches are independent by construction (Section 3
+	// step B), so this is safe; it helps queries with several CTPs, like
+	// the J1 shape of Table 1.
+	Parallel bool
+}
+
+// Engine evaluates EQL queries over one graph.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+}
+
+// New creates an engine. A zero Options selects MoLESP.
+func New(g *graph.Graph, opts Options) *Engine {
+	if opts.Algorithm == 0 && opts.Algorithm != core.BFT {
+		opts.Algorithm = core.MoLESP
+	}
+	if opts.SkewThreshold <= 0 {
+		opts.SkewThreshold = 32
+	}
+	return &Engine{g: g, opts: opts}
+}
+
+// NewDefault creates an engine with MoLESP and no timeout.
+func NewDefault(g *graph.Graph) *Engine { return New(g, Options{Algorithm: core.MoLESP}) }
+
+// Result is the outcome of executing a query: the head projection, the
+// trees bound to tree variables (referenced from the table by handle), and
+// per-phase timings matching the paper's reporting (Section 5.5.2 breaks
+// down CTP time vs. BGP + join time).
+type Result struct {
+	Table *storage.Table
+	Trees []*tree.Tree // tree handle -> tree; handles are row values
+
+	BGPTime  time.Duration
+	CTPTime  time.Duration
+	JoinTime time.Duration
+	CTPStats []*core.Stats // one per CTP, in query order
+}
+
+// Tree resolves a tree handle from the result table.
+func (r *Result) Tree(handle int32) *tree.Tree {
+	if handle < 0 || int(handle) >= len(r.Trees) {
+		return nil
+	}
+	return r.Trees[handle]
+}
+
+// Execute runs q and returns its result. The query must be valid
+// (eql.Parse validates; programmatic queries should call Validate first).
+func (e *Engine) Execute(q *eql.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Step (A): evaluate the BGPs.
+	startBGP := time.Now()
+	bgpTables := make([]*storage.Table, len(q.BGPs))
+	for i, b := range q.BGPs {
+		t, err := bgp.Evaluate(e.g, b)
+		if err != nil {
+			return nil, fmt.Errorf("engine: BGP %d: %w", i, err)
+		}
+		bgpTables[i] = t
+	}
+	res.BGPTime = time.Since(startBGP)
+
+	// Step (B): evaluate the CTPs — sequentially or in parallel; the
+	// searches are independent, and tree handles are rebased afterwards
+	// so table rows reference the merged tree list.
+	startCTP := time.Now()
+	ctpOuts := make([]ctpOutput, len(q.CTPs))
+	if e.opts.Parallel && len(q.CTPs) > 1 {
+		var wg sync.WaitGroup
+		for i := range q.CTPs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctpOuts[i] = e.evalCTP(q.CTPs[i], bgpTables)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range q.CTPs {
+			ctpOuts[i] = e.evalCTP(q.CTPs[i], bgpTables)
+		}
+	}
+	ctpTables := make([]*storage.Table, len(q.CTPs))
+	for i, out := range ctpOuts {
+		if out.err != nil {
+			return nil, fmt.Errorf("engine: CTP %d: %w", i, out.err)
+		}
+		base := int32(len(res.Trees))
+		res.Trees = append(res.Trees, out.trees...)
+		if base != 0 && out.table.NumRows() > 0 {
+			col := out.table.Column(q.CTPs[i].TreeVar)
+			for r := 0; r < out.table.NumRows(); r++ {
+				out.table.Row(r)[col] += base
+			}
+		}
+		ctpTables[i] = out.table
+		res.CTPStats = append(res.CTPStats, out.stats)
+	}
+	res.CTPTime = time.Since(startCTP)
+
+	// Step (C): join everything and project the head.
+	startJoin := time.Now()
+	joined := joinAll(append(append([]*storage.Table{}, bgpTables...), ctpTables...))
+	head, err := joined.Project(q.Head...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: head projection: %w", err)
+	}
+	res.Table = head.Distinct()
+	if q.Limit > 0 && res.Table.NumRows() > q.Limit {
+		kept := 0
+		res.Table = res.Table.Select(func([]int32) bool {
+			kept++
+			return kept <= q.Limit
+		})
+	}
+	res.JoinTime = time.Since(startJoin)
+	return res, nil
+}
+
+// joinAll natural-joins the tables, preferring join partners sharing
+// columns; disconnected groups degrade to cross products (Definition
+// 2.10's ⋈ over all simple variables).
+func joinAll(tables []*storage.Table) *storage.Table {
+	if len(tables) == 0 {
+		empty := storage.NewTable()
+		empty.AddRow()
+		return empty
+	}
+	acc := tables[0]
+	rest := tables[1:]
+	for len(rest) > 0 {
+		picked := -1
+		for i, t := range rest {
+			for _, c := range t.Cols() {
+				if acc.HasColumn(c) {
+					picked = i
+					break
+				}
+			}
+			if picked >= 0 {
+				break
+			}
+		}
+		if picked == -1 {
+			picked = 0
+		}
+		acc = storage.NaturalJoin(acc, rest[picked])
+		rest = append(rest[:picked], rest[picked+1:]...)
+	}
+	return acc
+}
+
+// ctpOutput is the self-contained result of one CTP evaluation; tree
+// handles in table are local (0-based) and rebased by Execute, keeping
+// parallel evaluation free of shared state.
+type ctpOutput struct {
+	table *storage.Table
+	trees []*tree.Tree
+	stats *core.Stats
+	err   error
+}
+
+// evalCTP derives seed sets per Section 3 step (B.1), runs the search with
+// filters pushed down, and materializes the CTP table whose columns are
+// the named member variables plus the tree variable.
+func (e *Engine) evalCTP(c eql.CTP, bgpTables []*storage.Table) ctpOutput {
+	seeds := make([]core.SeedSet, len(c.Members))
+	maxSize, minSize := 0, -1
+	for i, m := range c.Members {
+		set, err := e.seedSet(m, bgpTables)
+		if err != nil {
+			return ctpOutput{err: err}
+		}
+		seeds[i] = set
+		if !set.Universal {
+			if len(set.Nodes) > maxSize {
+				maxSize = len(set.Nodes)
+			}
+			if minSize == -1 || len(set.Nodes) < minSize {
+				minSize = len(set.Nodes)
+			}
+		}
+	}
+
+	opts := core.Options{
+		Algorithm: e.opts.Algorithm,
+		Filters:   c.Filters,
+	}
+	if opts.Filters.Timeout == 0 {
+		opts.Filters.Timeout = e.opts.DefaultTimeout
+	}
+	if c.Filters.Score != "" {
+		f, ok := score.Get(c.Filters.Score)
+		if !ok {
+			return ctpOutput{err: fmt.Errorf("unknown score function %q (have %v)",
+				c.Filters.Score, score.Names())}
+		}
+		opts.Score = f
+	}
+	// Section 4.9: universal or heavily skewed seed sets get the
+	// multi-queue scheduling.
+	hasUniversal := false
+	for _, s := range seeds {
+		if s.Universal {
+			hasUniversal = true
+		}
+	}
+	if e.opts.MultiQueue || hasUniversal ||
+		(minSize > 0 && maxSize/minSize >= e.opts.SkewThreshold) {
+		opts.MultiQueue = true
+	}
+
+	rs, stats, err := core.Search(e.g, seeds, opts)
+	if err != nil {
+		return ctpOutput{err: err}
+	}
+	out := ctpOutput{stats: stats}
+
+	// Materialize the CTP table with local tree handles.
+	var cols []string
+	memberCol := make([]int, len(c.Members)) // -1 for anonymous members
+	for i, m := range c.Members {
+		if m.Var == "" {
+			memberCol[i] = -1
+			continue
+		}
+		memberCol[i] = len(cols)
+		cols = append(cols, m.Var)
+	}
+	treeCol := len(cols)
+	cols = append(cols, c.TreeVar)
+	out.table = storage.NewTable(cols...)
+
+	for _, r := range rs.Results {
+		handle := int32(len(out.trees))
+		out.trees = append(out.trees, r.Tree)
+		row := make([]int32, len(cols))
+		row[treeCol] = handle
+		// Universal members bound to a named variable expand over every
+		// node of the tree (Definition 2.8's adjustment for N seed sets);
+		// other members bind their unique seed.
+		expand := []int{}
+		for i := range c.Members {
+			if memberCol[i] < 0 {
+				continue
+			}
+			if seeds[i].Universal {
+				expand = append(expand, i)
+				continue
+			}
+			row[memberCol[i]] = int32(r.Seeds[i])
+		}
+		if len(expand) == 0 {
+			out.table.AddRow(row...)
+			continue
+		}
+		emitExpanded(out.table, row, expand, memberCol, r.Tree.Nodes)
+	}
+	return out
+}
+
+// emitExpanded emits one row per assignment of the universal member
+// variables to tree nodes.
+func emitExpanded(out *storage.Table, row []int32, expand, memberCol []int, nodes []graph.NodeID) {
+	if len(expand) == 0 {
+		out.AddRow(row...)
+		return
+	}
+	i, rest := expand[0], expand[1:]
+	for _, n := range nodes {
+		row[memberCol[i]] = int32(n)
+		emitExpanded(out, row, rest, memberCol, nodes)
+	}
+}
+
+// seedSet derives the seed set of one CTP member per Section 3 step (B.1):
+// a variable bound by some BGP projects that binding (further restricted
+// by the member predicate); otherwise the predicate selects over all graph
+// nodes; an unbound empty predicate denotes N, the universal set.
+func (e *Engine) seedSet(m eql.Predicate, bgpTables []*storage.Table) (core.SeedSet, error) {
+	if m.Var != "" {
+		for _, t := range bgpTables {
+			if !t.HasColumn(m.Var) {
+				continue
+			}
+			vals, err := t.ColumnValues(m.Var)
+			if err != nil {
+				return core.SeedSet{}, err
+			}
+			nodes := make([]graph.NodeID, 0, len(vals))
+			for _, v := range vals {
+				n := graph.NodeID(v)
+				if m.IsEmpty() || m.MatchNode(e.g, n) {
+					nodes = append(nodes, n)
+				}
+			}
+			return core.SeedSet{Nodes: nodes}, nil
+		}
+	}
+	if m.IsEmpty() {
+		return core.SeedSet{Universal: true}, nil
+	}
+	return core.SeedSet{Nodes: m.SelectNodes(e.g)}, nil
+}

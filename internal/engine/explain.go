@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"ctpquery/internal/eql"
+)
+
+// Explain describes, without executing the query, the plan Execute would
+// follow: per-BGP pattern counts with estimated scan cardinalities, and
+// per-CTP the derived seed-set strategy (BGP-bound, predicate-selected,
+// or universal), the algorithm, and whether multi-queue scheduling would
+// engage. It is the paper's "adaptive EQL optimization" hook (Section 6's
+// future work) in diagnostic form.
+func (e *Engine) Explain(q *eql.Query) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan for %d BGP(s), %d CTP(s); algorithm %v\n",
+		len(q.BGPs), len(q.CTPs), e.opts.Algorithm)
+
+	boundVars := map[string]bool{}
+	for i, b := range q.BGPs {
+		fmt.Fprintf(&sb, "  BGP %d: %d edge pattern(s)\n", i, len(b.Patterns))
+		for _, ep := range b.Patterns {
+			fmt.Fprintf(&sb, "    scan (%s, %s, %s): est. <= %d edges\n",
+				describeTerm(ep.Src), describeTerm(ep.Edge), describeTerm(ep.Dst),
+				min3(ep.Edge.Selectivity(e.g, false),
+					ep.Src.Selectivity(e.g, true),
+					ep.Dst.Selectivity(e.g, true)))
+		}
+		for _, v := range b.Vars() {
+			boundVars[v] = true
+		}
+	}
+	for i, c := range q.CTPs {
+		fmt.Fprintf(&sb, "  CTP %d (tree ?%s): m=%d\n", i, c.TreeVar, c.M())
+		sizes := make([]int, 0, c.M())
+		universal := false
+		for _, m := range c.Members {
+			switch {
+			case m.Var != "" && boundVars[m.Var]:
+				fmt.Fprintf(&sb, "    seed ?%s: bound by BGP\n", m.Var)
+				sizes = append(sizes, e.g.NumNodes()) // unknown until run; conservative
+			case m.IsEmpty():
+				fmt.Fprintf(&sb, "    seed %s: universal (N) — no Init trees (Sec 4.9)\n", describeTerm(m))
+				universal = true
+			default:
+				n := len(m.SelectNodes(e.g))
+				fmt.Fprintf(&sb, "    seed %s: predicate selects %d node(s)\n", describeTerm(m), n)
+				sizes = append(sizes, n)
+			}
+		}
+		mq := e.opts.MultiQueue || universal
+		if !mq && len(sizes) > 1 {
+			lo, hi := sizes[0], sizes[0]
+			for _, s := range sizes[1:] {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			mq = lo > 0 && hi/lo >= e.opts.SkewThreshold
+		}
+		fmt.Fprintf(&sb, "    multi-queue: %v; filters: %s\n", mq, describeFilters(c.Filters))
+	}
+	fmt.Fprintf(&sb, "  join: natural join of all tables, project %v", q.Head)
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, ", LIMIT %d", q.Limit)
+	}
+	sb.WriteString("\n")
+	return sb.String(), nil
+}
+
+func describeTerm(p eql.Predicate) string {
+	if p.Var != "" {
+		if len(p.Conds) > 0 {
+			return fmt.Sprintf("?%s[%d conds]", p.Var, len(p.Conds))
+		}
+		return "?" + p.Var
+	}
+	if len(p.Conds) == 1 && p.Conds[0].Prop == "label" {
+		return fmt.Sprintf("%q", p.Conds[0].Value)
+	}
+	if p.IsEmpty() {
+		return "_"
+	}
+	return fmt.Sprintf("[%d conds]", len(p.Conds))
+}
+
+func describeFilters(f eql.Filters) string {
+	if f.IsZero() {
+		return "none"
+	}
+	var parts []string
+	if f.Uni {
+		parts = append(parts, "UNI")
+	}
+	if len(f.Labels) > 0 {
+		parts = append(parts, fmt.Sprintf("LABEL(%d)", len(f.Labels)))
+	}
+	if f.MaxEdges > 0 {
+		parts = append(parts, fmt.Sprintf("MAX %d", f.MaxEdges))
+	}
+	if f.Score != "" {
+		parts = append(parts, "SCORE "+f.Score)
+	}
+	if f.TopK > 0 {
+		parts = append(parts, fmt.Sprintf("TOP %d", f.TopK))
+	}
+	if f.Limit > 0 {
+		parts = append(parts, fmt.Sprintf("LIMIT %d", f.Limit))
+	}
+	if f.Timeout > 0 {
+		parts = append(parts, fmt.Sprintf("TIMEOUT %s", f.Timeout))
+	}
+	return strings.Join(parts, " ")
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

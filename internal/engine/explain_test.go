@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/gen"
+)
+
+func TestExplain(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `
+SELECT ?x ?w WHERE {
+  ?x citizenOf USA .
+  CONNECT ?x ?anything AS ?w MAX 3 TIMEOUT 1s .
+} LIMIT 10`)
+	plan, err := NewDefault(g).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"1 BGP(s), 1 CTP(s)", "MoLESP", "scan", "bound by BGP",
+		"universal (N)", "multi-queue: true", "MAX 3", "LIMIT 10",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainPredicateSeeds(t *testing.T) {
+	g := gen.Sample()
+	q := mustParse(t, `SELECT ?w WHERE { CONNECT Alice Bob AS ?w UNI . }`)
+	plan, err := NewDefault(g).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "selects 1 node(s)") || !strings.Contains(plan, "UNI") {
+		t.Fatalf("plan = %s", plan)
+	}
+}
+
+func TestExplainValidates(t *testing.T) {
+	g := gen.Sample()
+	bad := mustParse(t, `SELECT ?w WHERE { CONNECT Alice Bob AS ?w . }`)
+	bad.Head = []string{"nope"}
+	if _, err := NewDefault(g).Explain(bad); err == nil {
+		t.Fatal("invalid query should not explain")
+	}
+}
+
+func TestQueryLevelLimit(t *testing.T) {
+	w := gen.Chain(6) // 64 trees
+	q := mustParse(t, `SELECT ?w WHERE { CONNECT "1" "7" AS ?w . } LIMIT 10`)
+	res, err := NewDefault(w.Graph).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 10 {
+		t.Fatalf("rows = %d, want 10", res.Table.NumRows())
+	}
+}
+
+func TestParallelCTPEvaluation(t *testing.T) {
+	g := gen.Sample()
+	src := `
+SELECT ?x ?w1 ?w2 WHERE {
+  ?x citizenOf USA .
+  CONNECT ?x France AS ?w1 MAX 3 .
+  CONNECT ?x "National Liberal Party" AS ?w2 MAX 3 .
+}`
+	q := mustParse(t, src)
+	seq, err := New(g, engineOpts(false)).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(g, engineOpts(true)).Execute(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Table.NumRows() != par.Table.NumRows() {
+		t.Fatalf("parallel rows %d != sequential %d", par.Table.NumRows(), seq.Table.NumRows())
+	}
+	if len(par.CTPStats) != 2 {
+		t.Fatalf("stats = %d", len(par.CTPStats))
+	}
+	// Every tree handle must resolve after rebasing.
+	for _, col := range []string{"w1", "w2"} {
+		ci := par.Table.Column(col)
+		for i := 0; i < par.Table.NumRows(); i++ {
+			if par.Tree(par.Table.Row(i)[ci]) == nil {
+				t.Fatalf("unresolvable handle in %s after rebasing", col)
+			}
+		}
+	}
+	// Tree columns must reference trees containing the right anchors: w2
+	// trees must contain the party node.
+	party, _ := g.NodeByLabel("National Liberal Party")
+	ci := par.Table.Column("w2")
+	for i := 0; i < par.Table.NumRows(); i++ {
+		tr := par.Tree(par.Table.Row(i)[ci])
+		if tr.Size() > 0 && !tr.ContainsNode(party) {
+			t.Fatal("w2 tree does not contain the party: handle rebasing broken")
+		}
+	}
+}
+
+func engineOpts(parallel bool) Options {
+	return Options{Algorithm: core.MoLESP, Parallel: parallel, DefaultTimeout: 5 * time.Second}
+}

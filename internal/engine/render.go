@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// FormatTree renders a connecting tree with node and edge labels, one edge
+// per line, e.g.
+//
+//	Carole -[founded]-> OrgC
+//	Doug -[investsIn]-> OrgC
+//	Elon -[parentOf]-> Doug
+//
+// Single-node trees render as the node label.
+func FormatTree(g *graph.Graph, t *tree.Tree) string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.Size() == 0 {
+		return nodeName(g, t.Root)
+	}
+	var sb strings.Builder
+	for i, e := range t.Edges {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		ed := g.Edge(e)
+		fmt.Fprintf(&sb, "%s -[%s]-> %s",
+			nodeName(g, ed.Source), g.EdgeLabel(e), nodeName(g, ed.Target))
+	}
+	return sb.String()
+}
+
+// FormatResult renders the head row r of a query result, resolving node
+// IDs to labels and tree handles to compact tree descriptions.
+func (r *Result) FormatRow(g *graph.Graph, q interface{ TreeVars() []string }, row int) string {
+	treeVars := map[string]bool{}
+	for _, tv := range q.TreeVars() {
+		treeVars[tv] = true
+	}
+	cols := r.Table.Cols()
+	vals := r.Table.Row(row)
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		if treeVars[c] {
+			t := r.Tree(vals[i])
+			if t == nil {
+				parts[i] = fmt.Sprintf("?%s=<invalid>", c)
+			} else {
+				parts[i] = fmt.Sprintf("?%s={%d edges}", c, t.Size())
+			}
+			continue
+		}
+		parts[i] = fmt.Sprintf("?%s=%s", c, nodeName(g, graph.NodeID(vals[i])))
+	}
+	return strings.Join(parts, " ")
+}
+
+func nodeName(g *graph.Graph, n graph.NodeID) string {
+	if l := g.NodeLabel(n); l != "" {
+		return l
+	}
+	return fmt.Sprintf("#%d", n)
+}

@@ -1,0 +1,205 @@
+// Package eql defines the Extended Query Language of Section 2: Basic
+// Graph Patterns (the conjunctive core shared by SPARQL and Cypher) freely
+// joined with Connecting Tree Patterns (CTPs), plus the CTP filters UNI,
+// LABEL, MAX, SCORE [TOP k], LIMIT, and TIMEOUT.
+//
+// The package provides the abstract syntax (this file), predicate
+// evaluation over graphs (predicate.go), a SPARQL-flavored text parser
+// (parser.go), a printer producing parseable text (print.go), and the
+// well-formedness rules of Definitions 2.4–2.6 (validate.go). Query
+// evaluation lives in internal/bgp, internal/core, and internal/engine.
+package eql
+
+import "time"
+
+// Op is a comparison operator of the predicate language (Definition 2.2):
+// Ω = {=, <, <=, ~}, where ~ is glob-style pattern matching ("*lice").
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota
+	OpLt
+	OpLe
+	OpLike
+)
+
+// String returns the operator's surface syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpLike:
+		return "~"
+	}
+	return "?"
+}
+
+// Condition is one conjunct of a predicate: Prop(v) Op Value. Prop names
+// the property; "label" and "type" are built-in pseudo-properties, any
+// other name reads the node/edge property map.
+type Condition struct {
+	Prop  string
+	Op    Op
+	Value string
+}
+
+// Predicate is a conjunction of conditions over a single variable
+// (Definition 2.2). Var may be empty for anonymous predicates introduced
+// by constants in the surface syntax (the paper's shorthand where a bare
+// constant means a label-equality predicate over a hidden variable).
+type Predicate struct {
+	Var   string
+	Conds []Condition
+}
+
+// IsEmpty reports whether the predicate has no conditions; every node and
+// edge satisfies an empty predicate.
+func (p Predicate) IsEmpty() bool { return len(p.Conds) == 0 }
+
+// Label returns a predicate matching nodes/edges labeled v.
+func Label(v string) Predicate {
+	return Predicate{Conds: []Condition{{Prop: "label", Op: OpEq, Value: v}}}
+}
+
+// Var returns the empty predicate over variable name (without '?').
+func Var(name string) Predicate { return Predicate{Var: name} }
+
+// VarLabel returns a label-equality predicate bound to a variable.
+func VarLabel(name, label string) Predicate {
+	return Predicate{Var: name, Conds: []Condition{{Prop: "label", Op: OpEq, Value: label}}}
+}
+
+// VarType returns a type-equality predicate bound to a variable.
+func VarType(name, typ string) Predicate {
+	return Predicate{Var: name, Conds: []Condition{{Prop: "type", Op: OpEq, Value: typ}}}
+}
+
+// With returns a copy of p with an extra condition.
+func (p Predicate) With(prop string, op Op, value string) Predicate {
+	conds := make([]Condition, len(p.Conds)+1)
+	copy(conds, p.Conds)
+	conds[len(p.Conds)] = Condition{Prop: prop, Op: op, Value: value}
+	return Predicate{Var: p.Var, Conds: conds}
+}
+
+// EdgePattern is a triple of predicates (Definition 2.3): Src holds over
+// the source node, Edge over the edge, Dst over the target node.
+type EdgePattern struct {
+	Src  Predicate
+	Edge Predicate
+	Dst  Predicate
+}
+
+// BGP is a Basic Graph Pattern: a set of edge patterns connected through
+// shared variables (Definition 2.4).
+type BGP struct {
+	Patterns []EdgePattern
+}
+
+// Vars returns the distinct variable names of the BGP, in first-occurrence
+// order.
+func (b BGP) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p Predicate) {
+		if p.Var != "" && !seen[p.Var] {
+			seen[p.Var] = true
+			out = append(out, p.Var)
+		}
+	}
+	for _, ep := range b.Patterns {
+		add(ep.Src)
+		add(ep.Edge)
+		add(ep.Dst)
+	}
+	return out
+}
+
+// Filters collects the CTP filters of Section 2. The zero value imposes no
+// restriction.
+type Filters struct {
+	// Uni restricts results to unidirectional trees: a root must reach
+	// every seed through directed paths.
+	Uni bool
+	// Labels, when non-empty, restricts result edges to these labels.
+	Labels []string
+	// MaxEdges, when positive, restricts results to at most MaxEdges edges.
+	MaxEdges int
+	// Score names a score function (resolved in internal/score); results
+	// are annotated with σ(t).
+	Score string
+	// TopK, when positive with Score set, keeps only the k best results.
+	TopK int
+	// Limit, when positive, stops the search after Limit results.
+	Limit int
+	// Timeout, when positive, bounds CTP evaluation time.
+	Timeout time.Duration
+}
+
+// IsZero reports whether no filter is set.
+func (f Filters) IsZero() bool {
+	return !f.Uni && len(f.Labels) == 0 && f.MaxEdges == 0 && f.Score == "" &&
+		f.TopK == 0 && f.Limit == 0 && f.Timeout == 0
+}
+
+// CTP is a Connecting Tree Pattern (Definition 2.5): m member predicates
+// g_1..g_m plus the tree variable v_{m+1} (the "underlined" variable) and
+// optional filters.
+type CTP struct {
+	Members []Predicate
+	TreeVar string
+	Filters Filters
+}
+
+// M returns the number of member predicates (seed sets).
+func (c CTP) M() int { return len(c.Members) }
+
+// Query is a core query (Definition 2.6) plus per-CTP filters (Definition
+// 2.11): a head (projected variables) and a body of BGPs and CTPs. Limit,
+// when positive, truncates the final result rows — the standard SPARQL
+// LIMIT solution modifier the paper's requirement R4 refers to ("unless
+// users explicitly LIMIT the result size").
+type Query struct {
+	Head  []string
+	BGPs  []BGP
+	CTPs  []CTP
+	Limit int
+}
+
+// SimpleVars returns all simple variables of the query — every variable
+// except CTP tree variables — in first-occurrence order.
+func (q *Query) SimpleVars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, b := range q.BGPs {
+		for _, v := range b.Vars() {
+			add(v)
+		}
+	}
+	for _, c := range q.CTPs {
+		for _, m := range c.Members {
+			add(m.Var)
+		}
+	}
+	return out
+}
+
+// TreeVars returns the tree variables of all CTPs.
+func (q *Query) TreeVars() []string {
+	out := make([]string, len(q.CTPs))
+	for i, c := range q.CTPs {
+		out[i] = c.TreeVar
+	}
+	return out
+}

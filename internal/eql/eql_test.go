@@ -1,0 +1,390 @@
+package eql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+)
+
+func TestParseQ1(t *testing.T) {
+	// The paper's Q1: connections between an American entrepreneur, a
+	// French entrepreneur, and a French politician.
+	q, err := Parse(`
+SELECT ?x ?y ?z ?w
+WHERE {
+  ?x citizenOf USA .
+  ?y citizenOf France .
+  ?z citizenOf France .
+  FILTER type(?x) = entrepreneur .
+  FILTER type(?y) = entrepreneur .
+  FILTER type(?z) = politician .
+  CONNECT ?x ?y ?z AS ?w .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Head) != 4 {
+		t.Fatalf("head = %v", q.Head)
+	}
+	// ?x, ?y, ?z are in separate BGPs (no shared vars).
+	if len(q.BGPs) != 3 {
+		t.Fatalf("BGPs = %d, want 3", len(q.BGPs))
+	}
+	if len(q.CTPs) != 1 || q.CTPs[0].M() != 3 || q.CTPs[0].TreeVar != "w" {
+		t.Fatalf("CTP = %+v", q.CTPs)
+	}
+	// FILTER must have attached the type condition to ?x's predicate.
+	src := q.BGPs[0].Patterns[0].Src
+	if src.Var != "x" || len(src.Conds) != 1 || src.Conds[0].Prop != "type" {
+		t.Fatalf("x predicate = %+v", src)
+	}
+}
+
+func TestParseSharedVarsGroupBGPs(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE {
+		?x citizenOf USA .
+		?x founded OrgB .
+		?y citizenOf France .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.BGPs) != 2 {
+		t.Fatalf("BGPs = %d, want 2 (x-group and y-group)", len(q.BGPs))
+	}
+	if len(q.BGPs[0].Patterns) != 2 {
+		t.Fatalf("x-group has %d patterns, want 2", len(q.BGPs[0].Patterns))
+	}
+}
+
+func TestParseAllFilters(t *testing.T) {
+	q, err := Parse(`SELECT ?w WHERE {
+		CONNECT Alice Bob ?c AS ?w UNI LABEL founded "investsIn" MAX 8 SCORE size TOP 3 LIMIT 10 TIMEOUT 500ms .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.CTPs[0].Filters
+	if !f.Uni || f.MaxEdges != 8 || f.Score != "size" || f.TopK != 3 ||
+		f.Limit != 10 || f.Timeout != 500*time.Millisecond {
+		t.Fatalf("filters = %+v", f)
+	}
+	if len(f.Labels) != 2 || f.Labels[0] != "founded" || f.Labels[1] != "investsIn" {
+		t.Fatalf("labels = %v", f.Labels)
+	}
+	// Constant members become anonymous label predicates.
+	m := q.CTPs[0].Members
+	if len(m) != 3 || m[0].Var != "" || m[2].Var != "c" {
+		t.Fatalf("members = %+v", m)
+	}
+	if l, ok := m[0].uniqueLabelValue(); !ok || l != "Alice" {
+		t.Fatalf("member 0 = %+v", m[0])
+	}
+}
+
+func TestParseTimeoutBareMillis(t *testing.T) {
+	q, err := Parse(`SELECT ?w WHERE { CONNECT ?a ?b AS ?w TIMEOUT 250 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CTPs[0].Filters.Timeout != 250*time.Millisecond {
+		t.Fatalf("timeout = %v", q.CTPs[0].Filters.Timeout)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { ?x knows ?y . CONNECT ?x ?y AS ?w . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"x": true, "y": true, "w": true}
+	if len(q.Head) != 3 {
+		t.Fatalf("head = %v", q.Head)
+	}
+	for _, h := range q.Head {
+		if !want[h] {
+			t.Fatalf("unexpected head var %q", h)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                  // empty
+		`SELECT ?x`,                         // no WHERE
+		`SELECT ?x WHERE { ?x knows `,       // unterminated
+		`SELECT ?x WHERE { }`,               // empty body
+		`SELECT ?q WHERE { ?x knows ?y . }`, // head not in body
+		`SELECT ?x WHERE { CONNECT ?x ?y AS ?x . }`,                                     // tree var reused
+		`SELECT ?x WHERE { CONNECT ?x ?x AS ?w . }`,                                     // repeated member var
+		`SELECT ?x WHERE { CONNECT ?x ?y . }`,                                           // no AS
+		`SELECT ?w WHERE { CONNECT ?a ?b AS ?w TOP 3 . }`,                               // TOP without SCORE
+		`SELECT ?w WHERE { CONNECT ?a ?b AS ?w LABEL . }`,                               // empty LABEL
+		`SELECT ?w WHERE { CONNECT ?a ?b AS ?w MAX x . }`,                               // bad int
+		`SELECT ?w WHERE { CONNECT ?a ?b AS ?w TIMEOUT bogus. }`,                        // bad duration
+		`SELECT ?x WHERE { FILTER type(x) = y . ?x a ?b . }`,                            // filter needs ?var
+		`SELECT ?x WHERE { ?x "unterminated }`,                                          // bad string
+		`SELECT ?x WHERE { ?x knows ?y . CONNECT ?x ?y AS ?w . CONNECT ?x ?y AS ?w . }`, // dup tree var
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseQuotedAndComments(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE {
+		# looking for the party
+		?x affiliation "National Liberal Party" .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := q.BGPs[0].Patterns[0].Dst
+	if l, ok := dst.uniqueLabelValue(); !ok || l != "National Liberal Party" {
+		t.Fatalf("dst = %+v", dst)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		`SELECT ?x ?w WHERE { ?x citizenOf USA . CONNECT ?x France AS ?w MAX 5 . }`,
+		`SELECT ?w WHERE { CONNECT ?a ?b ?c AS ?w UNI LABEL x y SCORE size TOP 2 TIMEOUT 1s . }`,
+		`SELECT ?x ?y WHERE { ?x knows ?y . ?y worksFor ?o . FILTER label(?o) ~ "Org*" . }`,
+	}
+	for _, in := range inputs {
+		q1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-Parse of %q (rendered %q): %v", in, text, err)
+		}
+		if q2.String() != text {
+			t.Fatalf("round trip unstable:\nfirst:  %s\nsecond: %s", text, q2.String())
+		}
+	}
+}
+
+func TestValidateDirectConstruction(t *testing.T) {
+	q := &Query{
+		Head: []string{"w"},
+		CTPs: []CTP{{Members: []Predicate{Var("a"), Var("b")}, TreeVar: "w"}},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Query{Head: []string{"w"}, CTPs: []CTP{{TreeVar: "w"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("CTP without members should not validate")
+	}
+	disconnected := &Query{
+		BGPs: []BGP{{Patterns: []EdgePattern{
+			{Src: Var("a"), Edge: Predicate{}, Dst: Var("b")},
+			{Src: Var("c"), Edge: Predicate{}, Dst: Var("d")},
+		}}},
+	}
+	if err := disconnected.Validate(); err == nil {
+		t.Fatal("disconnected BGP should not validate")
+	}
+}
+
+func TestMatchNodePredicates(t *testing.T) {
+	g := gen.Sample()
+	alice, _ := g.NodeByLabel("Alice")
+	usa, _ := g.NodeByLabel("USA")
+
+	lice := Predicate{}.With("label", OpLike, "*lice").With("type", OpEq, "entrepreneur")
+	if !lice.MatchNode(g, alice) {
+		t.Fatal("Alice should match *lice entrepreneur")
+	}
+	if lice.MatchNode(g, usa) {
+		t.Fatal("USA should not match")
+	}
+	if !(Predicate{}).MatchNode(g, usa) {
+		t.Fatal("empty predicate matches everything")
+	}
+	typePattern := Predicate{}.With("type", OpLike, "politic*")
+	elon, _ := g.NodeByLabel("Elon")
+	if !typePattern.MatchNode(g, elon) {
+		t.Fatal("type glob should match politician")
+	}
+}
+
+func TestMatchEdgePredicates(t *testing.T) {
+	g := gen.Sample()
+	p := Label("citizenOf")
+	count := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		if p.MatchEdge(g, graph.EdgeID(i)) {
+			count++
+		}
+	}
+	if count != 5 {
+		t.Fatalf("citizenOf edges = %d, want 5", count)
+	}
+	// type conditions never hold on edges.
+	tp := Predicate{}.With("type", OpEq, "anything")
+	if tp.MatchEdge(g, 0) {
+		t.Fatal("type predicate on edge must be false")
+	}
+}
+
+func TestSelectNodes(t *testing.T) {
+	g := gen.Sample()
+	ent := Predicate{}.With("type", OpEq, "entrepreneur")
+	if got := len(ent.SelectNodes(g)); got != 4 {
+		t.Fatalf("entrepreneurs = %d, want 4", got)
+	}
+	lbl := Label("Alice")
+	if got := len(lbl.SelectNodes(g)); got != 1 {
+		t.Fatalf("Alice nodes = %d, want 1", got)
+	}
+	none := Label("Nobody")
+	if got := len(none.SelectNodes(g)); got != 0 {
+		t.Fatalf("Nobody nodes = %d, want 0", got)
+	}
+	empty := Predicate{}
+	if got := len(empty.SelectNodes(g)); got != g.NumNodes() {
+		t.Fatalf("empty predicate selects %d, want all %d", got, g.NumNodes())
+	}
+	glob := Predicate{}.With("label", OpLike, "Org*")
+	if got := len(glob.SelectNodes(g)); got != 3 {
+		t.Fatalf("Org* nodes = %d, want 3", got)
+	}
+}
+
+func TestSelectEdges(t *testing.T) {
+	g := gen.Sample()
+	if got := len(Label("founded").SelectEdges(g)); got != 3 {
+		t.Fatalf("founded edges = %d, want 3", got)
+	}
+	if got := len(Label("nolabel").SelectEdges(g)); got != 0 {
+		t.Fatalf("nolabel edges = %d", got)
+	}
+	if got := len((Predicate{}).SelectEdges(g)); got != g.NumEdges() {
+		t.Fatalf("empty predicate selects %d edges", got)
+	}
+	glob := Predicate{}.With("label", OpLike, "*Of")
+	if got := len(glob.SelectEdges(g)); got != 7 {
+		t.Fatalf("*Of edges = %d, want 7 (citizenOf x5 + parentOf x2)", got)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	g := gen.Sample()
+	empty := Predicate{}
+	if empty.Selectivity(g, true) != g.NumNodes() {
+		t.Fatal("empty node predicate selectivity should be NumNodes")
+	}
+	alice := Label("Alice")
+	if s := alice.Selectivity(g, true); s != 1 {
+		t.Fatalf("Alice selectivity = %d", s)
+	}
+	missing := Label("Nobody")
+	if s := missing.Selectivity(g, true); s != 0 {
+		t.Fatalf("missing label selectivity = %d", s)
+	}
+	founded := Label("founded")
+	if s := founded.Selectivity(g, false); s != 3 {
+		t.Fatalf("founded selectivity = %d", s)
+	}
+}
+
+func TestGlob(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*lice", "Alice", true},
+		{"*lice", "Alic", false},
+		{"A*", "Alice", true},
+		{"A*e", "Alice", true},
+		{"A*e", "Aliced", false},
+		{"*", "", true},
+		{"", "", true},
+		{"", "x", false},
+		{"?lice", "Alice", true},
+		{"?lice", "lice", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "ac", false},
+		{"**x", "zzzx", true},
+	}
+	for _, c := range cases {
+		if Glob(c.pat, c.s) != c.want {
+			t.Errorf("Glob(%q,%q) = %v, want %v", c.pat, c.s, !c.want, c.want)
+		}
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	if !compare("9", OpLt, "10") {
+		t.Fatal("numeric 9 < 10")
+	}
+	if compare("9", OpLt, "08") {
+		t.Fatal("numeric 9 < 8 is false")
+	}
+	if !compare("abc", OpLt, "abd") {
+		t.Fatal("lexicographic fallback")
+	}
+	if !compare("10", OpLe, "10") {
+		t.Fatal("10 <= 10")
+	}
+}
+
+func TestPredicateBuilders(t *testing.T) {
+	p := VarType("x", "person")
+	if p.Var != "x" || p.Conds[0].Prop != "type" {
+		t.Fatalf("VarType = %+v", p)
+	}
+	p2 := VarLabel("y", "Bob")
+	if p2.Var != "y" || p2.Conds[0].Value != "Bob" {
+		t.Fatalf("VarLabel = %+v", p2)
+	}
+	if !Var("z").IsEmpty() {
+		t.Fatal("Var should be empty predicate")
+	}
+	// With must not alias the original conditions slice.
+	base := Label("a")
+	c1 := base.With("type", OpEq, "t1")
+	c2 := base.With("type", OpEq, "t2")
+	if c1.Conds[1].Value == c2.Conds[1].Value {
+		t.Fatal("With aliased storage")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpEq: "=", OpLt: "<", OpLe: "<=", OpLike: "~", Op(99): "?"} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestFiltersIsZero(t *testing.T) {
+	if !(Filters{}).IsZero() {
+		t.Fatal("zero filters should be zero")
+	}
+	if (Filters{Uni: true}).IsZero() || (Filters{Limit: 1}).IsZero() {
+		t.Fatal("non-zero filters misreported")
+	}
+}
+
+func TestStringContainsClauses(t *testing.T) {
+	q, err := Parse(`SELECT ?x ?w WHERE { ?x citizenOf USA . CONNECT ?x Alice AS ?w UNI . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT ?x ?w", "?x", "citizenOf", "CONNECT", "AS ?w", "UNI"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered query missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package eql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parse reads the textual form of an EQL query:
+//
+//	SELECT ?x ?y ?w
+//	WHERE {
+//	  ?x citizenOf USA .
+//	  ?y citizenOf France .
+//	  FILTER type(?x) = "entrepreneur" .
+//	  FILTER label(?y) ~ "*lice" .
+//	  CONNECT ?x ?y ?z AS ?w MAX 8 LABEL founded investsIn SCORE size TOP 3 .
+//	}
+//
+// Statements are separated by '.', as in SPARQL. A bare constant in an
+// edge pattern or CONNECT member is the paper's shorthand for a
+// label-equality predicate over an anonymous variable. FILTER attaches an
+// extra condition prop(?v) op value to every occurrence of ?v. CONNECT
+// introduces a CTP whose tree variable follows AS; any CTP filters (UNI,
+// LABEL l1 l2 ..., MAX n, SCORE name [TOP k], LIMIT n, TIMEOUT d) trail it.
+// SELECT * projects every variable. Edge patterns sharing variables are
+// grouped into maximal connected BGPs (Definition 2.4).
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type tokKind int
+
+const (
+	tkEOF    tokKind = iota
+	tkVar            // ?name
+	tkWord           // bare identifier or number
+	tkString         // "quoted"
+	tkPunct          // { } . ( ) = < <= ~
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '?':
+			j := i + 1
+			for j < len(s) && isIdentByte(s[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("eql: empty variable name at offset %d", i)
+			}
+			toks = append(toks, token{tkVar, s[i+1 : j], i})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("eql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tkString, sb.String(), i})
+			i = j + 1
+		case c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tkPunct, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tkPunct, "<", i})
+				i++
+			}
+		case strings.ContainsRune("{}.()=~,", rune(c)):
+			toks = append(toks, token{tkPunct, string(c), i})
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < len(s) && isIdentByte(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tkWord, s[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("eql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(s)})
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '-' || c == ':' || c == '*' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) isKw(t token, kw string) bool {
+	return t.kind == tkWord && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKw(kw string) error {
+	t := p.next()
+	if !p.isKw(t, kw) {
+		return fmt.Errorf("eql: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tkPunct || t.text != s {
+		return fmt.Errorf("eql: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+var ctpFilterKeywords = map[string]bool{
+	"uni": true, "label": true, "max": true, "score": true,
+	"top": true, "limit": true, "timeout": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	var head []string
+	star := false
+	for {
+		t := p.peek()
+		if t.kind == tkVar {
+			head = append(head, t.text)
+			p.next()
+			continue
+		}
+		if t.kind == tkPunct && t.text == "*" || p.isKw(t, "*") {
+			star = true
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+
+	var patterns []EdgePattern
+	var ctps []CTP
+	conds := map[string][]Condition{} // FILTER conditions by variable
+
+	for {
+		t := p.peek()
+		if t.kind == tkPunct && t.text == "}" {
+			p.next()
+			break
+		}
+		if t.kind == tkEOF {
+			return nil, fmt.Errorf("eql: unterminated WHERE block")
+		}
+		switch {
+		case p.isKw(t, "CONNECT"):
+			p.next()
+			c, err := p.parseCTP()
+			if err != nil {
+				return nil, err
+			}
+			ctps = append(ctps, c)
+		case p.isKw(t, "FILTER"):
+			p.next()
+			v, cond, err := p.parseFilterCond()
+			if err != nil {
+				return nil, err
+			}
+			conds[v] = append(conds[v], cond)
+		default:
+			ep, err := p.parseEdgePattern()
+			if err != nil {
+				return nil, err
+			}
+			patterns = append(patterns, ep)
+		}
+		// Optional '.' separator.
+		if t := p.peek(); t.kind == tkPunct && t.text == "." {
+			p.next()
+		}
+	}
+	// Optional solution modifier: LIMIT n after the WHERE block.
+	limit := 0
+	if t := p.peek(); p.isKw(t, "LIMIT") {
+		p.next()
+		n, err := p.parseInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		limit = n
+	}
+	if t := p.next(); t.kind != tkEOF {
+		return nil, fmt.Errorf("eql: trailing input at offset %d: %q", t.pos, t.text)
+	}
+
+	// Attach FILTER conditions to every occurrence of each variable.
+	apply := func(pr *Predicate) {
+		if pr.Var == "" {
+			return
+		}
+		for _, c := range conds[pr.Var] {
+			pr.Conds = append(pr.Conds, c)
+		}
+	}
+	for i := range patterns {
+		apply(&patterns[i].Src)
+		apply(&patterns[i].Edge)
+		apply(&patterns[i].Dst)
+	}
+	for i := range ctps {
+		for j := range ctps[i].Members {
+			apply(&ctps[i].Members[j])
+		}
+	}
+
+	q := &Query{
+		Head:  head,
+		BGPs:  groupBGPs(patterns),
+		CTPs:  ctps,
+		Limit: limit,
+	}
+	if star {
+		q.Head = append(q.SimpleVars(), q.TreeVars()...)
+	}
+	return q, nil
+}
+
+// parseTerm reads a variable or a constant (word/string shorthand for a
+// label-equality predicate over an anonymous variable).
+func (p *parser) parseTerm() (Predicate, error) {
+	t := p.next()
+	switch t.kind {
+	case tkVar:
+		return Var(t.text), nil
+	case tkWord, tkString:
+		return Label(t.text), nil
+	}
+	return Predicate{}, fmt.Errorf("eql: expected term at offset %d, got %q", t.pos, t.text)
+}
+
+func (p *parser) parseEdgePattern() (EdgePattern, error) {
+	src, err := p.parseTerm()
+	if err != nil {
+		return EdgePattern{}, err
+	}
+	edge, err := p.parseTerm()
+	if err != nil {
+		return EdgePattern{}, err
+	}
+	dst, err := p.parseTerm()
+	if err != nil {
+		return EdgePattern{}, err
+	}
+	return EdgePattern{Src: src, Edge: edge, Dst: dst}, nil
+}
+
+func (p *parser) parseFilterCond() (string, Condition, error) {
+	prop := p.next()
+	if prop.kind != tkWord {
+		return "", Condition{}, fmt.Errorf("eql: expected property name at offset %d", prop.pos)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return "", Condition{}, err
+	}
+	v := p.next()
+	if v.kind != tkVar {
+		return "", Condition{}, fmt.Errorf("eql: FILTER needs a variable at offset %d", v.pos)
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return "", Condition{}, err
+	}
+	opTok := p.next()
+	var op Op
+	switch {
+	case opTok.kind == tkPunct && opTok.text == "=":
+		op = OpEq
+	case opTok.kind == tkPunct && opTok.text == "<":
+		op = OpLt
+	case opTok.kind == tkPunct && opTok.text == "<=":
+		op = OpLe
+	case opTok.kind == tkPunct && opTok.text == "~":
+		op = OpLike
+	default:
+		return "", Condition{}, fmt.Errorf("eql: expected comparison operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+	val := p.next()
+	if val.kind != tkWord && val.kind != tkString {
+		return "", Condition{}, fmt.Errorf("eql: expected value at offset %d", val.pos)
+	}
+	return v.text, Condition{Prop: prop.text, Op: op, Value: val.text}, nil
+}
+
+func (p *parser) parseCTP() (CTP, error) {
+	var c CTP
+	for {
+		t := p.peek()
+		if p.isKw(t, "AS") {
+			p.next()
+			break
+		}
+		if t.kind == tkEOF || (t.kind == tkPunct && (t.text == "." || t.text == "}")) {
+			return c, fmt.Errorf("eql: CONNECT without AS ?treeVar at offset %d", t.pos)
+		}
+		m, err := p.parseTerm()
+		if err != nil {
+			return c, err
+		}
+		c.Members = append(c.Members, m)
+	}
+	tv := p.next()
+	if tv.kind != tkVar {
+		return c, fmt.Errorf("eql: AS needs a tree variable at offset %d", tv.pos)
+	}
+	c.TreeVar = tv.text
+
+	// Trailing filters until '.' or '}'.
+	for {
+		t := p.peek()
+		if t.kind != tkWord || !ctpFilterKeywords[strings.ToLower(t.text)] {
+			break
+		}
+		p.next()
+		switch strings.ToLower(t.text) {
+		case "uni":
+			c.Filters.Uni = true
+		case "label":
+			for {
+				lt := p.peek()
+				stop := lt.kind == tkEOF ||
+					(lt.kind == tkPunct && (lt.text == "." || lt.text == "}")) ||
+					(lt.kind == tkWord && ctpFilterKeywords[strings.ToLower(lt.text)])
+				if stop {
+					break
+				}
+				if lt.kind != tkWord && lt.kind != tkString {
+					return c, fmt.Errorf("eql: bad LABEL entry at offset %d", lt.pos)
+				}
+				c.Filters.Labels = append(c.Filters.Labels, lt.text)
+				p.next()
+			}
+			if len(c.Filters.Labels) == 0 {
+				return c, fmt.Errorf("eql: LABEL filter needs at least one label")
+			}
+		case "max":
+			n, err := p.parseInt("MAX")
+			if err != nil {
+				return c, err
+			}
+			c.Filters.MaxEdges = n
+		case "limit":
+			n, err := p.parseInt("LIMIT")
+			if err != nil {
+				return c, err
+			}
+			c.Filters.Limit = n
+		case "top":
+			n, err := p.parseInt("TOP")
+			if err != nil {
+				return c, err
+			}
+			c.Filters.TopK = n
+		case "score":
+			st := p.next()
+			if st.kind != tkWord {
+				return c, fmt.Errorf("eql: SCORE needs a function name at offset %d", st.pos)
+			}
+			c.Filters.Score = st.text
+		case "timeout":
+			dt := p.next()
+			if dt.kind != tkWord {
+				return c, fmt.Errorf("eql: TIMEOUT needs a duration at offset %d", dt.pos)
+			}
+			d, err := time.ParseDuration(dt.text)
+			if err != nil {
+				// Bare integers are milliseconds.
+				ms, err2 := strconv.Atoi(dt.text)
+				if err2 != nil {
+					return c, fmt.Errorf("eql: bad TIMEOUT %q: %v", dt.text, err)
+				}
+				d = time.Duration(ms) * time.Millisecond
+			}
+			c.Filters.Timeout = d
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) parseInt(what string) (int, error) {
+	t := p.next()
+	if t.kind != tkWord {
+		return 0, fmt.Errorf("eql: %s needs an integer at offset %d", what, t.pos)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("eql: %s needs a non-negative integer, got %q", what, t.text)
+	}
+	return n, nil
+}
+
+// groupBGPs partitions edge patterns into maximal variable-connected
+// groups; each group is one BGP of the query body (Definition 2.4 requires
+// every pattern of a BGP to share a variable with another). Patterns
+// without variables form singleton BGPs.
+func groupBGPs(patterns []EdgePattern) []BGP {
+	if len(patterns) == 0 {
+		return nil
+	}
+	// Union-find over pattern indices, connected through variables.
+	parent := make([]int, len(patterns))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byVar := map[string]int{}
+	for i, ep := range patterns {
+		for _, pr := range [3]Predicate{ep.Src, ep.Edge, ep.Dst} {
+			if pr.Var == "" {
+				continue
+			}
+			if j, ok := byVar[pr.Var]; ok {
+				union(i, j)
+			} else {
+				byVar[pr.Var] = i
+			}
+		}
+	}
+	groups := map[int][]EdgePattern{}
+	var order []int
+	for i, ep := range patterns {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], ep)
+	}
+	out := make([]BGP, 0, len(order))
+	for _, r := range order {
+		out = append(out, BGP{Patterns: groups[r]})
+	}
+	return out
+}

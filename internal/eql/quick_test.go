@@ -1,0 +1,102 @@
+package eql
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Glob agrees with a regexp-based reference on random patterns
+// and subjects drawn from a small alphabet (where collisions are likely).
+func TestQuickGlobAgainstRegexp(t *testing.T) {
+	alphabet := []byte("ab*?")
+	subjects := []byte("ab")
+	f := func(patIdx, subIdx []uint8) bool {
+		var pat, sub strings.Builder
+		for _, i := range patIdx {
+			pat.WriteByte(alphabet[int(i)%len(alphabet)])
+		}
+		for _, i := range subIdx {
+			sub.WriteByte(subjects[int(i)%len(subjects)])
+		}
+		p, s := pat.String(), sub.String()
+		if len(p) > 8 || len(s) > 10 {
+			return true // keep the regexp reference fast
+		}
+		// Translate the glob to an anchored regexp.
+		var re strings.Builder
+		re.WriteString("^")
+		for i := 0; i < len(p); i++ {
+			switch p[i] {
+			case '*':
+				re.WriteString(".*")
+			case '?':
+				re.WriteString(".")
+			default:
+				re.WriteString(regexp.QuoteMeta(string(p[i])))
+			}
+		}
+		re.WriteString("$")
+		want := regexp.MustCompile(re.String()).MatchString(s)
+		return Glob(p, s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse-print round trips are stable for randomly assembled
+// valid queries.
+func TestQuickParsePrintStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	labels := []string{"knows", "worksFor", "citizenOf", "founded"}
+	consts := []string{"Alice", "Bob", "OrgA", "USA"}
+	for trial := 0; trial < 150; trial++ {
+		var sb strings.Builder
+		sb.WriteString("SELECT ?v0 WHERE { ")
+		nPatterns := 1 + rng.Intn(3)
+		for i := 0; i < nPatterns; i++ {
+			sb.WriteString("?v")
+			sb.WriteString(string(rune('0' + i)))
+			sb.WriteByte(' ')
+			sb.WriteString(labels[rng.Intn(len(labels))])
+			sb.WriteByte(' ')
+			if rng.Intn(2) == 0 {
+				sb.WriteString(consts[rng.Intn(len(consts))])
+			} else {
+				sb.WriteString("?v")
+				sb.WriteString(string(rune('0' + i + 1)))
+			}
+			sb.WriteString(" . ")
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteString("CONNECT ?v0 ")
+			sb.WriteString(consts[rng.Intn(len(consts))])
+			sb.WriteString(" AS ?w")
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" MAX ")
+				sb.WriteString(string(rune('1' + rng.Intn(8))))
+			}
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" UNI")
+			}
+			sb.WriteString(" . ")
+		}
+		sb.WriteString("}")
+
+		q1, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\nquery: %s", trial, err, sb.String())
+		}
+		text := q1.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse: %v\nrendered: %s", trial, err, text)
+		}
+		if q2.String() != text {
+			t.Fatalf("trial %d: unstable round trip\nfirst:  %s\nsecond: %s", trial, text, q2.String())
+		}
+	}
+}

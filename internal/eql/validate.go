@@ -1,0 +1,239 @@
+package eql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks the well-formedness rules of Definitions 2.4–2.6 and of
+// the CTP filters:
+//
+//   - the body is non-empty (k + l > 0);
+//   - every CTP has at least one member and a tree variable;
+//   - CTP member variables are pairwise distinct within their CTP
+//     (Definition 2.5) and named (the anonymous-constant shorthand is
+//     resolved to fresh variables by the engine, but the AST accepts it);
+//   - every tree variable occurs exactly once in the query body
+//     (Definition 2.6);
+//   - head variables occur in the body;
+//   - each BGP is variable-connected (Definition 2.4);
+//   - TOP requires SCORE.
+func (q *Query) Validate() error {
+	if len(q.BGPs) == 0 && len(q.CTPs) == 0 {
+		return fmt.Errorf("eql: query body is empty")
+	}
+
+	treeVars := map[string]bool{}
+	for _, c := range q.CTPs {
+		if len(c.Members) == 0 {
+			return fmt.Errorf("eql: CTP with no members")
+		}
+		if c.TreeVar == "" {
+			return fmt.Errorf("eql: CTP without tree variable")
+		}
+		if treeVars[c.TreeVar] {
+			return fmt.Errorf("eql: tree variable ?%s used by two CTPs", c.TreeVar)
+		}
+		treeVars[c.TreeVar] = true
+		seen := map[string]bool{}
+		for _, m := range c.Members {
+			if m.Var == "" {
+				continue
+			}
+			if seen[m.Var] {
+				return fmt.Errorf("eql: CTP members must use pairwise distinct variables; ?%s repeats", m.Var)
+			}
+			seen[m.Var] = true
+		}
+		if c.Filters.TopK > 0 && c.Filters.Score == "" {
+			return fmt.Errorf("eql: TOP %d requires SCORE", c.Filters.TopK)
+		}
+	}
+
+	// Tree variables must not appear anywhere else.
+	simple := map[string]bool{}
+	for _, v := range q.SimpleVars() {
+		simple[v] = true
+	}
+	for tv := range treeVars {
+		if simple[tv] {
+			return fmt.Errorf("eql: tree variable ?%s also used as a simple variable", tv)
+		}
+	}
+
+	for _, h := range q.Head {
+		if !simple[h] && !treeVars[h] {
+			return fmt.Errorf("eql: head variable ?%s does not occur in the body", h)
+		}
+	}
+
+	for i, b := range q.BGPs {
+		if err := checkConnected(b); err != nil {
+			return fmt.Errorf("eql: BGP %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkConnected verifies Definition 2.4: with at least two edge patterns,
+// every pattern must share a variable with another, transitively forming
+// one component.
+func checkConnected(b BGP) error {
+	if len(b.Patterns) < 2 {
+		return nil
+	}
+	adj := make([][]int, len(b.Patterns))
+	byVar := map[string][]int{}
+	for i, ep := range b.Patterns {
+		for _, p := range [3]Predicate{ep.Src, ep.Edge, ep.Dst} {
+			if p.Var != "" {
+				byVar[p.Var] = append(byVar[p.Var], i)
+			}
+		}
+	}
+	for _, idxs := range byVar {
+		for i := 1; i < len(idxs); i++ {
+			adj[idxs[0]] = append(adj[idxs[0]], idxs[i])
+			adj[idxs[i]] = append(adj[idxs[i]], idxs[0])
+		}
+	}
+	seen := make([]bool, len(b.Patterns))
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, y := range adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	if count != len(b.Patterns) {
+		return fmt.Errorf("edge patterns are not connected through shared variables")
+	}
+	return nil
+}
+
+// String renders the query in the surface syntax accepted by Parse, so
+// that Parse(q.String()) round-trips.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT")
+	for _, h := range q.Head {
+		sb.WriteString(" ?")
+		sb.WriteString(h)
+	}
+	sb.WriteString("\nWHERE {\n")
+	for _, b := range q.BGPs {
+		for _, ep := range b.Patterns {
+			sb.WriteString("  ")
+			writeTerm(&sb, ep.Src)
+			sb.WriteByte(' ')
+			writeTerm(&sb, ep.Edge)
+			sb.WriteByte(' ')
+			writeTerm(&sb, ep.Dst)
+			sb.WriteString(" .\n")
+		}
+	}
+	// Extra (non-label-shorthand) conditions become FILTER lines.
+	emitted := map[string]bool{}
+	emitConds := func(p Predicate) {
+		if p.Var == "" || emitted[p.Var] {
+			return
+		}
+		emitted[p.Var] = true
+		for _, c := range p.Conds {
+			fmt.Fprintf(&sb, "  FILTER %s(?%s) %s %s .\n", c.Prop, p.Var, c.Op, quoted(c.Value))
+		}
+	}
+	for _, b := range q.BGPs {
+		for _, ep := range b.Patterns {
+			emitConds(ep.Src)
+			emitConds(ep.Edge)
+			emitConds(ep.Dst)
+		}
+	}
+	for _, c := range q.CTPs {
+		for _, m := range c.Members {
+			emitConds(m)
+		}
+	}
+	for _, c := range q.CTPs {
+		sb.WriteString("  CONNECT")
+		for _, m := range c.Members {
+			sb.WriteByte(' ')
+			writeTerm(&sb, m)
+		}
+		fmt.Fprintf(&sb, " AS ?%s", c.TreeVar)
+		writeFilters(&sb, c.Filters)
+		sb.WriteString(" .\n")
+	}
+	sb.WriteString("}")
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// writeTerm renders a variable or, for anonymous label-equality
+// predicates, the constant shorthand. Variables with conditions are
+// rendered as the bare variable (conditions appear in FILTER lines).
+func writeTerm(sb *strings.Builder, p Predicate) {
+	if p.Var != "" {
+		sb.WriteString("?")
+		sb.WriteString(p.Var)
+		return
+	}
+	if l, ok := p.uniqueLabelValue(); ok {
+		sb.WriteString(quoted(l))
+		return
+	}
+	// Anonymous empty predicate: render as a throwaway variable.
+	sb.WriteString("?_")
+}
+
+func writeFilters(sb *strings.Builder, f Filters) {
+	if f.Uni {
+		sb.WriteString(" UNI")
+	}
+	if len(f.Labels) > 0 {
+		sb.WriteString(" LABEL")
+		for _, l := range f.Labels {
+			sb.WriteByte(' ')
+			sb.WriteString(quoted(l))
+		}
+	}
+	if f.MaxEdges > 0 {
+		fmt.Fprintf(sb, " MAX %d", f.MaxEdges)
+	}
+	if f.Score != "" {
+		fmt.Fprintf(sb, " SCORE %s", f.Score)
+		if f.TopK > 0 {
+			fmt.Fprintf(sb, " TOP %d", f.TopK)
+		}
+	}
+	if f.Limit > 0 {
+		fmt.Fprintf(sb, " LIMIT %d", f.Limit)
+	}
+	if f.Timeout > 0 {
+		fmt.Fprintf(sb, " TIMEOUT %s", f.Timeout)
+	}
+}
+
+func quoted(s string) string {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			plain = false
+			break
+		}
+	}
+	if plain {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+
+	"ctpquery/internal/graph"
+)
+
+// CDF holds a generated Connected Dense Forest benchmark graph (Section
+// 5.3, Figure 9) along with the node groups the EQL benchmark queries bind.
+type CDF struct {
+	Graph *graph.Graph
+	// TopLeaves are the "c"-edge targets of the top forest that carry
+	// links (the eligible 50%).
+	TopLeaves []graph.NodeID
+	// BottomG are the link-carrying bottom leaves reached by "g" edges;
+	// BottomH the sibling leaves reached by "h" edges (m=3 only).
+	BottomG []graph.NodeID
+	BottomH []graph.NodeID
+	// Links records, per link, the top leaf and bottom leaf (m=2) or the
+	// top leaf and the two sibling bottom leaves (m=3) it connects.
+	Links [][]graph.NodeID
+	M     int
+	NT    int
+	NL    int
+	SL    int
+}
+
+// Name describes the instance.
+func (c *CDF) Name() string {
+	return fmt.Sprintf("CDF(m=%d,NT=%d,NL=%d,SL=%d)", c.M, c.NT, c.NL, c.SL)
+}
+
+// NewCDF generates a CDF graph with NT complete binary trees of depth 3 in
+// each of the top and bottom forests and NL links of SL edges each.
+//
+// Top trees use edge labels a,b (root level) and c,d (leaf level); bottom
+// trees use e,f and g,h, exactly as in Figure 9. Only top leaves that are
+// targets of "c" edges can carry links, and links are concentrated on 50%
+// of them. For m=2 a link is a chain of SL edges to an eligible "g" bottom
+// leaf; for m=3 a link is a Y: a stem of SL-2 edges from the top leaf to a
+// fork, plus one edge to each of a sibling ("g","h") pair of bottom leaves,
+// so every link answers the benchmark BGP (v,"g",bl1),(v,"h",bl2).
+//
+// Links are distributed round-robin (exactly uniform) over the eligible
+// leaves. m must be 2 or 3; SL >= 3 when m=3.
+func NewCDF(m, nt, nl, sl int) *CDF {
+	if m != 2 && m != 3 {
+		panic("gen: CDF supports m in {2,3}")
+	}
+	if m == 3 && sl < 3 {
+		panic("gen: CDF with m=3 needs SL >= 3")
+	}
+	if nt < 1 || nl < 0 || sl < 1 {
+		panic("gen: CDF needs NT >= 1, NL >= 0, SL >= 1")
+	}
+	b := graph.NewBuilder()
+
+	// buildTree adds a depth-3 complete binary tree (7 nodes, 6 edges) and
+	// returns the targets of the four leaf edges, in label order
+	// [c-leaf, d-leaf, c-leaf, d-leaf] for the top forest (g,h for bottom).
+	buildTree := func(prefix string, i int, rootLvl [2]string, leafLvl [2]string) [4]graph.NodeID {
+		root := b.AddNode(fmt.Sprintf("%s%d", prefix, i))
+		c1 := b.AddNodes(1)
+		c2 := b.AddNodes(1)
+		b.AddEdge(root, rootLvl[0], c1)
+		b.AddEdge(root, rootLvl[1], c2)
+		var leaves [4]graph.NodeID
+		for j, parent := range [2]graph.NodeID{c1, c2} {
+			l1 := b.AddNodes(1)
+			l2 := b.AddNodes(1)
+			b.AddEdge(parent, leafLvl[0], l1)
+			b.AddEdge(parent, leafLvl[1], l2)
+			leaves[2*j] = l1
+			leaves[2*j+1] = l2
+		}
+		return leaves
+	}
+
+	var cTop, gBottom, hBottom []graph.NodeID
+	for i := 0; i < nt; i++ {
+		lv := buildTree("T", i, [2]string{"a", "b"}, [2]string{"c", "d"})
+		// c-targets are positions 0 and 2.
+		cTop = append(cTop, lv[0], lv[2])
+	}
+	for i := 0; i < nt; i++ {
+		lv := buildTree("B", i, [2]string{"e", "f"}, [2]string{"g", "h"})
+		gBottom = append(gBottom, lv[0], lv[2])
+		hBottom = append(hBottom, lv[1], lv[3])
+	}
+
+	// Eligibility: 50% of the c-top leaves; for m=2, 50% of the g-bottom
+	// leaves; for m=3, 50% of all bottom leaves = one (g,h) sibling pair
+	// per tree.
+	eligTop := cTop[:len(cTop)/2]
+	var eligG, eligH []graph.NodeID
+	if m == 2 {
+		eligG = gBottom[:len(gBottom)/2]
+	} else {
+		// One sibling pair per tree: take the first (g,h) pair of each.
+		for i := 0; i < nt; i++ {
+			eligG = append(eligG, gBottom[2*i])
+			eligH = append(eligH, hBottom[2*i])
+		}
+	}
+
+	cdf := &CDF{M: m, NT: nt, NL: nl, SL: sl,
+		TopLeaves: eligTop, BottomG: eligG, BottomH: eligH}
+
+	counter := 0
+	freshNode := func() graph.NodeID {
+		counter++
+		return b.AddNode(fmt.Sprintf("L%d", counter))
+	}
+	for i := 0; i < nl; i++ {
+		top := eligTop[i%len(eligTop)]
+		bi := i % len(eligG)
+		if m == 2 {
+			// Chain of sl edges: top -> i1 -> ... -> i(sl-1) -> bottom.
+			cur := top
+			for k := 0; k < sl-1; k++ {
+				next := freshNode()
+				b.AddEdge(cur, "link", next)
+				cur = next
+			}
+			b.AddEdge(cur, "link", eligG[bi])
+			cdf.Links = append(cdf.Links, []graph.NodeID{top, eligG[bi]})
+		} else {
+			// Y: stem of sl-2 edges to the fork, then fork->g and fork->h.
+			cur := top
+			for k := 0; k < sl-2; k++ {
+				next := freshNode()
+				b.AddEdge(cur, "link", next)
+				cur = next
+			}
+			b.AddEdge(cur, "link", eligG[bi])
+			b.AddEdge(cur, "link", eligH[bi])
+			cdf.Links = append(cdf.Links, []graph.NodeID{top, eligG[bi], eligH[bi]})
+		}
+	}
+	cdf.Graph = b.Build()
+	return cdf
+}

@@ -1,0 +1,202 @@
+// Package gen builds the workloads of the paper's experimental evaluation
+// (Section 5.3): the parameterized synthetic graphs Line, Comb, Star (Figure
+// 8), the chain graph with exponentially many connections (Figure 2), the
+// Connected Dense Forest (CDF) benchmark (Figure 9), the running-example
+// graph of Figure 1, plus synthetic stand-ins for the YAGO3 and DBPedia
+// subsets used in Sections 5.4.3 and 5.5.2 (see DESIGN.md §3 for the
+// substitution rationale).
+package gen
+
+import (
+	"fmt"
+
+	"ctpquery/internal/graph"
+)
+
+// Workload bundles a generated graph with the seed sets of the CTP the
+// paper runs on it. Every synthetic workload of Figure 8 uses singleton
+// seed sets labeled A, B, C, ...
+type Workload struct {
+	Graph *graph.Graph
+	Seeds [][]graph.NodeID
+	Name  string
+}
+
+// M returns the number of seed sets.
+func (w *Workload) M() int { return len(w.Seeds) }
+
+// seedLabel returns spreadsheet-style seed names A..Z, AA.. for i >= 0.
+func seedLabel(i int) string {
+	s := ""
+	for {
+		s = string(rune('A'+i%26)) + s
+		i = i/26 - 1
+		if i < 0 {
+			return s
+		}
+	}
+}
+
+// Direction controls how generated edges are oriented. The paper's CTP
+// semantics is direction-agnostic (requirement R3), but UNI experiments and
+// the directed baselines care.
+type Direction int
+
+const (
+	// Forward orients every edge from the seed side toward the next node.
+	Forward Direction = iota
+	// Alternate flips the orientation of every second edge, exercising
+	// bidirectional traversal.
+	Alternate
+)
+
+// edgeAdder appends path edges honoring a Direction; i is a running edge
+// counter used by Alternate.
+type edgeAdder struct {
+	b   *graph.Builder
+	dir Direction
+	i   int
+}
+
+func (a *edgeAdder) add(from, to graph.NodeID, label string) graph.EdgeID {
+	a.i++
+	if a.dir == Alternate && a.i%2 == 0 {
+		return a.b.AddEdge(to, label, from)
+	}
+	return a.b.AddEdge(from, label, to)
+}
+
+// path adds a path of length edges from node `from` to a fresh endpoint,
+// returning the endpoint. Intermediate nodes get numeric labels from the
+// counter.
+func (a *edgeAdder) path(from graph.NodeID, length int, counter *int, endLabel string) graph.NodeID {
+	cur := from
+	for i := 0; i < length; i++ {
+		var next graph.NodeID
+		if i == length-1 && endLabel != "" {
+			next = a.b.AddNode(endLabel)
+		} else {
+			*counter++
+			next = a.b.AddNode(fmt.Sprintf("%d", *counter))
+		}
+		a.add(cur, next, "t")
+		cur = next
+	}
+	return cur
+}
+
+// Line builds Line(m, nL): m singleton seeds, consecutive seeds connected
+// through nL intermediary nodes (sL = nL+1 edges between seeds). The CTP
+// defined by the m seeds has exactly one result: the whole line.
+func Line(m, nL int, dir Direction) *Workload {
+	if m < 2 {
+		panic("gen: Line needs m >= 2")
+	}
+	b := graph.NewBuilder()
+	a := &edgeAdder{b: b, dir: dir}
+	counter := 0
+	seeds := make([][]graph.NodeID, 0, m)
+	prev := b.AddNode(seedLabel(0))
+	seeds = append(seeds, []graph.NodeID{prev})
+	for i := 1; i < m; i++ {
+		s := a.path(prev, nL+1, &counter, seedLabel(i))
+		seeds = append(seeds, []graph.NodeID{s})
+		prev = s
+	}
+	return &Workload{
+		Graph: b.Build(),
+		Seeds: seeds,
+		Name:  fmt.Sprintf("Line(m=%d,nL=%d)", m, nL),
+	}
+}
+
+// Star builds Star(m, sL): a central node connected to each of the m
+// singleton seeds by a line of sL edges. Its unique CTP result is a
+// (m, center) rooted merge (Definition 4.8).
+func Star(m, sL int, dir Direction) *Workload {
+	if m < 2 || sL < 1 {
+		panic("gen: Star needs m >= 2, sL >= 1")
+	}
+	b := graph.NewBuilder()
+	a := &edgeAdder{b: b, dir: dir}
+	counter := 0
+	center := b.AddNode("center")
+	seeds := make([][]graph.NodeID, 0, m)
+	for i := 0; i < m; i++ {
+		s := a.path(center, sL, &counter, seedLabel(i))
+		seeds = append(seeds, []graph.NodeID{s})
+	}
+	return &Workload{
+		Graph: b.Build(),
+		Seeds: seeds,
+		Name:  fmt.Sprintf("Star(m=%d,sL=%d)", m, sL),
+	}
+}
+
+// Comb builds Comb(nA, nS, sL, dBA): a main line carrying nA anchor seeds,
+// dBA intermediary nodes between consecutive anchors, and from each anchor
+// a lateral bristle of nS segments; each segment is a path of sL edges
+// ending in another seed. The total number of seeds is m = nA*(nS+1) and
+// the CTP over all of them has exactly one (2-piecewise-simple) result.
+func Comb(nA, nS, sL, dBA int, dir Direction) *Workload {
+	if nA < 1 || nS < 1 || sL < 1 || dBA < 0 {
+		panic("gen: Comb needs nA,nS,sL >= 1 and dBA >= 0")
+	}
+	b := graph.NewBuilder()
+	a := &edgeAdder{b: b, dir: dir}
+	counter := 0
+	seedNo := 0
+	var seeds [][]graph.NodeID
+	addSeed := func(n graph.NodeID) {
+		seeds = append(seeds, []graph.NodeID{n})
+		seedNo++
+	}
+
+	var prevAnchor graph.NodeID
+	for i := 0; i < nA; i++ {
+		anchor := b.AddNode(seedLabel(seedNo))
+		addSeed(anchor)
+		if i > 0 {
+			// dBA intermediates => dBA+1 edges between anchors.
+			mid := a.path(prevAnchor, dBA, &counter, "")
+			a.add(mid, anchor, "t")
+		}
+		// The bristle: nS chained segments, each ending in a seed.
+		cur := anchor
+		for s := 0; s < nS; s++ {
+			end := a.path(cur, sL, &counter, seedLabel(seedNo))
+			addSeed(end)
+			cur = end
+		}
+		prevAnchor = anchor
+	}
+	return &Workload{
+		Graph: b.Build(),
+		Seeds: seeds,
+		Name:  fmt.Sprintf("Comb(nA=%d,nS=%d,sL=%d,dBA=%d)", nA, nS, sL, dBA),
+	}
+}
+
+// Chain builds the Figure 2 chain: N+1 nodes in a row where every
+// consecutive pair is connected by two parallel edges (labeled "a" and
+// "b"). The CTP connecting the two end nodes has 2^N results — the
+// motivating example for partial CTP evaluation and CTP filters.
+func Chain(n int) *Workload {
+	if n < 1 {
+		panic("gen: Chain needs n >= 1")
+	}
+	b := graph.NewBuilder()
+	first := b.AddNode("1")
+	prev := first
+	for i := 1; i <= n; i++ {
+		next := b.AddNode(fmt.Sprintf("%d", i+1))
+		b.AddEdge(prev, "a", next)
+		b.AddEdge(prev, "b", next)
+		prev = next
+	}
+	return &Workload{
+		Graph: b.Build(),
+		Seeds: [][]graph.NodeID{{first}, {prev}},
+		Name:  fmt.Sprintf("Chain(N=%d)", n),
+	}
+}

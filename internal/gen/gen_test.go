@@ -1,0 +1,350 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctpquery/internal/graph"
+)
+
+func TestLineCounts(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 10} {
+		for _, nL := range []int{1, 4, 9} {
+			w := Line(m, nL, Forward)
+			wantEdges := (m - 1) * (nL + 1)
+			if w.Graph.NumEdges() != wantEdges {
+				t.Fatalf("%s: edges = %d, want %d", w.Name, w.Graph.NumEdges(), wantEdges)
+			}
+			wantNodes := m + (m-1)*nL
+			if w.Graph.NumNodes() != wantNodes {
+				t.Fatalf("%s: nodes = %d, want %d", w.Name, w.Graph.NumNodes(), wantNodes)
+			}
+			if w.M() != m {
+				t.Fatalf("%s: seeds = %d", w.Name, w.M())
+			}
+			if s := graph.ComputeStats(w.Graph); s.Components != 1 {
+				t.Fatalf("%s: %d components", w.Name, s.Components)
+			}
+		}
+	}
+}
+
+func TestLineSeedLabels(t *testing.T) {
+	w := Line(3, 1, Forward)
+	for i, want := range []string{"A", "B", "C"} {
+		if got := w.Graph.NodeLabel(w.Seeds[i][0]); got != want {
+			t.Fatalf("seed %d labeled %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestSeedLabelSpreadsheet(t *testing.T) {
+	cases := map[int]string{0: "A", 25: "Z", 26: "AA", 27: "AB", 51: "AZ", 52: "BA"}
+	for i, want := range cases {
+		if got := seedLabel(i); got != want {
+			t.Fatalf("seedLabel(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestStarCounts(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 10} {
+		for _, sL := range []int{1, 2, 5} {
+			w := Star(m, sL, Forward)
+			if w.Graph.NumEdges() != m*sL {
+				t.Fatalf("%s: edges = %d, want %d", w.Name, w.Graph.NumEdges(), m*sL)
+			}
+			if w.Graph.NumNodes() != 1+m*sL {
+				t.Fatalf("%s: nodes = %d, want %d", w.Name, w.Graph.NumNodes(), 1+m*sL)
+			}
+			center, ok := w.Graph.NodeByLabel("center")
+			if !ok || w.Graph.Degree(center) != m {
+				t.Fatalf("%s: center degree wrong", w.Name)
+			}
+		}
+	}
+}
+
+func TestCombCounts(t *testing.T) {
+	for _, tc := range []struct{ nA, nS, sL, dBA int }{
+		{2, 2, 2, 2}, {3, 1, 2, 3}, {4, 2, 3, 2}, {6, 2, 5, 2},
+	} {
+		w := Comb(tc.nA, tc.nS, tc.sL, tc.dBA, Forward)
+		wantSeeds := tc.nA * (tc.nS + 1)
+		if w.M() != wantSeeds {
+			t.Fatalf("%s: m = %d, want %d", w.Name, w.M(), wantSeeds)
+		}
+		wantEdges := (tc.nA-1)*(tc.dBA+1) + tc.nA*tc.nS*tc.sL
+		if w.Graph.NumEdges() != wantEdges {
+			t.Fatalf("%s: edges = %d, want %d", w.Name, w.Graph.NumEdges(), wantEdges)
+		}
+		if s := graph.ComputeStats(w.Graph); s.Components != 1 {
+			t.Fatalf("%s: %d components", w.Name, s.Components)
+		}
+		// Each seed must be distinct.
+		seen := map[graph.NodeID]bool{}
+		for _, ss := range w.Seeds {
+			if seen[ss[0]] {
+				t.Fatalf("%s: duplicate seed %d", w.Name, ss[0])
+			}
+			seen[ss[0]] = true
+		}
+	}
+}
+
+func TestChainCounts(t *testing.T) {
+	w := Chain(5)
+	if w.Graph.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", w.Graph.NumNodes())
+	}
+	if w.Graph.NumEdges() != 10 {
+		t.Fatalf("edges = %d, want 10 (2 per gap)", w.Graph.NumEdges())
+	}
+	if w.M() != 2 {
+		t.Fatalf("chain CTP has 2 seed sets")
+	}
+}
+
+func TestAlternateDirectionFlips(t *testing.T) {
+	fw := Line(2, 3, Forward)
+	alt := Line(2, 3, Alternate)
+	if fw.Graph.NumEdges() != alt.Graph.NumEdges() {
+		t.Fatal("direction must not change edge count")
+	}
+	// Forward: all edges leave the A side; Alternate: some flipped.
+	flipped := 0
+	for i := 0; i < alt.Graph.NumEdges(); i++ {
+		if alt.Graph.Source(graph.EdgeID(i)) != fw.Graph.Source(graph.EdgeID(i)) {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("Alternate produced no flipped edges")
+	}
+}
+
+func TestCDFCountsM2(t *testing.T) {
+	for _, tc := range []struct{ nt, nl, sl int }{{2, 2, 3}, {8, 6, 3}, {8, 6, 6}} {
+		c := NewCDF(2, tc.nt, tc.nl, tc.sl)
+		wantEdges := 12*tc.nt + tc.nl*tc.sl
+		if c.Graph.NumEdges() != wantEdges {
+			t.Fatalf("%s: edges = %d, want %d", c.Name(), c.Graph.NumEdges(), wantEdges)
+		}
+		wantNodes := 14*tc.nt + tc.nl*(tc.sl-1)
+		if c.Graph.NumNodes() != wantNodes {
+			t.Fatalf("%s: nodes = %d, want %d", c.Name(), c.Graph.NumNodes(), wantNodes)
+		}
+		if len(c.Links) != tc.nl {
+			t.Fatalf("%s: links = %d", c.Name(), len(c.Links))
+		}
+		// Eligible leaves: 50% of the c-top leaves and 50% of g-bottoms.
+		if len(c.TopLeaves) != tc.nt || len(c.BottomG) != tc.nt {
+			t.Fatalf("%s: eligibility: top=%d bottomG=%d, want %d each",
+				c.Name(), len(c.TopLeaves), len(c.BottomG), tc.nt)
+		}
+	}
+}
+
+func TestCDFCountsM3(t *testing.T) {
+	for _, tc := range []struct{ nt, nl, sl int }{{2, 2, 3}, {8, 6, 3}, {4, 8, 6}} {
+		c := NewCDF(3, tc.nt, tc.nl, tc.sl)
+		wantEdges := 12*tc.nt + tc.nl*tc.sl
+		if c.Graph.NumEdges() != wantEdges {
+			t.Fatalf("%s: edges = %d, want %d", c.Name(), c.Graph.NumEdges(), wantEdges)
+		}
+		// Y-links add SL-2 fresh nodes each (stem intermediates + fork);
+		// see the NewCDF doc comment for the deviation from the paper's
+		// stated NL*SL node count.
+		wantNodes := 14*tc.nt + tc.nl*(tc.sl-2)
+		if c.Graph.NumNodes() != wantNodes {
+			t.Fatalf("%s: nodes = %d, want %d", c.Name(), c.Graph.NumNodes(), wantNodes)
+		}
+		for _, link := range c.Links {
+			if len(link) != 3 {
+				t.Fatalf("m=3 link should have 3 endpoints, got %v", link)
+			}
+			// The two bottom leaves must be siblings: share a parent with
+			// a g and an h edge.
+			b1, b2 := link[1], link[2]
+			var p1, p2 graph.NodeID
+			for _, e := range c.Graph.In(b1) {
+				if c.Graph.EdgeLabel(e) == "g" {
+					p1 = c.Graph.Source(e)
+				}
+			}
+			for _, e := range c.Graph.In(b2) {
+				if c.Graph.EdgeLabel(e) == "h" {
+					p2 = c.Graph.Source(e)
+				}
+			}
+			if p1 != p2 {
+				t.Fatalf("link bottoms %d,%d not siblings (parents %d,%d)", b1, b2, p1, p2)
+			}
+		}
+	}
+}
+
+func TestCDFLabels(t *testing.T) {
+	c := NewCDF(2, 2, 2, 3)
+	for _, l := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "link"} {
+		if _, ok := c.Graph.LabelIDOf(l); !ok {
+			t.Fatalf("label %q missing", l)
+		}
+	}
+	// Top leaves must be targets of c edges.
+	for _, tl := range c.TopLeaves {
+		ok := false
+		for _, e := range c.Graph.In(tl) {
+			if c.Graph.EdgeLabel(e) == "c" {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("top leaf %d is not a c-target", tl)
+		}
+	}
+}
+
+func TestCDFPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCDF(4, 1, 1, 3) },
+		func() { NewCDF(3, 1, 1, 2) },
+		func() { NewCDF(2, 0, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSampleGraph(t *testing.T) {
+	g := Sample()
+	if g.NumNodes() != 12 || g.NumEdges() != 19 {
+		t.Fatalf("sample: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// The motivating tree t_alpha = {e10, e9, e11} must exist: Carole
+	// founded OrgC, Doug investsIn OrgC, Elon parentOf Doug.
+	carole, _ := g.NodeByLabel("Carole")
+	orgc, _ := g.NodeByLabel("OrgC")
+	doug, _ := g.NodeByLabel("Doug")
+	elon, _ := g.NodeByLabel("Elon")
+	found := 0
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		switch {
+		case e.Source == carole && e.Target == orgc && g.EdgeLabel(graph.EdgeID(i)) == "founded":
+			found++
+		case e.Source == doug && e.Target == orgc && g.EdgeLabel(graph.EdgeID(i)) == "investsIn":
+			found++
+		case e.Source == elon && e.Target == doug && g.EdgeLabel(graph.EdgeID(i)) == "parentOf":
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("t_alpha edges found = %d, want 3", found)
+	}
+	if s := graph.ComputeStats(g); s.Components != 1 {
+		t.Fatal("sample graph must be connected")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		e := n + rng.Intn(30)
+		g := Random(n, e, []string{"x", "y"}, rng)
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		if g.NumEdges() < n-1 || g.NumEdges() < e {
+			t.Fatalf("edges = %d, want >= max(%d,%d)", g.NumEdges(), n-1, e)
+		}
+		if s := graph.ComputeStats(g); s.Components != 1 {
+			t.Fatalf("random graph disconnected: %s", s)
+		}
+	}
+}
+
+func TestRandomSeedSetsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Random(50, 80, nil, rng)
+	sets := RandomSeedSets(g, 4, 3, rng)
+	if len(sets) != 4 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range sets {
+		if len(s) < 1 || len(s) > 3 {
+			t.Fatalf("bad set size %d", len(s))
+		}
+		for _, n := range s {
+			if seen[n] {
+				t.Fatalf("node %d in two seed sets", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestKGGeneration(t *testing.T) {
+	kg := YAGOLike(100, 1)
+	g := kg.Graph
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty KG")
+	}
+	for _, typ := range []string{"person", "organization", "city", "country", "work"} {
+		id, ok := g.LabelIDOf(typ)
+		if !ok || len(g.NodesWithType(id)) == 0 {
+			t.Fatalf("no %s nodes", typ)
+		}
+	}
+	if len(kg.People) != 200 {
+		t.Fatalf("people = %d, want 200", len(kg.People))
+	}
+	// Determinism: same seed, same graph.
+	kg2 := YAGOLike(100, 1)
+	if kg2.Graph.NumEdges() != g.NumEdges() {
+		t.Fatal("KG generation not deterministic")
+	}
+	kg3 := YAGOLike(100, 2)
+	if kg3.Graph.NumEdges() == g.NumEdges() {
+		t.Log("different seeds produced same edge count (possible but unlikely)")
+	}
+}
+
+func TestDBPediaLikeDenser(t *testing.T) {
+	a := YAGOLike(200, 1)
+	b := DBPediaLike(200, 1)
+	da := float64(a.Graph.NumEdges()) / float64(a.Graph.NumNodes())
+	db := float64(b.Graph.NumEdges()) / float64(b.Graph.NumNodes())
+	if db <= da {
+		t.Fatalf("DBPediaLike density %.2f should exceed YAGOLike %.2f", db, da)
+	}
+}
+
+func TestCTPWorkloadHistogram(t *testing.T) {
+	kg := DBPediaLike(100, 3)
+	rng := rand.New(rand.NewSource(9))
+	wl := CTPWorkload(kg, MHistogram, 10, rng)
+	for m := 2; m <= 6; m++ {
+		qs := wl[m]
+		want := MHistogram[m] / 10
+		if want < 1 {
+			want = 1
+		}
+		if len(qs) != want {
+			t.Fatalf("m=%d: %d queries, want %d", m, len(qs), want)
+		}
+		for _, sets := range qs {
+			if len(sets) != m {
+				t.Fatalf("m=%d: query has %d seed sets", m, len(sets))
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctpquery/internal/graph"
+)
+
+// Random builds a connected random graph with n nodes and at least e edges
+// (a spanning tree is added first so the graph is connected, then random
+// extra edges up to e). Edge labels are drawn from labels; directions are
+// random, exercising bidirectional traversal. Used by property-based tests
+// that cross-check algorithm completeness.
+func Random(n, e int, labels []string, rng *rand.Rand) *graph.Graph {
+	if n < 1 {
+		panic("gen: Random needs n >= 1")
+	}
+	if len(labels) == 0 {
+		labels = []string{"t"}
+	}
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("n%d", i))
+	}
+	pick := func() string { return labels[rng.Intn(len(labels))] }
+	// Random spanning tree: attach node i to a random earlier node.
+	for i := 1; i < n; i++ {
+		j := graph.NodeID(rng.Intn(i))
+		if rng.Intn(2) == 0 {
+			b.AddEdge(j, pick(), graph.NodeID(i))
+		} else {
+			b.AddEdge(graph.NodeID(i), pick(), j)
+		}
+	}
+	for b.NumEdges() < e {
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if s == d {
+			continue
+		}
+		b.AddEdge(s, pick(), d)
+	}
+	return b.Build()
+}
+
+// RandomSeedSets samples m disjoint singleton-or-small seed sets over g's
+// nodes. maxSize bounds each set's size (>= 1); sizes shrink automatically
+// when the graph runs low on unused nodes, so every set still receives at
+// least one node. It panics when the graph has fewer than m nodes.
+func RandomSeedSets(g *graph.Graph, m, maxSize int, rng *rand.Rand) [][]graph.NodeID {
+	if m > g.NumNodes() {
+		panic(fmt.Sprintf("gen: RandomSeedSets needs %d distinct nodes, graph has %d",
+			m, g.NumNodes()))
+	}
+	used := make(map[graph.NodeID]bool)
+	sets := make([][]graph.NodeID, 0, m)
+	for i := 0; i < m; i++ {
+		// Leave at least one unused node for each of the remaining sets.
+		free := g.NumNodes() - len(used)
+		cap := free - (m - i - 1)
+		if cap > maxSize {
+			cap = maxSize
+		}
+		size := 1
+		if cap > 1 {
+			size = 1 + rng.Intn(cap)
+		}
+		var set []graph.NodeID
+		for len(set) < size {
+			n := graph.NodeID(rng.Intn(g.NumNodes()))
+			if used[n] {
+				continue
+			}
+			used[n] = true
+			set = append(set, n)
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}

@@ -1,0 +1,279 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctpquery/internal/graph"
+)
+
+// This file provides synthetic stand-ins for the real-world datasets used
+// in the paper's evaluation: a 6M-triple YAGO3 subset (Section 5.5.2,
+// Table 1) and an 18M-triple DBPedia subset (Section 5.4.3, Figure 12).
+// We cannot ship those datasets, so we generate heterogeneous knowledge-
+// graph-shaped data with the same structural features the experiments
+// exercise: entity types with skewed populations, a mix of hub and leaf
+// entities, typed relations, and literal-valued attributes. DESIGN.md §3
+// documents the substitution.
+
+// KGConfig parameterizes the synthetic knowledge-graph generator.
+type KGConfig struct {
+	People int // person entities
+	Orgs   int // organization entities
+	Places int // place entities (includes a small country layer)
+	Works  int // creative-work entities
+	Seed   int64
+	// ExtraEdgesPerNode adds heterogeneity: each entity receives this many
+	// extra random relations on average (preferentially to hubs).
+	ExtraEdgesPerNode float64
+}
+
+// KG is a generated knowledge graph plus handles benchmarks need.
+type KG struct {
+	Graph     *graph.Graph
+	People    []graph.NodeID
+	Orgs      []graph.NodeID
+	Places    []graph.NodeID
+	Works     []graph.NodeID
+	Countries []graph.NodeID
+}
+
+// relation labels by category pair.
+var (
+	personPerson = []string{"knows", "spouse", "parentOf", "colleague"}
+	personOrg    = []string{"worksFor", "founded", "memberOf", "owns"}
+	personPlace  = []string{"bornIn", "livesIn", "citizenOf"}
+	personWork   = []string{"created", "actedIn", "wrote"}
+	orgPlace     = []string{"locatedIn", "headquarteredIn"}
+	orgOrg       = []string{"subsidiaryOf", "partnerOf", "investsIn"}
+	workWork     = []string{"basedOn", "sequelOf"}
+)
+
+// NewKG generates a synthetic knowledge graph. The result is connected via
+// the place hierarchy: every place is linked to one of a few country hubs,
+// and every other entity carries at least one place-anchored relation.
+func NewKG(cfg KGConfig) *KG {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder()
+	kg := &KG{}
+
+	nCountries := cfg.Places/20 + 2
+	for i := 0; i < nCountries; i++ {
+		n := b.AddNode(fmt.Sprintf("country%d", i))
+		b.AddType(n, "country")
+		b.AddType(n, "place")
+		kg.Countries = append(kg.Countries, n)
+		kg.Places = append(kg.Places, n)
+	}
+	for i := 0; i < cfg.Places; i++ {
+		n := b.AddNode(fmt.Sprintf("city%d", i))
+		b.AddType(n, "city")
+		b.AddType(n, "place")
+		b.AddEdge(n, "inCountry", kg.Countries[rng.Intn(len(kg.Countries))])
+		kg.Places = append(kg.Places, n)
+	}
+	for i := 0; i < cfg.Orgs; i++ {
+		n := b.AddNode(fmt.Sprintf("org%d", i))
+		b.AddType(n, "organization")
+		b.AddEdge(n, orgPlace[rng.Intn(len(orgPlace))], kg.Places[rng.Intn(len(kg.Places))])
+		kg.Orgs = append(kg.Orgs, n)
+	}
+	for i := 0; i < cfg.People; i++ {
+		n := b.AddNode(fmt.Sprintf("person%d", i))
+		b.AddType(n, "person")
+		b.AddEdge(n, personPlace[rng.Intn(len(personPlace))], kg.Places[rng.Intn(len(kg.Places))])
+		if len(kg.Orgs) > 0 && rng.Intn(2) == 0 {
+			b.AddEdge(n, personOrg[rng.Intn(len(personOrg))], kg.Orgs[rng.Intn(len(kg.Orgs))])
+		}
+		kg.People = append(kg.People, n)
+	}
+	for i := 0; i < cfg.Works; i++ {
+		n := b.AddNode(fmt.Sprintf("work%d", i))
+		b.AddType(n, "work")
+		if len(kg.People) > 0 {
+			b.AddEdge(kg.People[rng.Intn(len(kg.People))], personWork[rng.Intn(len(personWork))], n)
+		} else {
+			b.AddEdge(n, "about", kg.Places[rng.Intn(len(kg.Places))])
+		}
+		kg.Works = append(kg.Works, n)
+	}
+
+	// Extra heterogeneous relations with mild preferential attachment:
+	// half the endpoints are drawn from the first tenth of each category.
+	pick := func(ns []graph.NodeID) graph.NodeID {
+		if len(ns) == 0 {
+			return kg.Places[rng.Intn(len(kg.Places))]
+		}
+		if hub := len(ns)/10 + 1; rng.Intn(2) == 0 {
+			return ns[rng.Intn(hub)]
+		}
+		return ns[rng.Intn(len(ns))]
+	}
+	total := cfg.People + cfg.Orgs + cfg.Places + cfg.Works
+	extra := int(cfg.ExtraEdgesPerNode * float64(total))
+	for i := 0; i < extra; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			b.AddEdge(pick(kg.People), personPerson[rng.Intn(len(personPerson))], pick(kg.People))
+		case 1:
+			b.AddEdge(pick(kg.People), personOrg[rng.Intn(len(personOrg))], pick(kg.Orgs))
+		case 2:
+			b.AddEdge(pick(kg.People), personPlace[rng.Intn(len(personPlace))], pick(kg.Places))
+		case 3:
+			b.AddEdge(pick(kg.People), personWork[rng.Intn(len(personWork))], pick(kg.Works))
+		case 4:
+			b.AddEdge(pick(kg.Orgs), orgPlace[rng.Intn(len(orgPlace))], pick(kg.Places))
+		case 5:
+			b.AddEdge(pick(kg.Orgs), orgOrg[rng.Intn(len(orgOrg))], pick(kg.Orgs))
+		case 6:
+			b.AddEdge(pick(kg.Works), workWork[rng.Intn(len(workWork))], pick(kg.Works))
+		}
+	}
+	kg.Graph = b.Build()
+	return kg
+}
+
+// YAGOLike generates the Table 1 stand-in at the given scale (total
+// entities ≈ 4*scale). Queries J1–J3 are built against it in
+// internal/bench.
+func YAGOLike(scale int, seed int64) *KG {
+	return NewKG(KGConfig{
+		People: 2 * scale, Orgs: scale / 2, Places: scale / 2, Works: scale,
+		Seed: seed, ExtraEdgesPerNode: 2.0,
+	})
+}
+
+// DBPediaLike generates the Figure 12 stand-in, slightly denser than
+// YAGOLike, matching DBPedia's richer linkage.
+func DBPediaLike(scale int, seed int64) *KG {
+	return NewKG(KGConfig{
+		People: 2 * scale, Orgs: scale, Places: scale / 2, Works: 2 * scale,
+		Seed: seed, ExtraEdgesPerNode: 2.5,
+	})
+}
+
+// MHistogram is the distribution of seed-set counts in the paper's
+// DBPedia CTP workload: 83, 98, 85, 38, and 8 queries with m = 2..6
+// (Section 5.4.3).
+var MHistogram = map[int]int{2: 83, 3: 98, 4: 85, 5: 38, 6: 8}
+
+// ConnectableCTPWorkload samples, for each (m -> count) histogram entry
+// scaled by divisor, CTPs whose m singleton seeds all lie on directed
+// walks of at most maxDist edges out of a common root node — so a
+// unidirectional connecting tree is guaranteed to exist, as in keyword
+// workloads derived from real queries (the Figure 12 protocol runs UNI
+// with LIMIT 1 and needs connectable seeds to be meaningful).
+func ConnectableCTPWorkload(kg *KG, hist map[int]int, divisor, maxDist int, rng *rand.Rand) map[int][][][]graph.NodeID {
+	if divisor < 1 {
+		divisor = 1
+	}
+	if maxDist < 1 {
+		maxDist = 3
+	}
+	g := kg.Graph
+	out := make(map[int][][][]graph.NodeID)
+	walk := func(from graph.NodeID, steps int) graph.NodeID {
+		at := from
+		for i := 0; i < steps; i++ {
+			outs := g.Out(at)
+			if len(outs) == 0 {
+				return at
+			}
+			at = g.Target(outs[rng.Intn(len(outs))])
+		}
+		return at
+	}
+	for m := 2; m <= 16; m++ {
+		count, ok := hist[m]
+		if !ok {
+			continue
+		}
+		count /= divisor
+		if count < 1 {
+			count = 1
+		}
+		for q := 0; q < count; q++ {
+			var sets [][]graph.NodeID
+			for attempt := 0; attempt < 200 && sets == nil; attempt++ {
+				root := graph.NodeID(rng.Intn(g.NumNodes()))
+				if len(g.Out(root)) == 0 {
+					continue
+				}
+				used := map[graph.NodeID]bool{}
+				var cand [][]graph.NodeID
+				for i := 0; i < m; i++ {
+					var seed graph.NodeID
+					okSeed := false
+					for tries := 0; tries < 50; tries++ {
+						seed = walk(root, 1+rng.Intn(maxDist))
+						if seed != root && !used[seed] {
+							okSeed = true
+							break
+						}
+					}
+					if !okSeed {
+						cand = nil
+						break
+					}
+					used[seed] = true
+					cand = append(cand, []graph.NodeID{seed})
+				}
+				sets = cand
+			}
+			if sets == nil {
+				continue // extremely sparse graph: skip this query
+			}
+			out[m] = append(out[m], sets)
+		}
+	}
+	return out
+}
+
+// CTPWorkload samples, for each (m -> count) entry scaled down by the
+// divisor (minimum 1 query per m), seed sets of singleton seeds drawn from
+// the KG's entities. Returns one seed-set list per query, keyed by m in
+// increasing order.
+func CTPWorkload(kg *KG, hist map[int]int, divisor int, rng *rand.Rand) map[int][][][]graph.NodeID {
+	if divisor < 1 {
+		divisor = 1
+	}
+	pools := [][]graph.NodeID{kg.People, kg.Orgs, kg.Places, kg.Works}
+	out := make(map[int][][][]graph.NodeID)
+	ms := make([]int, 0, len(hist))
+	for m := range hist {
+		ms = append(ms, m)
+	}
+	// Deterministic iteration order over m for reproducibility.
+	for m := 2; m <= 16; m++ {
+		found := false
+		for _, x := range ms {
+			if x == m {
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		count := hist[m] / divisor
+		if count < 1 {
+			count = 1
+		}
+		for q := 0; q < count; q++ {
+			var sets [][]graph.NodeID
+			used := make(map[graph.NodeID]bool)
+			for i := 0; i < m; i++ {
+				pool := pools[rng.Intn(len(pools))]
+				for {
+					n := pool[rng.Intn(len(pool))]
+					if !used[n] {
+						used[n] = true
+						sets = append(sets, []graph.NodeID{n})
+						break
+					}
+				}
+			}
+			out[m] = append(out[m], sets)
+		}
+	}
+	return out
+}

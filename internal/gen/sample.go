@@ -1,0 +1,60 @@
+package gen
+
+import "ctpquery/internal/graph"
+
+// Sample builds the running-example graph of the paper's Figure 1: twelve
+// nodes (two American and two French entrepreneurs, three companies, two
+// countries, two politicians, and a party literal) and nineteen labeled
+// edges. It is used throughout examples and tests.
+func Sample() *graph.Graph {
+	b := graph.NewBuilder()
+	type nd struct{ label, typ string }
+	nodes := []nd{
+		{"OrgB", "company"},            // n1
+		{"Bob", "entrepreneur"},        // n2
+		{"Alice", "entrepreneur"},      // n3
+		{"Carole", "entrepreneur"},     // n4
+		{"OrgA", "company"},            // n5
+		{"Doug", "entrepreneur"},       // n6
+		{"OrgC", "company"},            // n7
+		{"France", "country"},          // n8
+		{"Elon", "politician"},         // n9
+		{"USA", "country"},             // n10
+		{"National Liberal Party", ""}, // n11 (literal)
+		{"Falcon", "politician"},       // n12
+	}
+	ids := make(map[string]graph.NodeID, len(nodes))
+	for _, n := range nodes {
+		id := b.AddNode(n.label)
+		if n.typ != "" {
+			b.AddType(id, n.typ)
+		}
+		ids[n.label] = id
+	}
+	// The nineteen edges e1..e19 in the paper's numbering and orientation.
+	edges := []struct{ s, l, d string }{
+		{"Bob", "founded", "OrgB"},                          // e1
+		{"OrgB", "investsIn", "OrgA"},                       // e2
+		{"Bob", "parentOf", "Alice"},                        // e3
+		{"OrgA", "locatedIn", "France"},                     // e4
+		{"Alice", "citizenOf", "France"},                    // e5
+		{"Carole", "citizenOf", "USA"},                      // e6
+		{"Carole", "founded", "OrgA"},                       // e7
+		{"Doug", "CEO", "OrgA"},                             // e8
+		{"Doug", "investsIn", "OrgC"},                       // e9
+		{"Carole", "founded", "OrgC"},                       // e10
+		{"Elon", "parentOf", "Doug"},                        // e11
+		{"Doug", "citizenOf", "France"},                     // e12
+		{"Elon", "citizenOf", "France"},                     // e13
+		{"Bob", "citizenOf", "USA"},                         // e14
+		{"OrgC", "locatedIn", "USA"},                        // e15
+		{"Elon", "affiliation", "National Liberal Party"},   // e16
+		{"OrgA", "funds", "National Liberal Party"},         // e17
+		{"Falcon", "affiliation", "National Liberal Party"}, // e18
+		{"Falcon", "investsIn", "OrgC"},                     // e19
+	}
+	for _, e := range edges {
+		b.AddEdge(ids[e.s], e.l, ids[e.d])
+	}
+	return b.Build()
+}

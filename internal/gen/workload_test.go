@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctpquery/internal/graph"
+)
+
+func TestConnectableCTPWorkload(t *testing.T) {
+	kg := DBPediaLike(150, 11)
+	g := kg.Graph
+	rng := rand.New(rand.NewSource(13))
+	wl := ConnectableCTPWorkload(kg, MHistogram, 20, 3, rng)
+
+	reaches := func(root graph.NodeID, target graph.NodeID, maxDist int) bool {
+		frontier := []graph.NodeID{root}
+		seen := map[graph.NodeID]bool{root: true}
+		for d := 0; d < maxDist; d++ {
+			var next []graph.NodeID
+			for _, n := range frontier {
+				for _, e := range g.Out(n) {
+					o := g.Target(e)
+					if o == target {
+						return true
+					}
+					if !seen[o] {
+						seen[o] = true
+						next = append(next, o)
+					}
+				}
+			}
+			frontier = next
+		}
+		return false
+	}
+
+	total := 0
+	for m := 2; m <= 6; m++ {
+		queries := wl[m]
+		want := MHistogram[m] / 20
+		if want < 1 {
+			want = 1
+		}
+		if len(queries) != want {
+			t.Fatalf("m=%d: %d queries, want %d", m, len(queries), want)
+		}
+		total += len(queries)
+		for qi, sets := range queries {
+			if len(sets) != m {
+				t.Fatalf("m=%d q=%d: %d seed sets", m, qi, len(sets))
+			}
+			used := map[graph.NodeID]bool{}
+			for _, s := range sets {
+				if len(s) != 1 {
+					t.Fatalf("m=%d q=%d: non-singleton seed set", m, qi)
+				}
+				if used[s[0]] {
+					t.Fatalf("m=%d q=%d: duplicate seed %d", m, qi, s[0])
+				}
+				used[s[0]] = true
+			}
+			// Connectability: some node reaches every seed within the walk
+			// bound. The sampler guarantees the walk root qualifies; verify
+			// by searching for any witness.
+			witness := false
+			for cand := 0; cand < g.NumNodes() && !witness; cand++ {
+				all := true
+				for _, s := range sets {
+					if graph.NodeID(cand) != s[0] && !reaches(graph.NodeID(cand), s[0], 3) {
+						all = false
+						break
+					}
+				}
+				witness = all
+			}
+			if !witness {
+				t.Fatalf("m=%d q=%d: no directed root reaches all seeds", m, qi)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("empty workload")
+	}
+}
+
+func TestConnectableCTPWorkloadDeterministic(t *testing.T) {
+	kg := DBPediaLike(100, 3)
+	a := ConnectableCTPWorkload(kg, map[int]int{2: 4}, 1, 3, rand.New(rand.NewSource(9)))
+	b := ConnectableCTPWorkload(kg, map[int]int{2: 4}, 1, 3, rand.New(rand.NewSource(9)))
+	if len(a[2]) != len(b[2]) {
+		t.Fatal("non-deterministic count")
+	}
+	for i := range a[2] {
+		for j := range a[2][i] {
+			if a[2][i][j][0] != b[2][i][j][0] {
+				t.Fatal("non-deterministic seeds")
+			}
+		}
+	}
+}

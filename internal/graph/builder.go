@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Graph. It is not safe for concurrent use. After
+// Build, the builder must not be reused.
+type Builder struct {
+	labels    *Dict
+	nodeLabel []LabelID
+	nodeTypes [][]LabelID
+	edges     []Edge
+	nodeProps map[string]map[NodeID]string
+	edgeProps map[string]map[EdgeID]string
+	built     bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels:    NewDict(),
+		nodeProps: make(map[string]map[NodeID]string),
+		edgeProps: make(map[string]map[EdgeID]string),
+	}
+}
+
+// AddNode adds a node with the given label and returns its ID. Labels need
+// not be unique; use the returned ID to reference the node.
+func (b *Builder) AddNode(label string) NodeID {
+	id := NodeID(len(b.nodeLabel))
+	b.nodeLabel = append(b.nodeLabel, b.labels.Intern(label))
+	b.nodeTypes = append(b.nodeTypes, nil)
+	return id
+}
+
+// AddNodes adds n unlabeled nodes and returns the ID of the first.
+func (b *Builder) AddNodes(n int) NodeID {
+	first := NodeID(len(b.nodeLabel))
+	for i := 0; i < n; i++ {
+		b.nodeLabel = append(b.nodeLabel, NoLabel)
+		b.nodeTypes = append(b.nodeTypes, nil)
+	}
+	return first
+}
+
+// SetNodeLabel replaces the label of an existing node.
+func (b *Builder) SetNodeLabel(n NodeID, label string) {
+	b.nodeLabel[n] = b.labels.Intern(label)
+}
+
+// AddType attaches a type to node n. Duplicate types are ignored.
+func (b *Builder) AddType(n NodeID, typ string) {
+	id := b.labels.Intern(typ)
+	for _, t := range b.nodeTypes[n] {
+		if t == id {
+			return
+		}
+	}
+	b.nodeTypes[n] = append(b.nodeTypes[n], id)
+}
+
+// AddEdge adds a directed edge src --label--> dst and returns its ID.
+func (b *Builder) AddEdge(src NodeID, label string, dst NodeID) EdgeID {
+	if int(src) >= len(b.nodeLabel) || int(dst) >= len(b.nodeLabel) || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("graph: AddEdge endpoint out of range (%d -> %d, have %d nodes)",
+			src, dst, len(b.nodeLabel)))
+	}
+	id := EdgeID(len(b.edges))
+	b.edges = append(b.edges, Edge{Source: src, Target: dst, Label: b.labels.Intern(label)})
+	return id
+}
+
+// SetNodeProp sets string property p of node n.
+func (b *Builder) SetNodeProp(n NodeID, p, v string) {
+	m := b.nodeProps[p]
+	if m == nil {
+		m = make(map[NodeID]string)
+		b.nodeProps[p] = m
+	}
+	m[n] = v
+}
+
+// SetEdgeProp sets string property p of edge e.
+func (b *Builder) SetEdgeProp(e EdgeID, p, v string) {
+	m := b.edgeProps[p]
+	if m == nil {
+		m = make(map[EdgeID]string)
+		b.edgeProps[p] = m
+	}
+	m[e] = v
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeLabel) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the builder into an immutable Graph, computing adjacency
+// lists and label/type indexes. The builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	if b.built {
+		panic("graph: Build called twice on the same Builder")
+	}
+	b.built = true
+
+	n := len(b.nodeLabel)
+	g := &Graph{
+		labels:      b.labels,
+		nodeLabel:   b.nodeLabel,
+		nodeTypes:   b.nodeTypes,
+		edges:       b.edges,
+		nodeProps:   b.nodeProps,
+		edgeProps:   b.edgeProps,
+		byNodeLabel: make(map[LabelID][]NodeID),
+		byEdgeLabel: make(map[LabelID][]EdgeID),
+		byType:      make(map[LabelID][]NodeID),
+	}
+
+	// Sort node type lists so HasType can early-exit.
+	for i := range g.nodeTypes {
+		ts := g.nodeTypes[i]
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	}
+
+	// Count degrees first so adjacency lists are allocated exactly once.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range g.edges {
+		outDeg[e.Source]++
+		inDeg[e.Target]++
+	}
+	g.adj = make([][]EdgeID, n)
+	g.out = make([][]EdgeID, n)
+	g.in = make([][]EdgeID, n)
+	for i := 0; i < n; i++ {
+		deg := outDeg[i] + inDeg[i]
+		if deg > 0 {
+			g.adj[i] = make([]EdgeID, 0, deg)
+		}
+		if outDeg[i] > 0 {
+			g.out[i] = make([]EdgeID, 0, outDeg[i])
+		}
+		if inDeg[i] > 0 {
+			g.in[i] = make([]EdgeID, 0, inDeg[i])
+		}
+	}
+	for i, e := range g.edges {
+		id := EdgeID(i)
+		g.out[e.Source] = append(g.out[e.Source], id)
+		g.in[e.Target] = append(g.in[e.Target], id)
+		g.adj[e.Source] = append(g.adj[e.Source], id)
+		if e.Target != e.Source {
+			g.adj[e.Target] = append(g.adj[e.Target], id)
+		}
+	}
+
+	for i, l := range g.nodeLabel {
+		if l != NoLabel {
+			g.byNodeLabel[l] = append(g.byNodeLabel[l], NodeID(i))
+		}
+	}
+	for i, e := range g.edges {
+		g.byEdgeLabel[e.Label] = append(g.byEdgeLabel[e.Label], EdgeID(i))
+	}
+	for i, ts := range g.nodeTypes {
+		for _, t := range ts {
+			g.byType[t] = append(g.byType[t], NodeID(i))
+		}
+	}
+	return g
+}

@@ -1,0 +1,40 @@
+package graph
+
+// Dict interns label strings to dense LabelIDs. ID 0 is always the empty
+// label ε. A Dict is append-only; lookups after Build are read-only and
+// safe for concurrent use.
+type Dict struct {
+	byString map[string]LabelID
+	byID     []string
+}
+
+// NewDict returns a dictionary pre-seeded with the empty label at ID 0.
+func NewDict() *Dict {
+	d := &Dict{byString: make(map[string]LabelID)}
+	d.byString[""] = NoLabel
+	d.byID = append(d.byID, "")
+	return d
+}
+
+// Intern returns the ID for s, adding it if absent.
+func (d *Dict) Intern(s string) LabelID {
+	if id, ok := d.byString[s]; ok {
+		return id
+	}
+	id := LabelID(len(d.byID))
+	d.byString[s] = id
+	d.byID = append(d.byID, s)
+	return id
+}
+
+// Lookup returns the ID for s without adding it.
+func (d *Dict) Lookup(s string) (LabelID, bool) {
+	id, ok := d.byString[s]
+	return id, ok
+}
+
+// String returns the string for id.
+func (d *Dict) String(id LabelID) string { return d.byID[id] }
+
+// Len returns the number of interned labels, including ε.
+func (d *Dict) Len() int { return len(d.byID) }

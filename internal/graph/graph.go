@@ -1,0 +1,184 @@
+// Package graph implements the labeled graph data model of Definition 2.1:
+// a set of nodes and directed edges, each carrying a label from a label set
+// that includes the empty label. Nodes may additionally carry zero or more
+// types and arbitrary string properties, covering both RDF graphs and
+// property graphs at the level of detail the connection-search algorithms
+// need.
+//
+// Graphs are built once through a Builder and are immutable afterwards; all
+// query-time structures (adjacency lists, label and type indexes, degrees)
+// are computed at freeze time so concurrent readers need no locking.
+package graph
+
+import "fmt"
+
+// NodeID identifies a node. IDs are dense, starting at 0.
+type NodeID int32
+
+// EdgeID identifies an edge. IDs are dense, starting at 0.
+type EdgeID int32
+
+// LabelID identifies an interned label string.
+type LabelID int32
+
+// NoLabel is the interned ID of the empty label ε, which every graph
+// contains (Definition 2.1 includes the empty label in the label set).
+const NoLabel LabelID = 0
+
+// Edge is a directed, labeled edge.
+type Edge struct {
+	Source NodeID
+	Target NodeID
+	Label  LabelID
+}
+
+// Graph is an immutable labeled graph. Create one with a Builder.
+type Graph struct {
+	labels *Dict
+
+	nodeLabel []LabelID
+	nodeTypes [][]LabelID // sorted type IDs per node; nil when none
+	edges     []Edge
+
+	adj [][]EdgeID // all incident edges per node (both directions)
+	out [][]EdgeID // outgoing edges per node
+	in  [][]EdgeID // incoming edges per node
+
+	byNodeLabel map[LabelID][]NodeID
+	byEdgeLabel map[LabelID][]EdgeID
+	byType      map[LabelID][]NodeID
+
+	nodeProps map[string]map[NodeID]string
+	edgeProps map[string]map[EdgeID]string
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeLabel) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NodeLabelID returns the interned label of node n.
+func (g *Graph) NodeLabelID(n NodeID) LabelID { return g.nodeLabel[n] }
+
+// NodeLabel returns the label string of node n.
+func (g *Graph) NodeLabel(n NodeID) string { return g.labels.String(g.nodeLabel[n]) }
+
+// EdgeLabelID returns the interned label of edge e.
+func (g *Graph) EdgeLabelID(e EdgeID) LabelID { return g.edges[e].Label }
+
+// EdgeLabel returns the label string of edge e.
+func (g *Graph) EdgeLabel(e EdgeID) string { return g.labels.String(g.edges[e].Label) }
+
+// Edge returns the endpoints and label of e.
+func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+
+// Source returns the source node of e.
+func (g *Graph) Source(e EdgeID) NodeID { return g.edges[e].Source }
+
+// Target returns the target node of e.
+func (g *Graph) Target(e EdgeID) NodeID { return g.edges[e].Target }
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint of e; self-loops return n itself.
+func (g *Graph) Other(e EdgeID, n NodeID) NodeID {
+	ed := g.edges[e]
+	switch n {
+	case ed.Source:
+		return ed.Target
+	case ed.Target:
+		return ed.Source
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", n, e))
+}
+
+// Incident returns all edges adjacent to n, in either direction. The
+// returned slice is shared; callers must not modify it.
+func (g *Graph) Incident(n NodeID) []EdgeID { return g.adj[n] }
+
+// Out returns the edges whose source is n.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+
+// In returns the edges whose target is n.
+func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+
+// Degree returns d_n, the number of edges adjacent to n in either
+// direction. Section 4.6 uses it in the LESP pruning exemption.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// Labels exposes the label dictionary.
+func (g *Graph) Labels() *Dict { return g.labels }
+
+// LabelIDOf returns the interned ID for s, if s occurs in the graph.
+func (g *Graph) LabelIDOf(s string) (LabelID, bool) { return g.labels.Lookup(s) }
+
+// NodesWithLabel returns all nodes labeled l. The slice is shared.
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID { return g.byNodeLabel[l] }
+
+// EdgesWithLabel returns all edges labeled l. The slice is shared.
+func (g *Graph) EdgesWithLabel(l LabelID) []EdgeID { return g.byEdgeLabel[l] }
+
+// NodesWithType returns all nodes having type t. The slice is shared.
+func (g *Graph) NodesWithType(t LabelID) []NodeID { return g.byType[t] }
+
+// NodeTypes returns the sorted type IDs of n (nil when none).
+func (g *Graph) NodeTypes(n NodeID) []LabelID { return g.nodeTypes[n] }
+
+// HasType reports whether node n carries type t.
+func (g *Graph) HasType(n NodeID, t LabelID) bool {
+	for _, x := range g.nodeTypes[n] {
+		if x == t {
+			return true
+		}
+		if x > t {
+			return false
+		}
+	}
+	return false
+}
+
+// NodeProp returns the value of property p on node n, if set. The label
+// and type pseudo-properties are not served here; use NodeLabel/NodeTypes.
+func (g *Graph) NodeProp(p string, n NodeID) (string, bool) {
+	m := g.nodeProps[p]
+	if m == nil {
+		return "", false
+	}
+	v, ok := m[n]
+	return v, ok
+}
+
+// EdgeProp returns the value of property p on edge e, if set.
+func (g *Graph) EdgeProp(p string, e EdgeID) (string, bool) {
+	m := g.edgeProps[p]
+	if m == nil {
+		return "", false
+	}
+	v, ok := m[e]
+	return v, ok
+}
+
+// NodeByLabel returns the unique node labeled s. It is a convenience for
+// tests and examples working with small graphs; it returns false when the
+// label is absent or ambiguous.
+func (g *Graph) NodeByLabel(s string) (NodeID, bool) {
+	l, ok := g.labels.Lookup(s)
+	if !ok {
+		return 0, false
+	}
+	ns := g.byNodeLabel[l]
+	if len(ns) != 1 {
+		return 0, false
+	}
+	return ns[0], true
+}
+
+// Nodes returns all node IDs, 0..NumNodes-1. Intended for small graphs and
+// tests; large scans should iterate by index instead.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSample builds the running example of the paper's Figure 1: twelve
+// nodes (companies, entrepreneurs, politicians, countries, a literal) and
+// nineteen labeled edges.
+func buildSample(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	names := []struct {
+		label, typ string
+	}{
+		{"OrgB", "company"}, {"Bob", "entrepreneur"}, {"Alice", "entrepreneur"},
+		{"Carole", "entrepreneur"}, {"OrgA", "company"}, {"Doug", "entrepreneur"},
+		{"OrgC", "company"}, {"France", "country"}, {"Elon", "politician"},
+		{"USA", "country"}, {"National Liberal Party", ""}, {"Falcon", "politician"},
+	}
+	ids := make(map[string]NodeID)
+	for _, n := range names {
+		id := b.AddNode(n.label)
+		if n.typ != "" {
+			b.AddType(id, n.typ)
+		}
+		ids[n.label] = id
+	}
+	edges := []struct{ s, l, d string }{
+		{"Bob", "founded", "OrgB"},
+		{"OrgB", "investsIn", "OrgA"},
+		{"Bob", "parentOf", "Alice"},
+		{"OrgA", "locatedIn", "France"},
+		{"Alice", "citizenOf", "France"},
+		{"Carole", "citizenOf", "USA"},
+		{"Carole", "founded", "OrgA"},
+		{"Doug", "CEO", "OrgA"},
+		{"Doug", "investsIn", "OrgC"},
+		{"Carole", "founded", "OrgC"},
+		{"Elon", "parentOf", "Doug"},
+		{"Doug", "citizenOf", "France"},
+		{"Elon", "citizenOf", "France"},
+		{"Bob", "citizenOf", "USA"},
+		{"OrgC", "locatedIn", "USA"},
+		{"Elon", "affiliation", "National Liberal Party"},
+		{"OrgA", "funds", "National Liberal Party"},
+		{"Falcon", "affiliation", "National Liberal Party"},
+		{"Falcon", "investsIn", "OrgC"},
+	}
+	for _, e := range edges {
+		b.AddEdge(ids[e.s], e.l, ids[e.d])
+	}
+	return b.Build(), ids
+}
+
+func TestBuildSampleCounts(t *testing.T) {
+	g, _ := buildSample(t)
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12", g.NumNodes())
+	}
+	if g.NumEdges() != 19 {
+		t.Fatalf("edges = %d, want 19", g.NumEdges())
+	}
+}
+
+func TestAdjacencyConsistency(t *testing.T) {
+	g, ids := buildSample(t)
+	// Sum of out+in degrees equals 2*|E| (no self loops in the sample).
+	total := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		n := NodeID(i)
+		total += g.Degree(n)
+		if len(g.Out(n))+len(g.In(n)) != g.Degree(n) {
+			t.Fatalf("node %d: out+in != degree", n)
+		}
+		for _, e := range g.Out(n) {
+			if g.Source(e) != n {
+				t.Fatalf("Out(%d) contains edge %d with source %d", n, e, g.Source(e))
+			}
+		}
+		for _, e := range g.In(n) {
+			if g.Target(e) != n {
+				t.Fatalf("In(%d) contains edge %d with target %d", n, e, g.Target(e))
+			}
+		}
+		for _, e := range g.Incident(n) {
+			if g.Source(e) != n && g.Target(e) != n {
+				t.Fatalf("Incident(%d) contains unrelated edge %d", n, e)
+			}
+		}
+	}
+	if total != 2*g.NumEdges() {
+		t.Fatalf("degree sum = %d, want %d", total, 2*g.NumEdges())
+	}
+	if g.Degree(ids["OrgA"]) != 5 {
+		t.Fatalf("OrgA degree = %d, want 5", g.Degree(ids["OrgA"]))
+	}
+}
+
+func TestOther(t *testing.T) {
+	g, ids := buildSample(t)
+	e := g.Out(ids["Bob"])[0]
+	if g.Other(e, ids["Bob"]) != g.Target(e) {
+		t.Fatal("Other from source should return target")
+	}
+	if g.Other(e, g.Target(e)) != ids["Bob"] {
+		t.Fatal("Other from target should return source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint should panic")
+		}
+	}()
+	g.Other(e, ids["Falcon"])
+}
+
+func TestLabelIndexes(t *testing.T) {
+	g, ids := buildSample(t)
+	l, ok := g.LabelIDOf("citizenOf")
+	if !ok {
+		t.Fatal("citizenOf not interned")
+	}
+	if got := len(g.EdgesWithLabel(l)); got != 5 {
+		t.Fatalf("citizenOf edges = %d, want 5", got)
+	}
+	nl, ok := g.LabelIDOf("Alice")
+	if !ok {
+		t.Fatal("Alice not interned")
+	}
+	ns := g.NodesWithLabel(nl)
+	if len(ns) != 1 || ns[0] != ids["Alice"] {
+		t.Fatalf("NodesWithLabel(Alice) = %v", ns)
+	}
+	if n, ok := g.NodeByLabel("Alice"); !ok || n != ids["Alice"] {
+		t.Fatal("NodeByLabel(Alice) failed")
+	}
+	if _, ok := g.NodeByLabel("Zorro"); ok {
+		t.Fatal("NodeByLabel should fail for absent label")
+	}
+}
+
+func TestTypes(t *testing.T) {
+	g, ids := buildSample(t)
+	tc, ok := g.LabelIDOf("entrepreneur")
+	if !ok {
+		t.Fatal("type entrepreneur not interned")
+	}
+	if got := len(g.NodesWithType(tc)); got != 4 {
+		t.Fatalf("entrepreneurs = %d, want 4", got)
+	}
+	if !g.HasType(ids["Alice"], tc) {
+		t.Fatal("Alice should be an entrepreneur")
+	}
+	if g.HasType(ids["USA"], tc) {
+		t.Fatal("USA should not be an entrepreneur")
+	}
+}
+
+func TestDuplicateTypeIgnored(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode("x")
+	b.AddType(n, "t")
+	b.AddType(n, "t")
+	g := b.Build()
+	if len(g.NodeTypes(n)) != 1 {
+		t.Fatalf("types = %v, want single entry", g.NodeTypes(n))
+	}
+}
+
+func TestProps(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode("x")
+	m := b.AddNode("y")
+	e := b.AddEdge(n, "knows", m)
+	b.SetNodeProp(n, "age", "42")
+	b.SetEdgeProp(e, "since", "2001")
+	g := b.Build()
+	if v, ok := g.NodeProp("age", n); !ok || v != "42" {
+		t.Fatalf("NodeProp = %q,%v", v, ok)
+	}
+	if _, ok := g.NodeProp("age", m); ok {
+		t.Fatal("m has no age")
+	}
+	if _, ok := g.NodeProp("height", n); ok {
+		t.Fatal("no height property exists")
+	}
+	if v, ok := g.EdgeProp("since", e); !ok || v != "2001" {
+		t.Fatalf("EdgeProp = %q,%v", v, ok)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range endpoint")
+		}
+	}()
+	b.AddEdge(n, "l", n+5)
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("x")
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on second Build")
+		}
+	}()
+	b.Build()
+}
+
+func TestSelfLoopAdjacency(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNode("x")
+	b.AddEdge(n, "self", n)
+	g := b.Build()
+	if g.Degree(n) != 1 {
+		t.Fatalf("self-loop degree = %d, want 1 (listed once)", g.Degree(n))
+	}
+	e := g.Incident(n)[0]
+	if g.Other(e, n) != n {
+		t.Fatal("Other on self-loop should return the node itself")
+	}
+}
+
+func TestAddNodesBulk(t *testing.T) {
+	b := NewBuilder()
+	first := b.AddNodes(5)
+	if first != 0 || b.NumNodes() != 5 {
+		t.Fatalf("AddNodes: first=%d count=%d", first, b.NumNodes())
+	}
+	b.SetNodeLabel(first+2, "mid")
+	g := b.Build()
+	if g.NodeLabel(2) != "mid" {
+		t.Fatal("SetNodeLabel lost")
+	}
+	if g.NodeLabel(0) != "" {
+		t.Fatal("bulk nodes should have empty label")
+	}
+}
+
+func TestTripleRoundTrip(t *testing.T) {
+	g, _ := buildSample(t)
+	var sb strings.Builder
+	if err := WriteTriples(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadTriples(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	// The quoted label must survive.
+	if _, ok := g2.NodeByLabel("National Liberal Party"); !ok {
+		t.Fatal("quoted label lost in round trip")
+	}
+	// Types must survive.
+	tc, _ := g2.LabelIDOf("entrepreneur")
+	if len(g2.NodesWithType(tc)) != 4 {
+		t.Fatal("types lost in round trip")
+	}
+}
+
+func TestLoadTriplesErrors(t *testing.T) {
+	cases := []string{
+		"a b\n",            // two fields
+		"a b c d\n",        // four fields
+		"a \"unclosed c\n", // unterminated quote
+	}
+	for _, c := range cases {
+		if _, err := LoadTriples(strings.NewReader(c)); err == nil {
+			t.Fatalf("LoadTriples(%q) should fail", c)
+		}
+	}
+}
+
+func TestLoadTriplesCommentsAndTypes(t *testing.T) {
+	in := `
+# a comment
+alice type person
+alice knows bob
+bob a person
+`
+	g, err := LoadTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (type lines are not edges)", g.NumEdges())
+	}
+	p, ok := g.LabelIDOf("person")
+	if !ok || len(g.NodesWithType(p)) != 2 {
+		t.Fatal("type declarations not applied")
+	}
+}
+
+func TestWriteTriplesRejectsDuplicates(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("x")
+	b.AddNode("x")
+	g := b.Build()
+	if err := WriteTriples(&strings.Builder{}, g); err == nil {
+		t.Fatal("duplicate labels should not serialize")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, _ := buildSample(t)
+	s := ComputeStats(g)
+	if s.Nodes != 12 || s.Edges != 19 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Components != 1 {
+		t.Fatalf("sample graph should be connected, got %d components", s.Components)
+	}
+	if s.LargestComp != 12 {
+		t.Fatalf("largest component = %d, want 12", s.LargestComp)
+	}
+	if s.MaxDegree < 4 {
+		t.Fatalf("max degree = %d, want >= 4", s.MaxDegree)
+	}
+	if s.String() == "" || DegreeHistogram(g, 4) == "" {
+		t.Fatal("stats renderers returned empty strings")
+	}
+}
+
+func TestStatsDisconnected(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a")
+	b.AddNode("b")
+	c := b.AddNode("c")
+	d := b.AddNode("d")
+	b.AddEdge(c, "l", d)
+	s := ComputeStats(b.Build())
+	if s.Components != 3 {
+		t.Fatalf("components = %d, want 3", s.Components)
+	}
+	if s.LargestComp != 2 {
+		t.Fatalf("largest = %d, want 2", s.LargestComp)
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format read and written here is a whitespace-separated triple
+// per line, mirroring the paper's graph(id, source, edgeLabel, target)
+// relational layout:
+//
+//	<srcLabel> <edgeLabel> <dstLabel>
+//
+// Fields containing spaces are double-quoted. A triple whose edge label is
+// "type" (or the RDF shorthand "a") declares a node type rather than an
+// edge, as RDF loaders conventionally do for rdf:type. Lines starting with
+// '#' and blank lines are ignored. Node identity is by label, so this
+// format only round-trips graphs whose node labels are unique.
+
+// LoadTriples parses the triple format into a fresh graph.
+func LoadTriples(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	byLabel := make(map[string]NodeID)
+	node := func(label string) NodeID {
+		if id, ok := byLabel[label]; ok {
+			return id
+		}
+		id := b.AddNode(label)
+		byLabel[label] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitTriple(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		src, lbl, dst := fields[0], fields[1], fields[2]
+		if lbl == "type" || lbl == "a" {
+			b.AddType(node(src), dst)
+			continue
+		}
+		b.AddEdge(node(src), lbl, node(dst))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading triples: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteTriples writes g in the triple format understood by LoadTriples.
+// Nodes with duplicate or empty labels cannot be round-tripped and cause
+// an error.
+func WriteTriples(w io.Writer, g *Graph) error {
+	seen := make(map[string]NodeID, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		l := g.NodeLabel(NodeID(i))
+		if l == "" {
+			return fmt.Errorf("graph: node %d has empty label, not serializable", i)
+		}
+		if prev, dup := seen[l]; dup {
+			return fmt.Errorf("graph: nodes %d and %d share label %q, not serializable", prev, i, l)
+		}
+		seen[l] = NodeID(i)
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < g.NumNodes(); i++ {
+		n := NodeID(i)
+		for _, t := range g.NodeTypes(n) {
+			if _, err := fmt.Fprintf(bw, "%s type %s\n",
+				quoteField(g.NodeLabel(n)), quoteField(g.Labels().String(t))); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if _, err := fmt.Fprintf(bw, "%s %s %s\n",
+			quoteField(g.NodeLabel(e.Source)),
+			quoteField(g.Labels().String(e.Label)),
+			quoteField(g.NodeLabel(e.Target))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func quoteField(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"") {
+		return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+	}
+	return s
+}
+
+// splitTriple splits a line into whitespace-separated fields honoring
+// double quotes with backslash escapes.
+func splitTriple(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(line) {
+				c := line[i]
+				if c == '\\' && i+1 < len(line) {
+					sb.WriteByte(line[i+1])
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			fields = append(fields, sb.String())
+			continue
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		fields = append(fields, line[start:i])
+	}
+	return fields, nil
+}

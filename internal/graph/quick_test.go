@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property: on randomly built graphs, the adjacency structures are
+// mutually consistent — every edge appears exactly once in its source's
+// Out, its target's In, and both endpoints' Incident lists (once for
+// self-loops), and the label indexes cover exactly the matching elements.
+func TestQuickAdjacencyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	labels := []string{"", "x", "y", "z"}
+	for trial := 0; trial < 40; trial++ {
+		b := NewBuilder()
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			b.AddNode(labels[rng.Intn(len(labels))])
+		}
+		e := rng.Intn(40)
+		for i := 0; i < e; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), labels[rng.Intn(len(labels))], NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+
+		outCount, inCount, adjCount := 0, 0, 0
+		for i := 0; i < g.NumNodes(); i++ {
+			nd := NodeID(i)
+			outCount += len(g.Out(nd))
+			inCount += len(g.In(nd))
+			adjCount += len(g.Incident(nd))
+			for _, ed := range g.Out(nd) {
+				if g.Source(ed) != nd {
+					t.Fatalf("trial %d: Out list wrong", trial)
+				}
+			}
+			for _, ed := range g.In(nd) {
+				if g.Target(ed) != nd {
+					t.Fatalf("trial %d: In list wrong", trial)
+				}
+			}
+		}
+		if outCount != g.NumEdges() || inCount != g.NumEdges() {
+			t.Fatalf("trial %d: out=%d in=%d edges=%d", trial, outCount, inCount, g.NumEdges())
+		}
+		selfLoops := 0
+		for i := 0; i < g.NumEdges(); i++ {
+			ed := g.Edge(EdgeID(i))
+			if ed.Source == ed.Target {
+				selfLoops++
+			}
+		}
+		if adjCount != 2*g.NumEdges()-selfLoops {
+			t.Fatalf("trial %d: adj=%d want %d", trial, adjCount, 2*g.NumEdges()-selfLoops)
+		}
+
+		// Label indexes partition elements exactly.
+		nodeIdx := 0
+		for _, l := range []string{"x", "y", "z"} {
+			if id, ok := g.LabelIDOf(l); ok {
+				nodeIdx += len(g.NodesWithLabel(id))
+			}
+		}
+		labeled := 0
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.NodeLabel(NodeID(i)) != "" {
+				labeled++
+			}
+		}
+		if nodeIdx != labeled {
+			t.Fatalf("trial %d: node label index covers %d of %d", trial, nodeIdx, labeled)
+		}
+		edgeIdx := 0
+		for _, l := range []string{"", "x", "y", "z"} {
+			if id, ok := g.LabelIDOf(l); ok {
+				edgeIdx += len(g.EdgesWithLabel(id))
+			}
+		}
+		if edgeIdx != g.NumEdges() {
+			t.Fatalf("trial %d: edge label index covers %d of %d", trial, edgeIdx, g.NumEdges())
+		}
+	}
+}
+
+// Property: snapshots round-trip random graphs exactly.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder()
+		n := 1 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			b.AddNode(string(rune('a' + rng.Intn(5))))
+			if rng.Intn(3) == 0 {
+				b.AddType(NodeID(i), "t"+string(rune('0'+rng.Intn(3))))
+			}
+		}
+		for i := rng.Intn(25); i > 0; i-- {
+			b.AddEdge(NodeID(rng.Intn(n)), string(rune('p'+rng.Intn(3))), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: size mismatch", trial)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.Edge(EdgeID(i)) != g2.Edge(EdgeID(i)) {
+				t.Fatalf("trial %d: edge %d mismatch", trial, i)
+			}
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.NodeLabel(NodeID(i)) != g2.NodeLabel(NodeID(i)) {
+				t.Fatalf("trial %d: node %d label mismatch", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary snapshots persist a graph much faster than the triple text
+// format and, unlike it, round-trip graphs with duplicate or empty node
+// labels, node types, and string properties. The format is versioned and
+// little-endian:
+//
+//	magic "CTPG" | version u32 | label dictionary | node labels |
+//	node types | edges | node props | edge props
+//
+// Strings are length-prefixed (u32). The format is not meant for
+// cross-version durability guarantees — it is a cache, not an archive.
+
+const (
+	snapshotMagic   = "CTPG"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes g into w.
+func WriteSnapshot(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	putU32 := func(v uint32) {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		bw.Write(buf[:])
+	}
+	putStr := func(s string) {
+		putU32(uint32(len(s)))
+		bw.WriteString(s)
+	}
+	putU32(snapshotVersion)
+
+	// Label dictionary (index 0 is always ε; store all entries anyway so
+	// IDs survive verbatim).
+	putU32(uint32(g.labels.Len()))
+	for i := 0; i < g.labels.Len(); i++ {
+		putStr(g.labels.String(LabelID(i)))
+	}
+	// Nodes.
+	putU32(uint32(g.NumNodes()))
+	for _, l := range g.nodeLabel {
+		putU32(uint32(l))
+	}
+	for _, ts := range g.nodeTypes {
+		putU32(uint32(len(ts)))
+		for _, t := range ts {
+			putU32(uint32(t))
+		}
+	}
+	// Edges.
+	putU32(uint32(g.NumEdges()))
+	for _, e := range g.edges {
+		putU32(uint32(e.Source))
+		putU32(uint32(e.Label))
+		putU32(uint32(e.Target))
+	}
+	// Properties.
+	putU32(uint32(len(g.nodeProps)))
+	for p, m := range g.nodeProps {
+		putStr(p)
+		putU32(uint32(len(m)))
+		for n, v := range m {
+			putU32(uint32(n))
+			putStr(v)
+		}
+	}
+	putU32(uint32(len(g.edgeProps)))
+	for p, m := range g.edgeProps {
+		putStr(p)
+		putU32(uint32(len(m)))
+		for e, v := range m {
+			putU32(uint32(e))
+			putStr(v)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a graph written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("graph: not a snapshot (magic %q)", magic)
+	}
+	var readErr error
+	getU32 := func() uint32 {
+		if readErr != nil {
+			return 0
+		}
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			readErr = err
+			return 0
+		}
+		return binary.LittleEndian.Uint32(buf[:])
+	}
+	getStr := func() string {
+		n := getU32()
+		if readErr != nil {
+			return ""
+		}
+		if n > 1<<24 {
+			readErr = fmt.Errorf("graph: implausible string length %d", n)
+			return ""
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			readErr = err
+			return ""
+		}
+		return string(b)
+	}
+	if v := getU32(); v != snapshotVersion {
+		if readErr == nil {
+			readErr = fmt.Errorf("graph: unsupported snapshot version %d", v)
+		}
+		return nil, readErr
+	}
+
+	b := NewBuilder()
+	nLabels := getU32()
+	for i := uint32(0); i < nLabels && readErr == nil; i++ {
+		s := getStr()
+		if i == 0 {
+			continue // ε is pre-seeded
+		}
+		b.labels.Intern(s)
+	}
+	nNodes := getU32()
+	if readErr == nil && nNodes > 1<<28 {
+		return nil, fmt.Errorf("graph: implausible node count %d", nNodes)
+	}
+	labels := make([]LabelID, nNodes)
+	for i := range labels {
+		labels[i] = LabelID(getU32())
+	}
+	types := make([][]LabelID, nNodes)
+	for i := range types {
+		k := getU32()
+		if readErr != nil {
+			break
+		}
+		if k > 0 {
+			types[i] = make([]LabelID, k)
+			for j := range types[i] {
+				types[i][j] = LabelID(getU32())
+			}
+		}
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("graph: snapshot nodes: %w", readErr)
+	}
+	b.nodeLabel = labels
+	b.nodeTypes = types
+
+	nEdges := getU32()
+	if readErr == nil && nEdges > 1<<28 {
+		return nil, fmt.Errorf("graph: implausible edge count %d", nEdges)
+	}
+	for i := uint32(0); i < nEdges && readErr == nil; i++ {
+		src := NodeID(getU32())
+		lbl := LabelID(getU32())
+		dst := NodeID(getU32())
+		if readErr == nil {
+			if int(src) >= len(labels) || int(dst) >= len(labels) {
+				return nil, fmt.Errorf("graph: snapshot edge %d out of range", i)
+			}
+			b.edges = append(b.edges, Edge{Source: src, Target: dst, Label: lbl})
+		}
+	}
+	nProps := getU32()
+	for i := uint32(0); i < nProps && readErr == nil; i++ {
+		p := getStr()
+		k := getU32()
+		for j := uint32(0); j < k && readErr == nil; j++ {
+			n := NodeID(getU32())
+			v := getStr()
+			if readErr == nil {
+				b.SetNodeProp(n, p, v)
+			}
+		}
+	}
+	nEProps := getU32()
+	for i := uint32(0); i < nEProps && readErr == nil; i++ {
+		p := getStr()
+		k := getU32()
+		for j := uint32(0); j < k && readErr == nil; j++ {
+			e := EdgeID(getU32())
+			v := getStr()
+			if readErr == nil {
+				b.SetEdgeProp(e, p, v)
+			}
+		}
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("graph: snapshot body: %w", readErr)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddNode("alpha")
+	dup1 := b.AddNode("dup") // duplicate labels: triple text can't do this
+	dup2 := b.AddNode("dup")
+	anon := b.AddNodes(1) // empty label
+	b.AddType(a, "t1")
+	b.AddType(a, "t2")
+	e := b.AddEdge(a, "rel", dup1)
+	b.AddEdge(dup2, "rel", anon)
+	b.AddEdge(anon, "", a) // empty edge label
+	b.SetNodeProp(a, "age", "42")
+	b.SetEdgeProp(e, "since", "2001")
+	return b.Build()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := NodeID(i)
+		if g2.NodeLabel(n) != g.NodeLabel(n) {
+			t.Fatalf("node %d label %q != %q", i, g2.NodeLabel(n), g.NodeLabel(n))
+		}
+		if len(g2.NodeTypes(n)) != len(g.NodeTypes(n)) {
+			t.Fatalf("node %d types differ", i)
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := EdgeID(i)
+		if g2.Edge(e) != g.Edge(e) {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, g2.Edge(e), g.Edge(e))
+		}
+		if g2.EdgeLabel(e) != g.EdgeLabel(e) {
+			t.Fatalf("edge %d label differs", i)
+		}
+	}
+	if v, ok := g2.NodeProp("age", 0); !ok || v != "42" {
+		t.Fatal("node property lost")
+	}
+	if v, ok := g2.EdgeProp("since", 0); !ok || v != "2001" {
+		t.Fatal("edge property lost")
+	}
+	// Adjacency must be rebuilt identically.
+	for i := 0; i < g.NumNodes(); i++ {
+		if g2.Degree(NodeID(i)) != g.Degree(NodeID(i)) {
+			t.Fatalf("node %d degree differs", i)
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("CTPG"),                 // truncated after magic
+		[]byte("CTPG\x63\x00\x00\x00"), // wrong version
+		[]byte("CTPG\x01\x00\x00\x00\xff\xff\xff"), // truncated dictionary
+	}
+	for i, c := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestSnapshotRejectsTruncatedBody(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotRejectsOutOfRangeEdge(t *testing.T) {
+	// Hand-build a snapshot with an edge referencing node 9.
+	var buf bytes.Buffer
+	buf.WriteString("CTPG")
+	u32 := func(v uint32) { buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}) }
+	u32(1) // version
+	u32(1) // dictionary: only ε
+	u32(0) // ε string length
+	u32(1) // one node
+	u32(0) // its label
+	u32(0) // no types
+	u32(1) // one edge
+	u32(9) // source out of range
+	u32(0) // label
+	u32(0) // target
+	u32(0) // node props
+	u32(0) // edge props
+	if _, err := ReadSnapshot(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range edge accepted: %v", err)
+	}
+}

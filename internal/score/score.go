@@ -1,0 +1,133 @@
+// Package score provides the pluggable score functions of requirement R2:
+// CTP evaluation is orthogonal to scoring, so users pick (or register) any
+// function σ assigning a real number to each result tree — higher is
+// better — and the engine annotates and optionally TOP-k-restricts results
+// with it (Section 2, SCORE σ [TOP k]).
+//
+// The built-in functions cover the families the related work uses: sizes
+// (fewest edges, the Group Steiner Tree objective), edge weights, label
+// diversity (the "interesting connections" heuristic of the paper's
+// journalism motivation), and seed proximity.
+package score
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// registry maps names (as written after SCORE in EQL) to functions.
+var registry = map[string]core.ScoreFunc{
+	"size":      Size,
+	"compact":   Compactness,
+	"diversity": LabelDiversity,
+	"weight":    EdgeWeight,
+	"depth":     SeedProximity,
+}
+
+// Get resolves a score function by name.
+func Get(name string) (core.ScoreFunc, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Register adds or replaces a named score function; it is how downstream
+// applications plug their own σ. Registering an empty name or nil function
+// is an error.
+func Register(name string, f core.ScoreFunc) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("score: Register needs a name and a function")
+	}
+	registry[name] = f
+	return nil
+}
+
+// Names lists the registered score function names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size scores smaller trees higher: σ(t) = -|edges(t)|, the classical
+// Steiner-tree objective.
+func Size(g *graph.Graph, t *tree.Tree) float64 { return -float64(t.Size()) }
+
+// Compactness maps size into (0, 1]: σ(t) = 1/(1+|edges|), convenient when
+// combining with other components.
+func Compactness(g *graph.Graph, t *tree.Tree) float64 {
+	return 1 / (1 + float64(t.Size()))
+}
+
+// LabelDiversity rewards trees traversing many distinct edge labels — the
+// paper's journalism example prefers a chain of accounts and transfers
+// over a hop through a shared country node. Single-node trees score 0.
+func LabelDiversity(g *graph.Graph, t *tree.Tree) float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	seen := make(map[graph.LabelID]bool, t.Size())
+	for _, e := range t.Edges {
+		seen[g.EdgeLabelID(e)] = true
+	}
+	return float64(len(seen)) / float64(t.Size())
+}
+
+// EdgeWeight sums the numeric "weight" property over the tree's edges and
+// negates it (cheaper trees are better), the LANCET-style vertex/edge
+// weighted objective. Edges without the property count as weight 1.
+func EdgeWeight(g *graph.Graph, t *tree.Tree) float64 {
+	total := 0.0
+	for _, e := range t.Edges {
+		w := 1.0
+		if s, ok := g.EdgeProp("weight", e); ok {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				w = v
+			}
+		}
+		total += w
+	}
+	return -total
+}
+
+// SeedProximity scores by the negated tree eccentricity from its root:
+// trees whose root is close to all leaves rank higher. It is an example of
+// a structural score that is not monotone in tree size.
+func SeedProximity(g *graph.Graph, t *tree.Tree) float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	// BFS within the tree's edges from the root.
+	inSet := make(map[graph.EdgeID]bool, t.Size())
+	for _, e := range t.Edges {
+		inSet[e] = true
+	}
+	dist := map[graph.NodeID]int{t.Root: 0}
+	queue := []graph.NodeID{t.Root}
+	max := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Incident(n) {
+			if !inSet[e] {
+				continue
+			}
+			o := g.Other(e, n)
+			if _, ok := dist[o]; !ok {
+				dist[o] = dist[n] + 1
+				if dist[o] > max {
+					max = dist[o]
+				}
+				queue = append(queue, o)
+			}
+		}
+	}
+	return -float64(max)
+}

@@ -1,0 +1,125 @@
+package score
+
+import (
+	"testing"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+func sampleTree(t *testing.T) (*graph.Graph, *tree.Tree) {
+	t.Helper()
+	g := gen.Sample()
+	// t_alpha: Carole->OrgC, Doug->OrgC, Elon->Doug (edges 9, 8, 10).
+	nodes := tree.NodesOfEdges(g, []graph.EdgeID{8, 9, 10})
+	return g, &tree.Tree{Root: nodes[0], Edges: []graph.EdgeID{8, 9, 10}, Nodes: nodes}
+}
+
+func TestSize(t *testing.T) {
+	g, tr := sampleTree(t)
+	if Size(g, tr) != -3 {
+		t.Fatalf("Size = %v", Size(g, tr))
+	}
+	single := tree.NewInit(0, bitset.Single(0))
+	if Size(g, single) != 0 {
+		t.Fatal("single node size score should be 0")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	g, tr := sampleTree(t)
+	if got := Compactness(g, tr); got != 0.25 {
+		t.Fatalf("Compactness = %v", got)
+	}
+	if Compactness(g, tree.NewInit(0, nil)) != 1 {
+		t.Fatal("single-node compactness should be 1")
+	}
+}
+
+func TestLabelDiversity(t *testing.T) {
+	g, tr := sampleTree(t)
+	// Labels: investsIn, founded, parentOf — 3 distinct over 3 edges.
+	if got := LabelDiversity(g, tr); got != 1 {
+		t.Fatalf("diversity = %v, want 1", got)
+	}
+	if LabelDiversity(g, tree.NewInit(0, nil)) != 0 {
+		t.Fatal("single-node diversity should be 0")
+	}
+	// A tree with repeated labels scores below 1.
+	rep := &tree.Tree{Root: 0, Edges: []graph.EdgeID{4, 11}} // citizenOf x2
+	if got := LabelDiversity(g, rep); got != 0.5 {
+		t.Fatalf("repeated-label diversity = %v, want 0.5", got)
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	e1 := b.AddEdge(x, "t", y)
+	e2 := b.AddEdge(y, "t", z)
+	b.SetEdgeProp(e1, "weight", "2.5")
+	// e2 has no weight: defaults to 1.
+	g := b.Build()
+	nodes := tree.NodesOfEdges(g, []graph.EdgeID{e1, e2})
+	tr := &tree.Tree{Root: x, Edges: []graph.EdgeID{e1, e2}, Nodes: nodes}
+	if got := EdgeWeight(g, tr); got != -3.5 {
+		t.Fatalf("EdgeWeight = %v, want -3.5", got)
+	}
+}
+
+func TestSeedProximity(t *testing.T) {
+	w := gen.Line(2, 3, gen.Forward) // A - 3 intermediates - B: 4 edges
+	g := w.Graph
+	edges := make([]graph.EdgeID, g.NumEdges())
+	for i := range edges {
+		edges[i] = graph.EdgeID(i)
+	}
+	nodes := tree.NodesOfEdges(g, edges)
+	atEnd := &tree.Tree{Root: w.Seeds[0][0], Edges: edges, Nodes: nodes}
+	if got := SeedProximity(g, atEnd); got != -4 {
+		t.Fatalf("proximity from end = %v, want -4", got)
+	}
+	mid := &tree.Tree{Root: nodes[len(nodes)/2], Edges: edges, Nodes: nodes}
+	if got := SeedProximity(g, mid); got >= -1 || got < -4 {
+		t.Fatalf("proximity from middle = %v", got)
+	}
+	if SeedProximity(g, tree.NewInit(0, nil)) != 0 {
+		t.Fatal("single-node proximity should be 0")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"size", "compact", "diversity", "weight", "depth"} {
+		if _, ok := Get(name); !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if err := Register("", Size); err == nil {
+		t.Fatal("empty name should be rejected")
+	}
+	if err := Register("custom", nil); err == nil {
+		t.Fatal("nil func should be rejected")
+	}
+	if err := Register("custom", Size); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Get("custom"); !ok {
+		t.Fatal("registered name not found")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing custom", Names())
+	}
+}

@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Property: NaturalJoin agrees with a naive nested-loop join on random
+// tables sharing a random subset of columns.
+func TestQuickNaturalJoinAgainstNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		// Random schemas over a tiny column universe so overlaps happen.
+		universe := []string{"a", "b", "c", "d"}
+		colsA := randomCols(rng, universe)
+		colsB := randomCols(rng, universe)
+		ta := randomTable(rng, colsA, 1+rng.Intn(8), 4)
+		tb := randomTable(rng, colsB, 1+rng.Intn(8), 4)
+
+		got := NaturalJoin(ta, tb)
+		want := nestedLoopJoin(ta, tb)
+		if got.NumRows() != len(want) {
+			t.Fatalf("trial %d: join rows = %d, want %d\nA:\n%sB:\n%s",
+				trial, got.NumRows(), len(want), ta, tb)
+		}
+		gotSet := map[string]int{}
+		for i := 0; i < got.NumRows(); i++ {
+			gotSet[rowKey(got.Row(i))]++
+		}
+		wantSet := map[string]int{}
+		for _, r := range want {
+			wantSet[rowKey(r)]++
+		}
+		for k, n := range wantSet {
+			if gotSet[k] != n {
+				t.Fatalf("trial %d: multiplicity mismatch for %q: %d vs %d",
+					trial, k, gotSet[k], n)
+			}
+		}
+	}
+}
+
+func randomCols(rng *rand.Rand, universe []string) []string {
+	n := 1 + rng.Intn(3)
+	perm := rng.Perm(len(universe))
+	cols := make([]string, n)
+	for i := 0; i < n; i++ {
+		cols[i] = universe[perm[i]]
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+func randomTable(rng *rand.Rand, cols []string, rows, domain int) *Table {
+	t := NewTable(cols...)
+	for i := 0; i < rows; i++ {
+		vals := make([]int32, len(cols))
+		for j := range vals {
+			vals[j] = int32(rng.Intn(domain))
+		}
+		t.AddRow(vals...)
+	}
+	return t
+}
+
+// nestedLoopJoin is the obviously correct reference: for every row pair,
+// check shared-column equality and emit a's row followed by b's extras.
+func nestedLoopJoin(a, b *Table) [][]int32 {
+	var shared [][2]int
+	var bExtra []int
+	for bi, c := range b.Cols() {
+		if ai := a.Column(c); ai >= 0 {
+			shared = append(shared, [2]int{ai, bi})
+		} else {
+			bExtra = append(bExtra, bi)
+		}
+	}
+	var out [][]int32
+	for i := 0; i < a.NumRows(); i++ {
+		ra := a.Row(i)
+		for j := 0; j < b.NumRows(); j++ {
+			rb := b.Row(j)
+			match := true
+			for _, s := range shared {
+				if ra[s[0]] != rb[s[1]] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			row := append(append([]int32{}, ra...), pick(rb, bExtra)...)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func pick(row []int32, idx []int) []int32 {
+	out := make([]int32, len(idx))
+	for i, j := range idx {
+		out[i] = row[j]
+	}
+	return out
+}
+
+func rowKey(r []int32) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,260 @@
+// Package storage provides the relational substrate the paper delegates to
+// PostgreSQL (Section 5.1): the graph(id, source, edgeLabel, target) triple
+// table, binding tables with projection / selection / natural hash joins
+// (used by the EQL evaluation strategy's steps A and C, Section 3), and an
+// iterative WITH RECURSIVE-style path evaluator backing the Postgres
+// baseline of Section 5.5.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a column-named relation of int32 tuples. Values are graph node
+// IDs, edge IDs, or CTP result handles, depending on the column. The zero
+// Table is empty and unusable; create tables with NewTable.
+type Table struct {
+	cols []string
+	idx  map[string]int
+	rows [][]int32
+}
+
+// NewTable creates an empty table with the given column names. Column
+// names must be distinct.
+func NewTable(cols ...string) *Table {
+	t := &Table{cols: append([]string(nil), cols...), idx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.idx[c]; dup {
+			panic(fmt.Sprintf("storage: duplicate column %q", c))
+		}
+		t.idx[c] = i
+	}
+	return t
+}
+
+// Cols returns the column names. Callers must not modify the slice.
+func (t *Table) Cols() []string { return t.cols }
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th tuple (shared storage).
+func (t *Table) Row(i int) []int32 { return t.rows[i] }
+
+// Column returns the index of the named column, or -1.
+func (t *Table) Column(name string) int {
+	if i, ok := t.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasColumn reports whether the table has the named column.
+func (t *Table) HasColumn(name string) bool { return t.Column(name) >= 0 }
+
+// AddRow appends a tuple; the value count must match the column count.
+func (t *Table) AddRow(vals ...int32) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("storage: AddRow with %d values into %d columns", len(vals), len(t.cols)))
+	}
+	row := make([]int32, len(vals))
+	copy(row, vals)
+	t.rows = append(t.rows, row)
+}
+
+// addRowNoCopy appends a tuple assuming ownership of the slice.
+func (t *Table) addRowNoCopy(row []int32) { t.rows = append(t.rows, row) }
+
+// Project returns a new table with only the named columns, in the given
+// order. Duplicates rows are preserved; combine with Distinct if needed.
+// Unknown columns are an error.
+func (t *Table) Project(cols ...string) (*Table, error) {
+	out := NewTable(cols...)
+	srcIdx := make([]int, len(cols))
+	for i, c := range cols {
+		j := t.Column(c)
+		if j < 0 {
+			return nil, fmt.Errorf("storage: projection on unknown column %q", c)
+		}
+		srcIdx[i] = j
+	}
+	for _, row := range t.rows {
+		nr := make([]int32, len(cols))
+		for i, j := range srcIdx {
+			nr[i] = row[j]
+		}
+		out.addRowNoCopy(nr)
+	}
+	return out, nil
+}
+
+// Distinct returns a copy of t without duplicate rows, preserving first
+// occurrence order.
+func (t *Table) Distinct() *Table {
+	out := NewTable(t.cols...)
+	seen := make(map[string]bool, len(t.rows))
+	var sb strings.Builder
+	for _, row := range t.rows {
+		sb.Reset()
+		for _, v := range row {
+			var buf [4]byte
+			buf[0] = byte(v)
+			buf[1] = byte(v >> 8)
+			buf[2] = byte(v >> 16)
+			buf[3] = byte(v >> 24)
+			sb.Write(buf[:])
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out.addRowNoCopy(row)
+		}
+	}
+	return out
+}
+
+// Select returns the rows satisfying pred. The predicate receives shared
+// row storage and must not retain or modify it.
+func (t *Table) Select(pred func(row []int32) bool) *Table {
+	out := NewTable(t.cols...)
+	for _, row := range t.rows {
+		if pred(row) {
+			out.addRowNoCopy(row)
+		}
+	}
+	return out
+}
+
+// ColumnValues returns the distinct values of the named column, sorted.
+func (t *Table) ColumnValues(name string) ([]int32, error) {
+	i := t.Column(name)
+	if i < 0 {
+		return nil, fmt.Errorf("storage: unknown column %q", name)
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, row := range t.rows {
+		if !seen[row[i]] {
+			seen[row[i]] = true
+			out = append(out, row[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// NaturalJoin hash-joins a and b on all shared columns. With no shared
+// columns it degrades to a cross product, as SQL's NATURAL JOIN does. The
+// output columns are a's columns followed by b's non-shared columns.
+func NaturalJoin(a, b *Table) *Table {
+	var shared []string
+	for _, c := range a.cols {
+		if b.HasColumn(c) {
+			shared = append(shared, c)
+		}
+	}
+	var bExtra []string
+	for _, c := range b.cols {
+		if !a.HasColumn(c) {
+			bExtra = append(bExtra, c)
+		}
+	}
+	out := NewTable(append(append([]string(nil), a.cols...), bExtra...)...)
+
+	if len(shared) == 0 {
+		for _, ra := range a.rows {
+			for _, rb := range b.rows {
+				out.addRowNoCopy(joinRows(ra, rb, nil, b))
+			}
+		}
+		return out
+	}
+
+	// Build on the smaller side for memory locality; probe the larger.
+	build, probe := b, a
+	buildIsB := true
+	if a.NumRows() < b.NumRows() {
+		build, probe = a, b
+		buildIsB = false
+	}
+	bKey := make([]int, len(shared))
+	pKey := make([]int, len(shared))
+	for i, c := range shared {
+		bKey[i] = build.Column(c)
+		pKey[i] = probe.Column(c)
+	}
+	ht := make(map[string][]int, build.NumRows())
+	var sb strings.Builder
+	keyOf := func(row []int32, idx []int) string {
+		sb.Reset()
+		for _, i := range idx {
+			v := row[i]
+			var buf [4]byte
+			buf[0] = byte(v)
+			buf[1] = byte(v >> 8)
+			buf[2] = byte(v >> 16)
+			buf[3] = byte(v >> 24)
+			sb.Write(buf[:])
+		}
+		return sb.String()
+	}
+	for i, row := range build.rows {
+		k := keyOf(row, bKey)
+		ht[k] = append(ht[k], i)
+	}
+	bExtraIdx := make([]int, len(bExtra))
+	for i, c := range bExtra {
+		bExtraIdx[i] = b.Column(c)
+	}
+	for _, pr := range probe.rows {
+		matches := ht[keyOf(pr, pKey)]
+		for _, mi := range matches {
+			br := build.rows[mi]
+			var ra, rb []int32
+			if buildIsB {
+				ra, rb = pr, br
+			} else {
+				ra, rb = br, pr
+			}
+			nr := make([]int32, 0, len(a.cols)+len(bExtra))
+			nr = append(nr, ra...)
+			for _, j := range bExtraIdx {
+				nr = append(nr, rb[j])
+			}
+			out.addRowNoCopy(nr)
+		}
+	}
+	return out
+}
+
+func joinRows(ra, rb []int32, bExtraIdx []int, b *Table) []int32 {
+	nr := make([]int32, 0, len(ra)+len(rb))
+	nr = append(nr, ra...)
+	if bExtraIdx == nil {
+		nr = append(nr, rb...)
+		return nr
+	}
+	for _, j := range bExtraIdx {
+		nr = append(nr, rb[j])
+	}
+	return nr
+}
+
+// String renders a small table for debugging and tests.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.cols, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			fmt.Fprintf(&sb, "%d", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,255 @@
+package tree
+
+import (
+	"sort"
+
+	"ctpquery/internal/graph"
+)
+
+// NodesOfEdges returns the sorted distinct endpoints of a set of edges.
+func NodesOfEdges(g *graph.Graph, edges []graph.EdgeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(edges)+1)
+	for _, e := range edges {
+		ed := g.Edge(e)
+		seen[ed.Source] = struct{}{}
+		seen[ed.Target] = struct{}{}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsTree reports whether the edge set forms a single tree: connected and
+// acyclic (|nodes| == |edges|+1 with all edges in one component). An empty
+// edge set is a (degenerate, single-node) tree only from the caller's
+// perspective; here it returns true.
+func IsTree(g *graph.Graph, edges []graph.EdgeID) bool {
+	if len(edges) == 0 {
+		return true
+	}
+	nodes := NodesOfEdges(g, edges)
+	if len(nodes) != len(edges)+1 {
+		return false
+	}
+	inSet := make(map[graph.EdgeID]struct{}, len(edges))
+	for _, e := range edges {
+		inSet[e] = struct{}{}
+	}
+	// BFS over tree edges from an arbitrary node.
+	visited := map[graph.NodeID]struct{}{nodes[0]: {}}
+	queue := []graph.NodeID{nodes[0]}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Incident(n) {
+			if _, ok := inSet[e]; !ok {
+				continue
+			}
+			o := g.Other(e, n)
+			if _, ok := visited[o]; !ok {
+				visited[o] = struct{}{}
+				queue = append(queue, o)
+			}
+		}
+	}
+	return len(visited) == len(nodes)
+}
+
+// Leaves returns the nodes adjacent to exactly one edge of the set.
+func Leaves(g *graph.Graph, edges []graph.EdgeID) []graph.NodeID {
+	deg := make(map[graph.NodeID]int, len(edges)+1)
+	for _, e := range edges {
+		ed := g.Edge(e)
+		deg[ed.Source]++
+		deg[ed.Target]++
+	}
+	var out []graph.NodeID
+	for n, d := range deg {
+		if d == 1 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Minimize removes, iteratively, every leaf that is not a seed, returning
+// the minimal subtree whose leaves are all seeds. This is the minimization
+// step breadth-first algorithms must apply before reporting a result
+// (Section 4.1). The input slice is not modified.
+func Minimize(g *graph.Graph, edges []graph.EdgeID, isSeed func(graph.NodeID) bool) []graph.EdgeID {
+	// Work on degree counts and an edge-per-node index restricted to the set.
+	deg := make(map[graph.NodeID]int, len(edges)+1)
+	alive := make(map[graph.EdgeID]bool, len(edges))
+	for _, e := range edges {
+		alive[e] = true
+		ed := g.Edge(e)
+		deg[ed.Source]++
+		deg[ed.Target]++
+	}
+	// Repeatedly peel non-seed leaves.
+	var peel []graph.NodeID
+	for n, d := range deg {
+		if d == 1 && !isSeed(n) {
+			peel = append(peel, n)
+		}
+	}
+	for len(peel) > 0 {
+		n := peel[len(peel)-1]
+		peel = peel[:len(peel)-1]
+		if deg[n] != 1 || isSeed(n) {
+			continue
+		}
+		// Find the unique alive edge at n.
+		for _, e := range g.Incident(n) {
+			if !alive[e] {
+				continue
+			}
+			alive[e] = false
+			o := g.Other(e, n)
+			deg[n]--
+			deg[o]--
+			if deg[o] == 1 && !isSeed(o) {
+				peel = append(peel, o)
+			}
+			break
+		}
+	}
+	out := make([]graph.EdgeID, 0, len(edges))
+	for _, e := range edges {
+		if alive[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Decompose returns the simple tree decomposition θ(t) of Definition 4.6:
+// the partition of the edge set into simple edge sets, obtained by cutting
+// the tree at every internal seed node. Each element is a sorted edge
+// slice. isSeed classifies nodes.
+func Decompose(g *graph.Graph, edges []graph.EdgeID, isSeed func(graph.NodeID) bool) [][]graph.EdgeID {
+	if len(edges) == 0 {
+		return nil
+	}
+	inSet := make(map[graph.EdgeID]bool, len(edges))
+	for _, e := range edges {
+		inSet[e] = true
+	}
+	deg := make(map[graph.NodeID]int)
+	for _, e := range edges {
+		ed := g.Edge(e)
+		deg[ed.Source]++
+		deg[ed.Target]++
+	}
+	// A "piece" is a maximal connected set of edges not crossing an
+	// internal seed node (seeds with degree >= 2 in t) nor a leaf seed:
+	// traversal stops at every seed, so pieces meet only at seed nodes.
+	assigned := make(map[graph.EdgeID]bool, len(edges))
+	var pieces [][]graph.EdgeID
+	for _, start := range edges {
+		if assigned[start] {
+			continue
+		}
+		piece := []graph.EdgeID{}
+		queue := []graph.EdgeID{start}
+		assigned[start] = true
+		for len(queue) > 0 {
+			e := queue[0]
+			queue = queue[1:]
+			piece = append(piece, e)
+			ed := g.Edge(e)
+			for _, n := range [2]graph.NodeID{ed.Source, ed.Target} {
+				if isSeed(n) {
+					continue // pieces do not extend through seeds
+				}
+				for _, e2 := range g.Incident(n) {
+					if inSet[e2] && !assigned[e2] {
+						assigned[e2] = true
+						queue = append(queue, e2)
+					}
+				}
+			}
+		}
+		sort.Slice(piece, func(i, j int) bool { return piece[i] < piece[j] })
+		pieces = append(pieces, piece)
+	}
+	return pieces
+}
+
+// PieceLeafSeeds returns the seed nodes incident to a decomposition piece;
+// for a simple edge set these are exactly its leaves that matter for the
+// p-simple classification (Definition 4.5).
+func PieceLeafSeeds(g *graph.Graph, piece []graph.EdgeID, isSeed func(graph.NodeID) bool) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	for _, e := range piece {
+		ed := g.Edge(e)
+		for _, n := range [2]graph.NodeID{ed.Source, ed.Target} {
+			if isSeed(n) && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PiecewiseSimple returns the largest number of seed leaves over all
+// pieces of θ(t), i.e. the least p for which the result is p-piecewise
+// simple (Definition 4.7). Results that are single nodes return 0.
+func PiecewiseSimple(g *graph.Graph, edges []graph.EdgeID, isSeed func(graph.NodeID) bool) int {
+	max := 0
+	for _, piece := range Decompose(g, edges, isSeed) {
+		if n := len(PieceLeafSeeds(g, piece, isSeed)); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// UnidirectionalRoot searches for a node r of the edge set from which a
+// directed path (following edge direction) reaches every other node of the
+// set. It returns the first such node in ID order, implementing the UNI
+// filter check of Section 2. The second result is false when no such root
+// exists.
+func UnidirectionalRoot(g *graph.Graph, edges []graph.EdgeID) (graph.NodeID, bool) {
+	if len(edges) == 0 {
+		return 0, false
+	}
+	nodes := NodesOfEdges(g, edges)
+	inSet := make(map[graph.EdgeID]bool, len(edges))
+	for _, e := range edges {
+		inSet[e] = true
+	}
+	// In a tree, a directed root must have in-degree 0 within the tree and
+	// every other node in-degree exactly 1; checking that is O(E).
+	indeg := make(map[graph.NodeID]int, len(nodes))
+	for _, e := range edges {
+		indeg[g.Target(e)]++
+	}
+	var root graph.NodeID
+	found := false
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			if found {
+				return 0, false // two sources: some node unreachable
+			}
+			root, found = n, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	for _, n := range nodes {
+		if n != root && indeg[n] != 1 {
+			return 0, false
+		}
+	}
+	return root, true
+}

@@ -1,0 +1,319 @@
+// Package tree implements the rooted trees, edge sets, and provenances of
+// Section 4: the objects that connection-search algorithms grow, merge, and
+// prune. A Tree is an immutable set of graph edges forming a tree, plus one
+// distinguished root node and the provenance formula (Init / Grow / Merge /
+// Mo, Definition 4.1) that built it.
+//
+// Identity comes in two flavors, mirroring the paper:
+//
+//   - the edge-set key (EdgeKey) identifies the tree as a plain set of
+//     edges, the notion Edge-Set Pruning (Definition 4.3) operates on;
+//   - the rooted key (RootedKey) additionally distinguishes the root, the
+//     notion plain GAM deduplicates on.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/graph"
+)
+
+// Kind enumerates the provenance constructors of Definition 4.1, plus the
+// Mo constructor of Section 4.5.
+type Kind uint8
+
+// Provenance kinds.
+const (
+	Init Kind = iota
+	Grow
+	Merge
+	Mo
+)
+
+// String returns the constructor name.
+func (k Kind) String() string {
+	switch k {
+	case Init:
+		return "Init"
+	case Grow:
+		return "Grow"
+	case Merge:
+		return "Merge"
+	case Mo:
+		return "Mo"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Tree is a rooted tree with provenance. Trees are immutable after
+// construction; Grow/Merge/Mo build new values sharing no mutable state.
+type Tree struct {
+	Root  graph.NodeID
+	Edges []graph.EdgeID // sorted ascending, no duplicates
+	Nodes []graph.NodeID // sorted ascending, no duplicates
+
+	// Sat is sat(t): the bit for seed set i is on iff the tree contains a
+	// node from S_i (Observation 1).
+	Sat bitset.Bits
+
+	// Provenance. Left is the child of Grow and Mo, and the first child of
+	// Merge; Right is the second child of Merge. GrowEdge is the edge a
+	// Grow step added.
+	Kind     Kind
+	Left     *Tree
+	Right    *Tree
+	GrowEdge graph.EdgeID
+
+	// HasMo reports whether any step of the provenance is Mo; Grow is
+	// disabled on such trees (Section 4.5).
+	HasMo bool
+
+	// SeedPath reports whether the tree is an (n,s)-rooted path in the
+	// sense of Definition 4.4: a path from a single seed s to the root,
+	// with no other seed on it. Init trees are 0-edge seed paths.
+	SeedPath bool
+
+	edgeKey string // cached EdgeKey
+}
+
+// NewInit builds Init(n) for a seed n whose seed-set memberships are sat.
+func NewInit(n graph.NodeID, sat bitset.Bits) *Tree {
+	return &Tree{
+		Root:     n,
+		Nodes:    []graph.NodeID{n},
+		Sat:      sat.Clone(),
+		Kind:     Init,
+		SeedPath: true,
+	}
+}
+
+// NewGrow builds Grow(t, e): the tree with t's edges plus e, rooted at the
+// endpoint of e opposite t's root. rootSat is the seed-set membership mask
+// of the new root (empty for non-seeds). The caller must have checked the
+// Grow preconditions (Grow1, Grow2).
+func NewGrow(t *Tree, e graph.EdgeID, newRoot graph.NodeID, rootSat bitset.Bits) *Tree {
+	return &Tree{
+		Root:     newRoot,
+		Edges:    insertSortedEdge(t.Edges, e),
+		Nodes:    insertSortedNode(t.Nodes, newRoot),
+		Sat:      t.Sat.Union(rootSat),
+		Kind:     Grow,
+		Left:     t,
+		GrowEdge: e,
+		HasMo:    t.HasMo,
+		SeedPath: t.SeedPath && rootSat.IsEmpty(),
+	}
+}
+
+// NewMerge builds Merge(t1, t2) for trees sharing exactly their root. The
+// caller must have checked the Merge preconditions (Merge1, Merge2).
+func NewMerge(t1, t2 *Tree) *Tree {
+	return &Tree{
+		Root:  t1.Root,
+		Edges: unionSortedEdges(t1.Edges, t2.Edges),
+		Nodes: unionSortedNodes(t1.Nodes, t2.Nodes),
+		Sat:   t1.Sat.Union(t2.Sat),
+		Kind:  Merge,
+		Left:  t1,
+		Right: t2,
+		HasMo: t1.HasMo || t2.HasMo,
+	}
+}
+
+// NewMo builds Mo(t, r): the same edge set as t re-rooted at seed node r
+// (Section 4.5). r must be a node of t distinct from its root.
+func NewMo(t *Tree, r graph.NodeID) *Tree {
+	return &Tree{
+		Root:    r,
+		Edges:   t.Edges, // immutable, safe to share
+		Nodes:   t.Nodes,
+		Sat:     t.Sat,
+		Kind:    Mo,
+		Left:    t,
+		HasMo:   true,
+		edgeKey: t.edgeKey,
+	}
+}
+
+// Size returns the number of edges.
+func (t *Tree) Size() int { return len(t.Edges) }
+
+// ContainsNode reports whether n is a node of t.
+func (t *Tree) ContainsNode(n graph.NodeID) bool {
+	i := sort.Search(len(t.Nodes), func(i int) bool { return t.Nodes[i] >= n })
+	return i < len(t.Nodes) && t.Nodes[i] == n
+}
+
+// ContainsEdge reports whether e is an edge of t.
+func (t *Tree) ContainsEdge(e graph.EdgeID) bool {
+	i := sort.Search(len(t.Edges), func(i int) bool { return t.Edges[i] >= e })
+	return i < len(t.Edges) && t.Edges[i] == e
+}
+
+// OverlapOnlyRoot reports whether the node sets of t1 and t2 intersect in
+// exactly their (shared) root — the Merge1 precondition. It assumes
+// t1.Root == t2.Root.
+func OverlapOnlyRoot(t1, t2 *Tree) bool {
+	i, j := 0, 0
+	common := 0
+	for i < len(t1.Nodes) && j < len(t2.Nodes) {
+		switch {
+		case t1.Nodes[i] < t2.Nodes[j]:
+			i++
+		case t1.Nodes[i] > t2.Nodes[j]:
+			j++
+		default:
+			if t1.Nodes[i] != t1.Root {
+				return false
+			}
+			common++
+			i++
+			j++
+		}
+	}
+	return common == 1
+}
+
+// EdgeKey returns a compact string identifying the edge set. Trees with
+// equal edge sets return equal keys. The key is cached.
+func (t *Tree) EdgeKey() string {
+	if t.edgeKey == "" && len(t.Edges) > 0 {
+		t.edgeKey = EdgeSetKey(t.Edges)
+	}
+	return t.edgeKey
+}
+
+// RootedKey returns a key identifying (root, edge set) pairs.
+func (t *Tree) RootedKey() string {
+	var buf [4]byte
+	putNode(&buf, t.Root)
+	return string(buf[:]) + t.EdgeKey()
+}
+
+// EdgeSetKey encodes a sorted edge-ID slice as a map key.
+func EdgeSetKey(edges []graph.EdgeID) string {
+	var sb strings.Builder
+	sb.Grow(4 * len(edges))
+	var buf [4]byte
+	for _, e := range edges {
+		buf[0] = byte(e)
+		buf[1] = byte(e >> 8)
+		buf[2] = byte(e >> 16)
+		buf[3] = byte(e >> 24)
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+func putNode(buf *[4]byte, n graph.NodeID) {
+	buf[0] = byte(n)
+	buf[1] = byte(n >> 8)
+	buf[2] = byte(n >> 16)
+	buf[3] = byte(n >> 24)
+}
+
+// ProvenanceString renders the provenance formula, e.g.
+// Merge(Grow(Init(3),e7),Init(5)). Intended for tests and debugging.
+func (t *Tree) ProvenanceString() string {
+	var sb strings.Builder
+	t.writeProv(&sb)
+	return sb.String()
+}
+
+func (t *Tree) writeProv(sb *strings.Builder) {
+	switch t.Kind {
+	case Init:
+		fmt.Fprintf(sb, "Init(%d)", t.Root)
+	case Grow:
+		sb.WriteString("Grow(")
+		t.Left.writeProv(sb)
+		fmt.Fprintf(sb, ",e%d)", t.GrowEdge)
+	case Merge:
+		sb.WriteString("Merge(")
+		t.Left.writeProv(sb)
+		sb.WriteString(",")
+		t.Right.writeProv(sb)
+		sb.WriteString(")")
+	case Mo:
+		sb.WriteString("Mo(")
+		t.Left.writeProv(sb)
+		fmt.Fprintf(sb, ",%d)", t.Root)
+	}
+}
+
+// String renders the tree as root plus sorted edge IDs.
+func (t *Tree) String() string {
+	parts := make([]string, len(t.Edges))
+	for i, e := range t.Edges {
+		parts[i] = fmt.Sprintf("e%d", e)
+	}
+	return fmt.Sprintf("root=%d {%s}", t.Root, strings.Join(parts, ","))
+}
+
+func insertSortedEdge(s []graph.EdgeID, e graph.EdgeID) []graph.EdgeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	out := make([]graph.EdgeID, len(s)+1)
+	copy(out, s[:i])
+	out[i] = e
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+func insertSortedNode(s []graph.NodeID, n graph.NodeID) []graph.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
+	out := make([]graph.NodeID, len(s)+1)
+	copy(out, s[:i])
+	out[i] = n
+	copy(out[i+1:], s[i:])
+	return out
+}
+
+// unionSortedEdges merges two sorted, disjoint edge slices.
+func unionSortedEdges(a, b []graph.EdgeID) []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default: // defensive: shared edge (callers guarantee disjointness)
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// unionSortedNodes merges two sorted node slices, deduplicating the nodes
+// they share (for Merge inputs, exactly the root).
+func unionSortedNodes(a, b []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -2,7 +2,7 @@
 // as testing.B targets (run with `go test -bench=. -benchmem`); each bench
 // measures representative points of the corresponding experiment, while
 // cmd/expdriver prints the full sweep in the paper's row format.
-// EXPERIMENTS.md records the expected shapes.
+// DESIGN.md §4 records the expected shapes.
 package ctpquery
 
 import (

@@ -1,0 +1,130 @@
+// Command ctpserve loads a graph once and serves Extended Query Language
+// queries over HTTP, concurrently: the immutable graph needs no locking,
+// so requests run in parallel up to whatever the hardware sustains.
+//
+// Usage:
+//
+//	ctpserve -graph data.triples                 # or a .snap snapshot
+//	ctpserve -sample fig1                        # the paper's Figure 1 graph
+//	ctpserve -random 5000x20000 -seed 7          # generated random graph
+//
+// Endpoints:
+//
+//	POST /query    {"query": "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 4 . }",
+//	                "timeout_ms": 500, "algorithm": "MoLESP", "max_rows": 100}
+//	               -> rows (node bindings + connecting trees), timings, flags
+//	GET  /healthz  liveness + graph size
+//	GET  /stats    request metrics (counts, timeouts, in-flight, avg latency)
+//
+// Each request gets its own evaluation context: its timeout (capped by
+// -max-timeout) bounds the CTP searches and an expiring budget returns
+// the partial results found so far with "timed_out": true, per the
+// paper's TIMEOUT semantics. -algo sets the default CTP algorithm;
+// requests may override it per query. The server shuts down gracefully
+// on SIGINT/SIGTERM, draining in-flight queries.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctpquery"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8372", "listen address")
+		graphPath      = flag.String("graph", "", "graph file (triples, or .snap binary snapshot)")
+		sample         = flag.String("sample", "", "use a built-in graph instead of -graph (fig1)")
+		random         = flag.String("random", "", "generate a random connected graph, NODESxEDGES (e.g. 5000x20000)")
+		seed           = flag.Int64("seed", 1, "random graph seed")
+		algoName       = flag.String("algo", "MoLESP", "default CTP algorithm")
+		parallel       = flag.Bool("parallel", true, "evaluate a query's CTPs concurrently")
+		defaultTimeout = flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets no timeout_ms (0 = none)")
+		maxTimeout     = flag.Duration("max-timeout", time.Minute, "cap on requested timeouts (0 = uncapped)")
+		maxRows        = flag.Int("max-rows", 1000, "cap on rows serialized per response (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*addr, *graphPath, *sample, *random, *seed, *algoName, *parallel,
+		*defaultTimeout, *maxTimeout, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "ctpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, graphPath, sample, random string, seed int64, algoName string, parallel bool,
+	defaultTimeout, maxTimeout time.Duration, maxRows int) error {
+	g, desc, err := loadGraph(graphPath, sample, random, seed)
+	if err != nil {
+		return err
+	}
+	db, err := ctpquery.Open(g, &ctpquery.Options{Algorithm: algoName, Parallel: parallel})
+	if err != nil {
+		return err
+	}
+	s, err := newServer(db, defaultTimeout, maxTimeout, maxRows)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("graph %s: %d nodes, %d edges; algorithm %s",
+		desc, g.NumNodes(), g.NumEdges(), db.Options().Algorithm)
+	srv := &http.Server{Addr: addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func loadGraph(path, sample, random string, seed int64) (*ctpquery.Graph, string, error) {
+	switch {
+	case random != "":
+		var n, e int
+		if _, err := fmt.Sscanf(strings.ToLower(random), "%dx%d", &n, &e); err != nil || n < 1 {
+			return nil, "", fmt.Errorf("bad -random %q, want NODESxEDGES (e.g. 5000x20000)", random)
+		}
+		return ctpquery.RandomGraph(n, e, []string{"knows", "cites", "funds", "worksFor"}, seed),
+			fmt.Sprintf("random(%dx%d, seed %d)", n, e, seed), nil
+	case sample != "":
+		if sample != "fig1" {
+			return nil, "", fmt.Errorf("unknown -sample %q (have: fig1)", sample)
+		}
+		return ctpquery.SampleGraph(), "sample fig1", nil
+	case path != "":
+		g, err := ctpquery.OpenGraph(path)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, path, nil
+	}
+	return nil, "", fmt.Errorf("need -graph FILE, -sample fig1, or -random NODESxEDGES")
+}

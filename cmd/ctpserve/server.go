@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ctpquery"
+)
+
+// server serves concurrent EQL queries over one immutable graph. The
+// graph is loaded once and shared by every DB handle, so a request
+// picking its own algorithm only costs a small engine struct. All
+// mutable state is the atomic request metrics, keeping every handler
+// safe under arbitrary concurrency.
+type server struct {
+	base *ctpquery.DB
+
+	defaultTimeout time.Duration // per-request budget when the request names none
+	maxTimeout     time.Duration // hard cap on requested budgets (0 = uncapped)
+	maxRows        int           // default response row cap (0 = unlimited)
+
+	started  time.Time
+	requests atomic.Int64
+	failures atomic.Int64
+	timeouts atomic.Int64
+	inFlight atomic.Int64
+	busyNS   atomic.Int64 // total completed-handler time, for the average latency
+}
+
+// newServer builds a server over db.
+func newServer(db *ctpquery.DB, defaultTimeout, maxTimeout time.Duration, maxRows int) (*server, error) {
+	return &server{
+		base:           db,
+		defaultTimeout: defaultTimeout,
+		maxTimeout:     maxTimeout,
+		maxRows:        maxRows,
+		started:        time.Now(),
+	}, nil
+}
+
+// handler returns the HTTP routes: POST /query, GET /healthz, GET /stats.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// queryRequest is the JSON body of POST /query.
+type queryRequest struct {
+	// Query is the EQL query text (required).
+	Query string `json:"query"`
+	// TimeoutMS bounds this request's CTP searches, in milliseconds;
+	// capped by the server's -max-timeout. 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Algorithm overrides the server's CTP algorithm for this request
+	// (BFT, BFT-M, BFT-AM, GAM, ESP, MoESP, LESP, MoLESP).
+	Algorithm string `json:"algorithm"`
+	// MaxRows caps the rows serialized into the response; capped by the
+	// server's -max-rows. 0 uses the server default.
+	MaxRows int `json:"max_rows"`
+	// OmitTrees leaves connecting trees out of the response (tree cells
+	// then carry only the edge count), trimming payloads for callers that
+	// only need the bindings.
+	OmitTrees bool `json:"omit_trees"`
+}
+
+// cell is one value of a result row: a node (ID + label) or, for CONNECT
+// tree variables, a connecting tree.
+type cell struct {
+	ID    *int32    `json:"id,omitempty"`
+	Label string    `json:"label,omitempty"`
+	Tree  *treeJSON `json:"tree,omitempty"`
+}
+
+type treeJSON struct {
+	Size  int        `json:"size"`
+	Root  string     `json:"root,omitempty"`
+	Edges []edgeJSON `json:"edges,omitempty"`
+}
+
+type edgeJSON struct {
+	Src   string `json:"src"`
+	Label string `json:"label"`
+	Dst   string `json:"dst"`
+}
+
+// queryResponse is the JSON body answering POST /query.
+type queryResponse struct {
+	Columns []string          `json:"columns"`
+	Rows    []map[string]cell `json:"rows"`
+	// RowCount is the full result size; len(Rows) may be smaller when
+	// max_rows trimmed the payload (flagged by RowsTruncated).
+	RowCount      int    `json:"row_count"`
+	RowsTruncated bool   `json:"rows_truncated,omitempty"`
+	TimedOut      bool   `json:"timed_out"`
+	Truncated     bool   `json:"truncated,omitempty"`
+	Algorithm     string `json:"algorithm"`
+	TimingsMS     struct {
+		BGP   float64 `json:"bgp"`
+		CTP   float64 `json:"ctp"`
+		Join  float64 `json:"join"`
+		Total float64 `json:"total"`
+	} `json:"timings_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	start := time.Now()
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		s.busyNS.Add(int64(time.Since(start)))
+	}()
+
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("missing \"query\""))
+		return
+	}
+	db := s.base
+	if req.Algorithm != "" {
+		opts := s.base.Options()
+		opts.Algorithm = req.Algorithm
+		var err error
+		if db, err = s.base.WithOptions(opts); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	timeout := s.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.maxTimeout > 0 && (timeout == 0 || timeout > s.maxTimeout) {
+		timeout = s.maxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := db.Query(ctx, req.Query)
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		s.failures.Add(1)
+		return
+	case err != nil:
+		// Parse and validation errors are the caller's; anything else
+		// would be ours, but the engine only fails on invalid queries.
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if res.TimedOut() {
+		s.timeouts.Add(1)
+	}
+
+	maxRows := s.maxRows
+	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
+		maxRows = req.MaxRows
+	}
+	writeJSON(w, http.StatusOK, s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, time.Since(start)))
+}
+
+func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
+	resp := queryResponse{
+		Columns:   res.Columns(),
+		Rows:      []map[string]cell{},
+		RowCount:  res.Len(),
+		TimedOut:  res.TimedOut(),
+		Truncated: res.Truncated(),
+		Algorithm: algorithm,
+	}
+	bgp, ctp, join := res.Timings()
+	resp.TimingsMS.BGP = ms(bgp)
+	resp.TimingsMS.CTP = ms(ctp)
+	resp.TimingsMS.Join = ms(join)
+	resp.TimingsMS.Total = ms(total)
+
+	n := res.Len()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+		resp.RowsTruncated = true
+	}
+	for i := 0; i < n; i++ {
+		row := res.Row(i)
+		out := make(map[string]cell, len(resp.Columns))
+		for _, col := range resp.Columns {
+			if !res.IsTreeColumn(col) {
+				id, _ := row.Node(col)
+				v := int32(id)
+				out[col] = cell{ID: &v, Label: row.Label(col)}
+				continue
+			}
+			t := row.Tree(col)
+			if t == nil {
+				out[col] = cell{}
+				continue
+			}
+			tj := &treeJSON{Size: t.Size()}
+			if !omitTrees {
+				tj.Root = s.base.Graph().NodeLabel(t.Root())
+				for _, e := range t.Edges() {
+					tj.Edges = append(tj.Edges, edgeJSON{Src: e.SrcLabel, Label: e.Label, Dst: e.DstLabel})
+				}
+			}
+			out[col] = cell{Tree: tj}
+		}
+		resp.Rows = append(resp.Rows, out)
+	}
+	return resp
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g := s.base.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"nodes":  g.NumNodes(),
+		"edges":  g.NumEdges(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	requests := s.requests.Load()
+	// busyNS only accumulates at handler exit, so average over completed
+	// requests, not ones still in flight.
+	var avgMS float64
+	if completed := requests - s.inFlight.Load(); completed > 0 {
+		avgMS = ms(time.Duration(s.busyNS.Load()) / time.Duration(completed))
+	}
+	g := s.base.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":       time.Since(s.started).Seconds(),
+		"requests":       requests,
+		"failures":       s.failures.Load(),
+		"timeouts":       s.timeouts.Load(),
+		"in_flight":      s.inFlight.Load(),
+		"avg_latency_ms": avgMS,
+		"graph":          map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
+		"algorithm":      s.base.Options().Algorithm,
+		"algorithms":     ctpquery.Algorithms(),
+	})
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.failures.Add(1)
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ctpquery"
+)
+
+// newTestServer serves a deterministic generated graph (800 nodes, 2400
+// edges, connected by construction).
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	g := ctpquery.RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
+	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postQuery(t *testing.T, url string, req queryRequest) (int, queryResponse, errorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	var fail errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	} else {
+		if err := json.NewDecoder(resp.Body).Decode(&fail); err != nil {
+			t.Fatalf("decoding error response: %v", err)
+		}
+	}
+	return resp.StatusCode, out, fail
+}
+
+// TestConcurrentQueries fires 16 connection searches at once — different
+// node pairs each — and requires every one to come back complete. The
+// graph is connected, so every pair has a connecting tree within the MAX
+// bound.
+func TestConcurrentQueries(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := fmt.Sprintf(
+				"SELECT ?w WHERE { CONNECT n%d n%d AS ?w MAX 16 LIMIT 2 . }",
+				i+1, 400+i)
+			code, out, fail := postQuery(t, ts.URL, queryRequest{Query: q, TimeoutMS: 20000})
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("query %d: status %d: %s", i, code, fail.Error)
+				return
+			}
+			if out.RowCount < 1 {
+				errs <- fmt.Errorf("query %d: no connection found", i)
+				return
+			}
+			if len(out.Rows) == 0 || out.Rows[0]["w"].Tree == nil {
+				errs <- fmt.Errorf("query %d: response carries no tree", i)
+				return
+			}
+			if tr := out.Rows[0]["w"].Tree; tr.Size < 1 || len(tr.Edges) != tr.Size {
+				errs <- fmt.Errorf("query %d: tree size %d with %d edges", i, tr.Size, len(tr.Edges))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.requests.Load(); got != n {
+		t.Errorf("requests metric = %d, want %d", got, n)
+	}
+	if got := s.failures.Load(); got != 0 {
+		t.Errorf("failures metric = %d, want 0", got)
+	}
+}
+
+// TestPerRequestTimeout gives an exhaustive 6-seed enumeration a 25ms
+// budget: the server must answer promptly with the partial results
+// flagged timed_out, not hang until the search finishes.
+func TestPerRequestTimeout(t *testing.T) {
+	s, ts := newTestServer(t)
+	start := time.Now()
+	code, out, fail := postQuery(t, ts.URL, queryRequest{
+		Query:     "SELECT ?w WHERE { CONNECT n1 n2 n3 n4 n5 n6 AS ?w . }",
+		TimeoutMS: 25,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, fail.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout ignored: took %v", elapsed)
+	}
+	if !out.TimedOut {
+		t.Error("want timed_out=true")
+	}
+	if got := s.timeouts.Load(); got != 1 {
+		t.Errorf("timeouts metric = %d, want 1", got)
+	}
+}
+
+func TestMaxTimeoutCap(t *testing.T) {
+	g := ctpquery.SampleGraph()
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server cap of 1ms beats the huge requested budget; the query is
+	// trivial, so it still completes — the point is the request is
+	// accepted and served under the cap, not rejected.
+	s, err := newServer(db, 0, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	code, _, fail := postQuery(t, ts.URL, queryRequest{
+		Query:     "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 2 . }",
+		TimeoutMS: 3600_000,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, fail.Error)
+	}
+}
+
+func TestAlgorithmOverride(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out, fail := postQuery(t, ts.URL, queryRequest{
+		Query:     "SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 16 LIMIT 1 . }",
+		Algorithm: "bft",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, fail.Error)
+	}
+	if out.Algorithm != "BFT" {
+		t.Errorf("algorithm = %q, want BFT", out.Algorithm)
+	}
+
+	code, _, fail = postQuery(t, ts.URL, queryRequest{Query: "SELECT ?w WHERE { CONNECT n1 n2 AS ?w . }", Algorithm: "Dijkstra"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: status %d, want 400", code)
+	}
+	if fail.Error == "" {
+		t.Error("unknown algorithm: want an error message")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		req  queryRequest
+	}{
+		{"empty", queryRequest{}},
+		{"parse error", queryRequest{Query: "SELECT ?w WHERE { CONNECT a b . }"}},
+		{"validation error", queryRequest{Query: "SELECT ?zzz WHERE { ?x knows ?y . }"}},
+	} {
+		code, _, fail := postQuery(t, ts.URL, tc.req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+		if fail.Error == "" {
+			t.Errorf("%s: want an error message", tc.name)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMaxRowsTrim(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out, fail := postQuery(t, ts.URL, queryRequest{
+		Query:   "SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 16 LIMIT 5 . }",
+		MaxRows: 1,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, fail.Error)
+	}
+	if len(out.Rows) > 1 {
+		t.Errorf("max_rows=1 but %d rows serialized", len(out.Rows))
+	}
+	if out.RowCount > 1 && !out.RowsTruncated {
+		t.Error("want rows_truncated when max_rows trims the payload")
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Edges  int    `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Nodes != 800 || health.Edges < 2400 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	postQuery(t, ts.URL, queryRequest{Query: "SELECT ?w WHERE { CONNECT n1 n2 AS ?w MAX 16 LIMIT 1 . }"})
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests   int64    `json:"requests"`
+		InFlight   int64    `json:"in_flight"`
+		Algorithms []string `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests < 1 || stats.InFlight != 0 || len(stats.Algorithms) != 8 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,6 +1,5 @@
 // Command expdriver regenerates the paper's tables and figures (see
-// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
-// expected shapes).
+// DESIGN.md §4 for the experiment index and the expected shapes).
 //
 // Usage:
 //

@@ -1,0 +1,220 @@
+package ctpquery
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/engine"
+	"ctpquery/internal/eql"
+)
+
+// Options configures query evaluation. The zero value selects MoLESP, the
+// paper's recommended algorithm, with sequential CTP evaluation and no
+// default timeout.
+type Options struct {
+	// Algorithm names the CTP evaluation algorithm: one of Algorithms()
+	// (case-insensitive). Empty selects MoLESP.
+	Algorithm string
+
+	// Parallel evaluates a query's CTPs concurrently, one goroutine each;
+	// CTP searches are independent, so this is always safe.
+	Parallel bool
+
+	// MultiQueue forces the Section 4.9 multi-queue scheduling; even when
+	// false it is auto-enabled for universal or heavily skewed seed sets.
+	MultiQueue bool
+
+	// SkewThreshold is the largest-to-smallest seed set size ratio beyond
+	// which multi-queue scheduling auto-enables (default 32).
+	SkewThreshold int
+
+	// DefaultTimeout bounds each CTP search when the query has no TIMEOUT
+	// filter (0 = unbounded). Context deadlines passed to Query/Run clamp
+	// this further.
+	DefaultTimeout time.Duration
+}
+
+// Algorithms lists the CTP evaluation algorithm names accepted by
+// Options.Algorithm, in the paper's presentation order (Section 4):
+// BFT, BFT-M, BFT-AM, GAM, ESP, MoESP, LESP, MoLESP.
+func Algorithms() []string {
+	as := core.Algorithms()
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// parseAlgorithm resolves a case-insensitive algorithm name; "" means
+// MoLESP. "BFTM"/"BFTAM" are accepted for "BFT-M"/"BFT-AM".
+func parseAlgorithm(name string) (core.Algorithm, error) {
+	if name == "" {
+		return core.MoLESP, nil
+	}
+	canon := strings.ReplaceAll(name, "-", "")
+	for _, a := range core.Algorithms() {
+		if strings.EqualFold(strings.ReplaceAll(a.String(), "-", ""), canon) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("ctpquery: unknown algorithm %q (have %s)",
+		name, strings.Join(Algorithms(), ", "))
+}
+
+// Query is a parsed, validated EQL query. A Query is immutable and may be
+// executed any number of times, concurrently, against any DB.
+type Query struct {
+	q *eql.Query
+}
+
+// ParseQuery parses and validates the textual form of an EQL query, e.g.
+//
+//	SELECT ?x ?w
+//	WHERE {
+//	  ?x citizenOf USA .
+//	  CONNECT ?x France AS ?w MAX 4 .
+//	}
+//
+// See README.md for the full language reference.
+func ParseQuery(text string) (*Query, error) {
+	q, err := eql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// String renders the query in the surface syntax accepted by ParseQuery,
+// so ParseQuery(q.String()) round-trips.
+func (q *Query) String() string { return q.q.String() }
+
+// Variables returns the query's projected head variables, in order.
+func (q *Query) Variables() []string { return append([]string(nil), q.q.Head...) }
+
+// DB is a queryable handle over one graph: the facade over the EQL parser
+// (internal/eql), the evaluation engine (internal/engine), and the CTP
+// connection-search algorithms (internal/core). A DB is cheap to create,
+// holds no mutable state, and is safe for concurrent use — a server can
+// share one DB (or several, with different Options) across all requests.
+type DB struct {
+	g    *Graph
+	eng  *engine.Engine
+	opts Options
+}
+
+// Open creates a DB over g. A nil opts selects the defaults (MoLESP,
+// sequential, no timeout). The only error is an unknown Options.Algorithm.
+func Open(g *Graph, opts *Options) (*DB, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	alg, err := parseAlgorithm(o.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	o.Algorithm = alg.String()
+	return &DB{
+		g: g,
+		eng: engine.New(g.g, engine.Options{
+			Algorithm:      alg,
+			MultiQueue:     o.MultiQueue,
+			SkewThreshold:  o.SkewThreshold,
+			DefaultTimeout: o.DefaultTimeout,
+			Parallel:       o.Parallel,
+		}),
+		opts: o,
+	}, nil
+}
+
+// Graph returns the graph the DB queries.
+func (db *DB) Graph() *Graph { return db.g }
+
+// Options returns the DB's effective options (with the algorithm name
+// canonicalized).
+func (db *DB) Options() Options { return db.opts }
+
+// WithOptions returns a DB sharing this DB's graph but using opts — the
+// way to serve per-request algorithm or timeout choices without reloading
+// the graph.
+func (db *DB) WithOptions(opts Options) (*DB, error) { return Open(db.g, &opts) }
+
+// Query parses text and executes it; see Run for the execution semantics.
+func (db *DB) Query(ctx context.Context, text string) (*Results, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(ctx, q)
+}
+
+// Run executes q. Context cancellation is honored between evaluation
+// phases and inside CTP searches and returns ctx.Err(); a context
+// deadline instead clamps each CTP's time budget so an expiring deadline
+// yields the partial results found so far, flagged by Results.TimedOut —
+// the same semantics as the query-level TIMEOUT filter.
+func (db *DB) Run(ctx context.Context, q *Query) (*Results, error) {
+	res, err := db.eng.ExecuteContext(ctx, q.q)
+	if err != nil {
+		return nil, err
+	}
+	return newResults(db.g, q.q, res), nil
+}
+
+// QueryStream parses text and executes it, streaming connecting trees;
+// see RunStream.
+func (db *DB) QueryStream(ctx context.Context, text string, fn StreamFunc) (*Results, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunStream(ctx, q, fn)
+}
+
+// StreamFunc receives connecting trees as a search finds them. ctp is the
+// index of the CONNECT clause (in query order) the tree answers.
+// Returning false stops that clause's search; the trees seen so far still
+// flow into the final Results (flagged by Results.Truncated).
+type StreamFunc func(ctp int, t *Tree) bool
+
+// RunStream executes q like Run, additionally invoking fn on each
+// connecting tree the moment the search finds it — before joins, LIMIT,
+// or TOP-k trimming — so callers can render connections as they surface
+// instead of waiting for the full enumeration. When the DB has
+// Options.Parallel set and the query has several CONNECT clauses, fn may
+// be called from several goroutines at once and must be safe for that.
+func (db *DB) RunStream(ctx context.Context, q *Query, fn StreamFunc) (*Results, error) {
+	eng := engine.New(db.g.g, engine.Options{
+		Algorithm:      mustAlgorithm(db.opts.Algorithm),
+		MultiQueue:     db.opts.MultiQueue,
+		SkewThreshold:  db.opts.SkewThreshold,
+		DefaultTimeout: db.opts.DefaultTimeout,
+		Parallel:       db.opts.Parallel,
+		OnCTPResult: func(ctp int, r core.Result) bool {
+			return fn(ctp, &Tree{g: db.g, t: r.Tree})
+		},
+	})
+	res, err := eng.ExecuteContext(ctx, q.q)
+	if err != nil {
+		return nil, err
+	}
+	return newResults(db.g, q.q, res), nil
+}
+
+// Explain returns the query plan the engine would run for q — the BGP
+// access paths and join order, the derived CTP seed sets, and the chosen
+// search configuration — without executing it.
+func (db *DB) Explain(q *Query) (string, error) { return db.eng.Explain(q.q) }
+
+// mustAlgorithm resolves a name already validated by Open.
+func mustAlgorithm(name string) core.Algorithm {
+	a, err := parseAlgorithm(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

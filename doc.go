@@ -5,7 +5,15 @@
 // — and the family of CTP evaluation algorithms the paper studies,
 // culminating in MoLESP.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map); cmd/eqlrun, cmd/ctpbench, and cmd/expdriver are the entry points,
-// and examples/ holds runnable walkthroughs.
+// This package is the public facade: build or load a Graph, Open a DB
+// over it, and run EQL text through Query/Run (or QueryStream, to watch
+// connecting trees surface as the search finds them). The algorithm
+// implementations live under internal/ — see DESIGN.md for the module
+// map and README.md for the EQL language reference.
+//
+// Entry points: cmd/ctpserve serves concurrent EQL queries over HTTP,
+// cmd/eqlrun executes a single query from the command line, cmd/graphgen
+// generates graphs, and cmd/ctpbench and cmd/expdriver drive the paper's
+// experiments; examples/ holds runnable walkthroughs, starting with
+// examples/quickstart.
 package ctpquery

@@ -1,21 +1,21 @@
 // Quickstart: build a small graph, ask for the connections between three
-// node groups with a CONNECT query, and print the trees.
+// node groups with a CONNECT query, and print the trees — all through the
+// public ctpquery facade.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ctpquery/internal/engine"
-	"ctpquery/internal/eql"
-	"ctpquery/internal/graph"
+	"ctpquery"
 )
 
 func main() {
 	// A tiny collaboration graph.
-	b := graph.NewBuilder()
+	b := ctpquery.NewGraphBuilder()
 	ada := b.AddNode("Ada")
 	bob := b.AddNode("Bob")
 	eve := b.AddNode("Eve")
@@ -33,9 +33,14 @@ func main() {
 	b.AddEdge(eve, "reviewed", paper)
 	g := b.Build()
 
+	db, err := ctpquery.Open(g, nil) // nil options = MoLESP, no timeout
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// How are Ada, Bob, and Eve connected? Note there is no directed path
 	// between any two of them — connection search is bidirectional.
-	q, err := eql.Parse(`
+	res, err := db.Query(context.Background(), `
 SELECT ?w WHERE {
   CONNECT Ada Bob Eve AS ?w MAX 4 .
 }`)
@@ -43,13 +48,12 @@ SELECT ?w WHERE {
 		log.Fatal(err)
 	}
 
-	res, err := engine.NewDefault(g).Execute(q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("found %d connecting trees:\n\n", res.Table.NumRows())
-	for i := 0; i < res.Table.NumRows(); i++ {
-		t := res.Tree(res.Table.Row(i)[0])
-		fmt.Printf("tree %d (%d edges):\n%s\n\n", i+1, t.Size(), engine.FormatTree(g, t))
-	}
+	fmt.Printf("found %d connecting trees:\n\n", res.Len())
+	i := 0
+	res.Each(func(r ctpquery.Row) bool {
+		i++
+		t := r.Tree("w")
+		fmt.Printf("tree %d (%d edges):\n%s\n\n", i, t.Size(), t.Format())
+		return true
+	})
 }

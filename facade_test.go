@@ -1,0 +1,341 @@
+// End-to-end tests of the public ctpquery facade: every query here runs
+// through the exported API only (parse -> execute -> iterate), the way an
+// importing application would.
+package ctpquery_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctpquery"
+)
+
+// figure1Query is the paper's running example: American entrepreneurs and
+// their connections to France.
+const figure1Query = `
+SELECT ?x ?w WHERE {
+  ?x citizenOf USA .
+  FILTER type(?x) = entrepreneur .
+  CONNECT ?x France AS ?w MAX 3 .
+}`
+
+// rowStrings collects the formatted rows, sorted, for golden comparisons.
+func rowStrings(res *ctpquery.Results) []string {
+	var out []string
+	res.Each(func(r ctpquery.Row) bool {
+		out = append(out, r.String())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func mustOpenSample(t *testing.T, opts *ctpquery.Options) *ctpquery.DB {
+	t.Helper()
+	db, err := ctpquery.Open(ctpquery.SampleGraph(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFigure1Golden(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	res, err := db.Query(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"?x=Bob ?w={2 edges}",
+		"?x=Bob ?w={3 edges}",
+		"?x=Carole ?w={2 edges}",
+		"?x=Carole ?w={3 edges}",
+		"?x=Carole ?w={3 edges}",
+	}
+	if got := rowStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %q, want %q", got, want)
+	}
+	if res.TimedOut() || res.Truncated() {
+		t.Errorf("unexpected flags: timedOut=%v truncated=%v", res.TimedOut(), res.Truncated())
+	}
+	// The smallest connection from Carole is founding the France-located
+	// OrgA.
+	var carole *ctpquery.Tree
+	res.Each(func(r ctpquery.Row) bool {
+		if r.Label("x") == "Carole" && r.Tree("w").Size() == 2 {
+			carole = r.Tree("w")
+		}
+		return true
+	})
+	if carole == nil {
+		t.Fatal("no 2-edge Carole connection found")
+	}
+	wantTree := "OrgA -[locatedIn]-> France\nCarole -[founded]-> OrgA"
+	if got := carole.Format(); got != wantTree {
+		t.Errorf("Carole tree:\n%s\nwant:\n%s", got, wantTree)
+	}
+}
+
+// TestAlgorithmsAgree runs the same 2-seed query under every CTP
+// algorithm; completeness for m <= 3 (Property 9) means all eight must
+// return the same row set.
+func TestAlgorithmsAgree(t *testing.T) {
+	query := `SELECT ?w WHERE { CONNECT Bob Elon AS ?w MAX 4 . }`
+	var want []string
+	for _, algo := range ctpquery.Algorithms() {
+		db := mustOpenSample(t, &ctpquery.Options{Algorithm: algo})
+		res, err := db.Query(context.Background(), query)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var trees []string
+		res.Each(func(r ctpquery.Row) bool {
+			edges := []string{}
+			for _, e := range r.Tree("w").Edges() {
+				edges = append(edges, e.SrcLabel+"-"+e.Label+"->"+e.DstLabel)
+			}
+			sort.Strings(edges)
+			trees = append(trees, strings.Join(edges, ";"))
+			return true
+		})
+		sort.Strings(trees)
+		if want == nil {
+			want = trees
+			if len(want) == 0 {
+				t.Fatal("no results for the reference algorithm")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(trees, want) {
+			t.Errorf("%s: trees = %q, want %q", algo, trees, want)
+		}
+	}
+}
+
+func TestGraphBuilderRoundTrip(t *testing.T) {
+	b := ctpquery.NewGraphBuilder()
+	ada := b.AddNode("Ada")
+	lab := b.AddNode("Lab")
+	eve := b.AddNode("Eve")
+	b.AddType(ada, "person")
+	b.AddType(eve, "person")
+	b.AddEdge(ada, "memberOf", lab)
+	b.AddEdge(eve, "memberOf", lab)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := g.WriteTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ctpquery.LoadTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+
+	var snap bytes.Buffer
+	if err := g.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ctpquery.LoadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, gg := range []*ctpquery.Graph{g2, g3} {
+		db, err := ctpquery.Open(gg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(context.Background(),
+			`SELECT ?w WHERE { CONNECT Ada Eve AS ?w MAX 2 . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 1 {
+			t.Fatalf("want the single Ada-Lab-Eve connection, got %d rows", res.Len())
+		}
+		if got := res.Row(0).Tree("w").Size(); got != 2 {
+			t.Errorf("tree size = %d, want 2", got)
+		}
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	res, err := db.Query(context.Background(),
+		`SELECT ?x ?w WHERE { ?x citizenOf USA . CONNECT ?x France AS ?w MAX 3 . } LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Errorf("LIMIT 2: got %d rows", res.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	for _, bad := range []string{
+		"",
+		"SELECT ?x WHERE { }",
+		"SELECT ?x WHERE { CONNECT a b . }", // no AS
+		"SELECT ?zzz WHERE { ?x citizenOf USA . }",      // head not in body
+		"SELECT ?w WHERE { CONNECT a b AS ?w TOP 3 . }", // TOP without SCORE
+	} {
+		if _, err := db.Query(context.Background(), bad); err == nil {
+			t.Errorf("query %q: want error", bad)
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	if _, err := ctpquery.Open(ctpquery.SampleGraph(), &ctpquery.Options{Algorithm: "Dijkstra"}); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+	// Case and dash variations resolve.
+	for _, name := range []string{"molesp", "bft-m", "BFTM", "bftam"} {
+		if _, err := ctpquery.Open(ctpquery.SampleGraph(), &ctpquery.Options{Algorithm: name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestContextDeadline gives a heavy enumeration a tiny budget: the run
+// must come back quickly with the partial results flagged TimedOut, the
+// paper's TIMEOUT semantics.
+func TestContextDeadline(t *testing.T) {
+	g := ctpquery.RandomGraph(4000, 16000, []string{"a", "b", "c"}, 7)
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := db.Query(ctx,
+		`SELECT ?w WHERE { CONNECT n1 n2 n3 n4 n5 n6 AS ?w . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline ignored: took %v", elapsed)
+	}
+	if !res.TimedOut() {
+		t.Error("want TimedOut after the deadline expired")
+	}
+}
+
+// TestExpiredDeadline: a deadline that has already passed is still not an
+// error — the bounded searches return immediately and the (empty) partial
+// result is flagged TimedOut.
+func TestExpiredDeadline(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := db.Query(ctx, figure1Query)
+	if err != nil {
+		t.Fatalf("expired deadline: %v, want partial results", err)
+	}
+	if !res.TimedOut() {
+		t.Error("want TimedOut for an expired deadline")
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Query(ctx, figure1Query); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStream(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	var streamed atomic.Int64
+	res, err := db.QueryStream(context.Background(), figure1Query,
+		func(ctp int, tr *ctpquery.Tree) bool {
+			if ctp != 0 {
+				t.Errorf("ctp index = %d, want 0", ctp)
+			}
+			if tr.Size() < 1 || tr.Size() > 3 {
+				t.Errorf("streamed tree size %d outside MAX 3", tr.Size())
+			}
+			streamed.Add(1)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming sees every CTP result before the join restricts ?x to
+	// American entrepreneurs, so at least the final trees must have
+	// streamed.
+	if n := streamed.Load(); int(n) < res.Len() {
+		t.Errorf("streamed %d trees, final result has %d rows", n, res.Len())
+	}
+
+	// Returning false stops the search and flags truncation.
+	var n atomic.Int64
+	res, err = db.QueryStream(context.Background(), figure1Query,
+		func(int, *ctpquery.Tree) bool { return n.Add(1) < 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated() {
+		t.Error("want Truncated after the stream callback stopped the search")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := mustOpenSample(t, nil)
+	q, err := ctpquery.ParseQuery(figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "MoLESP") {
+		t.Errorf("plan does not mention the algorithm:\n%s", plan)
+	}
+	if q2, err := ctpquery.ParseQuery(q.String()); err != nil {
+		t.Errorf("String() does not round-trip: %v", err)
+	} else if len(q2.Variables()) != len(q.Variables()) {
+		t.Errorf("round-tripped head %v, want %v", q2.Variables(), q.Variables())
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	query := `
+SELECT ?w1 ?w2 WHERE {
+  CONNECT Bob Carole AS ?w1 MAX 3 .
+  CONNECT Alice Elon AS ?w2 MAX 3 .
+}`
+	seq := mustOpenSample(t, nil)
+	par := mustOpenSample(t, &ctpquery.Options{Parallel: true})
+	rseq, err := seq.Query(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpar, err := par.Query(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStrings(rseq), rowStrings(rpar)) {
+		t.Errorf("parallel rows %q != sequential rows %q", rowStrings(rpar), rowStrings(rseq))
+	}
+	if rseq.Len() == 0 {
+		t.Error("expected results")
+	}
+}

@@ -1,0 +1,3 @@
+module ctpquery
+
+go 1.21

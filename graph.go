@@ -1,0 +1,155 @@
+package ctpquery
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+)
+
+// NodeID identifies a graph node. IDs are dense, starting at 0, in
+// insertion order.
+type NodeID int32
+
+// EdgeID identifies a graph edge. IDs are dense, starting at 0, in
+// insertion order.
+type EdgeID int32
+
+// Graph is an immutable labeled graph (the data model of Definition 2.1:
+// directed labeled edges, optional node types and string properties).
+// Build one with a GraphBuilder or load one with LoadTriples, LoadSnapshot,
+// or OpenGraph. A frozen Graph is safe for concurrent readers, so one
+// Graph can back any number of concurrent queries.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// NodeLabel returns the label of node n ("" for unlabeled nodes).
+func (g *Graph) NodeLabel(n NodeID) string { return g.g.NodeLabel(graph.NodeID(n)) }
+
+// NodeByLabel returns the unique node labeled s; ok is false when the
+// label is absent or shared by several nodes.
+func (g *Graph) NodeByLabel(s string) (n NodeID, ok bool) {
+	id, ok := g.g.NodeByLabel(s)
+	return NodeID(id), ok
+}
+
+// Stats returns a one-line summary of the graph (node/edge/label counts,
+// degree statistics).
+func (g *Graph) Stats() string { return graph.ComputeStats(g.g).String() }
+
+// WriteTriples writes the graph in the line-oriented triple text format
+// ("src edgeLabel dst", "node type t" for types; see LoadTriples). Graphs
+// with duplicate or empty node labels cannot be serialized this way.
+func (g *Graph) WriteTriples(w io.Writer) error { return graph.WriteTriples(w, g.g) }
+
+// WriteSnapshot writes the graph in the compact binary snapshot format
+// read by LoadSnapshot; unlike the triple text format it round-trips any
+// graph, including ones with duplicate labels and properties.
+func (g *Graph) WriteSnapshot(w io.Writer) error { return graph.WriteSnapshot(w, g.g) }
+
+// GraphBuilder assembles a Graph. It is not safe for concurrent use, and
+// must not be reused after Build.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder returns an empty GraphBuilder.
+func NewGraphBuilder() *GraphBuilder { return &GraphBuilder{b: graph.NewBuilder()} }
+
+// AddNode adds a node with the given label and returns its ID. Labels
+// need not be unique; reference the node by the returned ID.
+func (b *GraphBuilder) AddNode(label string) NodeID { return NodeID(b.b.AddNode(label)) }
+
+// AddType attaches a type to node n (duplicates are ignored). Types are
+// matched by the EQL type(?v) pseudo-property.
+func (b *GraphBuilder) AddType(n NodeID, typ string) { b.b.AddType(graph.NodeID(n), typ) }
+
+// AddEdge adds a directed edge src --label--> dst and returns its ID.
+func (b *GraphBuilder) AddEdge(src NodeID, label string, dst NodeID) EdgeID {
+	return EdgeID(b.b.AddEdge(graph.NodeID(src), label, graph.NodeID(dst)))
+}
+
+// SetNodeProp sets string property p of node n, matched by the EQL
+// p(?v) predicate syntax.
+func (b *GraphBuilder) SetNodeProp(n NodeID, p, v string) {
+	b.b.SetNodeProp(graph.NodeID(n), p, v)
+}
+
+// SetEdgeProp sets string property p of edge e.
+func (b *GraphBuilder) SetEdgeProp(e EdgeID, p, v string) {
+	b.b.SetEdgeProp(graph.EdgeID(e), p, v)
+}
+
+// Build freezes the builder into an immutable Graph, computing the
+// adjacency lists and label/type indexes queries use. The builder must
+// not be used afterwards.
+func (b *GraphBuilder) Build() *Graph { return &Graph{g: b.b.Build()} }
+
+// LoadTriples parses the whitespace-separated triple text format into a
+// Graph: one "src edgeLabel dst" triple per line, double quotes around
+// fields containing spaces, '#' comments, and "n type t" (or the RDF
+// shorthand "n a t") declaring node types. Node identity is by label.
+func LoadTriples(r io.Reader) (*Graph, error) {
+	g, err := graph.LoadTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadSnapshot reads a binary snapshot previously written by
+// Graph.WriteSnapshot.
+func LoadSnapshot(r io.Reader) (*Graph, error) {
+	g, err := graph.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// OpenGraph loads a graph file, picking the format by extension: ".snap"
+// selects the binary snapshot format, anything else the triple text
+// format.
+func OpenGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".snap") {
+		return LoadSnapshot(f)
+	}
+	return LoadTriples(f)
+}
+
+// SampleGraph returns the running-example graph of the paper's Figure 1:
+// twelve nodes (entrepreneurs, companies, countries, politicians, and a
+// party) and nineteen labeled edges. Handy for experiments and tests.
+func SampleGraph() *Graph { return &Graph{g: gen.Sample()} }
+
+// RandomGraph builds a connected random graph with n nodes (labeled
+// "n0".."n<n-1>") and at least e edges, drawing edge labels from labels
+// (default "t") with directions chosen at random. The same seed always
+// produces the same graph.
+func RandomGraph(n, e int, labels []string, seed int64) *Graph {
+	return &Graph{g: gen.Random(n, e, labels, rand.New(rand.NewSource(seed)))}
+}
+
+// label renders node n for messages: its label, or #id when unlabeled.
+func (g *Graph) label(n graph.NodeID) string {
+	if l := g.g.NodeLabel(n); l != "" {
+		return l
+	}
+	return fmt.Sprintf("#%d", n)
+}

@@ -8,7 +8,7 @@
 // Each experiment prints the same rows/series as the paper's plot; the
 // absolute numbers differ from the authors' Xeon/Postgres testbed, but
 // the shapes — who wins, by what factor, where systems time out — are the
-// reproduction target (see EXPERIMENTS.md). cmd/expdriver runs experiments
+// reproduction target (see DESIGN.md §4). cmd/expdriver runs experiments
 // from the command line; the repository-root bench_test.go exposes each as
 // a testing.B benchmark.
 package bench

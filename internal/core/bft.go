@@ -94,7 +94,7 @@ func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		hist:     make(map[string]bool),
 		byNode:   make(map[graph.NodeID][]*bftTree),
 		stats:    &Stats{},
-		dl:       newDeadline(opts.Filters.Timeout),
+		dl:       newDeadline(opts.Filters.Timeout, opts.Done),
 	}
 	s.collector = newResultCollector(g, si, opts)
 

@@ -33,12 +33,13 @@ import (
 	"ctpquery/internal/tree"
 )
 
-// Algorithm selects a CTP evaluation strategy.
+// Algorithm selects a CTP evaluation strategy. The zero value is "unset"
+// and resolves to MoLESP, the paper's recommended variant.
 type Algorithm int
 
 // The CTP evaluation algorithms of Section 4.
 const (
-	BFT Algorithm = iota
+	BFT Algorithm = iota + 1
 	BFTM
 	BFTAM
 	GAM
@@ -52,10 +53,10 @@ var algorithmNames = [...]string{"BFT", "BFT-M", "BFT-AM", "GAM", "ESP", "MoESP"
 
 // String returns the paper's name for the algorithm.
 func (a Algorithm) String() string {
-	if a < 0 || int(a) >= len(algorithmNames) {
+	if a < BFT || int(a-1) >= len(algorithmNames) {
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
-	return algorithmNames[a]
+	return algorithmNames[a-1]
 }
 
 // Algorithms lists every algorithm, in the paper's presentation order.
@@ -124,6 +125,11 @@ type Options struct {
 	// many provenances have been kept; a safety valve for the exponential
 	// breadth-first baselines. Zero means no bound.
 	MaxTrees int
+
+	// Done, when non-nil, aborts the search once closed, reported like a
+	// timeout through Stats.TimedOut. It is how callers propagate
+	// context cancellation into a running search.
+	Done <-chan struct{}
 }
 
 // Result is one (s_1, ..., s_m, t) tuple of a set-based CTP result
@@ -192,6 +198,9 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 	}
 	if allUniversal {
 		return nil, nil, fmt.Errorf("core: all seed sets are universal; the search has no anchor")
+	}
+	if opts.Algorithm == 0 {
+		opts.Algorithm = MoLESP
 	}
 	switch opts.Algorithm {
 	case BFT, BFTM, BFTAM:
@@ -274,15 +283,17 @@ func labelFilter(g *graph.Graph, labels []string) map[graph.LabelID]bool {
 	return out
 }
 
-// deadline tracks the TIMEOUT filter with cheap periodic checks.
+// deadline tracks the TIMEOUT filter and caller cancellation with cheap
+// periodic checks.
 type deadline struct {
 	at    time.Time
 	armed bool
+	done  <-chan struct{}
 	tick  int
 }
 
-func newDeadline(timeout time.Duration) *deadline {
-	d := &deadline{}
+func newDeadline(timeout time.Duration, done <-chan struct{}) *deadline {
+	d := &deadline{done: done}
 	if timeout > 0 {
 		d.at = time.Now().Add(timeout)
 		d.armed = true
@@ -290,14 +301,22 @@ func newDeadline(timeout time.Duration) *deadline {
 	return d
 }
 
-// expired polls the clock every 64 calls to stay cheap in the hot loop.
+// expired polls the clock and the done channel every 64 calls to stay
+// cheap in the hot loop.
 func (d *deadline) expired() bool {
-	if !d.armed {
+	if !d.armed && d.done == nil {
 		return false
 	}
 	d.tick++
 	if d.tick&63 != 0 {
 		return false
 	}
-	return time.Now().After(d.at)
+	if d.done != nil {
+		select {
+		case <-d.done:
+			return true
+		default:
+		}
+	}
+	return d.armed && time.Now().After(d.at)
 }

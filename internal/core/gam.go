@@ -78,7 +78,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		byRoot:     make(map[graph.NodeID][]*tree.Tree),
 		ss:         make(map[graph.NodeID]bitset.Bits),
 		stats:      &Stats{},
-		dl:         newDeadline(opts.Filters.Timeout),
+		dl:         newDeadline(opts.Filters.Timeout, opts.Done),
 	}
 	if s.priority == nil {
 		// Default order: smallest trees first (the order used in all of

@@ -109,7 +109,7 @@ func TestMultiQueueEmpty(t *testing.T) {
 }
 
 func TestDeadlineDisabled(t *testing.T) {
-	d := newDeadline(0)
+	d := newDeadline(0, nil)
 	for i := 0; i < 1000; i++ {
 		if d.expired() {
 			t.Fatal("disabled deadline expired")

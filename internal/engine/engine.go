@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,6 +48,13 @@ type Options struct {
 	// step B), so this is safe; it helps queries with several CTPs, like
 	// the J1 shape of Table 1.
 	Parallel bool
+
+	// OnCTPResult, when set, streams each CTP result as the search finds
+	// it (before TOP-k trimming); ctp is the CTP's index in query order.
+	// Returning false stops that CTP's search, reported through its
+	// Stats.Truncated. With Parallel, the callback may be invoked from
+	// several goroutines at once and must be safe for concurrent use.
+	OnCTPResult func(ctp int, r core.Result) bool
 }
 
 // Engine evaluates EQL queries over one graph.
@@ -57,7 +65,7 @@ type Engine struct {
 
 // New creates an engine. A zero Options selects MoLESP.
 func New(g *graph.Graph, opts Options) *Engine {
-	if opts.Algorithm == 0 && opts.Algorithm != core.BFT {
+	if opts.Algorithm == 0 {
 		opts.Algorithm = core.MoLESP
 	}
 	if opts.SkewThreshold <= 0 {
@@ -91,10 +99,49 @@ func (r *Result) Tree(handle int32) *tree.Tree {
 	return r.Trees[handle]
 }
 
+// TimedOut reports whether any CTP search hit its time bound (the TIMEOUT
+// filter, Options.DefaultTimeout, or a context deadline), making the
+// result a — still valid — subset of the full answer.
+func (r *Result) TimedOut() bool {
+	for _, st := range r.CTPStats {
+		if st != nil && st.TimedOut {
+			return true
+		}
+	}
+	return false
+}
+
+// Truncated reports whether any CTP search stopped early for a reason
+// other than time: a LIMIT filter or a streaming callback returning false.
+func (r *Result) Truncated() bool {
+	for _, st := range r.CTPStats {
+		if st != nil && st.Truncated {
+			return true
+		}
+	}
+	return false
+}
+
 // Execute runs q and returns its result. The query must be valid
 // (eql.Parse validates; programmatic queries should call Validate first).
 func (e *Engine) Execute(q *eql.Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext runs q under ctx. Cancellation is checked between the
+// evaluation phases and, through core.Options.Done, inside every CTP
+// search: a cancelled context aborts with context.Canceled. A context
+// deadline never produces an error; it clamps each CTP's time budget
+// (the query's TIMEOUT filter and Options.DefaultTimeout both respect
+// it), so an expiring — or already expired — deadline returns the
+// partial results found so far, flagged via Result.TimedOut: the paper's
+// TIMEOUT semantics (Section 2). Only the CTP searches are interruptible;
+// BGP evaluation and the final join run to completion.
+func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err == context.Canceled {
 		return nil, err
 	}
 	res := &Result{}
@@ -110,6 +157,9 @@ func (e *Engine) Execute(q *eql.Query) (*Result, error) {
 		bgpTables[i] = t
 	}
 	res.BGPTime = time.Since(startBGP)
+	if err := ctx.Err(); err == context.Canceled {
+		return nil, err
+	}
 
 	// Step (B): evaluate the CTPs — sequentially or in parallel; the
 	// searches are independent, and tree handles are rebased afterwards
@@ -122,14 +172,20 @@ func (e *Engine) Execute(q *eql.Query) (*Result, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				ctpOuts[i] = e.evalCTP(q.CTPs[i], bgpTables)
+				ctpOuts[i] = e.evalCTP(ctx, i, q.CTPs[i], bgpTables)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range q.CTPs {
-			ctpOuts[i] = e.evalCTP(q.CTPs[i], bgpTables)
+			ctpOuts[i] = e.evalCTP(ctx, i, q.CTPs[i], bgpTables)
 		}
+	}
+	// A cancelled (as opposed to expired) context aborts the query; an
+	// expired deadline falls through with whatever the bounded searches
+	// produced.
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
 	ctpTables := make([]*storage.Table, len(q.CTPs))
 	for i, out := range ctpOuts {
@@ -213,8 +269,10 @@ type ctpOutput struct {
 
 // evalCTP derives seed sets per Section 3 step (B.1), runs the search with
 // filters pushed down, and materializes the CTP table whose columns are
-// the named member variables plus the tree variable.
-func (e *Engine) evalCTP(c eql.CTP, bgpTables []*storage.Table) ctpOutput {
+// the named member variables plus the tree variable. idx is the CTP's
+// position in query order (for the streaming callback); ctx cancellation
+// and deadline are pushed into the search.
+func (e *Engine) evalCTP(ctx context.Context, idx int, c eql.CTP, bgpTables []*storage.Table) ctpOutput {
 	seeds := make([]core.SeedSet, len(c.Members))
 	maxSize, minSize := 0, -1
 	for i, m := range c.Members {
@@ -236,9 +294,22 @@ func (e *Engine) evalCTP(c eql.CTP, bgpTables []*storage.Table) ctpOutput {
 	opts := core.Options{
 		Algorithm: e.opts.Algorithm,
 		Filters:   c.Filters,
+		Done:      ctx.Done(),
 	}
 	if opts.Filters.Timeout == 0 {
 		opts.Filters.Timeout = e.opts.DefaultTimeout
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			remaining = time.Nanosecond
+		}
+		if opts.Filters.Timeout == 0 || opts.Filters.Timeout > remaining {
+			opts.Filters.Timeout = remaining
+		}
+	}
+	if e.opts.OnCTPResult != nil {
+		opts.OnResult = func(r core.Result) bool { return e.opts.OnCTPResult(idx, r) }
 	}
 	if c.Filters.Score != "" {
 		f, ok := score.Get(c.Filters.Score)

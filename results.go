@@ -1,0 +1,171 @@
+package ctpquery
+
+import (
+	"time"
+
+	"ctpquery/internal/engine"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/tree"
+)
+
+// Results is the outcome of executing a query: a table of rows, one
+// column per projected head variable. Columns bound by a CONNECT clause's
+// AS variable hold connecting trees; every other column holds a graph
+// node. Results are immutable and safe for concurrent readers.
+type Results struct {
+	g   *Graph
+	q   *eql.Query
+	res *engine.Result
+
+	treeCols map[string]bool
+}
+
+func newResults(g *Graph, q *eql.Query, res *engine.Result) *Results {
+	tc := make(map[string]bool, len(q.CTPs))
+	for _, tv := range q.TreeVars() {
+		tc[tv] = true
+	}
+	return &Results{g: g, q: q, res: res, treeCols: tc}
+}
+
+// Len returns the number of result rows.
+func (r *Results) Len() int { return r.res.Table.NumRows() }
+
+// Columns returns the column (head variable) names, in projection order.
+func (r *Results) Columns() []string { return append([]string(nil), r.res.Table.Cols()...) }
+
+// IsTreeColumn reports whether the named column holds connecting trees
+// (it is the AS variable of a CONNECT clause) rather than nodes.
+func (r *Results) IsTreeColumn(col string) bool { return r.treeCols[col] }
+
+// Row returns the i-th result row.
+func (r *Results) Row(i int) Row { return Row{r: r, i: i} }
+
+// Each calls fn on every row, in order, stopping early if fn returns
+// false.
+func (r *Results) Each(fn func(Row) bool) {
+	for i := 0; i < r.Len(); i++ {
+		if !fn(Row{r: r, i: i}) {
+			return
+		}
+	}
+}
+
+// TimedOut reports whether any CTP search hit its time bound (a TIMEOUT
+// filter, Options.DefaultTimeout, or a context deadline); the rows are
+// then a — still valid — subset of the full answer.
+func (r *Results) TimedOut() bool { return r.res.TimedOut() }
+
+// Truncated reports whether any CTP search stopped early for a reason
+// other than time: a LIMIT filter or a StreamFunc returning false.
+func (r *Results) Truncated() bool { return r.res.Truncated() }
+
+// Timings returns the per-phase evaluation times: BGP matching, CTP
+// connection search, and final join + projection.
+func (r *Results) Timings() (bgp, ctp, join time.Duration) {
+	return r.res.BGPTime, r.res.CTPTime, r.res.JoinTime
+}
+
+// Row is one result row. The zero Row is invalid; obtain rows from
+// Results.Row or Results.Each.
+type Row struct {
+	r *Results
+	i int
+}
+
+// Node returns the node bound to col; ok is false for unknown columns and
+// for tree columns.
+func (w Row) Node(col string) (n NodeID, ok bool) {
+	c := w.r.res.Table.Column(col)
+	if c < 0 || w.r.treeCols[col] {
+		return 0, false
+	}
+	return NodeID(w.r.res.Table.Row(w.i)[c]), true
+}
+
+// Label returns the label of the node bound to col ("" for unknown or
+// tree columns and for unlabeled nodes).
+func (w Row) Label(col string) string {
+	n, ok := w.Node(col)
+	if !ok {
+		return ""
+	}
+	return w.r.g.NodeLabel(n)
+}
+
+// Tree returns the connecting tree bound to col, or nil when col is not a
+// tree column.
+func (w Row) Tree(col string) *Tree {
+	c := w.r.res.Table.Column(col)
+	if c < 0 || !w.r.treeCols[col] {
+		return nil
+	}
+	t := w.r.res.Tree(w.r.res.Table.Row(w.i)[c])
+	if t == nil {
+		return nil
+	}
+	return &Tree{g: w.r.g, t: t}
+}
+
+// String renders the row with node labels resolved, e.g.
+// "?x=Alice ?w={2 edges}".
+func (w Row) String() string { return w.r.res.FormatRow(w.r.g.g, w.r.q, w.i) }
+
+// Tree is one connecting tree: a set of graph edges forming a tree that
+// joins one node from each CONNECT member's seed set (Definition 2.5).
+// Trees are immutable.
+type Tree struct {
+	g *Graph
+	t *tree.Tree
+}
+
+// Size returns the number of edges; a single-node tree (a node matching
+// every member at once) has size 0.
+func (t *Tree) Size() int { return t.t.Size() }
+
+// Root returns the tree's root node.
+func (t *Tree) Root() NodeID { return NodeID(t.t.Root) }
+
+// Nodes returns the tree's nodes, sorted by ID.
+func (t *Tree) Nodes() []NodeID {
+	out := make([]NodeID, len(t.t.Nodes))
+	for i, n := range t.t.Nodes {
+		out[i] = NodeID(n)
+	}
+	return out
+}
+
+// TreeEdge is one directed, labeled edge of a connecting tree, with the
+// endpoint labels resolved.
+type TreeEdge struct {
+	Src      NodeID
+	Dst      NodeID
+	SrcLabel string
+	Label    string
+	DstLabel string
+}
+
+// Edges returns the tree's edges, sorted by edge ID, with labels
+// resolved.
+func (t *Tree) Edges() []TreeEdge {
+	out := make([]TreeEdge, len(t.t.Edges))
+	for i, e := range t.t.Edges {
+		ed := t.g.g.Edge(e)
+		out[i] = TreeEdge{
+			Src:      NodeID(ed.Source),
+			Dst:      NodeID(ed.Target),
+			SrcLabel: t.g.label(ed.Source),
+			Label:    t.g.g.EdgeLabel(e),
+			DstLabel: t.g.label(ed.Target),
+		}
+	}
+	return out
+}
+
+// Format renders the tree one edge per line, e.g.
+//
+//	Carole -[founded]-> OrgC
+//	Doug -[investsIn]-> OrgC
+//
+// Single-node trees render as the node label.
+func (t *Tree) Format() string { return engine.FormatTree(t.g.g, t.t) }

@@ -7,6 +7,13 @@
 //	ctpbench -topology star -m 5 -sl 4
 //	ctpbench -topology comb -na 4 -ns 2 -sl 3 -dba 2 -algos GAM,ESP,MoLESP
 //	ctpbench -topology chain -n 12
+//
+// With -json FILE it instead runs the fixed perf-tracking suite — the
+// CSR-expansion and signature-dedup micro-benchmarks plus the Figure 11
+// workload grid — through testing.Benchmark and writes a machine-readable
+// report (ns/op, allocs/op, bytes/op per entry), the format of the
+// repository's BENCH_pr*.json trajectory files. -baseline FILE embeds a
+// previous report for before/after comparison.
 package main
 
 import (
@@ -33,8 +40,18 @@ func main() {
 		algos    = flag.String("algos", "", "comma-separated algorithms (default: all)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-algorithm timeout")
 		alt      = flag.Bool("alternate", true, "alternate edge directions")
+		jsonOut  = flag.String("json", "", "run the perf-tracking suite and write a JSON report to FILE")
+		baseline = flag.String("baseline", "", "embed a previous -json report under \"baseline\"")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "ctpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	dir := gen.Forward
 	if *alt {

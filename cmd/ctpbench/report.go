@@ -1,0 +1,167 @@
+package main
+
+// The -json perf-tracking suite: a fixed set of micro- and workload
+// benchmarks run through testing.Benchmark, emitted as machine-readable
+// JSON so the repository can track the hot-path trajectory across PRs
+// (BENCH_pr2.json onward). Entries mirror the root-level testing.B
+// benchmarks: the CSR expansion and signature-dedup micro-benchmarks plus
+// the Figure 11 GAM-variant grid.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Description string          `json:"description"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Benchmarks  []benchEntry    `json:"benchmarks"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+}
+
+func writeJSONReport(path, baselinePath string) error {
+	report := benchReport{
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	run := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		report.Benchmarks = append(report.Benchmarks, benchEntry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-40s %12.0f ns/op %10d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	// CSR expansion: touch every incident edge of every node.
+	rng := rand.New(rand.NewSource(7))
+	g := gen.Random(5000, 20000, []string{"knows", "cites", "funds", "worksFor"}, rng)
+	run("CSRExpansion/random-5000x20000", func(b *testing.B) {
+		b.ReportAllocs()
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for n := 0; n < g.NumNodes(); n++ {
+				for _, e := range g.IncidentEdges(graph.NodeID(n)) {
+					sum += int64(e)
+				}
+			}
+		}
+		_ = sum
+	})
+
+	// Signature dedup: hash + membership probe against a seeded history
+	// (a stand-alone replica of the kernels' collision-checked set).
+	sets := make([][]graph.EdgeID, 4096)
+	hist := make(map[uint64][][]graph.EdgeID, len(sets))
+	srng := rand.New(rand.NewSource(3))
+	for i := range sets {
+		n := srng.Intn(11)
+		s := make([]graph.EdgeID, n)
+		for j := range s {
+			s[j] = graph.EdgeID(srng.Intn(1 << 20))
+		}
+		sets[i] = s
+		sig := tree.EdgeSetSig(s)
+		hist[sig] = append(hist[sig], s)
+	}
+	run("SignatureDedup/hist-4096", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := sets[i%len(sets)]
+			sig := tree.EdgeSetSig(set)
+			found := false
+			for _, cand := range hist[sig] {
+				if len(cand) == len(set) {
+					eq := true
+					for j := range cand {
+						if cand[j] != set[j] {
+							eq = false
+							break
+						}
+					}
+					if eq {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				b.Fatal("seeded set missing")
+			}
+		}
+	})
+
+	// The Figure 11 grid: GAM pruning variants on the benchmark workloads.
+	workloads := []struct {
+		name string
+		w    *gen.Workload
+	}{
+		{"Fig11Line/m=3_sL=6", gen.Line(3, 5, gen.Alternate)},
+		{"Fig11Line/m=10_sL=3", gen.Line(10, 2, gen.Alternate)},
+		{"Fig11Comb/nA=4_sL=3", gen.Comb(4, 2, 3, 2, gen.Alternate)},
+		{"Fig11Comb/nA=6_sL=2", gen.Comb(6, 2, 2, 2, gen.Alternate)},
+		{"Fig11Star/m=5_sL=4", gen.Star(5, 4, gen.Alternate)},
+		{"Fig11Star/m=10_sL=2", gen.Star(10, 2, gen.Alternate)},
+	}
+	for _, wl := range workloads {
+		for _, alg := range core.GAMFamily() {
+			wl, alg := wl, alg
+			run(wl.name+"/"+alg.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _, err := core.Search(wl.w.Graph, core.Explicit(wl.w.Seeds...), core.Options{
+						Algorithm: alg,
+						Filters:   eql.Filters{Timeout: 5 * time.Second},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("baseline %s is not valid JSON", baselinePath)
+		}
+		report.Baseline = json.RawMessage(raw)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

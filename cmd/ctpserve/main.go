@@ -12,9 +12,13 @@
 //
 //	POST /query    {"query": "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 4 . }",
 //	                "timeout_ms": 500, "algorithm": "MoLESP", "max_rows": 100}
-//	               -> rows (node bindings + connecting trees), timings, flags
+//	               -> rows (node bindings + connecting trees), timings, flags,
+//	                  and a per-query search report (trees generated/kept,
+//	                  peak queue length, peak live trees, allocations)
 //	GET  /healthz  liveness + graph size
 //	GET  /stats    request metrics (counts, timeouts, in-flight, avg latency)
+//	               plus aggregated search-effort counters
+//	GET  /debug/pprof/  net/http/pprof profiling, with -pprof
 //
 // Each request gets its own evaluation context: its timeout (capped by
 // -max-timeout) bounds the CTP searches and an expiring budget returns
@@ -52,22 +56,25 @@ func main() {
 		defaultTimeout = flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets no timeout_ms (0 = none)")
 		maxTimeout     = flag.Duration("max-timeout", time.Minute, "cap on requested timeouts (0 = uncapped)")
 		maxRows        = flag.Int("max-rows", 1000, "cap on rows serialized per response (0 = unlimited)")
+		pprofEnabled   = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		trackAllocs    = flag.Bool("track-allocs", true, "sample per-query heap allocation counts into the search report (two runtime.ReadMemStats calls per CONNECT search; disable for maximum throughput)")
 	)
 	flag.Parse()
 	if err := run(*addr, *graphPath, *sample, *random, *seed, *algoName, *parallel,
-		*defaultTimeout, *maxTimeout, *maxRows); err != nil {
+		*defaultTimeout, *maxTimeout, *maxRows, *pprofEnabled, *trackAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, graphPath, sample, random string, seed int64, algoName string, parallel bool,
-	defaultTimeout, maxTimeout time.Duration, maxRows int) error {
+	defaultTimeout, maxTimeout time.Duration, maxRows int, pprofEnabled, trackAllocs bool) error {
 	g, desc, err := loadGraph(graphPath, sample, random, seed)
 	if err != nil {
 		return err
 	}
-	db, err := ctpquery.Open(g, &ctpquery.Options{Algorithm: algoName, Parallel: parallel})
+	db, err := ctpquery.Open(g, &ctpquery.Options{
+		Algorithm: algoName, Parallel: parallel, TrackAllocs: trackAllocs})
 	if err != nil {
 		return err
 	}
@@ -78,7 +85,10 @@ func run(addr, graphPath, sample, random string, seed int64, algoName string, pa
 
 	log.Printf("graph %s: %d nodes, %d edges; algorithm %s",
 		desc, g.NumNodes(), g.NumEdges(), db.Options().Algorithm)
-	srv := &http.Server{Addr: addr, Handler: s.handler()}
+	if pprofEnabled {
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: addr, Handler: s.handler(pprofEnabled)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,24 @@ type server struct {
 	timeouts atomic.Int64
 	inFlight atomic.Int64
 	busyNS   atomic.Int64 // total completed-handler time, for the average latency
+
+	// Aggregated per-query search effort (ctpquery.SearchStats), so
+	// hot-path regressions show up in /stats without attaching a profiler.
+	treesGenerated atomic.Int64
+	treesRecycled  atomic.Int64
+	allocations    atomic.Uint64
+	peakQueueLen   atomic.Int64 // max over all queries served
+	peakTrees      atomic.Int64 // max over all queries served
+}
+
+// maxInt64 CAS-raises an atomic high-water mark.
+func maxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // newServer builds a server over db.
@@ -43,12 +62,22 @@ func newServer(db *ctpquery.DB, defaultTimeout, maxTimeout time.Duration, maxRow
 	}, nil
 }
 
-// handler returns the HTTP routes: POST /query, GET /healthz, GET /stats.
-func (s *server) handler() http.Handler {
+// handler returns the HTTP routes: POST /query, GET /healthz, GET /stats,
+// and — when enablePprof is set — the net/http/pprof profiling endpoints
+// under /debug/pprof/ (CPU, heap, allocs, goroutine, ...), so a live
+// server can be profiled exactly like the benchmarks.
+func (s *server) handler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -108,6 +137,18 @@ type queryResponse struct {
 		Join  float64 `json:"join"`
 		Total float64 `json:"total"`
 	} `json:"timings_ms"`
+	// Search reports the aggregated CTP search effort of this query.
+	Search searchJSON `json:"search"`
+}
+
+// searchJSON mirrors ctpquery.SearchStats for the wire.
+type searchJSON struct {
+	TreesGenerated int    `json:"trees_generated"`
+	TreesKept      int    `json:"trees_kept"`
+	TreesRecycled  int    `json:"trees_recycled"`
+	PeakTrees      int    `json:"peak_trees"`
+	PeakQueueLen   int    `json:"peak_queue_len"`
+	Allocations    uint64 `json:"allocations"`
 }
 
 type errorResponse struct {
@@ -177,6 +218,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.TimedOut() {
 		s.timeouts.Add(1)
 	}
+	st := res.SearchStats()
+	s.treesGenerated.Add(int64(st.TreesGenerated))
+	s.treesRecycled.Add(int64(st.TreesRecycled))
+	s.allocations.Add(st.Allocations)
+	maxInt64(&s.peakQueueLen, int64(st.PeakQueueLen))
+	maxInt64(&s.peakTrees, int64(st.PeakTrees))
 
 	maxRows := s.maxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
@@ -199,6 +246,15 @@ func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 	resp.TimingsMS.CTP = ms(ctp)
 	resp.TimingsMS.Join = ms(join)
 	resp.TimingsMS.Total = ms(total)
+	st := res.SearchStats()
+	resp.Search = searchJSON{
+		TreesGenerated: st.TreesGenerated,
+		TreesKept:      st.TreesKept,
+		TreesRecycled:  st.TreesRecycled,
+		PeakTrees:      st.PeakTrees,
+		PeakQueueLen:   st.PeakQueueLen,
+		Allocations:    st.Allocations,
+	}
 
 	n := res.Len()
 	if maxRows > 0 && n > maxRows {
@@ -262,6 +318,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"graph":          map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
 		"algorithm":      s.base.Options().Algorithm,
 		"algorithms":     ctpquery.Algorithms(),
+		"search": map[string]any{
+			"trees_generated": s.treesGenerated.Load(),
+			"trees_recycled":  s.treesRecycled.Load(),
+			"allocations":     s.allocations.Load(),
+			"peak_queue_len":  s.peakQueueLen.Load(),
+			"peak_trees":      s.peakTrees.Load(),
+		},
 	})
 }
 

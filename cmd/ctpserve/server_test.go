@@ -18,7 +18,7 @@ import (
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	g := ctpquery.RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
-	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true})
+	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true, TrackAllocs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler())
+	ts := httptest.NewServer(s.handler(true))
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -138,7 +138,7 @@ func TestMaxTimeoutCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler())
+	ts := httptest.NewServer(s.handler(false))
 	defer ts.Close()
 	code, _, fail := postQuery(t, ts.URL, queryRequest{
 		Query:     "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 2 . }",
@@ -236,7 +236,25 @@ func TestHealthAndStats(t *testing.T) {
 		t.Errorf("healthz = %+v", health)
 	}
 
-	postQuery(t, ts.URL, queryRequest{Query: "SELECT ?w WHERE { CONNECT n1 n2 AS ?w MAX 16 LIMIT 1 . }"})
+	code, out, fail := postQuery(t, ts.URL, queryRequest{Query: "SELECT ?w WHERE { CONNECT n1 n2 AS ?w MAX 16 LIMIT 1 . }"})
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, fail.Error)
+	}
+	// The per-query search report must show actual effort: the search
+	// built trees, queued grows, and (with TrackAllocs on) allocated.
+	if out.Search.TreesGenerated <= 0 || out.Search.TreesKept <= 0 {
+		t.Errorf("per-query search stats empty: %+v", out.Search)
+	}
+	if out.Search.PeakQueueLen <= 0 {
+		t.Errorf("peak_queue_len = %d, want > 0", out.Search.PeakQueueLen)
+	}
+	if out.Search.PeakTrees <= 0 {
+		t.Errorf("peak_trees = %d, want > 0", out.Search.PeakTrees)
+	}
+	if out.Search.Allocations == 0 {
+		t.Errorf("allocations = 0, want > 0 with TrackAllocs")
+	}
+
 	resp, err = http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -245,6 +263,12 @@ func TestHealthAndStats(t *testing.T) {
 		Requests   int64    `json:"requests"`
 		InFlight   int64    `json:"in_flight"`
 		Algorithms []string `json:"algorithms"`
+		Search     struct {
+			TreesGenerated int64  `json:"trees_generated"`
+			PeakQueueLen   int64  `json:"peak_queue_len"`
+			PeakTrees      int64  `json:"peak_trees"`
+			Allocations    uint64 `json:"allocations"`
+		} `json:"search"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -252,5 +276,42 @@ func TestHealthAndStats(t *testing.T) {
 	resp.Body.Close()
 	if stats.Requests < 1 || stats.InFlight != 0 || len(stats.Algorithms) != 8 {
 		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Search.TreesGenerated <= 0 || stats.Search.PeakQueueLen <= 0 {
+		t.Errorf("aggregated search stats empty: %+v", stats.Search)
+	}
+}
+
+// TestPprofEndpoint: the handler serves /debug/pprof/ when enabled and
+// 404s it when not.
+func TestPprofEndpoint(t *testing.T) {
+	_, ts := newTestServer(t) // pprof enabled
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+
+	g := ctpquery.SampleGraph()
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(db, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(s.handler(false))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -35,6 +35,12 @@ type Options struct {
 	// filter (0 = unbounded). Context deadlines passed to Query/Run clamp
 	// this further.
 	DefaultTimeout time.Duration
+
+	// TrackAllocs samples per-search heap allocation counts into
+	// Results.SearchStats — the observability hook ctpserve exposes.
+	// Concurrent queries inflate each other's counts; prefer the
+	// testing.B benchmarks for precise numbers.
+	TrackAllocs bool
 }
 
 // Algorithms lists the CTP evaluation algorithm names accepted by
@@ -126,6 +132,7 @@ func Open(g *Graph, opts *Options) (*DB, error) {
 			SkewThreshold:  o.SkewThreshold,
 			DefaultTimeout: o.DefaultTimeout,
 			Parallel:       o.Parallel,
+			TrackAllocs:    o.TrackAllocs,
 		}),
 		opts: o,
 	}, nil
@@ -194,6 +201,7 @@ func (db *DB) RunStream(ctx context.Context, q *Query, fn StreamFunc) (*Results,
 		SkewThreshold:  db.opts.SkewThreshold,
 		DefaultTimeout: db.opts.DefaultTimeout,
 		Parallel:       db.opts.Parallel,
+		TrackAllocs:    db.opts.TrackAllocs,
 		OnCTPResult: func(ctp int, r core.Result) bool {
 			return fn(ctp, &Tree{g: db.g, t: r.Tree})
 		},

@@ -10,6 +10,8 @@ import (
 	"math/bits"
 	"strconv"
 	"strings"
+
+	"ctpquery/internal/hash64"
 )
 
 // Bits is a variable-width bit set. The zero value is an empty set. All
@@ -127,6 +129,33 @@ func (b Bits) Union(o Bits) Bits {
 	return out
 }
 
+// UnionInto writes a ∪ b into dst, reusing dst's backing array when its
+// capacity suffices, and returns the result. dst must not alias a or b.
+// It is the allocation-lean union the search kernels use with pooled
+// signature buffers.
+func UnionInto(dst, a, b Bits) Bits {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if cap(dst) < n {
+		dst = make(Bits, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		var w uint64
+		if i < len(a) {
+			w = a[i]
+		}
+		if i < len(b) {
+			w |= b[i]
+		}
+		dst[i] = w
+	}
+	return dst
+}
+
 // UnionInPlace sets b = b ∪ o, growing b as needed, and returns b.
 func (b *Bits) UnionInPlace(o Bits) Bits {
 	for len(*b) < len(o) {
@@ -234,6 +263,22 @@ func (b Bits) Key() string {
 		sb.Write(buf[:])
 	}
 	return sb.String()
+}
+
+// Sig returns a 64-bit hash of the set. Two sets that are Equal produce
+// the same signature regardless of trailing zero words; distinct sets may
+// collide, so users must verify with Equal (the multi-queue scheduler
+// does). It replaces Key on the hot path: no string is built.
+func (b Bits) Sig() uint64 {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		h = hash64.Mix(h ^ b[i])
+	}
+	return h
 }
 
 // String renders the set as {i1,i2,...} for debugging.

@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"sort"
+	"sync"
 	"time"
 
 	"ctpquery/internal/bitset"
@@ -18,22 +19,60 @@ import (
 // compatible partner once; BFT-AM re-merges merge results aggressively.
 
 // bftTree is an unrooted tree: sorted edges and nodes plus seed coverage.
+// Candidates come from a sync.Pool; a tree rejected by the history hands
+// its buffers straight back (see bftRelease), so at steady state the
+// grow/merge loop allocates only for trees it keeps. sat is a read-only
+// view that may alias the parent tree's bits when growing added no seed;
+// satBuf is the buffer this tree owns for non-aliased signatures.
 type bftTree struct {
-	edges []graph.EdgeID
-	nodes []graph.NodeID
-	sat   bitset.Bits
-	seq   uint64
+	edges  []graph.EdgeID
+	nodes  []graph.NodeID
+	sat    bitset.Bits
+	satBuf bitset.Bits
+	sig    uint64 // edge-set signature (tree.SetSigBasis when empty)
+	seq    uint64
+
+	// Inline storage: a fresh candidate is one allocation, not four;
+	// larger trees spill to the heap via the Into helpers.
+	inlineEdges [16]graph.EdgeID
+	inlineNodes [17]graph.NodeID
+	inlineSat   [2]uint64
 }
+
+var bftTreePool = sync.Pool{New: func() any {
+	t := new(bftTree)
+	t.edges = t.inlineEdges[:0]
+	t.nodes = t.inlineNodes[:0]
+	t.satBuf = bitset.Bits(t.inlineSat[:0])
+	return t
+}}
+
+// bftAcquire returns a pooled tree whose buffers keep their capacity but
+// hold no elements.
+func bftAcquire() *bftTree {
+	t := bftTreePool.Get().(*bftTree)
+	t.edges = t.edges[:0]
+	t.nodes = t.nodes[:0]
+	t.sat = nil
+	t.satBuf = t.satBuf[:0]
+	t.sig = 0
+	t.seq = 0
+	return t
+}
+
+// bftRelease recycles a rejected candidate. The caller must ensure no
+// history, index, or queue references the tree or its slices.
+func bftRelease(t *bftTree) { bftTreePool.Put(t) }
 
 func (t *bftTree) size() int { return len(t.edges) }
 
-// key identifies the tree as an edge set; single-node trees are keyed by
-// their node instead.
-func (t *bftTree) key() string {
+// identity returns the history signature and collision-check identity:
+// edge trees by their edge set, single-node trees by their node.
+func (t *bftTree) identity() (sig uint64, root graph.NodeID, edges []graph.EdgeID) {
 	if len(t.edges) == 0 {
-		return "n" + tree.EdgeSetKey([]graph.EdgeID{graph.EdgeID(t.nodes[0])})
+		return tree.NodeSig(t.nodes[0]), t.nodes[0], nil
 	}
-	return tree.EdgeSetKey(t.edges)
+	return t.sig, unrootedRef, t.edges
 }
 
 func (t *bftTree) containsNode(n graph.NodeID) bool {
@@ -71,7 +110,7 @@ type bftState struct {
 
 	queue  bftHeap
 	seq    uint64
-	hist   map[string]bool
+	hist   treeSet
 	byNode map[graph.NodeID][]*bftTree
 
 	collector *resultCollector
@@ -91,7 +130,7 @@ func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		variant:  opts.Algorithm,
 		allowed:  labelFilter(g, opts.Filters.Labels),
 		maxEdges: opts.Filters.MaxEdges,
-		hist:     make(map[string]bool),
+		hist:     newTreeSet(),
 		byNode:   make(map[graph.NodeID][]*bftTree),
 		stats:    &Stats{},
 		dl:       newDeadline(opts.Filters.Timeout, opts.Done),
@@ -109,9 +148,13 @@ func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 				continue
 			}
 			inited[n] = true
-			t := &bftTree{nodes: []graph.NodeID{n}, sat: si.mask(n).Clone()}
-			s.stats.Created++
-			s.admit(t, tree.Init)
+			t := bftAcquire()
+			t.nodes = append(t.nodes, n)
+			t.satBuf = bitset.UnionInto(t.satBuf, si.mask(n), nil)
+			t.sat = t.satBuf
+			t.sig = tree.SetSigBasis
+			s.stats.created()
+			s.admitOrRelease(t, tree.Init)
 			if s.stop {
 				break
 			}
@@ -137,25 +180,36 @@ func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 	return rs, s.stats, nil
 }
 
+// admitOrRelease routes a freshly built candidate through admit and hands
+// rejected candidates back to the pool.
+func (s *bftState) admitOrRelease(t *bftTree, kind tree.Kind) {
+	if !s.admit(t, kind) {
+		s.stats.Recycled++
+		bftRelease(t)
+	}
+}
+
 // admit deduplicates a freshly built tree and routes it: covering trees
 // are minimized and reported; other trees are indexed, queued for growth,
 // and — depending on the variant and the tree's provenance kind — merged
 // with their partners (BFT-M merges Grow trees once; BFT-AM merges
-// everything, recursively).
-func (s *bftState) admit(t *bftTree, kind tree.Kind) {
+// everything, recursively). It reports whether the tree was retained by
+// any search structure; a false return means the caller may recycle it.
+func (s *bftState) admit(t *bftTree, kind tree.Kind) bool {
 	if s.stop {
-		return
+		return false
 	}
 	if s.dl.expired() {
 		s.stats.TimedOut = true
 		s.stop = true
-		return
+		return false
 	}
-	if s.hist[t.key()] {
+	sig, root, edges := t.identity()
+	if !s.hist.add(sig, root, edges) {
 		s.stats.Pruned++
-		return
+		return false
 	}
-	s.hist[t.key()] = true
+	// From here on the history references t.edges: the tree is retained.
 	switch kind {
 	case tree.Init:
 		s.stats.Inits++
@@ -167,16 +221,16 @@ func (s *bftState) admit(t *bftTree, kind tree.Kind) {
 	if s.opts.MaxTrees > 0 && s.stats.Kept() >= s.opts.MaxTrees {
 		s.stats.Truncated = true
 		s.stop = true
-		return
+		return true
 	}
 
 	if s.si.covers(t.sat) {
 		s.reportMinimized(t)
 		if !s.si.hasUniversal {
-			return
+			return true
 		}
 		if s.stop {
-			return
+			return true
 		}
 	}
 
@@ -186,6 +240,7 @@ func (s *bftState) admit(t *bftTree, kind tree.Kind) {
 	s.seq++
 	t.seq = s.seq
 	heap.Push(&s.queue, t)
+	s.stats.noteQueueLen(len(s.queue))
 
 	merge := false
 	switch s.variant {
@@ -197,6 +252,7 @@ func (s *bftState) admit(t *bftTree, kind tree.Kind) {
 	if merge {
 		s.mergePass(t)
 	}
+	return true
 }
 
 // growAll extends t by every admissible adjacent edge — from any node, the
@@ -206,7 +262,7 @@ func (s *bftState) growAll(t *bftTree) {
 		return
 	}
 	for _, n := range t.nodes {
-		for _, e := range s.g.Incident(n) {
+		for _, e := range s.g.IncidentEdges(n) {
 			if s.stop {
 				return
 			}
@@ -220,13 +276,18 @@ func (s *bftState) growAll(t *bftTree) {
 			if s.si.mask(other).Intersects(t.sat) {
 				continue // Grow2
 			}
-			grown := &bftTree{
-				edges: insertEdgeSorted(t.edges, e),
-				nodes: insertNodeSorted(t.nodes, other),
-				sat:   t.sat.Union(s.si.mask(other)),
+			grown := bftAcquire()
+			grown.edges = tree.InsertEdgeInto(grown.edges, t.edges, e)
+			grown.nodes = tree.InsertNodeInto(grown.nodes, t.nodes, other)
+			if mask := s.si.mask(other); mask.IsEmpty() {
+				grown.sat = t.sat // alias: a non-seed adds no bits
+			} else {
+				grown.satBuf = bitset.UnionInto(grown.satBuf, t.sat, mask)
+				grown.sat = grown.satBuf
 			}
-			s.stats.Created++
-			s.admit(grown, tree.Grow)
+			grown.sig = t.sig ^ tree.EdgeSig(e)
+			s.stats.created()
+			s.admitOrRelease(grown, tree.Grow)
 		}
 	}
 }
@@ -246,13 +307,14 @@ func (s *bftState) mergePass(t *bftTree) {
 			if p == t || !s.bftMergeable(t, p, n) {
 				continue
 			}
-			merged := &bftTree{
-				edges: unionEdgesSorted(t.edges, p.edges),
-				nodes: unionNodesSorted(t.nodes, p.nodes),
-				sat:   t.sat.Union(p.sat),
-			}
-			s.stats.Created++
-			s.admit(merged, tree.Merge)
+			merged := bftAcquire()
+			merged.edges = tree.UnionEdgesInto(merged.edges, t.edges, p.edges)
+			merged.nodes = tree.UnionNodesInto(merged.nodes, t.nodes, p.nodes)
+			merged.satBuf = bitset.UnionInto(merged.satBuf, t.sat, p.sat)
+			merged.sat = merged.satBuf
+			merged.sig = tree.MergeSigs(t.sig, p.sig)
+			s.stats.created()
+			s.admitOrRelease(merged, tree.Merge)
 		}
 	}
 }
@@ -317,64 +379,23 @@ func (s *bftState) reportMinimized(t *bftTree) {
 	}
 }
 
+// The sorted-slice primitives are the tree package's buffer-reusing
+// helpers (one implementation, one growth policy — see tree.InsertEdgeInto
+// and friends). The allocation-per-call forms below remain the property-
+// tested entry points, preallocated to the worst case len(a)+len(b).
+
 func insertEdgeSorted(s []graph.EdgeID, e graph.EdgeID) []graph.EdgeID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
-	out := make([]graph.EdgeID, len(s)+1)
-	copy(out, s[:i])
-	out[i] = e
-	copy(out[i+1:], s[i:])
-	return out
+	return tree.InsertEdgeInto(nil, s, e)
 }
 
 func insertNodeSorted(s []graph.NodeID, n graph.NodeID) []graph.NodeID {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
-	out := make([]graph.NodeID, len(s)+1)
-	copy(out, s[:i])
-	out[i] = n
-	copy(out[i+1:], s[i:])
-	return out
+	return tree.InsertNodeInto(nil, s, n)
 }
 
 func unionEdgesSorted(a, b []graph.EdgeID) []graph.EdgeID {
-	out := make([]graph.EdgeID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return tree.UnionEdgesInto(make([]graph.EdgeID, 0, len(a)+len(b)), a, b)
 }
 
 func unionNodesSorted(a, b []graph.NodeID) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return tree.UnionNodesInto(make([]graph.NodeID, 0, len(a)+len(b)), a, b)
 }

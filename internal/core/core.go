@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/metrics"
 	"time"
 
 	"ctpquery/internal/bitset"
@@ -130,6 +131,15 @@ type Options struct {
 	// timeout through Stats.TimedOut. It is how callers propagate
 	// context cancellation into a running search.
 	Done <-chan struct{}
+
+	// TrackAllocs samples the runtime/metrics heap-allocation counter
+	// around the search and reports the delta through Stats.Allocations.
+	// Unlike runtime.ReadMemStats, metrics.Read does not stop the world,
+	// so the probe is safe on a concurrent server; the counter is
+	// process-global, so concurrent searches inflate each other's deltas —
+	// treat the number as an observability signal, not a benchmark (use
+	// the testing.B benchmarks for that).
+	TrackAllocs bool
 }
 
 // Result is one (s_1, ..., s_m, t) tuple of a set-based CTP result
@@ -163,10 +173,32 @@ type Stats struct {
 	Spared    int // trees the LESP exemption rescued from pruning
 	QueuePops int
 
+	// Hot-path observability (the per-query report ctpserve surfaces).
+	Recycled     int    // rejected candidates returned to the buffer pool
+	PeakTrees    int    // peak live provenances (Created - Recycled high-water)
+	PeakQueueLen int    // high-water mark of the grow queue
+	Allocations  uint64 // heap allocations during the search (Options.TrackAllocs)
+
 	Results   int
 	TimedOut  bool
 	Truncated bool // stopped by MaxTrees or Limit
 	Duration  time.Duration
+}
+
+// created counts a freshly constructed provenance and tracks the live
+// high-water mark.
+func (s *Stats) created() {
+	s.Created++
+	if live := s.Created - s.Recycled; live > s.PeakTrees {
+		s.PeakTrees = live
+	}
+}
+
+// noteQueueLen tracks the grow-queue high-water mark.
+func (s *Stats) noteQueueLen(n int) {
+	if n > s.PeakQueueLen {
+		s.PeakQueueLen = n
+	}
 }
 
 // Kept returns the total number of provenances kept — the paper's "number
@@ -202,13 +234,38 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 	if opts.Algorithm == 0 {
 		opts.Algorithm = MoLESP
 	}
+	var a0 uint64
+	if opts.TrackAllocs {
+		a0 = heapAllocObjects()
+	}
+	var (
+		rs  *ResultSet
+		st  *Stats
+		err error
+	)
 	switch opts.Algorithm {
 	case BFT, BFTM, BFTAM:
-		return bftSearch(g, seeds, opts)
+		rs, st, err = bftSearch(g, seeds, opts)
 	case GAM, ESP, MoESP, LESP, MoLESP:
-		return gamSearch(g, seeds, opts)
+		rs, st, err = gamSearch(g, seeds, opts)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
-	return nil, nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	if opts.TrackAllocs && err == nil {
+		st.Allocations = heapAllocObjects() - a0
+	}
+	return rs, st, err
+}
+
+// heapAllocObjects reads the cumulative heap allocation count without
+// stopping the world (unlike runtime.ReadMemStats).
+func heapAllocObjects() uint64 {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
 }
 
 // seedIndex resolves node -> seed-set membership and tracks universal

@@ -49,8 +49,8 @@ type gamState struct {
 	seq      uint64
 	priority PriorityFunc
 
-	histEdge   map[string]bool               // ESP history: edge-set keys
-	rootedSeen map[string]bool               // kept rooted trees, by rooted key
+	histEdge   treeSet                       // ESP history: edge-set signatures
+	rootedSeen treeSet                       // kept rooted trees, by rooted signature
 	byRoot     map[graph.NodeID][]*tree.Tree // TreesRootedIn
 	ss         map[graph.NodeID]bitset.Bits  // seed signatures (Section 4.6)
 
@@ -73,8 +73,8 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		maxEdges:   opts.Filters.MaxEdges,
 		uni:        opts.Filters.Uni,
 		priority:   opts.Priority,
-		histEdge:   make(map[string]bool),
-		rootedSeen: make(map[string]bool),
+		histEdge:   newTreeSet(),
+		rootedSeen: newTreeSet(),
 		byRoot:     make(map[graph.NodeID][]*tree.Tree),
 		ss:         make(map[graph.NodeID]bitset.Bits),
 		stats:      &Stats{},
@@ -106,7 +106,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 			inited[n] = true
 			mask := si.mask(n)
 			t := tree.NewInit(n, mask)
-			s.stats.Created++
+			s.stats.created()
 			s.updateSignature(t)
 			s.processTree(t)
 			if s.stop {
@@ -131,7 +131,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		}
 		newRoot := s.g.Other(op.e, op.t.Root)
 		t := tree.NewGrow(op.t, op.e, newRoot, s.si.mask(newRoot))
-		s.stats.Created++
+		s.stats.created()
 		s.updateSignature(t)
 		s.processTree(t)
 	}
@@ -155,23 +155,22 @@ func (s *gamState) updateSignature(t *tree.Tree) {
 
 // isNew implements Algorithm 4 for the ESP family, plain rooted-tree
 // deduplication for GAM, and always-true for 0-edge (Init) trees, which
-// are deduplicated at creation.
+// are deduplicated at creation. Identity checks run on 64-bit signatures
+// with collision-checked buckets — no string key is built.
 func (s *gamState) isNew(t *tree.Tree) bool {
-	if t.Size() == 0 {
-		return !s.rootedSeen[t.RootedKey()]
+	if t.Size() == 0 || !s.variant.esp {
+		// GAM (and 0-edge trees): discard all but the first provenance of
+		// a rooted tree.
+		return !s.rootedSeen.has(t.RootedSig(), t.Root, t.Edges)
 	}
-	if !s.variant.esp {
-		// GAM: discard all but the first provenance of a rooted tree.
-		return !s.rootedSeen[t.RootedKey()]
-	}
-	if !s.histEdge[t.EdgeKey()] {
+	if !s.histEdge.has(t.Sig(), unrootedRef, t.Edges) {
 		return true
 	}
 	if s.variant.lesp {
 		// The LESP exemption: roots already connected to >= 3 seed sets
 		// with graph degree >= 3 keep their (new) rooted trees.
 		if s.ss[t.Root].Count() >= 3 && s.g.Degree(t.Root) >= 3 &&
-			!s.rootedSeen[t.RootedKey()] {
+			!s.rootedSeen.has(t.RootedSig(), t.Root, t.Edges) {
 			s.stats.Spared++
 			return true
 		}
@@ -179,11 +178,13 @@ func (s *gamState) isNew(t *tree.Tree) bool {
 	return false
 }
 
-// keep records a tree in the history and statistics.
+// keep records a tree in the history and statistics. The histories alias
+// the tree's edge slice, which is safe: kept trees are immutable and
+// never recycled.
 func (s *gamState) keep(t *tree.Tree) {
-	s.rootedSeen[t.RootedKey()] = true
+	s.rootedSeen.add(t.RootedSig(), t.Root, t.Edges)
 	if s.variant.esp && t.Size() > 0 {
-		s.histEdge[t.EdgeKey()] = true
+		s.histEdge.add(t.Sig(), unrootedRef, t.Edges)
 	}
 	switch t.Kind {
 	case tree.Init:
@@ -217,6 +218,7 @@ func (s *gamState) processTree(t *tree.Tree) {
 	}
 	if !s.isNew(t) {
 		s.stats.Pruned++
+		s.recycle(t)
 		return
 	}
 	s.keep(t)
@@ -242,6 +244,14 @@ func (s *gamState) processTree(t *tree.Tree) {
 	s.mergeAll(t)
 }
 
+// recycle returns a rejected candidate's buffers to the pool. Only called
+// on trees no history, index, queue, or result references.
+func (s *gamState) recycle(t *tree.Tree) {
+	if tree.Recycle(t) {
+		s.stats.Recycled++
+	}
+}
+
 // recordForMerging implements Algorithm 3: index the tree by its root and,
 // for Mo variants, inject copies rooted at each seed node of the tree
 // whenever the provenance gained seeds over its children (Section 4.5).
@@ -257,9 +267,10 @@ func (s *gamState) recordForMerging(t *tree.Tree) {
 			continue
 		}
 		mo := tree.NewMo(t, n)
-		s.stats.Created++
-		if s.rootedSeen[mo.RootedKey()] {
+		s.stats.created()
+		if s.rootedSeen.has(mo.RootedSig(), mo.Root, mo.Edges) {
 			s.stats.Pruned++
+			s.recycle(mo)
 			continue
 		}
 		s.keep(mo)
@@ -294,7 +305,7 @@ func (s *gamState) pushGrows(t *tree.Tree) {
 	if s.maxEdges > 0 && t.Size() >= s.maxEdges {
 		return
 	}
-	for _, e := range s.g.Incident(t.Root) {
+	for _, e := range s.g.IncidentEdges(t.Root) {
 		if s.allowed != nil && !s.allowed[s.g.EdgeLabelID(e)] {
 			continue
 		}
@@ -313,6 +324,7 @@ func (s *gamState) pushGrows(t *tree.Tree) {
 		s.seq++
 		s.queue.push(growOp{t: t, e: e, prio: s.priority(t, e), seq: s.seq})
 	}
+	s.stats.noteQueueLen(s.queue.len())
 }
 
 // mergeable checks Merge1/Merge2 (Section 4.2) plus the MAX filter. The
@@ -351,7 +363,7 @@ func (s *gamState) mergeAll(t *tree.Tree) {
 			continue
 		}
 		merged := tree.NewMerge(t, tp)
-		s.stats.Created++
+		s.stats.created()
 		s.processTree(merged)
 	}
 }

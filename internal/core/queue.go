@@ -1,8 +1,7 @@
 package core
 
 import (
-	"container/heap"
-
+	"ctpquery/internal/bitset"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/tree"
 )
@@ -15,24 +14,59 @@ type growOp struct {
 	seq  uint64 // FIFO tiebreak
 }
 
-// opHeap is a min-heap of growOps ordered by (prio, seq).
+// opHeap is a min-heap of growOps ordered by (prio, seq). The sift
+// operations are hand-rolled rather than delegated to container/heap:
+// pushing a growOp through heap.Push boxes the struct into an interface,
+// one heap allocation per queued op — the dominant allocator in GAM's
+// main loop before this layout.
 type opHeap []growOp
 
-func (h opHeap) Len() int { return len(h) }
-func (h opHeap) Less(i, j int) bool {
+func (h opHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
-func (h opHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *opHeap) Push(x interface{}) { *h = append(*h, x.(growOp)) }
-func (h *opHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *opHeap) pushOp(op growOp) {
+	a := append(*h, op)
+	*h = a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *opHeap) popOp() growOp {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = growOp{} // drop the tree reference for the GC
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && a.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && a.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		a[i], a[smallest] = a[smallest], a[i]
+		i = smallest
+	}
+	return top
 }
 
 // opQueue abstracts the single- and multi-queue (Section 4.9) scheduling
@@ -46,41 +80,55 @@ type opQueue interface {
 // singleQueue is the default: one global priority queue.
 type singleQueue struct{ h opHeap }
 
-func newSingleQueue() *singleQueue { return &singleQueue{} }
+func newSingleQueue() *singleQueue { return &singleQueue{h: make(opHeap, 0, 64)} }
 
-func (q *singleQueue) push(op growOp) { heap.Push(&q.h, op) }
+func (q *singleQueue) push(op growOp) { q.h.pushOp(op) }
 func (q *singleQueue) len() int       { return len(q.h) }
 func (q *singleQueue) pop() (growOp, bool) {
 	if len(q.h) == 0 {
 		return growOp{}, false
 	}
-	return heap.Pop(&q.h).(growOp), true
+	return q.h.popOp(), true
 }
 
 // multiQueue keeps one priority queue per tree signature (the sat bitset)
 // and always pops from the queue holding the fewest entries, so that
 // exploration initially concentrates around the smallest seed sets
 // (Section 4.9, following the bidirectional-expansion idea of Kacholia et
-// al.).
+// al.). Queues are located by the 64-bit signature of the sat bitset with
+// an Equal collision check — no string key is built per push.
 type multiQueue struct {
-	queues map[string]*opHeap
-	keys   []string // stable iteration order for determinism
-	total  int
+	buckets map[uint64][]*satHeap
+	order   []*satHeap // creation order: deterministic pop scans
+	total   int
+}
+
+// satHeap is the per-signature queue plus the exact bitset it stands for.
+type satHeap struct {
+	sat bitset.Bits
+	h   opHeap
 }
 
 func newMultiQueue() *multiQueue {
-	return &multiQueue{queues: make(map[string]*opHeap)}
+	return &multiQueue{buckets: make(map[uint64][]*satHeap)}
 }
 
 func (q *multiQueue) push(op growOp) {
-	key := op.t.Sat.Key()
-	h, ok := q.queues[key]
-	if !ok {
-		h = &opHeap{}
-		q.queues[key] = h
-		q.keys = append(q.keys, key)
+	sig := op.t.Sat.Sig()
+	var sh *satHeap
+	for _, cand := range q.buckets[sig] {
+		if cand.sat.Equal(op.t.Sat) {
+			sh = cand
+			break
+		}
 	}
-	heap.Push(h, op)
+	if sh == nil {
+		// The sat bits alias the (immutable, kept) tree; no clone needed.
+		sh = &satHeap{sat: op.t.Sat}
+		q.buckets[sig] = append(q.buckets[sig], sh)
+		q.order = append(q.order, sh)
+	}
+	sh.h.pushOp(op)
 	q.total++
 }
 
@@ -90,21 +138,20 @@ func (q *multiQueue) pop() (growOp, bool) {
 	if q.total == 0 {
 		return growOp{}, false
 	}
-	var best *opHeap
+	var best *satHeap
 	bestLen := -1
-	for _, k := range q.keys {
-		h := q.queues[k]
-		if h.Len() == 0 {
+	for _, sh := range q.order {
+		if len(sh.h) == 0 {
 			continue
 		}
-		if bestLen == -1 || h.Len() < bestLen {
-			best = h
-			bestLen = h.Len()
+		if bestLen == -1 || len(sh.h) < bestLen {
+			best = sh
+			bestLen = len(sh.h)
 		}
 	}
 	if best == nil {
 		return growOp{}, false
 	}
 	q.total--
-	return heap.Pop(best).(growOp), true
+	return best.h.popOp(), true
 }

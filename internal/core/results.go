@@ -19,7 +19,7 @@ type resultCollector struct {
 	limit    int
 	onResult func(Result) bool
 
-	seen     map[string]bool
+	seen     treeSet
 	results  []Result
 	limitHit bool
 }
@@ -33,7 +33,7 @@ func newResultCollector(g *graph.Graph, si *seedIndex, opts Options) *resultColl
 		topK:     opts.Filters.TopK,
 		limit:    opts.Filters.Limit,
 		onResult: opts.OnResult,
-		seen:     make(map[string]bool),
+		seen:     newTreeSet(),
 	}
 }
 
@@ -43,11 +43,8 @@ func (rc *resultCollector) add(t *tree.Tree) bool {
 	if rc.limitHit {
 		return true
 	}
-	key := t.EdgeKey()
-	if t.Size() == 0 {
-		key = "n" + t.RootedKey()
-	}
-	if rc.seen[key] {
+	sig, root, edges := treeIdentity(t)
+	if rc.seen.has(sig, root, edges) {
 		return false
 	}
 	if rc.uni && t.Size() > 0 {
@@ -55,7 +52,7 @@ func (rc *resultCollector) add(t *tree.Tree) bool {
 			return false
 		}
 	}
-	rc.seen[key] = true
+	rc.seen.add(sig, root, edges)
 	r := Result{Tree: t, Seeds: rc.si.seedTuple(t)}
 	if rc.score != nil {
 		r.Score = rc.score(rc.g, t)

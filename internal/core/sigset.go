@@ -1,0 +1,109 @@
+package core
+
+import (
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// treeSet is the deduplication history of a search: a two-level set keyed
+// by 64-bit edge-set signatures (internal/tree/sig.go), with each bucket
+// holding the collision-checked entries behind the hash. At steady state a
+// membership test is one map probe plus one slice compare — no string key
+// is ever built, unlike the EdgeSetKey histories this replaces.
+//
+// One set serves all three identities the kernels deduplicate on:
+//
+//   - plain edge sets (ESP history, BFT history): root == unrootedRef;
+//   - (root, edge set) pairs (GAM/LESP rooted history): root == the root;
+//   - single nodes (0-edge trees): root == the node, edges empty.
+//
+// Entries alias the edge slices of kept trees, which are immutable and
+// never recycled, so no copy is taken.
+//
+// The first entry behind a signature lives directly in the map value
+// (zero per-entry allocations on the overwhelmingly common no-collision
+// path); genuine hash collisions spill into a lazily created overflow
+// map.
+type treeSet struct {
+	first    map[uint64]treeRef
+	overflow map[uint64][]treeRef // nil until the first collision
+}
+
+// treeRef is one collision-checked entry: the exact identity behind a
+// signature.
+type treeRef struct {
+	root  graph.NodeID
+	edges []graph.EdgeID
+}
+
+// unrootedRef marks entries keyed by edge set alone. Node IDs are dense
+// and non-negative, so no real root collides with it.
+const unrootedRef graph.NodeID = -1
+
+func newTreeSet() treeSet { return treeSet{first: make(map[uint64]treeRef)} }
+
+func (r treeRef) is(root graph.NodeID, edges []graph.EdgeID) bool {
+	return r.root == root && edgeSlicesEqual(r.edges, edges)
+}
+
+// has reports whether the (root, edges) identity is present under sig.
+func (s *treeSet) has(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
+	r, ok := s.first[sig]
+	if !ok {
+		return false
+	}
+	if r.is(root, edges) {
+		return true
+	}
+	for _, r := range s.overflow[sig] {
+		if r.is(root, edges) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts the identity and reports whether it was absent. The edges
+// slice is retained and must stay immutable.
+func (s *treeSet) add(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
+	r, ok := s.first[sig]
+	if !ok {
+		s.first[sig] = treeRef{root: root, edges: edges}
+		return true
+	}
+	if r.is(root, edges) {
+		return false
+	}
+	for _, r := range s.overflow[sig] {
+		if r.is(root, edges) {
+			return false
+		}
+	}
+	if s.overflow == nil {
+		s.overflow = make(map[uint64][]treeRef)
+	}
+	s.overflow[sig] = append(s.overflow[sig], treeRef{root: root, edges: edges})
+	return true
+}
+
+func edgeSlicesEqual(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, e := range a {
+		if e != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// treeIdentity returns the signature and collision-check identity of a
+// result/candidate tree: 0-edge trees are identified by their single node,
+// everything else by its edge set.
+func treeIdentity(t *tree.Tree) (sig uint64, root graph.NodeID, edges []graph.EdgeID) {
+	if t.Size() == 0 {
+		return tree.NodeSig(t.Root), t.Root, nil
+	}
+	return t.Sig(), unrootedRef, t.Edges
+}

@@ -55,6 +55,11 @@ type Options struct {
 	// Stats.Truncated. With Parallel, the callback may be invoked from
 	// several goroutines at once and must be safe for concurrent use.
 	OnCTPResult func(ctp int, r core.Result) bool
+
+	// TrackAllocs reports each CTP search's heap allocation count through
+	// its Stats (an observability aid for servers; see
+	// core.Options.TrackAllocs for the concurrency caveat).
+	TrackAllocs bool
 }
 
 // Engine evaluates EQL queries over one graph.
@@ -292,9 +297,10 @@ func (e *Engine) evalCTP(ctx context.Context, idx int, c eql.CTP, bgpTables []*s
 	}
 
 	opts := core.Options{
-		Algorithm: e.opts.Algorithm,
-		Filters:   c.Filters,
-		Done:      ctx.Done(),
+		Algorithm:   e.opts.Algorithm,
+		Filters:     c.Filters,
+		Done:        ctx.Done(),
+		TrackAllocs: e.opts.TrackAllocs,
 	}
 	if opts.Filters.Timeout == 0 {
 		opts.Filters.Timeout = e.opts.DefaultTimeout

@@ -98,8 +98,9 @@ func (b *Builder) NumNodes() int { return len(b.nodeLabel) }
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
-// Build freezes the builder into an immutable Graph, computing adjacency
-// lists and label/type indexes. The builder must not be used afterwards.
+// Build freezes the builder into an immutable Graph, computing the CSR
+// adjacency arrays and label/type indexes with one counting sort each.
+// The builder must not be used afterwards.
 func (b *Builder) Build() *Graph {
 	if b.built {
 		panic("graph: Build called twice on the same Builder")
@@ -108,15 +109,12 @@ func (b *Builder) Build() *Graph {
 
 	n := len(b.nodeLabel)
 	g := &Graph{
-		labels:      b.labels,
-		nodeLabel:   b.nodeLabel,
-		nodeTypes:   b.nodeTypes,
-		edges:       b.edges,
-		nodeProps:   b.nodeProps,
-		edgeProps:   b.edgeProps,
-		byNodeLabel: make(map[LabelID][]NodeID),
-		byEdgeLabel: make(map[LabelID][]EdgeID),
-		byType:      make(map[LabelID][]NodeID),
+		labels:    b.labels,
+		nodeLabel: b.nodeLabel,
+		nodeTypes: b.nodeTypes,
+		edges:     b.edges,
+		nodeProps: b.nodeProps,
+		edgeProps: b.edgeProps,
 	}
 
 	// Sort node type lists so HasType can early-exit.
@@ -125,50 +123,102 @@ func (b *Builder) Build() *Graph {
 		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 	}
 
-	// Count degrees first so adjacency lists are allocated exactly once.
-	outDeg := make([]int32, n)
-	inDeg := make([]int32, n)
+	// CSR adjacency: count degrees, prefix-sum into offsets, then fill in
+	// edge-ID order so every per-node run is ascending.
+	g.outOff = make([]int32, n+1)
+	g.inOff = make([]int32, n+1)
+	g.adjOff = make([]int32, n+1)
 	for _, e := range g.edges {
-		outDeg[e.Source]++
-		inDeg[e.Target]++
-	}
-	g.adj = make([][]EdgeID, n)
-	g.out = make([][]EdgeID, n)
-	g.in = make([][]EdgeID, n)
-	for i := 0; i < n; i++ {
-		deg := outDeg[i] + inDeg[i]
-		if deg > 0 {
-			g.adj[i] = make([]EdgeID, 0, deg)
-		}
-		if outDeg[i] > 0 {
-			g.out[i] = make([]EdgeID, 0, outDeg[i])
-		}
-		if inDeg[i] > 0 {
-			g.in[i] = make([]EdgeID, 0, inDeg[i])
+		g.outOff[e.Source+1]++
+		g.inOff[e.Target+1]++
+		g.adjOff[e.Source+1]++
+		if e.Target != e.Source {
+			g.adjOff[e.Target+1]++
 		}
 	}
+	prefixSum(g.outOff)
+	prefixSum(g.inOff)
+	prefixSum(g.adjOff)
+	g.outEdges = make([]EdgeID, g.outOff[n])
+	g.inEdges = make([]EdgeID, g.inOff[n])
+	g.adjEdges = make([]EdgeID, g.adjOff[n])
+	outCur := cursors(g.outOff)
+	inCur := cursors(g.inOff)
+	adjCur := cursors(g.adjOff)
 	for i, e := range g.edges {
 		id := EdgeID(i)
-		g.out[e.Source] = append(g.out[e.Source], id)
-		g.in[e.Target] = append(g.in[e.Target], id)
-		g.adj[e.Source] = append(g.adj[e.Source], id)
+		g.outEdges[outCur[e.Source]] = id
+		outCur[e.Source]++
+		g.inEdges[inCur[e.Target]] = id
+		inCur[e.Target]++
+		g.adjEdges[adjCur[e.Source]] = id
+		adjCur[e.Source]++
 		if e.Target != e.Source {
-			g.adj[e.Target] = append(g.adj[e.Target], id)
+			g.adjEdges[adjCur[e.Target]] = id
+			adjCur[e.Target]++
 		}
 	}
 
-	for i, l := range g.nodeLabel {
+	// Label and type indexes, CSR keyed by the dense LabelID. Unlabeled
+	// nodes are not indexed; edges are indexed under every label.
+	nLabels := b.labels.Len()
+	g.labelNodeOff = make([]int32, nLabels+1)
+	for _, l := range g.nodeLabel {
 		if l != NoLabel {
-			g.byNodeLabel[l] = append(g.byNodeLabel[l], NodeID(i))
+			g.labelNodeOff[l+1]++
 		}
 	}
-	for i, e := range g.edges {
-		g.byEdgeLabel[e.Label] = append(g.byEdgeLabel[e.Label], EdgeID(i))
+	prefixSum(g.labelNodeOff)
+	g.labelNodes = make([]NodeID, g.labelNodeOff[nLabels])
+	lnCur := cursors(g.labelNodeOff)
+	for i, l := range g.nodeLabel {
+		if l != NoLabel {
+			g.labelNodes[lnCur[l]] = NodeID(i)
+			lnCur[l]++
+		}
 	}
+
+	g.labelEdgeOff = make([]int32, nLabels+1)
+	for _, e := range g.edges {
+		g.labelEdgeOff[e.Label+1]++
+	}
+	prefixSum(g.labelEdgeOff)
+	g.labelEdges = make([]EdgeID, g.labelEdgeOff[nLabels])
+	leCur := cursors(g.labelEdgeOff)
+	for i, e := range g.edges {
+		g.labelEdges[leCur[e.Label]] = EdgeID(i)
+		leCur[e.Label]++
+	}
+
+	g.typeNodeOff = make([]int32, nLabels+1)
+	for _, ts := range g.nodeTypes {
+		for _, t := range ts {
+			g.typeNodeOff[t+1]++
+		}
+	}
+	prefixSum(g.typeNodeOff)
+	g.typeNodes = make([]NodeID, g.typeNodeOff[nLabels])
+	tnCur := cursors(g.typeNodeOff)
 	for i, ts := range g.nodeTypes {
 		for _, t := range ts {
-			g.byType[t] = append(g.byType[t], NodeID(i))
+			g.typeNodes[tnCur[t]] = NodeID(i)
+			tnCur[t]++
 		}
 	}
 	return g
+}
+
+// prefixSum turns per-bucket counts (stored at index i+1) into CSR
+// offsets in place.
+func prefixSum(off []int32) {
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+}
+
+// cursors returns a mutable copy of the offsets to use as fill positions.
+func cursors(off []int32) []int32 {
+	cur := make([]int32, len(off)-1)
+	copy(cur, off[:len(off)-1])
+	return cur
 }

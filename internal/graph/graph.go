@@ -33,6 +33,12 @@ type Edge struct {
 }
 
 // Graph is an immutable labeled graph. Create one with a Builder.
+//
+// Adjacency and the label/type indexes use a CSR (compressed sparse row)
+// layout: one flat ID array plus one offsets array per index, frozen at
+// Build time. Accessors return sub-slices of the flat arrays, so the hot
+// expansion path of a connection search never allocates and scans
+// contiguous memory.
 type Graph struct {
 	labels *Dict
 
@@ -40,13 +46,26 @@ type Graph struct {
 	nodeTypes [][]LabelID // sorted type IDs per node; nil when none
 	edges     []Edge
 
-	adj [][]EdgeID // all incident edges per node (both directions)
-	out [][]EdgeID // outgoing edges per node
-	in  [][]EdgeID // incoming edges per node
+	// CSR adjacency: the edges incident to node n occupy
+	// adjEdges[adjOff[n]:adjOff[n+1]], ascending by edge ID; likewise for
+	// the out and in directions.
+	adjEdges []EdgeID
+	adjOff   []int32
+	outEdges []EdgeID
+	outOff   []int32
+	inEdges  []EdgeID
+	inOff    []int32
 
-	byNodeLabel map[LabelID][]NodeID
-	byEdgeLabel map[LabelID][]EdgeID
-	byType      map[LabelID][]NodeID
+	// Label and type indexes, CSR keyed by the dense interned LabelID:
+	// nodes labeled l occupy labelNodes[labelNodeOff[l]:labelNodeOff[l+1]],
+	// ascending by node ID. Unlabeled nodes (ε) are not indexed; edges are
+	// indexed under every label including ε.
+	labelNodes   []NodeID
+	labelNodeOff []int32
+	labelEdges   []EdgeID
+	labelEdgeOff []int32
+	typeNodes    []NodeID
+	typeNodeOff  []int32
 
 	nodeProps map[string]map[NodeID]string
 	edgeProps map[string]map[EdgeID]string
@@ -92,19 +111,35 @@ func (g *Graph) Other(e EdgeID, n NodeID) NodeID {
 	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d", n, e))
 }
 
-// Incident returns all edges adjacent to n, in either direction. The
-// returned slice is shared; callers must not modify it.
-func (g *Graph) Incident(n NodeID) []EdgeID { return g.adj[n] }
+// IncidentEdges returns all edges adjacent to n, in either direction, as
+// a zero-alloc sub-slice of the CSR array, ascending by edge ID. The slice
+// is shared; callers must not modify it.
+func (g *Graph) IncidentEdges(n NodeID) []EdgeID {
+	return g.adjEdges[g.adjOff[n]:g.adjOff[n+1]:g.adjOff[n+1]]
+}
 
-// Out returns the edges whose source is n.
-func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+// OutEdges returns the edges whose source is n (zero-alloc sub-slice).
+func (g *Graph) OutEdges(n NodeID) []EdgeID {
+	return g.outEdges[g.outOff[n]:g.outOff[n+1]:g.outOff[n+1]]
+}
 
-// In returns the edges whose target is n.
-func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+// InEdges returns the edges whose target is n (zero-alloc sub-slice).
+func (g *Graph) InEdges(n NodeID) []EdgeID {
+	return g.inEdges[g.inOff[n]:g.inOff[n+1]:g.inOff[n+1]]
+}
+
+// Incident is an alias for IncidentEdges.
+func (g *Graph) Incident(n NodeID) []EdgeID { return g.IncidentEdges(n) }
+
+// Out is an alias for OutEdges.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.OutEdges(n) }
+
+// In is an alias for InEdges.
+func (g *Graph) In(n NodeID) []EdgeID { return g.InEdges(n) }
 
 // Degree returns d_n, the number of edges adjacent to n in either
 // direction. Section 4.6 uses it in the LESP pruning exemption.
-func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+func (g *Graph) Degree(n NodeID) int { return int(g.adjOff[n+1] - g.adjOff[n]) }
 
 // Labels exposes the label dictionary.
 func (g *Graph) Labels() *Dict { return g.labels }
@@ -112,14 +147,33 @@ func (g *Graph) Labels() *Dict { return g.labels }
 // LabelIDOf returns the interned ID for s, if s occurs in the graph.
 func (g *Graph) LabelIDOf(s string) (LabelID, bool) { return g.labels.Lookup(s) }
 
-// NodesWithLabel returns all nodes labeled l. The slice is shared.
-func (g *Graph) NodesWithLabel(l LabelID) []NodeID { return g.byNodeLabel[l] }
+// NodesWithLabel returns all nodes labeled l, ascending by node ID, as a
+// zero-alloc CSR sub-slice. The slice is shared. Unlabeled nodes are not
+// indexed: NodesWithLabel(NoLabel) is empty.
+func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	if l <= NoLabel || int(l) >= len(g.labelNodeOff)-1 {
+		return nil
+	}
+	return g.labelNodes[g.labelNodeOff[l]:g.labelNodeOff[l+1]:g.labelNodeOff[l+1]]
+}
 
-// EdgesWithLabel returns all edges labeled l. The slice is shared.
-func (g *Graph) EdgesWithLabel(l LabelID) []EdgeID { return g.byEdgeLabel[l] }
+// EdgesWithLabel returns all edges labeled l (including ε), ascending by
+// edge ID, as a zero-alloc CSR sub-slice. The slice is shared.
+func (g *Graph) EdgesWithLabel(l LabelID) []EdgeID {
+	if l < 0 || int(l) >= len(g.labelEdgeOff)-1 {
+		return nil
+	}
+	return g.labelEdges[g.labelEdgeOff[l]:g.labelEdgeOff[l+1]:g.labelEdgeOff[l+1]]
+}
 
-// NodesWithType returns all nodes having type t. The slice is shared.
-func (g *Graph) NodesWithType(t LabelID) []NodeID { return g.byType[t] }
+// NodesWithType returns all nodes having type t, ascending by node ID, as
+// a zero-alloc CSR sub-slice. The slice is shared.
+func (g *Graph) NodesWithType(t LabelID) []NodeID {
+	if t < 0 || int(t) >= len(g.typeNodeOff)-1 {
+		return nil
+	}
+	return g.typeNodes[g.typeNodeOff[t]:g.typeNodeOff[t+1]:g.typeNodeOff[t+1]]
+}
 
 // NodeTypes returns the sorted type IDs of n (nil when none).
 func (g *Graph) NodeTypes(n NodeID) []LabelID { return g.nodeTypes[n] }
@@ -166,7 +220,7 @@ func (g *Graph) NodeByLabel(s string) (NodeID, bool) {
 	if !ok {
 		return 0, false
 	}
-	ns := g.byNodeLabel[l]
+	ns := g.NodesWithLabel(l)
 	if len(ns) != 1 {
 		return 0, false
 	}

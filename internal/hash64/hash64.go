@@ -1,0 +1,15 @@
+// Package hash64 holds the one 64-bit mixing primitive the hot paths
+// share: the splitmix64 finalizer. Signature schemes built on it (edge
+// sets, sat bitsets, relational rows) live with their data structures;
+// keeping the mixer in one place keeps its constants in one place.
+package hash64
+
+// Mix is the splitmix64 finalizer: a cheap bijective mixer whose output
+// bits all depend on all input bits. Collisions of schemes built on it
+// must be handled by the caller (every user verifies identities behind
+// the hash).
+func Mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ctpquery/internal/hash64"
 )
 
 // Table is a column-named relation of int32 tuples. Values are graph node
@@ -90,25 +92,66 @@ func (t *Table) Project(cols ...string) (*Table, error) {
 	return out, nil
 }
 
+// rowSig hashes the values of row at the given column indexes (all
+// columns when idx is nil) with the splitmix64 finalizer per value —
+// order-sensitive, no string is built. Collisions are possible; callers
+// verify with rowEqual.
+func rowSig(row []int32, idx []int) uint64 {
+	h := uint64(0x8afe63e23465a715)
+	if idx == nil {
+		for _, v := range row {
+			h = hash64.Mix(h ^ uint64(uint32(v)))
+		}
+	} else {
+		for _, i := range idx {
+			h = hash64.Mix(h ^ uint64(uint32(row[i])))
+		}
+	}
+	return h
+}
+
+// rowEqual compares the projections of two rows on the given column
+// indexes (whole rows when both index slices are nil).
+func rowEqual(a []int32, ai []int, b []int32, bi []int) bool {
+	if ai == nil && bi == nil {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if len(ai) != len(bi) {
+		return false
+	}
+	for i := range ai {
+		if a[ai[i]] != b[bi[i]] {
+			return false
+		}
+	}
+	return true
+}
+
 // Distinct returns a copy of t without duplicate rows, preserving first
-// occurrence order.
+// occurrence order. Rows are deduplicated through 64-bit hashes with
+// collision-checked buckets, not string keys.
 func (t *Table) Distinct() *Table {
 	out := NewTable(t.cols...)
-	seen := make(map[string]bool, len(t.rows))
-	var sb strings.Builder
+	seen := make(map[uint64][]int, len(t.rows)) // sig -> kept row indexes in out
 	for _, row := range t.rows {
-		sb.Reset()
-		for _, v := range row {
-			var buf [4]byte
-			buf[0] = byte(v)
-			buf[1] = byte(v >> 8)
-			buf[2] = byte(v >> 16)
-			buf[3] = byte(v >> 24)
-			sb.Write(buf[:])
+		sig := rowSig(row, nil)
+		dup := false
+		for _, i := range seen[sig] {
+			if rowEqual(out.rows[i], nil, row, nil) {
+				dup = true
+				break
+			}
 		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
+		if !dup {
+			seen[sig] = append(seen[sig], len(out.rows))
 			out.addRowNoCopy(row)
 		}
 	}
@@ -185,33 +228,24 @@ func NaturalJoin(a, b *Table) *Table {
 		bKey[i] = build.Column(c)
 		pKey[i] = probe.Column(c)
 	}
-	ht := make(map[string][]int, build.NumRows())
-	var sb strings.Builder
-	keyOf := func(row []int32, idx []int) string {
-		sb.Reset()
-		for _, i := range idx {
-			v := row[i]
-			var buf [4]byte
-			buf[0] = byte(v)
-			buf[1] = byte(v >> 8)
-			buf[2] = byte(v >> 16)
-			buf[3] = byte(v >> 24)
-			sb.Write(buf[:])
-		}
-		return sb.String()
-	}
+	// Hash join on 64-bit row signatures; the probe re-verifies the key
+	// columns so hash collisions cannot fabricate matches.
+	ht := make(map[uint64][]int, build.NumRows())
 	for i, row := range build.rows {
-		k := keyOf(row, bKey)
-		ht[k] = append(ht[k], i)
+		sig := rowSig(row, bKey)
+		ht[sig] = append(ht[sig], i)
 	}
 	bExtraIdx := make([]int, len(bExtra))
 	for i, c := range bExtra {
 		bExtraIdx[i] = b.Column(c)
 	}
 	for _, pr := range probe.rows {
-		matches := ht[keyOf(pr, pKey)]
+		matches := ht[rowSig(pr, pKey)]
 		for _, mi := range matches {
 			br := build.rows[mi]
+			if !rowEqual(br, bKey, pr, pKey) {
+				continue // hash collision, not a join partner
+			}
 			var ra, rb []int32
 			if buildIsB {
 				ra, rb = pr, br

@@ -1,0 +1,69 @@
+package tree
+
+import (
+	"sync"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/graph"
+)
+
+// The grow/merge hot path of a connection search constructs far more
+// candidate trees than it keeps: every duplicate the (edge-set or rooted)
+// pruning rejects is garbage the moment the check fails. A carrier couples
+// one Tree struct with the reusable buffers backing its Edges, Nodes, and
+// Sat so a rejected candidate costs no allocations at steady state: the
+// search returns it with Recycle and the next NewGrow/NewMerge reuses the
+// buffers in place.
+//
+// Invariants:
+//
+//   - Kept trees (indexed, queued, reported, or referenced as provenance
+//     children) are NEVER recycled; their carrier simply stays with them.
+//   - Recycle(t) requires that nothing references t or its slices. The
+//     search kernels guarantee this by recycling only candidates rejected
+//     before any history, index, or queue stored them.
+//   - Mo trees share their child's slices and are plain (unpooled)
+//     allocations — a kept Mo tree must not pin a carrier's buffers.
+type carrier struct {
+	t     Tree
+	edges []graph.EdgeID
+	nodes []graph.NodeID
+	sat   bitset.Bits
+
+	// Inline storage, used until a tree outgrows it: a fresh carrier costs
+	// one allocation for the whole candidate (struct + edges + nodes +
+	// sat), not four. inlineCap covers the tree sizes the paper's
+	// workloads overwhelmingly produce; larger trees spill to the heap via
+	// the Into helpers.
+	inlineEdges [inlineCap]graph.EdgeID
+	inlineNodes [inlineCap + 1]graph.NodeID
+	inlineSat   [2]uint64
+}
+
+// inlineCap is the number of edges a carrier stores without a second
+// allocation.
+const inlineCap = 16
+
+var carrierPool = sync.Pool{New: func() any {
+	c := new(carrier)
+	c.edges = c.inlineEdges[:0]
+	c.nodes = c.inlineNodes[:0]
+	c.sat = bitset.Bits(c.inlineSat[:0])
+	return c
+}}
+
+func getCarrier() *carrier { return carrierPool.Get().(*carrier) }
+
+// Recycle returns a pooled candidate tree to the pool and reports whether
+// it was pooled. The caller must not use t afterwards: the struct is
+// zeroed (dropping the provenance references that would otherwise pin
+// ancestors) while the carrier keeps its buffers for reuse.
+func Recycle(t *Tree) bool {
+	c := t.car
+	if c == nil {
+		return false
+	}
+	c.t = Tree{}
+	carrierPool.Put(c)
+	return true
+}

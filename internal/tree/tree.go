@@ -76,7 +76,8 @@ type Tree struct {
 	// with no other seed on it. Init trees are 0-edge seed paths.
 	SeedPath bool
 
-	edgeKey string // cached EdgeKey
+	sig uint64   // cached edge-set signature (sig.go); 0 = not computed
+	car *carrier // pooled buffer carrier, nil for unpooled trees (pool.go)
 }
 
 // NewInit builds Init(n) for a seed n whose seed-set memberships are sat.
@@ -87,54 +88,82 @@ func NewInit(n graph.NodeID, sat bitset.Bits) *Tree {
 		Sat:      sat.Clone(),
 		Kind:     Init,
 		SeedPath: true,
+		sig:      SetSigBasis,
 	}
 }
 
 // NewGrow builds Grow(t, e): the tree with t's edges plus e, rooted at the
 // endpoint of e opposite t's root. rootSat is the seed-set membership mask
 // of the new root (empty for non-seeds). The caller must have checked the
-// Grow preconditions (Grow1, Grow2).
+// Grow preconditions (Grow1, Grow2). The tree is built on pooled buffers;
+// if the search rejects it as a duplicate, Recycle returns them.
 func NewGrow(t *Tree, e graph.EdgeID, newRoot graph.NodeID, rootSat bitset.Bits) *Tree {
-	return &Tree{
+	c := getCarrier()
+	c.edges = InsertEdgeInto(c.edges, t.Edges, e)
+	c.nodes = InsertNodeInto(c.nodes, t.Nodes, newRoot)
+	// A non-seed root adds no sat bits: alias the parent's (immutable)
+	// signature instead of copying it, the common case on large graphs.
+	sat := t.Sat
+	if !rootSat.IsEmpty() {
+		c.sat = bitset.UnionInto(c.sat, t.Sat, rootSat)
+		sat = c.sat
+	}
+	c.t = Tree{
 		Root:     newRoot,
-		Edges:    insertSortedEdge(t.Edges, e),
-		Nodes:    insertSortedNode(t.Nodes, newRoot),
-		Sat:      t.Sat.Union(rootSat),
+		Edges:    c.edges,
+		Nodes:    c.nodes,
+		Sat:      sat,
 		Kind:     Grow,
 		Left:     t,
 		GrowEdge: e,
 		HasMo:    t.HasMo,
 		SeedPath: t.SeedPath && rootSat.IsEmpty(),
+		sig:      t.Sig() ^ EdgeSig(e),
+		car:      c,
 	}
+	return &c.t
 }
 
 // NewMerge builds Merge(t1, t2) for trees sharing exactly their root. The
-// caller must have checked the Merge preconditions (Merge1, Merge2).
+// caller must have checked the Merge preconditions (Merge1, Merge2), which
+// imply edge-disjoint children — the premise of the O(1) signature merge.
+// The tree is built on pooled buffers; see NewGrow.
 func NewMerge(t1, t2 *Tree) *Tree {
-	return &Tree{
+	c := getCarrier()
+	c.edges = UnionEdgesInto(c.edges, t1.Edges, t2.Edges)
+	c.nodes = UnionNodesInto(c.nodes, t1.Nodes, t2.Nodes)
+	c.sat = bitset.UnionInto(c.sat, t1.Sat, t2.Sat)
+	c.t = Tree{
 		Root:  t1.Root,
-		Edges: unionSortedEdges(t1.Edges, t2.Edges),
-		Nodes: unionSortedNodes(t1.Nodes, t2.Nodes),
-		Sat:   t1.Sat.Union(t2.Sat),
+		Edges: c.edges,
+		Nodes: c.nodes,
+		Sat:   c.sat,
 		Kind:  Merge,
 		Left:  t1,
 		Right: t2,
 		HasMo: t1.HasMo || t2.HasMo,
+		sig:   MergeSigs(t1.Sig(), t2.Sig()),
+		car:   c,
 	}
+	return &c.t
 }
 
 // NewMo builds Mo(t, r): the same edge set as t re-rooted at seed node r
-// (Section 4.5). r must be a node of t distinct from its root.
+// (Section 4.5). r must be a node of t distinct from its root. The slices
+// are t's — immutable and safe to share — so a Mo tree is a plain
+// struct allocation: taking a pooled carrier just to hold the struct
+// would pin the carrier's (possibly heap-grown) buffers for as long as a
+// kept Mo tree lives, starving the pool.
 func NewMo(t *Tree, r graph.NodeID) *Tree {
 	return &Tree{
-		Root:    r,
-		Edges:   t.Edges, // immutable, safe to share
-		Nodes:   t.Nodes,
-		Sat:     t.Sat,
-		Kind:    Mo,
-		Left:    t,
-		HasMo:   true,
-		edgeKey: t.edgeKey,
+		Root:  r,
+		Edges: t.Edges,
+		Nodes: t.Nodes,
+		Sat:   t.Sat,
+		Kind:  Mo,
+		Left:  t,
+		HasMo: true,
+		sig:   t.Sig(),
 	}
 }
 
@@ -178,12 +207,13 @@ func OverlapOnlyRoot(t1, t2 *Tree) bool {
 }
 
 // EdgeKey returns a compact string identifying the edge set. Trees with
-// equal edge sets return equal keys. The key is cached.
+// equal edge sets return equal keys. The hot paths deduplicate on Sig
+// instead; this string form remains for tests and diagnostics.
 func (t *Tree) EdgeKey() string {
-	if t.edgeKey == "" && len(t.Edges) > 0 {
-		t.edgeKey = EdgeSetKey(t.Edges)
+	if len(t.Edges) == 0 {
+		return ""
 	}
-	return t.edgeKey
+	return EdgeSetKey(t.Edges)
 }
 
 // RootedKey returns a key identifying (root, edge set) pairs.
@@ -253,67 +283,95 @@ func (t *Tree) String() string {
 	return fmt.Sprintf("root=%d {%s}", t.Root, strings.Join(parts, ","))
 }
 
-func insertSortedEdge(s []graph.EdgeID, e graph.EdgeID) []graph.EdgeID {
+// InsertEdgeInto writes s with e inserted in order into buf,
+// reusing buf's backing array when its capacity suffices.
+func InsertEdgeInto(buf, s []graph.EdgeID, e graph.EdgeID) []graph.EdgeID {
+	n := len(s) + 1
+	if cap(buf) < n {
+		buf = make([]graph.EdgeID, n, roundCap(n))
+	} else {
+		buf = buf[:n]
+	}
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
-	out := make([]graph.EdgeID, len(s)+1)
-	copy(out, s[:i])
-	out[i] = e
-	copy(out[i+1:], s[i:])
-	return out
+	copy(buf, s[:i])
+	buf[i] = e
+	copy(buf[i+1:], s[i:])
+	return buf
 }
 
-func insertSortedNode(s []graph.NodeID, n graph.NodeID) []graph.NodeID {
+// InsertNodeInto is InsertEdgeInto for node slices.
+func InsertNodeInto(buf, s []graph.NodeID, n graph.NodeID) []graph.NodeID {
+	ln := len(s) + 1
+	if cap(buf) < ln {
+		buf = make([]graph.NodeID, ln, roundCap(ln))
+	} else {
+		buf = buf[:ln]
+	}
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= n })
-	out := make([]graph.NodeID, len(s)+1)
-	copy(out, s[:i])
-	out[i] = n
-	copy(out[i+1:], s[i:])
-	return out
+	copy(buf, s[:i])
+	buf[i] = n
+	copy(buf[i+1:], s[i:])
+	return buf
 }
 
-// unionSortedEdges merges two sorted, disjoint edge slices.
-func unionSortedEdges(a, b []graph.EdgeID) []graph.EdgeID {
-	out := make([]graph.EdgeID, 0, len(a)+len(b))
+// UnionEdgesInto merges two sorted, disjoint edge slices into buf,
+// reusing its backing array when possible.
+func UnionEdgesInto(buf, a, b []graph.EdgeID) []graph.EdgeID {
+	n := len(a) + len(b)
+	if cap(buf) < n {
+		buf = make([]graph.EdgeID, 0, roundCap(n))
+	} else {
+		buf = buf[:0]
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			buf = append(buf, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			buf = append(buf, b[j])
 			j++
 		default: // defensive: shared edge (callers guarantee disjointness)
-			out = append(out, a[i])
+			buf = append(buf, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	buf = append(buf, a[i:]...)
+	buf = append(buf, b[j:]...)
+	return buf
 }
 
-// unionSortedNodes merges two sorted node slices, deduplicating the nodes
-// they share (for Merge inputs, exactly the root).
-func unionSortedNodes(a, b []graph.NodeID) []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(a)+len(b))
+// UnionNodesInto merges two sorted node slices into buf,
+// deduplicating the nodes they share (for Merge inputs, exactly the root).
+func UnionNodesInto(buf, a, b []graph.NodeID) []graph.NodeID {
+	n := len(a) + len(b)
+	if cap(buf) < n {
+		buf = make([]graph.NodeID, 0, roundCap(n))
+	} else {
+		buf = buf[:0]
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			buf = append(buf, a[i])
 			i++
 		case a[i] > b[j]:
-			out = append(out, b[j])
+			buf = append(buf, b[j])
 			j++
 		default:
-			out = append(out, a[i])
+			buf = append(buf, a[i])
 			i++
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	buf = append(buf, a[i:]...)
+	buf = append(buf, b[j:]...)
+	return buf
 }
+
+// roundCap rounds a requested buffer size up so recycled carriers soon
+// stop reallocating as candidate trees grow.
+func roundCap(n int) int { return (n + 7) &^ 7 }

@@ -66,6 +66,50 @@ func (r *Results) Timings() (bgp, ctp, join time.Duration) {
 	return r.res.BGPTime, r.res.CTPTime, r.res.JoinTime
 }
 
+// SearchStats is the aggregated search-effort report over every CONNECT
+// clause of a query: how many provenance trees the CTP kernels built, how
+// hard the queues and the memory allocator were pushed. Servers surface it
+// per query so hot-path regressions are observable in production, not
+// only under the benchmarks.
+type SearchStats struct {
+	// TreesGenerated counts every provenance tree constructed, including
+	// ones discarded as duplicates.
+	TreesGenerated int
+	// TreesKept counts the provenances retained (the paper's Figure 11
+	// metric).
+	TreesKept int
+	// TreesRecycled counts rejected candidates whose buffers went back to
+	// the pool instead of the garbage collector.
+	TreesRecycled int
+	// PeakTrees is the largest number of live provenances at any instant,
+	// summed over CONNECT clauses.
+	PeakTrees int
+	// PeakQueueLen is the largest grow-queue length over all clauses.
+	PeakQueueLen int
+	// Allocations is the total heap allocation count of the searches,
+	// sampled only when Options.TrackAllocs is set (0 otherwise).
+	Allocations uint64
+}
+
+// SearchStats aggregates the per-CONNECT search statistics of the query.
+func (r *Results) SearchStats() SearchStats {
+	var out SearchStats
+	for _, st := range r.res.CTPStats {
+		if st == nil {
+			continue
+		}
+		out.TreesGenerated += st.Created
+		out.TreesKept += st.Kept()
+		out.TreesRecycled += st.Recycled
+		out.PeakTrees += st.PeakTrees
+		if st.PeakQueueLen > out.PeakQueueLen {
+			out.PeakQueueLen = st.PeakQueueLen
+		}
+		out.Allocations += st.Allocations
+	}
+	return out
+}
+
 // Row is one result row. The zero Row is invalid; obtain rows from
 // Results.Row or Results.Each.
 type Row struct {

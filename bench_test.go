@@ -115,6 +115,30 @@ func BenchmarkFig11StarVariants(b *testing.B) {
 	})
 }
 
+// The parallel runtime (internal/exec) across worker counts on a
+// merge-heavy Figure 11 star: wall time on a single-core runner stays
+// flat (workers timeslice), while the span metric in ctpbench's -json
+// sweep shows the scaling; this benchmark keeps the runtime itself from
+// rotting.
+func BenchmarkParallelRuntimeStar(b *testing.B) {
+	w := gen.Star(10, 2, gen.Alternate)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := core.Search(w.Graph, core.Explicit(w.Seeds...), core.Options{
+					Algorithm:   core.MoLESP,
+					Parallelism: k,
+					Filters:     eql.Filters{Timeout: benchTimeout},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Figure 12: GAM and MoLESP (UNI, LIMIT 1) vs the QGSTP approximation on
 // a DBPedia-like graph, by number of seed sets.
 func BenchmarkFig12QGSTPComparison(b *testing.B) {

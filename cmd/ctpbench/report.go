@@ -13,11 +13,15 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
 	"ctpquery/internal/core"
 	"ctpquery/internal/eql"
+	// Linked for its side effect: registers the parallel runtime the
+	// sweep below exercises through core.Options.Parallelism.
+	_ "ctpquery/internal/exec"
 	"ctpquery/internal/gen"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/tree"
@@ -32,18 +36,47 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	Description string          `json:"description"`
-	GoVersion   string          `json:"go_version"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
-	Benchmarks  []benchEntry    `json:"benchmarks"`
-	Baseline    json.RawMessage `json:"baseline,omitempty"`
+	Description string       `json:"description"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	// ParallelSweep measures the sharded runtime at 1/2/4/GOMAXPROCS
+	// workers per workload; ParallelSweepNote explains the two speedup
+	// columns.
+	ParallelSweepNote string          `json:"parallel_sweep_note,omitempty"`
+	ParallelSweep     []sweepEntry    `json:"parallel_sweep,omitempty"`
+	Baseline          json.RawMessage `json:"baseline,omitempty"`
+}
+
+// sweepEntry is one (workload, worker count) cell of the parallelism
+// sweep. SpeedupWall compares wall clock against the 1-worker run on
+// this machine; SpeedupSpan compares spans — the longest per-worker
+// thread-CPU time, i.e. the wall clock a machine with >= workers free
+// cores would observe — against the 1-worker span, so both columns are
+// self-consistent ratios (the workers=1 row reads 1.00 in each). On a
+// box with GOMAXPROCS < workers the wall column cannot exceed 1 by
+// construction (the workers timeslice one core) and the span column is
+// the honest scaling measurement.
+type sweepEntry struct {
+	Workload    string  `json:"workload"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	SpanNsPerOp float64 `json:"span_ns_per_op"`
+	SpeedupWall float64 `json:"speedup_wall"`
+	SpeedupSpan float64 `json:"speedup_span"`
+	Kept        int     `json:"kept"`
+	WorkerOps   []int   `json:"worker_ops"`
+	Stolen      int     `json:"stolen"`
+	Shipped     int     `json:"shipped"`
 }
 
 func writeJSONReport(path, baselinePath string) error {
 	report := benchReport{
-		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid",
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 
 	run := func(name string, f func(b *testing.B)) {
@@ -147,6 +180,17 @@ func writeJSONReport(path, baselinePath string) error {
 		}
 	}
 
+	report.ParallelSweepNote = "speedup_wall = ns_per_op(workers=1)/ns_per_op(this run) on this machine; " +
+		"speedup_span = span_ns_per_op(workers=1)/span_ns_per_op(this run), where span is the longest " +
+		"per-worker thread-CPU time — the wall time a machine with >= workers free cores would observe. " +
+		"With num_cpu < workers the workers timeslice one core, so wall cannot improve; span is " +
+		"the scaling measurement."
+	sweep, err := parallelSweep()
+	if err != nil {
+		return err
+	}
+	report.ParallelSweep = sweep
+
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)
 		if err != nil {
@@ -164,4 +208,114 @@ func writeJSONReport(path, baselinePath string) error {
 	}
 	out = append(out, '\n')
 	return os.WriteFile(path, out, 0o644)
+}
+
+// parallelSweep measures the sharded runtime (MoLESP, the paper's
+// recommended algorithm) on the Figure 11 workload family at 1, 2, 4,
+// and GOMAXPROCS workers. Wall time comes from testing.Benchmark; span
+// and per-worker effort come from instrumented runs (median over
+// repetitions).
+func parallelSweep() ([]sweepEntry, error) {
+	workloads := []struct {
+		name string
+		w    *gen.Workload
+	}{
+		{"Fig11Line/m=3_sL=6", gen.Line(3, 5, gen.Alternate)},
+		{"Fig11Line/m=10_sL=3", gen.Line(10, 2, gen.Alternate)},
+		{"Fig11Comb/nA=4_sL=3", gen.Comb(4, 2, 3, 2, gen.Alternate)},
+		{"Fig11Comb/nA=6_sL=2", gen.Comb(6, 2, 2, 2, gen.Alternate)},
+		{"Fig11Star/m=5_sL=4", gen.Star(5, 4, gen.Alternate)},
+		{"Fig11Star/m=10_sL=2", gen.Star(10, 2, gen.Alternate)},
+		{"Fig11Star/m=12_sL=3", gen.Star(12, 3, gen.Alternate)},
+	}
+	degrees := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	sort.Ints(degrees)
+	seen := map[int]bool{}
+
+	var out []sweepEntry
+	for _, wl := range workloads {
+		var baseWall, baseSpan float64 // the workers=1 run
+		for _, k := range degrees {
+			if k < 1 || seen[k] {
+				continue
+			}
+			seen[k] = true
+			opts := core.Options{
+				Algorithm:   core.MoLESP,
+				Parallelism: k,
+				Filters:     eql.Filters{Timeout: 30 * time.Second},
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Search(wl.w.Graph, core.Explicit(wl.w.Seeds...), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			wallNs := float64(r.T.Nanoseconds()) / float64(r.N)
+			span, kept, workerOps, stolen, shipped, err := measureSpan(wl.w, opts)
+			if err != nil {
+				return nil, fmt.Errorf("parallel sweep %s workers=%d: %w", wl.name, k, err)
+			}
+			e := sweepEntry{
+				Workload:    wl.name,
+				Workers:     k,
+				NsPerOp:     wallNs,
+				SpanNsPerOp: span,
+				Kept:        kept,
+				WorkerOps:   workerOps,
+				Stolen:      stolen,
+				Shipped:     shipped,
+			}
+			if k == 1 {
+				baseWall, baseSpan = wallNs, span
+			}
+			if baseWall > 0 {
+				e.SpeedupWall = baseWall / wallNs
+			}
+			if baseSpan > 0 && span > 0 {
+				e.SpeedupSpan = baseSpan / span
+			}
+			out = append(out, e)
+			fmt.Fprintf(os.Stderr, "%-24s workers=%d %12.0f ns/op wall  %12.0f ns/op span  (wall x%.2f, span x%.2f)\n",
+				wl.name, k, wallNs, span, e.SpeedupWall, e.SpeedupSpan)
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+	}
+	return out, nil
+}
+
+// measureSpan runs the search several times and reports the median span
+// (longest per-worker thread-CPU time) plus representative per-worker
+// effort counters.
+func measureSpan(w *gen.Workload, opts core.Options) (span float64, kept int, workerOps []int, stolen, shipped int, err error) {
+	const reps = 5
+	spans := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		_, st, err := core.Search(w.Graph, core.Explicit(w.Seeds...), opts)
+		if err != nil {
+			return 0, 0, nil, 0, 0, err
+		}
+		var s int64
+		for _, ws := range st.Workers {
+			if ws.BusyNS > s {
+				s = ws.BusyNS
+			}
+		}
+		spans = append(spans, float64(s))
+		if rep == 0 {
+			kept = st.Kept()
+			workerOps = workerOps[:0]
+			stolen, shipped = 0, 0
+			for _, ws := range st.Workers {
+				workerOps = append(workerOps, ws.Ops)
+				stolen += ws.Stolen
+				shipped += ws.Shipped
+			}
+		}
+	}
+	sort.Float64s(spans)
+	return spans[len(spans)/2], kept, workerOps, stolen, shipped, nil
 }

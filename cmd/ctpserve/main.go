@@ -4,28 +4,37 @@
 //
 // Usage:
 //
-//	ctpserve -graph data.triples                 # or a .snap snapshot
+//	ctpserve -graph data.triples                 # triples, .snap, or .ctpg
 //	ctpserve -sample fig1                        # the paper's Figure 1 graph
 //	ctpserve -random 5000x20000 -seed 7          # generated random graph
+//
+// Graph files are sniffed by content: binary snapshots (the "CTPG" magic,
+// any extension) load in milliseconds, anything else parses as triples.
+// -save-snapshot FILE writes the loaded graph back out as a snapshot so
+// the next start skips the text parse.
 //
 // Endpoints:
 //
 //	POST /query    {"query": "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 4 . }",
-//	                "timeout_ms": 500, "algorithm": "MoLESP", "max_rows": 100}
+//	                "timeout_ms": 500, "algorithm": "MoLESP", "max_rows": 100,
+//	                "parallelism": 4}
 //	               -> rows (node bindings + connecting trees), timings, flags,
 //	                  and a per-query search report (trees generated/kept,
-//	                  peak queue length, peak live trees, allocations)
+//	                  peak queue length, peak live trees, allocations, and —
+//	                  for parallel queries — per-worker effort)
 //	GET  /healthz  liveness + graph size
 //	GET  /stats    request metrics (counts, timeouts, in-flight, avg latency)
-//	               plus aggregated search-effort counters
+//	               plus aggregated search-effort and per-worker counters
 //	GET  /debug/pprof/  net/http/pprof profiling, with -pprof
 //
 // Each request gets its own evaluation context: its timeout (capped by
 // -max-timeout) bounds the CTP searches and an expiring budget returns
 // the partial results found so far with "timed_out": true, per the
-// paper's TIMEOUT semantics. -algo sets the default CTP algorithm;
-// requests may override it per query. The server shuts down gracefully
-// on SIGINT/SIGTERM, draining in-flight queries.
+// paper's TIMEOUT semantics. -algo sets the default CTP algorithm and
+// -parallelism the default per-search worker count (0 = the sequential
+// kernel, -1 = GOMAXPROCS); requests may override both per query. The
+// server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// queries.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -47,12 +57,15 @@ import (
 func main() {
 	var (
 		addr           = flag.String("addr", ":8372", "listen address")
-		graphPath      = flag.String("graph", "", "graph file (triples, or .snap binary snapshot)")
+		graphPath      = flag.String("graph", "", "graph file (triples text or a binary snapshot — sniffed by content, any extension)")
 		sample         = flag.String("sample", "", "use a built-in graph instead of -graph (fig1)")
 		random         = flag.String("random", "", "generate a random connected graph, NODESxEDGES (e.g. 5000x20000)")
 		seed           = flag.Int64("seed", 1, "random graph seed")
 		algoName       = flag.String("algo", "MoLESP", "default CTP algorithm")
 		parallel       = flag.Bool("parallel", true, "evaluate a query's CTPs concurrently")
+		parallelism    = flag.Int("parallelism", 0, "default workers per CONNECT search (0 = sequential kernel, -1 = GOMAXPROCS); requests may override via \"parallelism\"")
+		maxParallelism = flag.Int("max-parallelism", 16, "cap on per-request worker counts (each worker pins an OS thread; 0 = requests may not override)")
+		saveSnapshot   = flag.String("save-snapshot", "", "after loading, write the graph as a binary snapshot to FILE and continue serving")
 		defaultTimeout = flag.Duration("default-timeout", 10*time.Second, "per-request budget when the request sets no timeout_ms (0 = none)")
 		maxTimeout     = flag.Duration("max-timeout", time.Minute, "cap on requested timeouts (0 = uncapped)")
 		maxRows        = flag.Int("max-rows", 1000, "cap on rows serialized per response (0 = unlimited)")
@@ -60,25 +73,42 @@ func main() {
 		trackAllocs    = flag.Bool("track-allocs", true, "sample per-query heap allocation counts into the search report (two runtime.ReadMemStats calls per CONNECT search; disable for maximum throughput)")
 	)
 	flag.Parse()
-	if err := run(*addr, *graphPath, *sample, *random, *seed, *algoName, *parallel,
-		*defaultTimeout, *maxTimeout, *maxRows, *pprofEnabled, *trackAllocs); err != nil {
+	if err := run(*addr, *graphPath, *sample, *random, *seed, *algoName, *parallel, *parallelism,
+		*maxParallelism, *saveSnapshot, *defaultTimeout, *maxTimeout, *maxRows, *pprofEnabled, *trackAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, graphPath, sample, random string, seed int64, algoName string, parallel bool,
+	parallelism, maxParallelism int, saveSnapshot string,
 	defaultTimeout, maxTimeout time.Duration, maxRows int, pprofEnabled, trackAllocs bool) error {
 	g, desc, err := loadGraph(graphPath, sample, random, seed)
 	if err != nil {
 		return err
 	}
+	// Resolve the GOMAXPROCS sentinel before clamping so the server
+	// default cannot sidestep its own ceiling (handleQuery does the same
+	// for per-request overrides).
+	if parallelism < 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if maxParallelism > 0 && parallelism > maxParallelism {
+		parallelism = maxParallelism
+	}
+	if saveSnapshot != "" {
+		if err := writeSnapshot(g, saveSnapshot); err != nil {
+			return fmt.Errorf("save snapshot: %w", err)
+		}
+		log.Printf("snapshot written to %s", saveSnapshot)
+	}
 	db, err := ctpquery.Open(g, &ctpquery.Options{
-		Algorithm: algoName, Parallel: parallel, TrackAllocs: trackAllocs})
+		Algorithm: algoName, Parallel: parallel, Parallelism: parallelism,
+		TrackAllocs: trackAllocs})
 	if err != nil {
 		return err
 	}
-	s, err := newServer(db, defaultTimeout, maxTimeout, maxRows)
+	s, err := newServer(db, defaultTimeout, maxTimeout, maxRows, maxParallelism)
 	if err != nil {
 		return err
 	}
@@ -137,4 +167,18 @@ func loadGraph(path, sample, random string, seed int64) (*ctpquery.Graph, string
 		return g, path, nil
 	}
 	return nil, "", fmt.Errorf("need -graph FILE, -sample fig1, or -random NODESxEDGES")
+}
+
+// writeSnapshot persists the loaded graph in the binary snapshot format
+// the -graph sniffer recognizes, so subsequent starts skip text parsing.
+func writeSnapshot(g *ctpquery.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

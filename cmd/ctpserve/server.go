@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +26,7 @@ type server struct {
 	defaultTimeout time.Duration // per-request budget when the request names none
 	maxTimeout     time.Duration // hard cap on requested budgets (0 = uncapped)
 	maxRows        int           // default response row cap (0 = unlimited)
+	maxParallelism int           // cap on per-request worker counts (0 = no override)
 
 	started  time.Time
 	requests atomic.Int64
@@ -39,6 +42,41 @@ type server struct {
 	allocations    atomic.Uint64
 	peakQueueLen   atomic.Int64 // max over all queries served
 	peakTrees      atomic.Int64 // max over all queries served
+
+	// Per-worker aggregates across every parallel query served,
+	// index-aligned (worker 0 of each search sums into entry 0). Guarded
+	// by workerMu: parallel queries are orders of magnitude rarer events
+	// than the atomics above, so a mutex is fine here.
+	workerMu  sync.Mutex
+	workerAgg []workerAgg
+}
+
+// workerAgg accumulates one worker index's effort across queries.
+type workerAgg struct {
+	Ops     int64
+	Kept    int64
+	Shipped int64
+	Stolen  int64
+	BusyNS  int64
+}
+
+// noteWorkers folds a query's per-worker stats into the server totals.
+func (s *server) noteWorkers(ws []ctpquery.WorkerSearchStats) {
+	if len(ws) == 0 {
+		return
+	}
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	for i, w := range ws {
+		if i >= len(s.workerAgg) {
+			s.workerAgg = append(s.workerAgg, workerAgg{})
+		}
+		s.workerAgg[i].Ops += int64(w.Ops)
+		s.workerAgg[i].Kept += int64(w.Kept)
+		s.workerAgg[i].Shipped += int64(w.Shipped)
+		s.workerAgg[i].Stolen += int64(w.Stolen)
+		s.workerAgg[i].BusyNS += w.BusyNS
+	}
 }
 
 // maxInt64 CAS-raises an atomic high-water mark.
@@ -52,12 +90,13 @@ func maxInt64(a *atomic.Int64, v int64) {
 }
 
 // newServer builds a server over db.
-func newServer(db *ctpquery.DB, defaultTimeout, maxTimeout time.Duration, maxRows int) (*server, error) {
+func newServer(db *ctpquery.DB, defaultTimeout, maxTimeout time.Duration, maxRows, maxParallelism int) (*server, error) {
 	return &server{
 		base:           db,
 		defaultTimeout: defaultTimeout,
 		maxTimeout:     maxTimeout,
 		maxRows:        maxRows,
+		maxParallelism: maxParallelism,
 		started:        time.Now(),
 	}, nil
 }
@@ -91,6 +130,11 @@ type queryRequest struct {
 	// Algorithm overrides the server's CTP algorithm for this request
 	// (BFT, BFT-M, BFT-AM, GAM, ESP, MoESP, LESP, MoLESP).
 	Algorithm string `json:"algorithm"`
+	// Parallelism overrides the server's per-search worker count for this
+	// request: 0 forces the sequential kernel, -1 GOMAXPROCS, K > 1
+	// shards the search across K workers, clamped to the server's
+	// -max-parallelism. Absent = server default (-parallelism flag).
+	Parallelism *int `json:"parallelism"`
 	// MaxRows caps the rows serialized into the response; capped by the
 	// server's -max-rows. 0 uses the server default.
 	MaxRows int `json:"max_rows"`
@@ -149,6 +193,19 @@ type searchJSON struct {
 	PeakTrees      int    `json:"peak_trees"`
 	PeakQueueLen   int    `json:"peak_queue_len"`
 	Allocations    uint64 `json:"allocations"`
+	// Parallelism is the worker count the query's searches ran with (0 =
+	// sequential kernel); Workers breaks the effort down per worker.
+	Parallelism int          `json:"parallelism,omitempty"`
+	Workers     []workerJSON `json:"workers,omitempty"`
+}
+
+// workerJSON is one search worker's share of a query.
+type workerJSON struct {
+	Ops     int     `json:"ops"`
+	Kept    int     `json:"kept"`
+	Shipped int     `json:"shipped"`
+	Stolen  int     `json:"stolen"`
+	BusyMS  float64 `json:"busy_ms"`
 }
 
 type errorResponse struct {
@@ -179,9 +236,27 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	db := s.base
-	if req.Algorithm != "" {
+	if req.Algorithm != "" || req.Parallelism != nil {
 		opts := s.base.Options()
-		opts.Algorithm = req.Algorithm
+		if req.Algorithm != "" {
+			opts.Algorithm = req.Algorithm
+		}
+		if req.Parallelism != nil {
+			// Each worker pins an OS thread, so requested degrees clamp to
+			// the server's ceiling (and are ignored when overrides are off).
+			// Negative means GOMAXPROCS; resolve it here so it cannot
+			// sidestep the clamp.
+			p := *req.Parallelism
+			if p < 0 {
+				p = runtime.GOMAXPROCS(0)
+			}
+			if s.maxParallelism <= 0 {
+				p = opts.Parallelism
+			} else if p > s.maxParallelism {
+				p = s.maxParallelism
+			}
+			opts.Parallelism = p
+		}
 		var err error
 		if db, err = s.base.WithOptions(opts); err != nil {
 			s.fail(w, http.StatusBadRequest, err)
@@ -224,6 +299,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.allocations.Add(st.Allocations)
 	maxInt64(&s.peakQueueLen, int64(st.PeakQueueLen))
 	maxInt64(&s.peakTrees, int64(st.PeakTrees))
+	s.noteWorkers(st.Workers)
 
 	maxRows := s.maxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
@@ -254,6 +330,16 @@ func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 		PeakTrees:      st.PeakTrees,
 		PeakQueueLen:   st.PeakQueueLen,
 		Allocations:    st.Allocations,
+		Parallelism:    st.Parallelism,
+	}
+	for _, ws := range st.Workers {
+		resp.Search.Workers = append(resp.Search.Workers, workerJSON{
+			Ops:     ws.Ops,
+			Kept:    ws.Kept,
+			Shipped: ws.Shipped,
+			Stolen:  ws.Stolen,
+			BusyMS:  float64(ws.BusyNS) / 1e6,
+		})
 	}
 
 	n := res.Len()
@@ -324,8 +410,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"allocations":     s.allocations.Load(),
 			"peak_queue_len":  s.peakQueueLen.Load(),
 			"peak_trees":      s.peakTrees.Load(),
+			"workers":         s.workersSnapshot(),
 		},
 	})
+}
+
+// workersSnapshot renders the per-worker aggregates for /stats.
+func (s *server) workersSnapshot() []map[string]any {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	out := make([]map[string]any, len(s.workerAgg))
+	for i, w := range s.workerAgg {
+		out[i] = map[string]any{
+			"ops":     w.Ops,
+			"kept":    w.Kept,
+			"shipped": w.Shipped,
+			"stolen":  w.Stolen,
+			"busy_ms": float64(w.BusyNS) / 1e6,
+		}
+	}
+	return out
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, err error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000)
+	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestMaxTimeoutCap(t *testing.T) {
 	// Server cap of 1ms beats the huge requested budget; the query is
 	// trivial, so it still completes — the point is the request is
 	// accepted and served under the cap, not rejected.
-	s, err := newServer(db, 0, time.Millisecond, 0)
+	s, err := newServer(db, 0, time.Millisecond, 0, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestHealthAndStats(t *testing.T) {
 		t.Fatalf("query status %d: %s", code, fail.Error)
 	}
 	// The per-query search report must show actual effort: the search
-	// built trees, queued grows, and (with TrackAllocs on) allocated.
+	// built trees and queued grows.
 	if out.Search.TreesGenerated <= 0 || out.Search.TreesKept <= 0 {
 		t.Errorf("per-query search stats empty: %+v", out.Search)
 	}
@@ -251,8 +252,18 @@ func TestHealthAndStats(t *testing.T) {
 	if out.Search.PeakTrees <= 0 {
 		t.Errorf("peak_trees = %d, want > 0", out.Search.PeakTrees)
 	}
-	if out.Search.Allocations == 0 {
-		t.Errorf("allocations = 0, want > 0 with TrackAllocs")
+	// The TrackAllocs probe reads runtime/metrics' heap-alloc counter,
+	// which the runtime aggregates lazily — a small search can read a
+	// zero delta. Probe the plumbing with a search heavy enough to cross
+	// GC cycles (which flush the per-P stat caches): a three-seed
+	// enumeration allocating tens of MB.
+	code, heavy, fail := postQuery(t, ts.URL, queryRequest{
+		Query: "SELECT ?w WHERE { CONNECT n1 n2 n3 AS ?w MAX 14 . }", TimeoutMS: 500})
+	if code != http.StatusOK {
+		t.Fatalf("heavy query status %d: %s", code, fail.Error)
+	}
+	if heavy.Search.Allocations == 0 {
+		t.Errorf("allocations = 0 on a heavy search, want > 0 with TrackAllocs")
 	}
 
 	resp, err = http.Get(ts.URL + "/stats")
@@ -300,7 +311,7 @@ func TestPprofEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(db, 0, 0, 0)
+	s, err := newServer(db, 0, 0, 0, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,5 +324,105 @@ func TestPprofEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// A "parallelism" request field must engage the sharded runtime, report
+// the degree and per-worker effort in the response, and return the same
+// result set as the sequential default.
+func TestParallelismOverride(t *testing.T) {
+	s, ts := newTestServer(t)
+	q := `SELECT ?w WHERE { CONNECT n3 n11 AS ?w MAX 4 . }`
+
+	code, seq, fail := postQuery(t, ts.URL, queryRequest{Query: q})
+	if code != http.StatusOK {
+		t.Fatalf("sequential query failed: %+v", fail)
+	}
+	if seq.Search.Parallelism != 0 || len(seq.Search.Workers) != 0 {
+		t.Fatalf("sequential query reported parallel search: %+v", seq.Search)
+	}
+
+	par := 4
+	code, pres, fail := postQuery(t, ts.URL, queryRequest{Query: q, Parallelism: &par})
+	if code != http.StatusOK {
+		t.Fatalf("parallel query failed: %+v", fail)
+	}
+	if pres.Search.Parallelism != 4 || len(pres.Search.Workers) != 4 {
+		t.Fatalf("parallel search report wrong: %+v", pres.Search)
+	}
+	if pres.RowCount != seq.RowCount {
+		t.Fatalf("parallel rows %d != sequential rows %d", pres.RowCount, seq.RowCount)
+	}
+
+	// Requested degrees clamp to the server's -max-parallelism ceiling
+	// (16 in newTestServer): each worker pins an OS thread, so clients
+	// must not be able to spawn unbounded workers.
+	huge := 200
+	code, capped, fail := postQuery(t, ts.URL, queryRequest{Query: q, Parallelism: &huge})
+	if code != http.StatusOK {
+		t.Fatalf("capped query failed: %+v", fail)
+	}
+	if capped.Search.Parallelism != 16 {
+		t.Fatalf("parallelism=200 ran with %d workers, want clamp to 16", capped.Search.Parallelism)
+	}
+
+	// Negative degrees resolve to GOMAXPROCS before the clamp, so they
+	// cannot sidestep the ceiling either.
+	neg := -1
+	code, negRes, fail := postQuery(t, ts.URL, queryRequest{Query: q, Parallelism: &neg})
+	if code != http.StatusOK {
+		t.Fatalf("negative-parallelism query failed: %+v", fail)
+	}
+	if want := min(runtime.GOMAXPROCS(0), 16); negRes.Search.Parallelism != want {
+		t.Fatalf("parallelism=-1 ran with %d workers, want %d", negRes.Search.Parallelism, want)
+	}
+
+	// /stats must now expose per-worker aggregates.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Search struct {
+			Workers []map[string]any `json:"workers"`
+		} `json:"search"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// The 4-worker and the clamped 16-worker query both aggregated, so
+	// the index-aligned table has 16 entries.
+	if len(stats.Search.Workers) != 16 {
+		t.Fatalf("/stats workers = %d entries, want 16", len(stats.Search.Workers))
+	}
+	_ = s
+}
+
+// An invalid parallelism+algorithm combination must fail cleanly.
+func TestParallelismWithBadAlgorithm(t *testing.T) {
+	_, ts := newTestServer(t)
+	par := 2
+	code, _, fail := postQuery(t, ts.URL, queryRequest{
+		Query: `SELECT ?w WHERE { CONNECT n1 n2 AS ?w . }`, Algorithm: "nope", Parallelism: &par})
+	if code != http.StatusBadRequest || fail.Error == "" {
+		t.Fatalf("bad algorithm accepted: code %d", code)
+	}
+}
+
+// -save-snapshot writes a file the -graph sniffer loads back.
+func TestSaveSnapshotRoundTrip(t *testing.T) {
+	g := ctpquery.RandomGraph(50, 120, []string{"t"}, 3)
+	path := t.TempDir() + "/g.ctpg"
+	if err := writeSnapshot(g, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ctpquery.OpenGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot round-trip: got %d/%d nodes-edges, want %d/%d",
+			loaded.NumNodes(), loaded.NumEdges(), g.NumNodes(), g.NumEdges())
 	}
 }

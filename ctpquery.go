@@ -23,6 +23,17 @@ type Options struct {
 	// CTP searches are independent, so this is always safe.
 	Parallel bool
 
+	// Parallelism shards each individual CONNECT search across this many
+	// workers (the GAM-family parallel runtime): 0 keeps the sequential
+	// kernel, negative selects GOMAXPROCS. It composes with Parallel —
+	// Parallel spreads separate CONNECT clauses, Parallelism splits one.
+	// Result multisets are unchanged on the paper's completeness envelope
+	// (GAM any m, ESP/LESP m = 2, MoLESP m <= 3; see DESIGN.md §6), and
+	// parallel results are returned in a canonical order (score, then
+	// size, then edge set). LIMIT/TOP may keep a different same-sized
+	// subset than a sequential run when results tie.
+	Parallelism int
+
 	// MultiQueue forces the Section 4.9 multi-queue scheduling; even when
 	// false it is auto-enabled for universal or heavily skewed seed sets.
 	MultiQueue bool
@@ -71,6 +82,23 @@ func parseAlgorithm(name string) (core.Algorithm, error) {
 		name, strings.Join(Algorithms(), ", "))
 }
 
+// QueryOption adjusts Options functionally; pass options to Open (after
+// the base Options) or derive a DB with DB.With.
+type QueryOption func(*Options)
+
+// WithParallelism shards each CONNECT search across workers workers; 0
+// restores the sequential kernel and negative values select GOMAXPROCS.
+// See Options.Parallelism for the equivalence guarantees.
+func WithParallelism(workers int) QueryOption {
+	return func(o *Options) { o.Parallelism = workers }
+}
+
+// WithAlgorithm selects the CTP evaluation algorithm by name (one of
+// Algorithms(), case-insensitive).
+func WithAlgorithm(name string) QueryOption {
+	return func(o *Options) { o.Algorithm = name }
+}
+
 // Query is a parsed, validated EQL query. A Query is immutable and may be
 // executed any number of times, concurrently, against any DB.
 type Query struct {
@@ -113,11 +141,18 @@ type DB struct {
 }
 
 // Open creates a DB over g. A nil opts selects the defaults (MoLESP,
-// sequential, no timeout). The only error is an unknown Options.Algorithm.
-func Open(g *Graph, opts *Options) (*DB, error) {
+// sequential, no timeout); QueryOptions apply on top of opts, e.g.
+//
+//	db, err := ctpquery.Open(g, nil, ctpquery.WithParallelism(4))
+//
+// The only error is an unknown algorithm name.
+func Open(g *Graph, opts *Options, query ...QueryOption) (*DB, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
+	}
+	for _, qo := range query {
+		qo(&o)
 	}
 	alg, err := parseAlgorithm(o.Algorithm)
 	if err != nil {
@@ -132,6 +167,7 @@ func Open(g *Graph, opts *Options) (*DB, error) {
 			SkewThreshold:  o.SkewThreshold,
 			DefaultTimeout: o.DefaultTimeout,
 			Parallel:       o.Parallel,
+			Parallelism:    o.Parallelism,
 			TrackAllocs:    o.TrackAllocs,
 		}),
 		opts: o,
@@ -149,6 +185,13 @@ func (db *DB) Options() Options { return db.opts }
 // way to serve per-request algorithm or timeout choices without reloading
 // the graph.
 func (db *DB) WithOptions(opts Options) (*DB, error) { return Open(db.g, &opts) }
+
+// With derives a DB from this one with the QueryOptions applied, e.g.
+// db.With(WithParallelism(4)).
+func (db *DB) With(query ...QueryOption) (*DB, error) {
+	opts := db.opts
+	return Open(db.g, &opts, query...)
+}
 
 // Query parses text and executes it; see Run for the execution semantics.
 func (db *DB) Query(ctx context.Context, text string) (*Results, error) {
@@ -201,6 +244,7 @@ func (db *DB) RunStream(ctx context.Context, q *Query, fn StreamFunc) (*Results,
 		SkewThreshold:  db.opts.SkewThreshold,
 		DefaultTimeout: db.opts.DefaultTimeout,
 		Parallel:       db.opts.Parallel,
+		Parallelism:    db.opts.Parallelism,
 		TrackAllocs:    db.opts.TrackAllocs,
 		OnCTPResult: func(ctp int, r core.Result) bool {
 			return fn(ctp, &Tree{g: db.g, t: r.Tree})

@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"reflect"
 	"sort"
 	"strings"
@@ -337,5 +338,92 @@ SELECT ?w1 ?w2 WHERE {
 	}
 	if rseq.Len() == 0 {
 		t.Error("expected results")
+	}
+}
+
+func TestWithParallelismMatchesSequential(t *testing.T) {
+	seq := mustOpenSample(t, nil)
+	par, err := seq.With(ctpquery.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Options().Parallelism; got != 4 {
+		t.Fatalf("Options.Parallelism = %d, want 4", got)
+	}
+	rseq, err := seq.Query(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpar, err := par.Query(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStrings(rseq), rowStrings(rpar)) {
+		t.Errorf("WithParallelism rows %q != sequential rows %q", rowStrings(rpar), rowStrings(rseq))
+	}
+	st := rpar.SearchStats()
+	if st.Parallelism != 4 || len(st.Workers) != 4 {
+		t.Errorf("SearchStats Parallelism=%d Workers=%d, want 4/4", st.Parallelism, len(st.Workers))
+	}
+	if seqStats := rseq.SearchStats(); seqStats.Parallelism != 0 || len(seqStats.Workers) != 0 {
+		t.Errorf("sequential SearchStats unexpectedly parallel: %+v", seqStats)
+	}
+}
+
+func TestOpenQueryOptions(t *testing.T) {
+	db, err := ctpquery.Open(ctpquery.SampleGraph(), &ctpquery.Options{Algorithm: "GAM"},
+		ctpquery.WithAlgorithm("ESP"), ctpquery.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := db.Options(); o.Algorithm != "ESP" || o.Parallelism != 2 {
+		t.Fatalf("QueryOptions not applied: %+v", o)
+	}
+}
+
+func TestOpenGraphSniffsSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	g := ctpquery.SampleGraph()
+
+	// A snapshot written under an arbitrary extension must load via the
+	// magic-byte sniff, not the file name.
+	snapPath := dir + "/graph.ctpg"
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ctpquery.OpenGraph(snapPath)
+	if err != nil {
+		t.Fatalf("sniffing snapshot: %v", err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot round-trip: %d/%d nodes, %d/%d edges",
+			loaded.NumNodes(), g.NumNodes(), loaded.NumEdges(), g.NumEdges())
+	}
+
+	// Triple text without the magic still parses as triples.
+	triplesPath := dir + "/graph.triples"
+	tf, err := os.Create(triplesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteTriples(tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := ctpquery.OpenGraph(triplesPath)
+	if err != nil {
+		t.Fatalf("triples reload: %v", err)
+	}
+	if loaded2.NumEdges() != g.NumEdges() {
+		t.Fatalf("triples round-trip: %d edges, want %d", loaded2.NumEdges(), g.NumEdges())
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"strings"
 
 	"ctpquery/internal/gen"
 	"ctpquery/internal/graph"
@@ -118,16 +117,27 @@ func LoadSnapshot(r io.Reader) (*Graph, error) {
 	return &Graph{g: g}, nil
 }
 
-// OpenGraph loads a graph file, picking the format by extension: ".snap"
-// selects the binary snapshot format, anything else the triple text
-// format.
+// OpenGraph loads a graph file, detecting the format by content: files
+// beginning with the binary snapshot magic ("CTPG" — .snap/.ctpg files
+// written by Graph.WriteSnapshot, loaded in milliseconds) are read as
+// snapshots regardless of extension; anything else parses as triple
+// text. A large server graph therefore starts fast no matter what the
+// snapshot was named.
 func OpenGraph(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".snap") {
+	var magic [4]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == len(magic) && string(magic[:]) == "CTPG" {
 		return LoadSnapshot(f)
 	}
 	return LoadTriples(f)

@@ -122,6 +122,18 @@ type Options struct {
 	// with the fewest entries.
 	MultiQueue bool
 
+	// Parallelism selects the number of search workers for the GAM-family
+	// algorithms (the internal/exec runtime): 0 keeps the sequential
+	// legacy kernel, 1 runs the parallel runtime with a single worker (its
+	// overhead baseline), and K > 1 shards the search across K workers by
+	// tree root. BFT-family algorithms and MultiQueue scheduling always
+	// run sequentially, as does any build that never linked the runtime
+	// (the engine links it; direct core users import internal/exec for its
+	// side effect). With Parallelism > 1, Priority and Score callbacks may
+	// be invoked from several goroutines and must be pure; OnResult is
+	// serialized but its invocation order is schedule-dependent.
+	Parallelism int
+
 	// MaxTrees aborts the search (reporting Stats.Truncated) once this
 	// many provenances have been kept; a safety valve for the exponential
 	// breadth-first baselines. Zero means no bound.
@@ -183,6 +195,21 @@ type Stats struct {
 	TimedOut  bool
 	Truncated bool // stopped by MaxTrees or Limit
 	Duration  time.Duration
+
+	// Parallel-runtime observability (internal/exec). Parallelism is the
+	// worker count the search actually ran with (0 for the sequential
+	// kernels); Workers holds one entry per worker.
+	Parallelism int
+	Workers     []WorkerStats
+}
+
+// WorkerStats reports one parallel-search worker's share of the effort.
+type WorkerStats struct {
+	Ops     int   // grow ops and exchanged tasks processed
+	Kept    int   // provenances this worker kept
+	Shipped int   // tasks routed to other workers' shards
+	Stolen  int   // ops stolen from other workers' queues
+	BusyNS  int64 // thread CPU time inside the worker loop (0 where unsupported)
 }
 
 // created counts a freshly constructed provenance and tracks the live
@@ -247,7 +274,11 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 	case BFT, BFTM, BFTAM:
 		rs, st, err = bftSearch(g, seeds, opts)
 	case GAM, ESP, MoESP, LESP, MoLESP:
-		rs, st, err = gamSearch(g, seeds, opts)
+		if opts.Parallelism > 0 && !opts.MultiQueue && parallelKernel != nil {
+			rs, st, err = parallelKernel(g, seeds, opts)
+		} else {
+			rs, st, err = gamSearch(g, seeds, opts)
+		}
 	default:
 		return nil, nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
 	}
@@ -255,6 +286,19 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 		st.Allocations = heapAllocObjects() - a0
 	}
 	return rs, st, err
+}
+
+// parallelKernel is the GAM-family runtime internal/exec registers at
+// init. A function variable (rather than a direct call) breaks the import
+// cycle: exec builds on core's exported kernel toolkit, so core cannot
+// import it back.
+var parallelKernel func(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error)
+
+// RegisterParallelKernel installs the Options.Parallelism runtime. It is
+// called from internal/exec's init and must not be called concurrently
+// with searches.
+func RegisterParallelKernel(fn func(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error)) {
+	parallelKernel = fn
 }
 
 // heapAllocObjects reads the cumulative heap allocation count without
@@ -268,17 +312,19 @@ func heapAllocObjects() uint64 {
 	return sample[0].Value.Uint64()
 }
 
-// seedIndex resolves node -> seed-set membership and tracks universal
-// sets.
-type seedIndex struct {
+// SeedIndex resolves node -> seed-set membership and tracks universal
+// sets. It is immutable after BuildSeedIndex and safe for concurrent
+// readers, which is what lets the parallel runtime share one index across
+// workers.
+type SeedIndex struct {
 	masks        map[graph.NodeID]bitset.Bits
 	required     bitset.Bits // all non-universal set indices
 	numSets      int
 	hasUniversal bool
 }
 
-func buildSeedIndex(seeds []SeedSet) *seedIndex {
-	idx := &seedIndex{
+func BuildSeedIndex(seeds []SeedSet) *SeedIndex {
+	idx := &SeedIndex{
 		masks:   make(map[graph.NodeID]bitset.Bits),
 		numSets: len(seeds),
 	}
@@ -298,19 +344,25 @@ func buildSeedIndex(seeds []SeedSet) *seedIndex {
 }
 
 // mask returns the seed-set membership of n (nil for non-seeds).
-func (si *seedIndex) mask(n graph.NodeID) bitset.Bits { return si.masks[n] }
+func (si *SeedIndex) Mask(n graph.NodeID) bitset.Bits { return si.masks[n] }
 
 // isSeed reports whether n belongs to any non-universal seed set.
-func (si *seedIndex) isSeed(n graph.NodeID) bool {
+func (si *SeedIndex) IsSeed(n graph.NodeID) bool {
 	return len(si.masks[n]) > 0 && !si.masks[n].IsEmpty()
 }
 
 // covers reports whether sat covers every non-universal seed set.
-func (si *seedIndex) covers(sat bitset.Bits) bool { return sat.Contains(si.required) }
+func (si *SeedIndex) Covers(sat bitset.Bits) bool { return sat.Contains(si.required) }
+
+// NumSets returns the number of seed sets, universal ones included.
+func (si *SeedIndex) NumSets() int { return si.numSets }
+
+// HasUniversal reports whether any seed set is universal (N).
+func (si *SeedIndex) HasUniversal() bool { return si.hasUniversal }
 
 // seedTuple extracts, for each seed set, the tree's node belonging to it;
 // universal sets get the tree root.
-func (si *seedIndex) seedTuple(t *tree.Tree) []graph.NodeID {
+func (si *SeedIndex) SeedTuple(t *tree.Tree) []graph.NodeID {
 	out := make([]graph.NodeID, si.numSets)
 	for i := range out {
 		out[i] = t.Root // default for universal sets
@@ -325,9 +377,9 @@ func (si *seedIndex) seedTuple(t *tree.Tree) []graph.NodeID {
 	return out
 }
 
-// labelFilter compiles the LABEL filter into a set of permitted label IDs;
+// LabelAllow compiles the LABEL filter into a set of permitted label IDs;
 // nil means unrestricted. Labels absent from the graph simply never match.
-func labelFilter(g *graph.Graph, labels []string) map[graph.LabelID]bool {
+func LabelAllow(g *graph.Graph, labels []string) map[graph.LabelID]bool {
 	if len(labels) == 0 {
 		return nil
 	}
@@ -340,17 +392,17 @@ func labelFilter(g *graph.Graph, labels []string) map[graph.LabelID]bool {
 	return out
 }
 
-// deadline tracks the TIMEOUT filter and caller cancellation with cheap
+// Deadline tracks the TIMEOUT filter and caller cancellation with cheap
 // periodic checks.
-type deadline struct {
+type Deadline struct {
 	at    time.Time
 	armed bool
 	done  <-chan struct{}
 	tick  int
 }
 
-func newDeadline(timeout time.Duration, done <-chan struct{}) *deadline {
-	d := &deadline{done: done}
+func NewDeadline(timeout time.Duration, done <-chan struct{}) *Deadline {
+	d := &Deadline{done: done}
 	if timeout > 0 {
 		d.at = time.Now().Add(timeout)
 		d.armed = true
@@ -360,7 +412,7 @@ func newDeadline(timeout time.Duration, done <-chan struct{}) *deadline {
 
 // expired polls the clock and the done channel every 64 calls to stay
 // cheap in the hot loop.
-func (d *deadline) expired() bool {
+func (d *Deadline) Expired() bool {
 	if !d.armed && d.done == nil {
 		return false
 	}

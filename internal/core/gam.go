@@ -8,26 +8,30 @@ import (
 	"ctpquery/internal/tree"
 )
 
-// gamVariant toggles the three orthogonal refinements that turn GAM into
-// ESP, MoESP, LESP, and MoLESP.
-type gamVariant struct {
-	esp  bool // prune on edge sets (Definition 4.3) instead of rooted trees
-	mo   bool // inject seed-rooted Mo copies (Section 4.5)
-	lesp bool // exempt well-connected merge roots from pruning (Section 4.6)
+// Variant toggles the three orthogonal refinements that turn GAM into
+// ESP, MoESP, LESP, and MoLESP. It is exported so the parallel runtime
+// (internal/exec) resolves the same algorithm semantics as the sequential
+// kernel below.
+type Variant struct {
+	ESP  bool // prune on edge sets (Definition 4.3) instead of rooted trees
+	Mo   bool // inject seed-rooted Mo copies (Section 4.5)
+	LESP bool // exempt well-connected merge roots from pruning (Section 4.6)
 }
 
-func variantOf(a Algorithm) gamVariant {
+// VariantOf resolves a GAM-family algorithm to its refinement toggles; it
+// panics on BFT-family algorithms.
+func VariantOf(a Algorithm) Variant {
 	switch a {
 	case GAM:
-		return gamVariant{}
+		return Variant{}
 	case ESP:
-		return gamVariant{esp: true}
+		return Variant{ESP: true}
 	case MoESP:
-		return gamVariant{esp: true, mo: true}
+		return Variant{ESP: true, Mo: true}
 	case LESP:
-		return gamVariant{esp: true, lesp: true}
+		return Variant{ESP: true, LESP: true}
 	case MoLESP:
-		return gamVariant{esp: true, mo: true, lesp: true}
+		return Variant{ESP: true, Mo: true, LESP: true}
 	}
 	panic("core: not a GAM-family algorithm: " + a.String())
 }
@@ -37,8 +41,8 @@ func variantOf(a Algorithm) gamVariant {
 // and the result set.
 type gamState struct {
 	g       *graph.Graph
-	si      *seedIndex
-	variant gamVariant
+	si      *SeedIndex
+	variant Variant
 	opts    Options
 
 	allowed  map[graph.LabelID]bool // LABEL filter; nil = all
@@ -49,36 +53,36 @@ type gamState struct {
 	seq      uint64
 	priority PriorityFunc
 
-	histEdge   treeSet                       // ESP history: edge-set signatures
-	rootedSeen treeSet                       // kept rooted trees, by rooted signature
+	histEdge   *SigSet                       // ESP history: edge-set signatures
+	rootedSeen *SigSet                       // kept rooted trees, by rooted signature
 	byRoot     map[graph.NodeID][]*tree.Tree // TreesRootedIn
 	ss         map[graph.NodeID]bitset.Bits  // seed signatures (Section 4.6)
 
-	collector *resultCollector
+	collector *ResultCollector
 	stats     *Stats
-	dl        *deadline
+	dl        *Deadline
 	stop      bool
 }
 
 // gamSearch runs GAM or one of its pruning variants (Algorithm 1).
 func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, error) {
 	start := time.Now()
-	si := buildSeedIndex(seeds)
+	si := BuildSeedIndex(seeds)
 	s := &gamState{
 		g:          g,
 		si:         si,
-		variant:    variantOf(opts.Algorithm),
+		variant:    VariantOf(opts.Algorithm),
 		opts:       opts,
-		allowed:    labelFilter(g, opts.Filters.Labels),
+		allowed:    LabelAllow(g, opts.Filters.Labels),
 		maxEdges:   opts.Filters.MaxEdges,
 		uni:        opts.Filters.Uni,
 		priority:   opts.Priority,
-		histEdge:   newTreeSet(),
-		rootedSeen: newTreeSet(),
+		histEdge:   NewSigSet(),
+		rootedSeen: NewSigSet(),
 		byRoot:     make(map[graph.NodeID][]*tree.Tree),
 		ss:         make(map[graph.NodeID]bitset.Bits),
 		stats:      &Stats{},
-		dl:         newDeadline(opts.Filters.Timeout, opts.Done),
+		dl:         NewDeadline(opts.Filters.Timeout, opts.Done),
 	}
 	if s.priority == nil {
 		// Default order: smallest trees first (the order used in all of
@@ -90,7 +94,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 	} else {
 		s.queue = newSingleQueue()
 	}
-	s.collector = newResultCollector(g, si, opts)
+	s.collector = NewResultCollector(g, si, opts)
 
 	// Init trees: one per distinct seed node, over all non-universal sets
 	// (universal sets spawn no Init trees, Section 4.9).
@@ -104,7 +108,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 				continue
 			}
 			inited[n] = true
-			mask := si.mask(n)
+			mask := si.Mask(n)
 			t := tree.NewInit(n, mask)
 			s.stats.created()
 			s.updateSignature(t)
@@ -125,12 +129,12 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 			break
 		}
 		s.stats.QueuePops++
-		if s.dl.expired() {
+		if s.dl.Expired() {
 			s.stats.TimedOut = true
 			break
 		}
 		newRoot := s.g.Other(op.e, op.t.Root)
-		t := tree.NewGrow(op.t, op.e, newRoot, s.si.mask(newRoot))
+		t := tree.NewGrow(op.t, op.e, newRoot, s.si.Mask(newRoot))
 		s.stats.created()
 		s.updateSignature(t)
 		s.processTree(t)
@@ -145,7 +149,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 // updateSignature maintains ss_n: when a new (n,s)-rooted path (Definition
 // 4.4) reaches n, the bits of its origin seed are set on n.
 func (s *gamState) updateSignature(t *tree.Tree) {
-	if !s.variant.lesp || !t.SeedPath {
+	if !s.variant.LESP || !t.SeedPath {
 		return
 	}
 	m := s.ss[t.Root]
@@ -158,19 +162,19 @@ func (s *gamState) updateSignature(t *tree.Tree) {
 // are deduplicated at creation. Identity checks run on 64-bit signatures
 // with collision-checked buckets — no string key is built.
 func (s *gamState) isNew(t *tree.Tree) bool {
-	if t.Size() == 0 || !s.variant.esp {
+	if t.Size() == 0 || !s.variant.ESP {
 		// GAM (and 0-edge trees): discard all but the first provenance of
 		// a rooted tree.
-		return !s.rootedSeen.has(t.RootedSig(), t.Root, t.Edges)
+		return !s.rootedSeen.Has(t.RootedSig(), t.Root, t.Edges)
 	}
-	if !s.histEdge.has(t.Sig(), unrootedRef, t.Edges) {
+	if !s.histEdge.Has(t.Sig(), UnrootedRef, t.Edges) {
 		return true
 	}
-	if s.variant.lesp {
+	if s.variant.LESP {
 		// The LESP exemption: roots already connected to >= 3 seed sets
 		// with graph degree >= 3 keep their (new) rooted trees.
 		if s.ss[t.Root].Count() >= 3 && s.g.Degree(t.Root) >= 3 &&
-			!s.rootedSeen.has(t.RootedSig(), t.Root, t.Edges) {
+			!s.rootedSeen.Has(t.RootedSig(), t.Root, t.Edges) {
 			s.stats.Spared++
 			return true
 		}
@@ -182,9 +186,9 @@ func (s *gamState) isNew(t *tree.Tree) bool {
 // the tree's edge slice, which is safe: kept trees are immutable and
 // never recycled.
 func (s *gamState) keep(t *tree.Tree) {
-	s.rootedSeen.add(t.RootedSig(), t.Root, t.Edges)
-	if s.variant.esp && t.Size() > 0 {
-		s.histEdge.add(t.Sig(), unrootedRef, t.Edges)
+	s.rootedSeen.Add(t.RootedSig(), t.Root, t.Edges)
+	if s.variant.ESP && t.Size() > 0 {
+		s.histEdge.Add(t.Sig(), UnrootedRef, t.Edges)
 	}
 	switch t.Kind {
 	case tree.Init:
@@ -203,7 +207,7 @@ func (s *gamState) keep(t *tree.Tree) {
 }
 
 // isResult reports whether the tree covers every (non-universal) seed set.
-func (s *gamState) isResult(t *tree.Tree) bool { return s.si.covers(t.Sat) }
+func (s *gamState) isResult(t *tree.Tree) bool { return s.si.Covers(t.Sat) }
 
 // processTree implements Algorithm 2: deduplicate, report results, record
 // for merging (with Mo injection), feed the queue, and merge aggressively.
@@ -211,7 +215,7 @@ func (s *gamState) processTree(t *tree.Tree) {
 	if s.stop {
 		return
 	}
-	if s.dl.expired() {
+	if s.dl.Expired() {
 		s.stats.TimedOut = true
 		s.stop = true
 		return
@@ -226,7 +230,7 @@ func (s *gamState) processTree(t *tree.Tree) {
 		return
 	}
 	if s.isResult(t) {
-		if s.collector.add(t) {
+		if s.collector.Add(t) {
 			s.stats.Truncated = true
 			s.stop = true
 			return
@@ -259,16 +263,16 @@ func (s *gamState) recycle(t *tree.Tree) {
 // invariant the UNI filter requires.
 func (s *gamState) recordForMerging(t *tree.Tree) {
 	s.byRoot[t.Root] = append(s.byRoot[t.Root], t)
-	if !s.variant.mo || s.uni || !s.gainedSeeds(t) {
+	if !s.variant.Mo || s.uni || !s.gainedSeeds(t) {
 		return
 	}
 	for _, n := range t.Nodes {
-		if n == t.Root || !s.si.isSeed(n) {
+		if n == t.Root || !s.si.IsSeed(n) {
 			continue
 		}
 		mo := tree.NewMo(t, n)
 		s.stats.created()
-		if s.rootedSeen.has(mo.RootedSig(), mo.Root, mo.Edges) {
+		if s.rootedSeen.Has(mo.RootedSig(), mo.Root, mo.Edges) {
 			s.stats.Pruned++
 			s.recycle(mo)
 			continue
@@ -313,7 +317,7 @@ func (s *gamState) pushGrows(t *tree.Tree) {
 		if t.ContainsNode(other) {
 			continue // Grow1
 		}
-		if s.si.mask(other).Intersects(t.Sat) {
+		if s.si.Mask(other).Intersects(t.Sat) {
 			continue // Grow2
 		}
 		if s.uni && s.g.Source(e) != other {
@@ -339,7 +343,7 @@ func (s *gamState) mergeable(a, b *tree.Tree) bool {
 	if s.maxEdges > 0 && a.Size()+b.Size() > s.maxEdges {
 		return false
 	}
-	if a.Sat.IntersectsOutside(b.Sat, s.si.mask(a.Root)) {
+	if a.Sat.IntersectsOutside(b.Sat, s.si.Mask(a.Root)) {
 		return false // Merge2
 	}
 	return tree.OverlapOnlyRoot(a, b) // Merge1

@@ -109,9 +109,9 @@ func TestMultiQueueEmpty(t *testing.T) {
 }
 
 func TestDeadlineDisabled(t *testing.T) {
-	d := newDeadline(0, nil)
+	d := NewDeadline(0, nil)
 	for i := 0; i < 1000; i++ {
-		if d.expired() {
+		if d.Expired() {
 			t.Fatal("disabled deadline expired")
 		}
 	}

@@ -7,25 +7,30 @@ import (
 	"ctpquery/internal/tree"
 )
 
-// resultCollector accumulates result trees, deduplicating by edge set
+// ResultCollector accumulates result trees, deduplicating by edge set
 // (single-node results by their node), verifying the UNI filter, scoring,
-// and enforcing LIMIT / TOP k.
-type resultCollector struct {
+// and enforcing LIMIT / TOP k. It is the single source of the
+// result-admission semantics: the sequential kernels use it directly and
+// the parallel runtime (internal/exec) serializes Add behind a mutex and
+// applies its own canonical ordering on top of Results. Like SigSet, a
+// ResultCollector is single-writer — Add must not be called concurrently.
+type ResultCollector struct {
 	g        *graph.Graph
-	si       *seedIndex
+	si       *SeedIndex
 	uni      bool
 	score    ScoreFunc
 	topK     int
 	limit    int
 	onResult func(Result) bool
 
-	seen     treeSet
+	seen     *SigSet
 	results  []Result
 	limitHit bool
 }
 
-func newResultCollector(g *graph.Graph, si *seedIndex, opts Options) *resultCollector {
-	return &resultCollector{
+// NewResultCollector builds a collector for one search's options.
+func NewResultCollector(g *graph.Graph, si *SeedIndex, opts Options) *ResultCollector {
+	return &ResultCollector{
 		g:        g,
 		si:       si,
 		uni:      opts.Filters.Uni,
@@ -33,18 +38,19 @@ func newResultCollector(g *graph.Graph, si *seedIndex, opts Options) *resultColl
 		topK:     opts.Filters.TopK,
 		limit:    opts.Filters.Limit,
 		onResult: opts.OnResult,
-		seen:     newTreeSet(),
+		seen:     NewSigSet(),
 	}
 }
 
-// add records a result tree. It returns true when the LIMIT filter is
-// reached and the search should stop.
-func (rc *resultCollector) add(t *tree.Tree) bool {
+// Add records a result tree. It returns true when the LIMIT filter is
+// reached (or a streaming callback declined more) and the search should
+// stop.
+func (rc *ResultCollector) Add(t *tree.Tree) bool {
 	if rc.limitHit {
 		return true
 	}
-	sig, root, edges := treeIdentity(t)
-	if rc.seen.has(sig, root, edges) {
+	sig, root, edges := TreeIdentity(t)
+	if rc.seen.Has(sig, root, edges) {
 		return false
 	}
 	if rc.uni && t.Size() > 0 {
@@ -52,8 +58,8 @@ func (rc *resultCollector) add(t *tree.Tree) bool {
 			return false
 		}
 	}
-	rc.seen.add(sig, root, edges)
-	r := Result{Tree: t, Seeds: rc.si.seedTuple(t)}
+	rc.seen.Add(sig, root, edges)
+	r := Result{Tree: t, Seeds: rc.si.SeedTuple(t)}
 	if rc.score != nil {
 		r.Score = rc.score(rc.g, t)
 	}
@@ -69,8 +75,13 @@ func (rc *resultCollector) add(t *tree.Tree) bool {
 	return false
 }
 
+// Results returns the results admitted so far, in discovery order. The
+// slice is the collector's own; callers must not mutate it while the
+// search runs.
+func (rc *ResultCollector) Results() []Result { return rc.results }
+
 // finish applies TOP k and returns the final result set.
-func (rc *resultCollector) finish() *ResultSet {
+func (rc *ResultCollector) finish() *ResultSet {
 	rs := &ResultSet{Results: rc.results}
 	if rc.topK > 0 && rc.score != nil && len(rs.Results) > rc.topK {
 		// Stable: equal scores keep discovery order.

@@ -5,15 +5,26 @@ import (
 	"ctpquery/internal/tree"
 )
 
-// treeSet is the deduplication history of a search: a two-level set keyed
+// SigSet is the deduplication history of a search: a two-level set keyed
 // by 64-bit edge-set signatures (internal/tree/sig.go), with each bucket
 // holding the collision-checked entries behind the hash. At steady state a
 // membership test is one map probe plus one slice compare — no string key
 // is ever built, unlike the EdgeSetKey histories this replaces.
 //
+// CONCURRENCY CONTRACT — SINGLE WRITER. A SigSet is deliberately
+// unsynchronized: Add must only ever be called from one goroutine at a
+// time, and Has must not race with Add. The sequential kernels satisfy
+// this trivially; the parallel runtime (internal/exec) never shares a
+// SigSet between workers — its sharded wrapper (exec's lock-striped
+// signature shards) is the only concurrent entry point, giving each shard
+// its own SigSet behind its own lock. Race-enabled builds enforce the
+// contract with a cheap compare-and-swap assertion on every Add (see
+// sigset_guard_race.go), so `go test -race` fails fast on a concurrent
+// writer instead of corrupting a map.
+//
 // One set serves all three identities the kernels deduplicate on:
 //
-//   - plain edge sets (ESP history, BFT history): root == unrootedRef;
+//   - plain edge sets (ESP history, BFT history): root == UnrootedRef;
 //   - (root, edge set) pairs (GAM/LESP rooted history): root == the root;
 //   - single nodes (0-edge trees): root == the node, edges empty.
 //
@@ -24,9 +35,10 @@ import (
 // (zero per-entry allocations on the overwhelmingly common no-collision
 // path); genuine hash collisions spill into a lazily created overflow
 // map.
-type treeSet struct {
+type SigSet struct {
 	first    map[uint64]treeRef
 	overflow map[uint64][]treeRef // nil until the first collision
+	guard    sigGuard             // single-writer assertion, race builds only
 }
 
 // treeRef is one collision-checked entry: the exact identity behind a
@@ -36,18 +48,21 @@ type treeRef struct {
 	edges []graph.EdgeID
 }
 
-// unrootedRef marks entries keyed by edge set alone. Node IDs are dense
+// UnrootedRef marks entries keyed by edge set alone. Node IDs are dense
 // and non-negative, so no real root collides with it.
-const unrootedRef graph.NodeID = -1
+const UnrootedRef graph.NodeID = -1
 
-func newTreeSet() treeSet { return treeSet{first: make(map[uint64]treeRef)} }
+// NewSigSet returns an empty set. The set is single-writer; see the
+// type's concurrency contract.
+func NewSigSet() *SigSet { return &SigSet{first: make(map[uint64]treeRef)} }
 
 func (r treeRef) is(root graph.NodeID, edges []graph.EdgeID) bool {
 	return r.root == root && edgeSlicesEqual(r.edges, edges)
 }
 
-// has reports whether the (root, edges) identity is present under sig.
-func (s *treeSet) has(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
+// Has reports whether the (root, edges) identity is present under sig. It
+// must not race with Add (single-writer contract).
+func (s *SigSet) Has(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
 	r, ok := s.first[sig]
 	if !ok {
 		return false
@@ -63,9 +78,12 @@ func (s *treeSet) has(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool 
 	return false
 }
 
-// add inserts the identity and reports whether it was absent. The edges
-// slice is retained and must stay immutable.
-func (s *treeSet) add(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
+// Add inserts the identity and reports whether it was absent. The edges
+// slice is retained and must stay immutable. Single-writer: concurrent
+// Adds are a caller bug, asserted under -race.
+func (s *SigSet) Add(sig uint64, root graph.NodeID, edges []graph.EdgeID) bool {
+	s.guard.enter()
+	defer s.guard.exit()
 	r, ok := s.first[sig]
 	if !ok {
 		s.first[sig] = treeRef{root: root, edges: edges}
@@ -98,12 +116,12 @@ func edgeSlicesEqual(a, b []graph.EdgeID) bool {
 	return true
 }
 
-// treeIdentity returns the signature and collision-check identity of a
+// TreeIdentity returns the signature and collision-check identity of a
 // result/candidate tree: 0-edge trees are identified by their single node,
 // everything else by its edge set.
-func treeIdentity(t *tree.Tree) (sig uint64, root graph.NodeID, edges []graph.EdgeID) {
+func TreeIdentity(t *tree.Tree) (sig uint64, root graph.NodeID, edges []graph.EdgeID) {
 	if t.Size() == 0 {
 		return tree.NodeSig(t.Root), t.Root, nil
 	}
-	return t.Sig(), unrootedRef, t.Edges
+	return t.Sig(), UnrootedRef, t.Edges
 }

@@ -1,0 +1,23 @@
+//go:build race
+
+package core
+
+import "sync/atomic"
+
+// sigGuard enforces the SigSet single-writer contract under the race
+// detector: two goroutines inside Add at once trip the CAS and panic with
+// a pointed message instead of silently corrupting the maps. The guard
+// compiles to an empty struct in normal builds (sigset_guard_norace.go),
+// keeping the hot path free of atomics.
+type sigGuard struct {
+	writing atomic.Int32
+}
+
+func (g *sigGuard) enter() {
+	if !g.writing.CompareAndSwap(0, 1) {
+		panic("core: concurrent SigSet writers — SigSet is single-writer; " +
+			"concurrent deduplication must go through exec's sharded signature set")
+	}
+}
+
+func (g *sigGuard) exit() { g.writing.Store(0) }

@@ -29,27 +29,27 @@ func randomEdgeSet(rng *rand.Rand, maxLen, idRange int) []graph.EdgeID {
 // (root, edge set) identity, whatever the hash does.
 func TestTreeSetMatchesNaiveMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	s := newTreeSet()
+	s := NewSigSet()
 	naive := map[string]bool{}
 	key := func(root graph.NodeID, edges []graph.EdgeID) string {
 		return string(rune(root+2)) + tree.EdgeSetKey(edges)
 	}
 	for i := 0; i < 5000; i++ {
 		edges := randomEdgeSet(rng, 6, 40) // small ranges force re-draws
-		root := unrootedRef
+		root := UnrootedRef
 		if rng.Intn(2) == 0 {
 			root = graph.NodeID(rng.Intn(10))
 		}
 		sig := tree.SigWithRoot(tree.EdgeSetSig(edges), root)
 		k := key(root, edges)
-		if got, want := s.has(sig, root, edges), naive[k]; got != want {
+		if got, want := s.Has(sig, root, edges), naive[k]; got != want {
 			t.Fatalf("has(%v,%v) = %v, want %v", root, edges, got, want)
 		}
-		if got, want := s.add(sig, root, edges), !naive[k]; got != want {
+		if got, want := s.Add(sig, root, edges), !naive[k]; got != want {
 			t.Fatalf("add(%v,%v) = %v, want %v", root, edges, got, want)
 		}
 		naive[k] = true
-		if !s.has(sig, root, edges) {
+		if !s.Has(sig, root, edges) {
 			t.Fatalf("has after add = false for (%v,%v)", root, edges)
 		}
 	}
@@ -58,21 +58,21 @@ func TestTreeSetMatchesNaiveMap(t *testing.T) {
 // Forced collisions (same sig, different identities) must still be told
 // apart by the collision check.
 func TestTreeSetCollisions(t *testing.T) {
-	s := newTreeSet()
+	s := NewSigSet()
 	const sig = 12345
 	a := []graph.EdgeID{1, 2, 3}
 	b := []graph.EdgeID{4, 5}
 	c := []graph.EdgeID(nil)
-	if !s.add(sig, unrootedRef, a) || !s.add(sig, unrootedRef, b) || !s.add(sig, 7, c) {
+	if !s.Add(sig, UnrootedRef, a) || !s.Add(sig, UnrootedRef, b) || !s.Add(sig, 7, c) {
 		t.Fatal("first adds under one sig should all succeed")
 	}
-	if s.add(sig, unrootedRef, a) || s.add(sig, unrootedRef, b) || s.add(sig, 7, c) {
+	if s.Add(sig, UnrootedRef, a) || s.Add(sig, UnrootedRef, b) || s.Add(sig, 7, c) {
 		t.Fatal("re-adds must report duplicates")
 	}
-	if !s.has(sig, unrootedRef, a) || !s.has(sig, unrootedRef, b) || !s.has(sig, 7, c) {
+	if !s.Has(sig, UnrootedRef, a) || !s.Has(sig, UnrootedRef, b) || !s.Has(sig, 7, c) {
 		t.Fatal("all three identities must be present")
 	}
-	if s.has(sig, unrootedRef, []graph.EdgeID{1, 2}) || s.has(sig, 8, c) {
+	if s.Has(sig, UnrootedRef, []graph.EdgeID{1, 2}) || s.Has(sig, 8, c) {
 		t.Fatal("absent identities must stay absent")
 	}
 }
@@ -109,17 +109,17 @@ func BenchmarkSignatureDedup(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	const hist = 4096
 	sets := make([][]graph.EdgeID, hist)
-	s := newTreeSet()
+	s := NewSigSet()
 	for i := range sets {
 		sets[i] = randomEdgeSet(rng, 10, 1<<20)
-		s.add(tree.EdgeSetSig(sets[i]), unrootedRef, sets[i])
+		s.Add(tree.EdgeSetSig(sets[i]), UnrootedRef, sets[i])
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		set := sets[i%hist]
 		sig := tree.EdgeSetSig(set)
-		if !s.has(sig, unrootedRef, set) {
+		if !s.Has(sig, UnrootedRef, set) {
 			b.Fatal("seeded set missing")
 		}
 	}

@@ -11,12 +11,16 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
 	"ctpquery/internal/bgp"
 	"ctpquery/internal/core"
 	"ctpquery/internal/eql"
+	// Linked for its side effect: registers the parallel CTP search
+	// runtime that Options.Parallelism selects.
+	_ "ctpquery/internal/exec"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/score"
 	"ctpquery/internal/storage"
@@ -48,6 +52,16 @@ type Options struct {
 	// step B), so this is safe; it helps queries with several CTPs, like
 	// the J1 shape of Table 1.
 	Parallel bool
+
+	// Parallelism shards each GAM-family CTP search across this many
+	// workers (the internal/exec runtime): 0 keeps the sequential kernel,
+	// negative means GOMAXPROCS. It composes with Parallel — Parallel
+	// spreads independent CTPs, Parallelism splits one search. Universal
+	// seed sets and a forced MultiQueue still select the sequential
+	// multi-queue path (Section 4.9); the skew-based multi-queue
+	// auto-enable is skipped when a parallel degree is set, since worker
+	// sharding already spreads skewed frontiers.
+	Parallelism int
 
 	// OnCTPResult, when set, streams each CTP result as the search finds
 	// it (before TOP-k trimming); ctp is the CTP's index in query order.
@@ -229,6 +243,14 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (*Result, err
 	return res, nil
 }
 
+// parallelism resolves Options.Parallelism: negative means GOMAXPROCS.
+func (e *Engine) parallelism() int {
+	if e.opts.Parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.opts.Parallelism
+}
+
 // joinAll natural-joins the tables, preferring join partners sharing
 // columns; disconnected groups degrade to cross products (Definition
 // 2.10's ⋈ over all simple variables).
@@ -326,15 +348,19 @@ func (e *Engine) evalCTP(ctx context.Context, idx int, c eql.CTP, bgpTables []*s
 		opts.Score = f
 	}
 	// Section 4.9: universal or heavily skewed seed sets get the
-	// multi-queue scheduling.
+	// multi-queue scheduling. A configured parallel degree supersedes the
+	// skew heuristic (worker sharding spreads skewed frontiers), but not
+	// universal sets or an explicit MultiQueue, which keep the sequential
+	// multi-queue kernel.
 	hasUniversal := false
 	for _, s := range seeds {
 		if s.Universal {
 			hasUniversal = true
 		}
 	}
+	opts.Parallelism = e.parallelism()
 	if e.opts.MultiQueue || hasUniversal ||
-		(minSize > 0 && maxSize/minSize >= e.opts.SkewThreshold) {
+		(opts.Parallelism == 0 && minSize > 0 && maxSize/minSize >= e.opts.SkewThreshold) {
 		opts.MultiQueue = true
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ctpquery/internal/core"
 	"ctpquery/internal/eql"
 )
 
@@ -53,8 +54,9 @@ func (e *Engine) Explain(q *eql.Query) (string, error) {
 				sizes = append(sizes, n)
 			}
 		}
+		par := e.parallelism()
 		mq := e.opts.MultiQueue || universal
-		if !mq && len(sizes) > 1 {
+		if !mq && par == 0 && len(sizes) > 1 {
 			lo, hi := sizes[0], sizes[0]
 			for _, s := range sizes[1:] {
 				if s < lo {
@@ -67,6 +69,16 @@ func (e *Engine) Explain(q *eql.Query) (string, error) {
 			mq = lo > 0 && hi/lo >= e.opts.SkewThreshold
 		}
 		fmt.Fprintf(&sb, "    multi-queue: %v; filters: %s\n", mq, describeFilters(c.Filters))
+		switch {
+		case mq || !isGAMFamily(e.opts.Algorithm):
+			fmt.Fprintf(&sb, "    parallelism: sequential kernel\n")
+		case par > 1:
+			fmt.Fprintf(&sb, "    parallelism: %d workers (sharded exec runtime)\n", par)
+		case par == 1:
+			fmt.Fprintf(&sb, "    parallelism: 1 worker (exec runtime)\n")
+		default:
+			fmt.Fprintf(&sb, "    parallelism: sequential kernel\n")
+		}
 	}
 	fmt.Fprintf(&sb, "  join: natural join of all tables, project %v", q.Head)
 	if q.Limit > 0 {
@@ -119,6 +131,17 @@ func describeFilters(f eql.Filters) string {
 		parts = append(parts, fmt.Sprintf("TIMEOUT %s", f.Timeout))
 	}
 	return strings.Join(parts, " ")
+}
+
+// isGAMFamily reports whether the algorithm supports the parallel
+// runtime (the grow-and-merge variants; BFT baselines stay sequential).
+func isGAMFamily(a core.Algorithm) bool {
+	for _, g := range core.GAMFamily() {
+		if a == g {
+			return true
+		}
+	}
+	return false
 }
 
 func min3(a, b, c int) int {

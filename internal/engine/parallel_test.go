@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/eql"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// The end-to-end half of the equivalence property test (the core-level
+// half lives in internal/exec): over random graphs and random EQL
+// CONNECT queries, a query evaluated with Parallelism K must produce the
+// same result multiset as the sequential engine, for every algorithm and
+// m inside its completeness envelope — GAM any m, ESP/LESP m = 2,
+// MoLESP m <= 3 (Section 4.8; soundness plus any-order completeness make
+// the result set schedule-independent there).
+
+// canonicalRows renders an engine result as a sorted multiset of row
+// strings with tree handles resolved to edge-set keys (single-node trees
+// to their node), so two results compare independently of row and
+// tree-handle order.
+func canonicalRows(t *testing.T, q *eql.Query, res *Result) []string {
+	t.Helper()
+	treeVars := map[string]bool{}
+	for _, tv := range q.TreeVars() {
+		treeVars[tv] = true
+	}
+	cols := res.Table.Cols()
+	out := make([]string, 0, res.Table.NumRows())
+	for i := 0; i < res.Table.NumRows(); i++ {
+		row := res.Table.Row(i)
+		var sb strings.Builder
+		for c, col := range cols {
+			v := row[c]
+			if treeVars[col] {
+				tr := res.Tree(v)
+				if tr == nil {
+					t.Fatalf("row %d: dangling tree handle %d", i, v)
+				}
+				fmt.Fprintf(&sb, "%s={%s n%d} ", col, tr.EdgeKey(), treeNodeIfEmpty(tr))
+				continue
+			}
+			fmt.Fprintf(&sb, "%s=%d ", col, v)
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// treeNodeIfEmpty distinguishes 0-edge trees (whose EdgeKey is empty) by
+// their node.
+func treeNodeIfEmpty(t *tree.Tree) graph.NodeID {
+	if t.Size() == 0 {
+		return t.Root
+	}
+	return -1
+}
+
+func TestParallelEngineEquivalenceRandomQueries(t *testing.T) {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	cases := []struct {
+		alg core.Algorithm
+		m   int
+	}{
+		{core.GAM, 2}, {core.GAM, 3},
+		{core.ESP, 2},
+		{core.LESP, 2},
+		{core.MoLESP, 2}, {core.MoLESP, 3},
+	}
+	for _, cse := range cases {
+		cse := cse
+		t.Run(fmt.Sprintf("%v/m=%d", cse.alg, cse.m), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(31*cse.m) + int64(cse.alg)))
+			for trial := 0; trial < trials; trial++ {
+				g := gen.Random(10+rng.Intn(5), 13+rng.Intn(6), []string{"a", "b"}, rng)
+				q, err := eql.Parse(randomConnectQuery(g, cse.m, rng))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqRes, err := New(g, Options{Algorithm: cse.alg}).Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := canonicalRows(t, q, seqRes)
+				for _, k := range []int{2, 4, 8} {
+					parRes, err := New(g, Options{Algorithm: cse.alg, Parallelism: k}).Execute(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := canonicalRows(t, q, parRes)
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("trial %d K=%d query %q: results diverge\nseq: %v\npar: %v",
+							trial, k, q.String(), want, got)
+					}
+					if st := parRes.CTPStats[0]; st.Parallelism != k {
+						t.Fatalf("Stats.Parallelism = %d, want %d", st.Parallelism, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomConnectQuery builds a CONNECT query over m distinct random node
+// labels with a random pushed-down filter mix (MAX always, to bound the
+// enumeration; UNI sometimes). LIMIT/TOP are deliberately absent: they
+// truncate by arrival order, which is schedule-dependent by design.
+func randomConnectQuery(g *graph.Graph, m int, rng *rand.Rand) string {
+	picked := map[graph.NodeID]bool{}
+	labels := make([]string, 0, m)
+	for len(labels) < m {
+		n := graph.NodeID(rng.Intn(g.NumNodes()))
+		if picked[n] {
+			continue
+		}
+		picked[n] = true
+		labels = append(labels, g.NodeLabel(n))
+	}
+	filters := fmt.Sprintf("MAX %d", 3+rng.Intn(2))
+	if rng.Intn(4) == 0 {
+		filters += " UNI"
+	}
+	return fmt.Sprintf("SELECT ?t WHERE { CONNECT %s AS ?t %s . }",
+		strings.Join(labels, " "), filters)
+}
+
+// Negative parallelism resolves to GOMAXPROCS and still answers.
+func TestParallelismGOMAXPROCS(t *testing.T) {
+	g := gen.Sample()
+	q, err := eql.Parse(`SELECT ?t WHERE { CONNECT Alice Bob AS ?t MAX 4 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(g, Options{Parallelism: -1}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("no results with GOMAXPROCS parallelism")
+	}
+	if res.CTPStats[0].Parallelism < 1 {
+		t.Fatalf("Parallelism = %d, want >= 1", res.CTPStats[0].Parallelism)
+	}
+}
+
+// Universal seed sets still take the sequential multi-queue path even
+// with a parallel degree configured; the answer must not change.
+func TestParallelUniversalFallsBackToMultiQueue(t *testing.T) {
+	g := gen.Sample()
+	q, err := eql.Parse(`SELECT ?t WHERE { CONNECT Alice ?any AS ?t MAX 2 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, err := New(g, Options{}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := New(g, Options{Parallelism: 4}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.CTPStats[0].Parallelism != 0 {
+		t.Fatalf("universal CTP ran with Parallelism %d, want sequential fallback", parRes.CTPStats[0].Parallelism)
+	}
+	if seqRes.Table.NumRows() != parRes.Table.NumRows() {
+		t.Fatalf("universal fallback changed results: %d vs %d rows",
+			seqRes.Table.NumRows(), parRes.Table.NumRows())
+	}
+}
+
+// Explain reports the chosen degree.
+func TestExplainParallelism(t *testing.T) {
+	g := gen.Sample()
+	q, err := eql.Parse(`SELECT ?t WHERE { CONNECT Alice Bob AS ?t MAX 4 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(g, Options{Parallelism: 4}).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parallelism: 4 workers") {
+		t.Fatalf("Explain missing parallelism line:\n%s", out)
+	}
+	out, err = New(g, Options{}).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parallelism: sequential kernel") {
+		t.Fatalf("Explain missing sequential line:\n%s", out)
+	}
+}

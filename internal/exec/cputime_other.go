@@ -1,0 +1,10 @@
+//go:build !linux
+
+package exec
+
+// Platforms without a per-thread CPU clock report zero busy time;
+// WorkerStats.BusyNS is documented as best-effort.
+
+const cpuTimeSupported = false
+
+func threadCPUNanos() int64 { return 0 }

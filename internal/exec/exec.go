@@ -1,0 +1,276 @@
+// Package exec is the parallel CTP search runtime: it evaluates the
+// GAM-family algorithms (GAM, ESP, MoESP, LESP, MoLESP) across K workers
+// instead of core's single-threaded priority loop.
+//
+// # Architecture
+//
+// The search space is sharded by tree root: worker owner(n) (a hash of n
+// modulo K) owns every candidate tree rooted at node n. That single
+// decision localizes almost all of the kernel's shared state:
+//
+//   - the rooted dedup history (GAM identity, LESP exemption) is keyed by
+//     root, so each worker keeps a private, unsynchronized core.SigSet;
+//   - TreesRootedIn — the merge index — is keyed by root, so Merge, the
+//     only binary operator, always finds both operands on one worker and
+//     runs without any locking;
+//   - the LESP seed signatures ss_n are keyed by node and partition the
+//     same way.
+//
+// Work flows between shards through per-pair exchange mailboxes: a Grow
+// opportunity (t, e) is routed at push time to the owner of the new root,
+// and Mo re-rootings ship the constructed tree to the new root's owner.
+// Only two structures remain shared: the ESP edge-set history, an
+// XOR-signature-partitioned array of lock-striped core.SigSet shards
+// (the package's only concurrent dedup entry point), and the result
+// collector, a mutex-serialized sink that orders its output
+// deterministically at the end.
+//
+// When a worker's queue drains it steals ops from its peers' queues. A
+// stolen op's tree still belongs to the victim's shard, so the thief
+// performs only the schedule-free part — candidate construction
+// (slice merging + signature arithmetic, the bulk of a grow's cost) —
+// and ships the built candidate back to its owner for deduplication and
+// merging.
+//
+// # Determinism and equivalence
+//
+// Workers race only on first-writer-wins deduplication, so the set of
+// explored provenances can differ between schedules. The reported result
+// multiset does not, on the paper's completeness envelope: GAM for any m,
+// ESP/LESP for m = 2, and MoESP/MoLESP for m <= 3 (and for every result
+// covered by Property 9) are complete under ANY exploration order
+// (Section 4.8), and every kernel is sound, so any schedule — sequential
+// or parallel — reports exactly the reference result set. The equivalence
+// property test asserts this against the sequential kernel on random
+// graphs and queries. Outside the envelope the algorithms are incomplete
+// and the missed subset is schedule-dependent (as it already is between
+// two sequential exploration orders). Results are returned in a canonical
+// order (score desc, then size, then edge-set key), so a parallel run's
+// output is deterministic given the result set; LIMIT and TOP-k trim by
+// that order's race winners and are the one place parallel runs may keep
+// a different (same-sized) subset than sequential runs.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/hash64"
+	"ctpquery/internal/tree"
+)
+
+func init() { core.RegisterParallelKernel(Search) }
+
+// maxWorkers caps Options.Parallelism; beyond the hardware's core count
+// extra workers only add exchange traffic.
+const maxWorkers = 256
+
+// Search evaluates the CTP across opts.Parallelism workers. It accepts
+// the same contract as core.Search restricted to the GAM family; callers
+// normally reach it through core.Search, which validates inputs and
+// routes Parallelism > 0 here.
+func Search(g *graph.Graph, seeds []core.SeedSet, opts core.Options) (*core.ResultSet, *core.Stats, error) {
+	k := opts.Parallelism
+	if k < 1 {
+		k = 1
+	}
+	if k > maxWorkers {
+		k = maxWorkers
+	}
+	start := time.Now()
+
+	r := newRun(g, seeds, opts, k)
+	r.seedInits(seeds)
+	r.startWorkers()
+	r.wg.Wait()
+
+	stats := r.assembleStats(k)
+	stats.Duration = time.Since(start)
+	rs := r.coll.finish()
+	stats.Results = len(rs.Results)
+	return rs, stats, nil
+}
+
+// run is the shared state of one parallel search.
+type run struct {
+	g        *graph.Graph
+	si       *core.SeedIndex
+	variant  core.Variant
+	opts     core.Options
+	k        int
+	allowed  map[graph.LabelID]bool // LABEL filter; nil = all
+	maxEdges int                    // MAX filter; 0 = unlimited
+	uni      bool
+	priority core.PriorityFunc
+
+	workers []*worker
+	mail    []mailbox // k*k per-pair exchange boxes; mail[from*k+to]
+	hist    *shardedSigSet
+	coll    *collector
+
+	pending   atomic.Int64 // queued + in-flight tasks; 0 = search complete
+	stop      atomic.Bool
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	timedOut  atomic.Bool
+	truncated atomic.Bool
+	kept      atomic.Int64 // total kept, tracked only under MaxTrees
+	wg        sync.WaitGroup
+}
+
+func newRun(g *graph.Graph, seeds []core.SeedSet, opts core.Options, k int) *run {
+	r := &run{
+		g:        g,
+		si:       core.BuildSeedIndex(seeds),
+		variant:  core.VariantOf(opts.Algorithm),
+		opts:     opts,
+		k:        k,
+		allowed:  core.LabelAllow(g, opts.Filters.Labels),
+		maxEdges: opts.Filters.MaxEdges,
+		uni:      opts.Filters.Uni,
+		priority: opts.Priority,
+		mail:     make([]mailbox, k*k),
+		hist:     newShardedSigSet(),
+		stopCh:   make(chan struct{}),
+	}
+	if r.priority == nil {
+		// Default order: smallest trees first, FIFO among equals per
+		// worker — the sequential kernel's order, sharded.
+		r.priority = func(t *tree.Tree, e graph.EdgeID) float64 { return float64(t.Size()) }
+	}
+	r.coll = newCollector(g, r.si, opts)
+	r.workers = make([]*worker, k)
+	for i := 0; i < k; i++ {
+		r.workers[i] = newWorker(r, i)
+	}
+	return r
+}
+
+// owner shards nodes across workers. The hash spreads ID-adjacent nodes
+// (which dense loaders create in clusters) across different shards.
+func (r *run) owner(n graph.NodeID) int {
+	if r.k == 1 {
+		return 0
+	}
+	return int(hash64.Mix(uint64(uint32(n))) % uint64(r.k))
+}
+
+// seedInits builds the Init trees (one per distinct seed node, Section
+// 4.9) and deposits each in its owner's mailbox before any worker starts,
+// so pending is exact from the first tick.
+func (r *run) seedInits(seeds []core.SeedSet) {
+	inited := make(map[graph.NodeID]bool)
+	for _, set := range seeds {
+		if set.Universal {
+			continue
+		}
+		for _, n := range set.Nodes {
+			if inited[n] {
+				continue
+			}
+			inited[n] = true
+			t := tree.NewInit(n, r.si.Mask(n))
+			r.pending.Add(1)
+			r.deposit(0, r.owner(n), task{kind: taskInit, t: t})
+		}
+	}
+}
+
+func (r *run) startWorkers() {
+	r.wg.Add(r.k)
+	for _, w := range r.workers {
+		go w.loop()
+	}
+}
+
+// deposit appends a task to the from->to mailbox and wakes the receiver.
+// Workers never deposit to themselves (local work takes the direct path);
+// the coordinator uses slot 0 for the initial seeding.
+func (r *run) deposit(from, to int, tk task) {
+	mb := &r.mail[from*r.k+to]
+	mb.mu.Lock()
+	mb.items = append(mb.items, tk)
+	mb.mu.Unlock()
+	w := r.workers[to]
+	w.mail.Add(1)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown ends the search exactly once: subsequent work is skipped and
+// parked workers wake to exit.
+func (r *run) shutdown() {
+	r.stopOnce.Do(func() {
+		r.stop.Store(true)
+		close(r.stopCh)
+	})
+}
+
+func (r *run) stopped() bool { return r.stop.Load() }
+
+// finishTask retires one unit of pending work; the last one ends the
+// search.
+func (r *run) finishTask() {
+	if r.pending.Add(-1) == 0 {
+		r.shutdown()
+	}
+}
+
+// noteTimeout records a TIMEOUT/cancellation stop (Section 2 semantics:
+// the results so far remain valid).
+func (r *run) noteTimeout() {
+	r.timedOut.Store(true)
+	r.shutdown()
+}
+
+// noteTruncated records a LIMIT/MaxTrees/callback stop.
+func (r *run) noteTruncated() {
+	r.truncated.Store(true)
+	r.shutdown()
+}
+
+// keepOne enforces Options.MaxTrees across workers.
+func (r *run) keepOne() {
+	if r.opts.MaxTrees > 0 && r.kept.Add(1) >= int64(r.opts.MaxTrees) {
+		r.noteTruncated()
+	}
+}
+
+// assembleStats merges the per-worker counters into one core.Stats, the
+// same quantities the sequential kernel reports. PeakTrees sums the
+// per-worker high-water marks (an upper bound on the instantaneous
+// total); PeakQueueLen is the max over workers.
+func (r *run) assembleStats(k int) *core.Stats {
+	st := &core.Stats{Parallelism: k}
+	for _, w := range r.workers {
+		ws := &w.stats
+		st.Inits += ws.Inits
+		st.Grows += ws.Grows
+		st.Merges += ws.Merges
+		st.MoTrees += ws.MoTrees
+		st.Created += ws.Created
+		st.Pruned += ws.Pruned
+		st.Spared += ws.Spared
+		st.QueuePops += ws.QueuePops
+		st.Recycled += ws.Recycled
+		st.PeakTrees += ws.PeakTrees
+		if ws.PeakQueueLen > st.PeakQueueLen {
+			st.PeakQueueLen = ws.PeakQueueLen
+		}
+		st.Workers = append(st.Workers, core.WorkerStats{
+			Ops:     w.ops,
+			Kept:    ws.Kept(),
+			Shipped: w.shipped,
+			Stolen:  w.stolen,
+			BusyNS:  w.busyNS,
+		})
+	}
+	st.TimedOut = r.timedOut.Load()
+	st.Truncated = r.truncated.Load()
+	return st
+}

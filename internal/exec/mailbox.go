@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"sync"
+
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// taskKind tags the exchange traffic between workers.
+type taskKind uint8
+
+const (
+	// taskInit carries an Init tree to its seed's owner (coordinator only).
+	taskInit taskKind = iota
+	// taskGrowOp routes a Grow opportunity to the owner of the edge's far
+	// endpoint; the receiver queues it and constructs the tree on pop.
+	taskGrowOp
+	// taskGrown carries a candidate a thief already constructed back to
+	// its owner for deduplication and merging.
+	taskGrown
+	// taskMo carries a Mo re-rooting to the new root's owner.
+	taskMo
+)
+
+// task is one exchange message. For taskGrowOp, t is the parent tree and
+// (e, prio) the opportunity; for the other kinds, t is the tree itself.
+type task struct {
+	kind taskKind
+	t    *tree.Tree
+	e    graph.EdgeID
+	prio float64
+}
+
+// mailbox is one directed exchange channel between a worker pair. Each
+// ordered pair gets its own box, so a sender only ever contends with its
+// one receiver, never with other senders. Two buffers alternate: the
+// sender appends to items while the receiver processes the previously
+// drained slice, which it hands back as free — so at steady state the
+// exchange reuses capacity instead of growing fresh slices (free is
+// touched only by the box's single receiver). The struct is padded to a
+// cache line to keep neighboring boxes from false sharing.
+type mailbox struct {
+	mu    sync.Mutex
+	items []task
+	free  []task
+	_     [64 - 8 - 2*24]byte
+}

@@ -1,0 +1,452 @@
+package exec
+
+import (
+	goruntime "runtime"
+	"sync/atomic"
+
+	"ctpquery/internal/bitset"
+	"ctpquery/internal/core"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/tree"
+)
+
+// worker owns one shard of the search: every tree rooted at a node it
+// owns is deduplicated, indexed, merged, and grown here. All fields below
+// the queue are strictly worker-private — the parallel kernel is the
+// sequential kernel with its root-keyed state partitioned.
+type worker struct {
+	r    *run
+	id   int
+	wake chan struct{} // buffered(1): senders signal new mailbox items
+	mail atomic.Int64  // items waiting across this worker's inboxes
+
+	q lockedQueue // grow ops for trees this worker will own; peers steal here
+
+	byRoot     map[graph.NodeID][]*tree.Tree // TreesRootedIn, this shard
+	rootedSeen *core.SigSet                  // rooted dedup history, this shard
+	ss         map[graph.NodeID]bitset.Bits  // LESP seed signatures, this shard
+	seq        uint64                        // local FIFO tiebreak
+	dl         *core.Deadline
+
+	stats   core.Stats // merged into the search totals at the end
+	ops     int        // ops + tasks processed
+	shipped int        // tasks routed to other shards
+	stolen  int        // ops taken from peers' queues
+	busyNS  int64      // thread CPU time in loop (cputime_linux.go)
+}
+
+func newWorker(r *run, id int) *worker {
+	return &worker{
+		r:          r,
+		id:         id,
+		wake:       make(chan struct{}, 1),
+		byRoot:     make(map[graph.NodeID][]*tree.Tree),
+		rootedSeen: core.NewSigSet(),
+		ss:         make(map[graph.NodeID]bitset.Bits),
+		dl:         core.NewDeadline(r.opts.Filters.Timeout, r.opts.Done),
+	}
+}
+
+// loop drains mailboxes and the local queue, steals when idle, and parks
+// when there is nothing to do anywhere. It exits when the run stops —
+// either the pending-task count hit zero (search complete) or a filter
+// (TIMEOUT, LIMIT, MaxTrees, cancellation) ended the search early.
+func (w *worker) loop() {
+	defer w.r.wg.Done()
+	if cpuTimeSupported {
+		// Pin to an OS thread so the kernel's per-thread CPU clock
+		// attributes exactly this worker's work — the span measurement the
+		// benchmark sweep reports.
+		goruntime.LockOSThread()
+		defer goruntime.UnlockOSThread()
+	}
+	cpu0 := threadCPUNanos()
+	defer func() { w.busyNS = threadCPUNanos() - cpu0 }()
+
+	for !w.r.stopped() {
+		progress := w.drainMail()
+		if op, ok := w.q.pop(); ok {
+			w.ops++
+			w.stats.QueuePops++
+			w.processOp(op)
+			w.r.finishTask()
+			continue
+		}
+		if progress {
+			continue
+		}
+		if w.trySteal() {
+			continue
+		}
+		select {
+		case <-w.wake:
+		case <-w.r.stopCh:
+		}
+	}
+}
+
+// drainMail processes every queued exchange task and reports whether any
+// was found. The atomic mail counter skips the k-box scan on the (hot)
+// iterations where nothing arrived: senders increment it after
+// depositing and before signaling wake, so a worker that parks on an
+// empty counter is always woken into a visible non-zero one. Shipped
+// grow ops join the local queue (their pending unit retires when
+// popped); constructed trees are committed immediately.
+func (w *worker) drainMail() bool {
+	if w.mail.Load() == 0 {
+		return false
+	}
+	any := false
+	for from := 0; from < w.r.k; from++ {
+		mb := &w.r.mail[from*w.r.k+w.id]
+		mb.mu.Lock()
+		items := mb.items
+		mb.items = mb.free // recycled capacity from the previous drain
+		mb.free = nil
+		mb.mu.Unlock()
+		if len(items) > 0 {
+			w.mail.Add(int64(-len(items)))
+		}
+		for _, tk := range items {
+			any = true
+			if w.r.stopped() {
+				return true
+			}
+			switch tk.kind {
+			case taskGrowOp:
+				w.seq++
+				w.q.push(growOp{t: tk.t, e: tk.e, prio: tk.prio, seq: w.seq})
+				w.noteQueueLen()
+			case taskInit:
+				w.ops++
+				w.created()
+				w.updateSignature(tk.t)
+				w.processTree(tk.t)
+				w.r.finishTask()
+			case taskGrown:
+				// Constructed by a thief, but counted Created here: the
+				// owner also recycles rejected candidates, so live-tree
+				// accounting (PeakTrees) stays balanced per worker.
+				w.ops++
+				w.created()
+				w.updateSignature(tk.t)
+				w.processTree(tk.t)
+				w.r.finishTask()
+			case taskMo:
+				w.ops++
+				w.processMo(tk.t)
+				w.r.finishTask()
+			}
+		}
+		// Hand the drained buffer back for the sender's next burst; only
+		// this receiver touches free, so no lock is needed. Clear the
+		// entries first so the recycled array does not pin processed
+		// (possibly pool-recycled) trees.
+		if cap(items) > 0 {
+			for i := range items {
+				items[i] = task{}
+			}
+			mb.free = items[:0]
+		}
+	}
+	return any
+}
+
+// processOp turns a Grow opportunity into a candidate tree and runs it
+// through the kernel (Algorithm 1's loop body, this shard's slice).
+func (w *worker) processOp(op growOp) {
+	if w.dl.Expired() {
+		w.r.noteTimeout()
+		return
+	}
+	newRoot := w.r.g.Other(op.e, op.t.Root)
+	t := tree.NewGrow(op.t, op.e, newRoot, w.r.si.Mask(newRoot))
+	w.created()
+	w.updateSignature(t)
+	w.processTree(t)
+}
+
+// trySteal scans the other workers' queues and relocates a batch of ops.
+// The stolen trees still root in the victim's shard, so the thief only
+// constructs the candidates (the allocation- and memcpy-heavy part) and
+// ships them back for the owner to deduplicate and merge.
+func (w *worker) trySteal() bool {
+	for i := 1; i < w.r.k; i++ {
+		v := w.r.workers[(w.id+i)%w.r.k]
+		ops := v.q.stealTail(stealBatch)
+		if len(ops) == 0 {
+			continue
+		}
+		w.stolen += len(ops)
+		for _, op := range ops {
+			if w.r.stopped() {
+				return true
+			}
+			w.ops++
+			w.stats.QueuePops++
+			if w.dl.Expired() {
+				w.r.noteTimeout()
+				return true
+			}
+			newRoot := w.r.g.Other(op.e, op.t.Root)
+			t := tree.NewGrow(op.t, op.e, newRoot, w.r.si.Mask(newRoot))
+			w.r.pending.Add(1)
+			w.r.deposit(w.id, v.id, task{kind: taskGrown, t: t})
+			w.shipped++
+			w.r.finishTask() // the op itself is done; the candidate is now pending
+		}
+		return true
+	}
+	return false
+}
+
+// created tracks Created and the live-tree high-water mark, mirroring
+// Stats.created in the sequential kernel.
+func (w *worker) created() {
+	w.stats.Created++
+	if live := w.stats.Created - w.stats.Recycled; live > w.stats.PeakTrees {
+		w.stats.PeakTrees = live
+	}
+}
+
+func (w *worker) noteQueueLen() {
+	if n := w.q.len(); n > w.stats.PeakQueueLen {
+		w.stats.PeakQueueLen = n
+	}
+}
+
+// updateSignature maintains ss_n for (n,s)-rooted paths (Definition 4.4).
+// Only the root's owner ever touches ss[root], so no lock is needed.
+func (w *worker) updateSignature(t *tree.Tree) {
+	if !w.r.variant.LESP || !t.SeedPath {
+		return
+	}
+	m := w.ss[t.Root]
+	(&m).UnionInPlace(t.Sat)
+	w.ss[t.Root] = m
+}
+
+// isNew is Algorithm 4 with the ESP history shared: the sharded set's Add
+// atomically claims the edge set, so exactly one worker keeps each one.
+// Rooted identities are shard-local and need no lock at all.
+func (w *worker) isNew(t *tree.Tree) bool {
+	if t.Size() == 0 || !w.r.variant.ESP {
+		return !w.rootedSeen.Has(t.RootedSig(), t.Root, t.Edges)
+	}
+	if w.r.hist.add(t.Sig(), core.UnrootedRef, t.Edges) {
+		return true
+	}
+	if w.r.variant.LESP {
+		// The LESP exemption: roots already connected to >= 3 seed sets
+		// with graph degree >= 3 keep their (new) rooted trees.
+		if w.ss[t.Root].Count() >= 3 && w.r.g.Degree(t.Root) >= 3 &&
+			!w.rootedSeen.Has(t.RootedSig(), t.Root, t.Edges) {
+			w.stats.Spared++
+			return true
+		}
+	}
+	return false
+}
+
+// keep records a kept tree. The shared edge-set history was already
+// claimed in isNew (grow/init candidates) or by the tree's Mo parent, so
+// only the shard-local rooted history is written here.
+func (w *worker) keep(t *tree.Tree) {
+	w.rootedSeen.Add(t.RootedSig(), t.Root, t.Edges)
+	switch t.Kind {
+	case tree.Init:
+		w.stats.Inits++
+	case tree.Grow:
+		w.stats.Grows++
+	case tree.Merge:
+		w.stats.Merges++
+	case tree.Mo:
+		w.stats.MoTrees++
+	}
+	w.r.keepOne()
+}
+
+// processTree is Algorithm 2 on this shard: deduplicate, report results,
+// record for merging (with Mo injection), feed the queues, and merge
+// aggressively. Identical to the sequential kernel except that grows and
+// Mo copies whose root lives elsewhere are shipped instead of recursed.
+func (w *worker) processTree(t *tree.Tree) {
+	if w.r.stopped() {
+		return
+	}
+	if w.dl.Expired() {
+		w.r.noteTimeout()
+		return
+	}
+	if !w.isNew(t) {
+		w.stats.Pruned++
+		w.recycle(t)
+		return
+	}
+	w.keep(t)
+	if w.r.stopped() {
+		return
+	}
+	if w.r.si.Covers(t.Sat) {
+		if w.r.coll.add(t) {
+			w.r.noteTruncated()
+			return
+		}
+		// With universal seed sets, larger results exist (Definition 2.8's
+		// adjustment for N seed sets): results keep growing and merging.
+		if !w.r.si.HasUniversal() {
+			return
+		}
+	}
+	w.recordForMerging(t)
+	if !t.HasMo {
+		w.pushGrows(t)
+	}
+	w.mergeAll(t)
+}
+
+func (w *worker) recycle(t *tree.Tree) {
+	if tree.Recycle(t) {
+		w.stats.Recycled++
+	}
+}
+
+// recordForMerging is Algorithm 3: index the tree on this shard and, for
+// Mo variants, inject copies rooted at each seed node — shipping the
+// copies whose new root another worker owns.
+func (w *worker) recordForMerging(t *tree.Tree) {
+	w.byRoot[t.Root] = append(w.byRoot[t.Root], t)
+	if !w.r.variant.Mo || w.r.uni || !w.gainedSeeds(t) {
+		return
+	}
+	for _, n := range t.Nodes {
+		if n == t.Root || !w.r.si.IsSeed(n) {
+			continue
+		}
+		mo := tree.NewMo(t, n)
+		if dest := w.r.owner(n); dest != w.id {
+			w.r.pending.Add(1)
+			w.r.deposit(w.id, dest, task{kind: taskMo, t: mo})
+			w.shipped++
+		} else {
+			w.processMo(mo)
+		}
+		if w.r.stopped() {
+			return
+		}
+	}
+}
+
+// processMo commits a Mo re-rooting on its owner shard (the tail of
+// Algorithm 3). Mo trees bypass the edge-set history — their edge set is
+// the (already claimed) parent's — and deduplicate on the rooted
+// identity only, exactly as in the sequential kernel.
+func (w *worker) processMo(mo *tree.Tree) {
+	if w.r.stopped() {
+		return
+	}
+	// Created is counted here, on the owner, whether the copy was built
+	// locally or shipped — the owner is also where a rejected copy is
+	// recycled, keeping per-worker live accounting consistent.
+	w.created()
+	if w.rootedSeen.Has(mo.RootedSig(), mo.Root, mo.Edges) {
+		w.stats.Pruned++
+		w.recycle(mo)
+		return
+	}
+	w.keep(mo)
+	if w.r.stopped() {
+		return
+	}
+	w.byRoot[mo.Root] = append(w.byRoot[mo.Root], mo)
+	w.mergeAll(mo)
+}
+
+// gainedSeeds is the Section 4.5 Mo-injection trigger.
+func (w *worker) gainedSeeds(t *tree.Tree) bool {
+	switch t.Kind {
+	case tree.Init:
+		return false
+	case tree.Grow:
+		return t.Sat.Count() > t.Left.Sat.Count()
+	case tree.Merge:
+		return true
+	}
+	return false
+}
+
+// pushGrows feeds the (t, e) pairs satisfying Grow1, Grow2, and the
+// pushed-down filters to the owner of each new root: local ops join this
+// worker's queue, remote ones ship through the exchange.
+func (w *worker) pushGrows(t *tree.Tree) {
+	if w.maxReached(t) {
+		return
+	}
+	for _, e := range w.r.g.IncidentEdges(t.Root) {
+		if w.r.allowed != nil && !w.r.allowed[w.r.g.EdgeLabelID(e)] {
+			continue
+		}
+		other := w.r.g.Other(e, t.Root)
+		if t.ContainsNode(other) {
+			continue // Grow1
+		}
+		if w.r.si.Mask(other).Intersects(t.Sat) {
+			continue // Grow2
+		}
+		if w.r.uni && w.r.g.Source(e) != other {
+			// UNI: grow backward over the edge so the eventual root
+			// reaches every seed along directed paths.
+			continue
+		}
+		prio := w.r.priority(t, e)
+		w.r.pending.Add(1)
+		if dest := w.r.owner(other); dest != w.id {
+			w.r.deposit(w.id, dest, task{kind: taskGrowOp, t: t, e: e, prio: prio})
+			w.shipped++
+		} else {
+			w.seq++
+			w.q.push(growOp{t: t, e: e, prio: prio, seq: w.seq})
+		}
+	}
+	w.noteQueueLen()
+}
+
+func (w *worker) maxReached(t *tree.Tree) bool {
+	return w.r.maxEdges > 0 && t.Size() >= w.r.maxEdges
+}
+
+// mergeable checks Merge1/Merge2 plus the MAX filter (see the sequential
+// kernel for the Merge2 subtlety around shared seed roots).
+func (w *worker) mergeable(a, b *tree.Tree) bool {
+	if a.Size() == 0 || b.Size() == 0 {
+		return false
+	}
+	if w.r.maxEdges > 0 && a.Size()+b.Size() > w.r.maxEdges {
+		return false
+	}
+	if a.Sat.IntersectsOutside(b.Sat, w.r.si.Mask(a.Root)) {
+		return false // Merge2
+	}
+	return tree.OverlapOnlyRoot(a, b) // Merge1
+}
+
+// mergeAll is Algorithm 5, entirely shard-local: every tree sharing t's
+// root lives on this worker, so aggressive merging needs no coordination.
+func (w *worker) mergeAll(t *tree.Tree) {
+	partners := w.byRoot[t.Root]
+	// Snapshot: processTree below may append to byRoot[t.Root]; new
+	// entries merge with t from their own mergeAll.
+	n := len(partners)
+	for i := 0; i < n; i++ {
+		if w.r.stopped() {
+			return
+		}
+		tp := partners[i]
+		if tp == t || !w.mergeable(t, tp) {
+			continue
+		}
+		merged := tree.NewMerge(t, tp)
+		w.created()
+		w.processTree(merged)
+	}
+}

@@ -89,6 +89,30 @@ type SearchStats struct {
 	// Allocations is the total heap allocation count of the searches,
 	// sampled only when Options.TrackAllocs is set (0 otherwise).
 	Allocations uint64
+
+	// Parallelism is the largest worker count any CONNECT search ran with
+	// (0 when every search took the sequential kernel).
+	Parallelism int
+	// Workers aggregates per-worker effort across the query's CONNECT
+	// searches, index-aligned (worker 0 of every search sums into entry
+	// 0). Empty for sequential queries.
+	Workers []WorkerSearchStats
+}
+
+// WorkerSearchStats is one parallel-search worker's share of a query's
+// effort; see ctpquery's DESIGN.md §6 for the runtime it describes.
+type WorkerSearchStats struct {
+	// Ops counts grow opportunities and exchange tasks processed.
+	Ops int
+	// Kept counts provenance trees this worker retained.
+	Kept int
+	// Shipped counts tasks routed to other workers' shards.
+	Shipped int
+	// Stolen counts ops taken from other workers' queues while idle.
+	Stolen int
+	// BusyNS is the worker's thread CPU time (0 where unsupported); the
+	// max over workers approximates the search's critical path.
+	BusyNS int64
 }
 
 // SearchStats aggregates the per-CONNECT search statistics of the query.
@@ -106,6 +130,19 @@ func (r *Results) SearchStats() SearchStats {
 			out.PeakQueueLen = st.PeakQueueLen
 		}
 		out.Allocations += st.Allocations
+		if st.Parallelism > out.Parallelism {
+			out.Parallelism = st.Parallelism
+		}
+		for i, ws := range st.Workers {
+			if i >= len(out.Workers) {
+				out.Workers = append(out.Workers, WorkerSearchStats{})
+			}
+			out.Workers[i].Ops += ws.Ops
+			out.Workers[i].Kept += ws.Kept
+			out.Workers[i].Shipped += ws.Shipped
+			out.Workers[i].Stolen += ws.Stolen
+			out.Workers[i].BusyNS += ws.BusyNS
+		}
 	}
 	return out
 }

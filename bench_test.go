@@ -6,6 +6,7 @@
 package ctpquery
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -314,6 +315,69 @@ SELECT ?x ?y ?z ?w WHERE {
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Execute(q); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Serving-path result cache (internal/qcache through the facade): the
+// cold path runs the full BGP + CTP pipeline, the hit path is a lookup.
+// The CI bench smoke runs both so the cache layer cannot rot; ctpbench
+// -json measures the same contrast over the Figure 11 workload grid.
+func benchCacheQuery(b *testing.B) (*DB, *Query) {
+	b.Helper()
+	g := RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
+	db, err := Open(g, nil, WithCache(64<<20, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := ParseQuery("SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 5 . }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, q
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	db, q := benchCacheQuery(b)
+	ctx := context.Background()
+	if _, err := db.Run(ctx, q); err != nil { // warm the entry
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, info, err := db.RunWithInfo(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Hit || res.Len() == 0 {
+			b.Fatalf("iteration was not a cache hit (info %+v, %d rows)", info, res.Len())
+		}
+	}
+}
+
+func BenchmarkCacheMiss(b *testing.B) {
+	// A 1-byte budget rejects every admission, so the same query through
+	// one stable DB is a genuine miss on every iteration: the measurement
+	// is lookup miss + singleflight bookkeeping + search + admission
+	// attempt, with no per-iteration DB setup in the timing.
+	g := RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
+	db, err := Open(g, nil, WithCache(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := ParseQuery("SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 5 . }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, info, err := db.RunWithInfo(ctx, q); err != nil {
+			b.Fatal(err)
+		} else if info.Hit {
+			b.Fatal("cold run hit a cache")
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package ctpquery
+
+import (
+	"fmt"
+	"time"
+)
+
+// CacheConfig enables a query-result cache on a DB (Options.Cache or
+// WithCache): completed results are stored in a byte-budgeted LRU keyed
+// on (graph fingerprint, canonical query text, effective engine options)
+// and served without re-running the search, and concurrent identical
+// queries collapse into one engine execution (singleflight). Because a
+// Graph is immutable after Build, cached entries never go stale — there
+// is nothing to invalidate; TTL exists only for deployments that want
+// bounded entry lifetimes anyway.
+//
+// Partial results are never cached: a run that timed out, was truncated
+// (LIMIT or a stopped stream), or was canceled is returned to its caller
+// but re-executed on the next request, so the cache can only ever serve
+// complete answers.
+type CacheConfig struct {
+	// MaxBytes is the cache budget, charged by Results.ApproxSize; <= 0
+	// disables the cache.
+	MaxBytes int64
+	// TTL, when non-zero, additionally expires entries that old.
+	TTL time.Duration
+}
+
+// WithCache enables a query-result cache with the given byte budget and
+// optional TTL; see CacheConfig.
+func WithCache(maxBytes int64, ttl time.Duration) QueryOption {
+	return func(o *Options) { o.Cache = &CacheConfig{MaxBytes: maxBytes, TTL: ttl} }
+}
+
+// CacheInfo reports how one execution interacted with the DB's cache;
+// QueryWithInfo/RunWithInfo return it so servers can expose per-request
+// hit/miss/coalesced counters.
+type CacheInfo struct {
+	// Enabled reports whether the DB has a cache at all.
+	Enabled bool
+	// Hit reports the result was served from the cache without executing.
+	Hit bool
+	// Coalesced reports the call waited on another caller's in-flight
+	// execution of the same key instead of running its own.
+	Coalesced bool
+}
+
+// CacheStats is a snapshot of a DB's cache counters; see DB.CacheStats.
+type CacheStats struct {
+	Hits      int64 // executions served from a stored entry
+	Misses    int64 // executions that ran the engine
+	Coalesced int64 // executions that waited on an in-flight run
+	Evictions int64 // entries dropped by the byte budget or TTL
+	Rejected  int64 // completed runs not admitted (partial or oversized)
+	Entries   int   // stored entries
+	Bytes     int64 // stored payload bytes (Results.ApproxSize estimates)
+	MaxBytes  int64 // configured budget
+}
+
+// cacheSignature digests every option that can change a query's result
+// rows into the cache key. TrackAllocs is deliberately absent — it only
+// samples observability counters — while Parallelism is included because
+// LIMIT/TOP tie-breaking may keep a different same-sized subset across
+// degrees (see Options.Parallelism).
+func (o Options) cacheSignature() string {
+	return fmt.Sprintf("alg=%s mq=%t skew=%d to=%d par=%t k=%d",
+		o.Algorithm, o.MultiQueue, o.SkewThreshold, int64(o.DefaultTimeout), o.Parallel, o.Parallelism)
+}

@@ -9,11 +9,12 @@
 //	ctpbench -topology chain -n 12
 //
 // With -json FILE it instead runs the fixed perf-tracking suite — the
-// CSR-expansion and signature-dedup micro-benchmarks plus the Figure 11
-// workload grid — through testing.Benchmark and writes a machine-readable
-// report (ns/op, allocs/op, bytes/op per entry), the format of the
-// repository's BENCH_pr*.json trajectory files. -baseline FILE embeds a
-// previous report for before/after comparison.
+// CSR-expansion and signature-dedup micro-benchmarks, the Figure 11
+// workload grid, the parallel runtime sweep, and the result-cache
+// hit-vs-cold contrast — through testing.Benchmark and writes a
+// machine-readable report (ns/op, allocs/op, bytes/op per entry), the
+// format of the repository's BENCH_pr*.json trajectory files. -baseline
+// FILE embeds a previous report for before/after comparison.
 package main
 
 import (

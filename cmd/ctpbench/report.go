@@ -8,15 +8,19 @@ package main
 // the Figure 11 GAM-variant grid.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"ctpquery"
 	"ctpquery/internal/core"
 	"ctpquery/internal/eql"
 	// Linked for its side effect: registers the parallel runtime the
@@ -44,9 +48,25 @@ type benchReport struct {
 	// ParallelSweep measures the sharded runtime at 1/2/4/GOMAXPROCS
 	// workers per workload; ParallelSweepNote explains the two speedup
 	// columns.
-	ParallelSweepNote string          `json:"parallel_sweep_note,omitempty"`
-	ParallelSweep     []sweepEntry    `json:"parallel_sweep,omitempty"`
-	Baseline          json.RawMessage `json:"baseline,omitempty"`
+	ParallelSweepNote string       `json:"parallel_sweep_note,omitempty"`
+	ParallelSweep     []sweepEntry `json:"parallel_sweep,omitempty"`
+	// CacheBench contrasts the serving path with and without the query
+	// result cache (internal/qcache through the ctpquery facade) on the
+	// Figure 11 workloads expressed as EQL queries.
+	CacheBenchNote string            `json:"cache_bench_note,omitempty"`
+	CacheBench     []cacheBenchEntry `json:"cache_bench,omitempty"`
+	Baseline       json.RawMessage   `json:"baseline,omitempty"`
+}
+
+// cacheBenchEntry is one Figure 11 workload measured cold (full BGP +
+// CTP pipeline, no cache) and hot (served from the result cache).
+type cacheBenchEntry struct {
+	Workload    string  `json:"workload"`
+	Query       string  `json:"query"`
+	Rows        int     `json:"rows"`
+	ColdNsPerOp float64 `json:"cold_ns_per_op"`
+	HitNsPerOp  float64 `json:"hit_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
 }
 
 // sweepEntry is one (workload, worker count) cell of the parallelism
@@ -71,9 +91,36 @@ type sweepEntry struct {
 	Shipped     int     `json:"shipped"`
 }
 
+// namedWorkload pairs a Figure 11 workload with its report name.
+type namedWorkload struct {
+	name string
+	w    *gen.Workload
+}
+
+// fig11Workloads builds the Figure 11 workload grid shared by the
+// variant grid, the parallel sweep, and the cache bench — one list, so
+// the three sections always measure the same graphs. The largest star
+// (m=12, sL=3; seconds per sequential run) is skipped by the variant
+// grid, where it would be multiplied by every pruning variant including
+// unpruned GAM, and included everywhere else.
+func fig11Workloads(withLargestStar bool) []namedWorkload {
+	ws := []namedWorkload{
+		{"Fig11Line/m=3_sL=6", gen.Line(3, 5, gen.Alternate)},
+		{"Fig11Line/m=10_sL=3", gen.Line(10, 2, gen.Alternate)},
+		{"Fig11Comb/nA=4_sL=3", gen.Comb(4, 2, 3, 2, gen.Alternate)},
+		{"Fig11Comb/nA=6_sL=2", gen.Comb(6, 2, 2, 2, gen.Alternate)},
+		{"Fig11Star/m=5_sL=4", gen.Star(5, 4, gen.Alternate)},
+		{"Fig11Star/m=10_sL=2", gen.Star(10, 2, gen.Alternate)},
+	}
+	if withLargestStar {
+		ws = append(ws, namedWorkload{"Fig11Star/m=12_sL=3", gen.Star(12, 3, gen.Alternate)})
+	}
+	return ws
+}
+
 func writeJSONReport(path, baselinePath string) error {
 	report := benchReport{
-		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep",
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -151,18 +198,7 @@ func writeJSONReport(path, baselinePath string) error {
 	})
 
 	// The Figure 11 grid: GAM pruning variants on the benchmark workloads.
-	workloads := []struct {
-		name string
-		w    *gen.Workload
-	}{
-		{"Fig11Line/m=3_sL=6", gen.Line(3, 5, gen.Alternate)},
-		{"Fig11Line/m=10_sL=3", gen.Line(10, 2, gen.Alternate)},
-		{"Fig11Comb/nA=4_sL=3", gen.Comb(4, 2, 3, 2, gen.Alternate)},
-		{"Fig11Comb/nA=6_sL=2", gen.Comb(6, 2, 2, 2, gen.Alternate)},
-		{"Fig11Star/m=5_sL=4", gen.Star(5, 4, gen.Alternate)},
-		{"Fig11Star/m=10_sL=2", gen.Star(10, 2, gen.Alternate)},
-	}
-	for _, wl := range workloads {
+	for _, wl := range fig11Workloads(false) {
 		for _, alg := range core.GAMFamily() {
 			wl, alg := wl, alg
 			run(wl.name+"/"+alg.String(), func(b *testing.B) {
@@ -191,6 +227,15 @@ func writeJSONReport(path, baselinePath string) error {
 	}
 	report.ParallelSweep = sweep
 
+	report.CacheBenchNote = "cold_ns_per_op runs the full facade pipeline per request; hit_ns_per_op serves " +
+		"the identical query from the result cache (speedup = cold/hit). Entries are complete results — " +
+		"timed-out or truncated runs are never admitted, so the hit path can only return full answers."
+	cache, err := cacheBench()
+	if err != nil {
+		return err
+	}
+	report.CacheBench = cache
+
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)
 		if err != nil {
@@ -216,24 +261,12 @@ func writeJSONReport(path, baselinePath string) error {
 // and per-worker effort come from instrumented runs (median over
 // repetitions).
 func parallelSweep() ([]sweepEntry, error) {
-	workloads := []struct {
-		name string
-		w    *gen.Workload
-	}{
-		{"Fig11Line/m=3_sL=6", gen.Line(3, 5, gen.Alternate)},
-		{"Fig11Line/m=10_sL=3", gen.Line(10, 2, gen.Alternate)},
-		{"Fig11Comb/nA=4_sL=3", gen.Comb(4, 2, 3, 2, gen.Alternate)},
-		{"Fig11Comb/nA=6_sL=2", gen.Comb(6, 2, 2, 2, gen.Alternate)},
-		{"Fig11Star/m=5_sL=4", gen.Star(5, 4, gen.Alternate)},
-		{"Fig11Star/m=10_sL=2", gen.Star(10, 2, gen.Alternate)},
-		{"Fig11Star/m=12_sL=3", gen.Star(12, 3, gen.Alternate)},
-	}
 	degrees := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 	sort.Ints(degrees)
 	seen := map[int]bool{}
 
 	var out []sweepEntry
-	for _, wl := range workloads {
+	for _, wl := range fig11Workloads(true) {
 		var baseWall, baseSpan float64 // the workers=1 run
 		for _, k := range degrees {
 			if k < 1 || seen[k] {
@@ -283,6 +316,78 @@ func parallelSweep() ([]sweepEntry, error) {
 		for k := range seen {
 			delete(seen, k)
 		}
+	}
+	return out, nil
+}
+
+// cacheBench measures the serving path on the Figure 11 workloads: the
+// graphs round-trip through the triples format into the public facade
+// (every generated node is uniquely labeled), the m seed sets become the
+// members of one EQL CONNECT, and each workload is then timed cold (no
+// cache, full pipeline per request) and hot (identical query served from
+// the result cache).
+func cacheBench() ([]cacheBenchEntry, error) {
+	ctx := context.Background()
+	var out []cacheBenchEntry
+	for _, wl := range fig11Workloads(true) {
+		var buf bytes.Buffer
+		if err := graph.WriteTriples(&buf, wl.w.Graph); err != nil {
+			return nil, fmt.Errorf("cache bench %s: %w", wl.name, err)
+		}
+		g, err := ctpquery.LoadTriples(&buf)
+		if err != nil {
+			return nil, fmt.Errorf("cache bench %s: %w", wl.name, err)
+		}
+		members := make([]string, wl.w.M())
+		for i, set := range wl.w.Seeds {
+			members[i] = wl.w.Graph.NodeLabel(set[0])
+		}
+		query := fmt.Sprintf("SELECT ?w WHERE { CONNECT %s AS ?w . }", strings.Join(members, " "))
+
+		cold, err := ctpquery.Open(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := ctpquery.Open(g, nil, ctpquery.WithCache(256<<20, 0))
+		if err != nil {
+			return nil, err
+		}
+		res, info, err := warm.QueryWithInfo(ctx, query)
+		if err != nil {
+			return nil, fmt.Errorf("cache bench %s: %w", wl.name, err)
+		}
+		if info.Hit || res.TimedOut() || res.Truncated() {
+			return nil, fmt.Errorf("cache bench %s: warm-up not admissible (info %+v)", wl.name, info)
+		}
+		e := cacheBenchEntry{Workload: wl.name, Query: query, Rows: res.Len()}
+
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cold.Query(ctx, query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		e.ColdNsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, info, err := warm.QueryWithInfo(ctx, query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !info.Hit || res.Len() != e.Rows {
+					b.Fatalf("hit path diverged (info %+v, %d rows, want %d)", info, res.Len(), e.Rows)
+				}
+			}
+		})
+		e.HitNsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		if e.HitNsPerOp > 0 {
+			e.Speedup = e.ColdNsPerOp / e.HitNsPerOp
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-24s cache  %12.0f ns/op cold  %12.0f ns/op hit   (x%.0f)\n",
+			wl.name, e.ColdNsPerOp, e.HitNsPerOp, e.Speedup)
 	}
 	return out, nil
 }

@@ -32,7 +32,13 @@
 // the partial results found so far with "timed_out": true, per the
 // paper's TIMEOUT semantics. -algo sets the default CTP algorithm and
 // -parallelism the default per-search worker count (0 = the sequential
-// kernel, -1 = GOMAXPROCS); requests may override both per query. The
+// kernel, -1 = GOMAXPROCS); requests may override both per query.
+// -cache-bytes enables a query-result cache (keyed on the immutable
+// graph's fingerprint + canonical query text + effective options):
+// repeated queries are answered without searching, concurrent identical
+// queries collapse into one search, and partial (timed-out/truncated)
+// results are never cached; per-response "cache" JSON and the /stats
+// "cache" section report hits, misses, and coalesced requests. The
 // server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // queries.
 package main
@@ -46,7 +52,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -71,60 +76,102 @@ func main() {
 		maxRows        = flag.Int("max-rows", 1000, "cap on rows serialized per response (0 = unlimited)")
 		pprofEnabled   = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		trackAllocs    = flag.Bool("track-allocs", true, "sample per-query heap allocation counts into the search report (two runtime.ReadMemStats calls per CONNECT search; disable for maximum throughput)")
+		cacheBytes     = flag.Int64("cache-bytes", 0, "query-result cache budget in bytes (0 = no cache); completed results are served from cache and concurrent identical queries collapse into one search")
+		cacheTTL       = flag.Duration("cache-ttl", 0, "expire cache entries this old (0 = never; the graph is immutable, so entries cannot go stale)")
 	)
 	flag.Parse()
-	if err := run(*addr, *graphPath, *sample, *random, *seed, *algoName, *parallel, *parallelism,
-		*maxParallelism, *saveSnapshot, *defaultTimeout, *maxTimeout, *maxRows, *pprofEnabled, *trackAllocs); err != nil {
+	cfg := serverConfig{
+		addr:           *addr,
+		graphPath:      *graphPath,
+		sample:         *sample,
+		random:         *random,
+		seed:           *seed,
+		algo:           *algoName,
+		parallel:       *parallel,
+		parallelism:    *parallelism,
+		maxParallelism: *maxParallelism,
+		saveSnapshot:   *saveSnapshot,
+		defaultTimeout: *defaultTimeout,
+		maxTimeout:     *maxTimeout,
+		maxRows:        *maxRows,
+		pprof:          *pprofEnabled,
+		trackAllocs:    *trackAllocs,
+		cacheBytes:     *cacheBytes,
+		cacheTTL:       *cacheTTL,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, graphPath, sample, random string, seed int64, algoName string, parallel bool,
-	parallelism, maxParallelism int, saveSnapshot string,
-	defaultTimeout, maxTimeout time.Duration, maxRows int, pprofEnabled, trackAllocs bool) error {
-	g, desc, err := loadGraph(graphPath, sample, random, seed)
+// serverConfig carries the parsed flags into run by name, so adding a
+// flag cannot silently transpose two same-typed positional parameters.
+type serverConfig struct {
+	addr           string
+	graphPath      string
+	sample         string
+	random         string
+	seed           int64
+	algo           string
+	parallel       bool
+	parallelism    int
+	maxParallelism int
+	saveSnapshot   string
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxRows        int
+	pprof          bool
+	trackAllocs    bool
+	cacheBytes     int64
+	cacheTTL       time.Duration
+}
+
+func run(cfg serverConfig) error {
+	g, desc, err := loadGraph(cfg.graphPath, cfg.sample, cfg.random, cfg.seed)
 	if err != nil {
 		return err
 	}
-	// Resolve the GOMAXPROCS sentinel before clamping so the server
-	// default cannot sidestep its own ceiling (handleQuery does the same
-	// for per-request overrides).
-	if parallelism < 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if maxParallelism > 0 && parallelism > maxParallelism {
-		parallelism = maxParallelism
-	}
-	if saveSnapshot != "" {
-		if err := writeSnapshot(g, saveSnapshot); err != nil {
+	// The startup default resolves and clamps through the same helper as
+	// per-request overrides, so the two paths cannot drift apart.
+	cfg.parallelism = clampParallelism(cfg.parallelism, cfg.maxParallelism)
+	if cfg.saveSnapshot != "" {
+		if err := writeSnapshot(g, cfg.saveSnapshot); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
-		log.Printf("snapshot written to %s", saveSnapshot)
+		log.Printf("snapshot written to %s", cfg.saveSnapshot)
 	}
-	db, err := ctpquery.Open(g, &ctpquery.Options{
-		Algorithm: algoName, Parallel: parallel, Parallelism: parallelism,
-		TrackAllocs: trackAllocs})
+	opts := &ctpquery.Options{
+		Algorithm: cfg.algo, Parallel: cfg.parallel, Parallelism: cfg.parallelism,
+		TrackAllocs: cfg.trackAllocs}
+	if cfg.cacheBytes > 0 {
+		opts.Cache = &ctpquery.CacheConfig{MaxBytes: cfg.cacheBytes, TTL: cfg.cacheTTL}
+	}
+	db, err := ctpquery.Open(g, opts)
 	if err != nil {
 		return err
 	}
-	s, err := newServer(db, defaultTimeout, maxTimeout, maxRows, maxParallelism)
+	s, err := newServer(db, cfg.defaultTimeout, cfg.maxTimeout, cfg.maxRows, cfg.maxParallelism)
 	if err != nil {
 		return err
 	}
 
 	log.Printf("graph %s: %d nodes, %d edges; algorithm %s",
 		desc, g.NumNodes(), g.NumEdges(), db.Options().Algorithm)
-	if pprofEnabled {
+	if cfg.cacheBytes > 0 {
+		log.Printf("result cache: %d byte budget, ttl %v, graph fingerprint %#x",
+			cfg.cacheBytes, cfg.cacheTTL, g.Fingerprint())
+	}
+	if cfg.pprof {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Addr: addr, Handler: s.handler(pprofEnabled)}
+	srv := &http.Server{Addr: cfg.addr, Handler: s.handler(cfg.pprof)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		log.Printf("listening on %s", cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 

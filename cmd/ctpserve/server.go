@@ -79,6 +79,36 @@ func (s *server) noteWorkers(ws []ctpquery.WorkerSearchStats) {
 	}
 }
 
+// resolveParallelism resolves a request's worker-count override against
+// the server policy. The order is load-bearing and pinned by tests:
+//
+//  1. the GOMAXPROCS sentinel (negative) resolves FIRST, so a huge
+//     machine cannot turn "-1" into a degree above the cap;
+//  2. maxParallelism == 0 means requests may not override at all — the
+//     server default wins regardless of what was asked;
+//  3. otherwise the request clamps to maxParallelism. Each worker pins
+//     an OS thread, so the ceiling is a resource guard, not advice.
+func (s *server) resolveParallelism(requested, serverDefault int) int {
+	if s.maxParallelism <= 0 {
+		return serverDefault
+	}
+	return clampParallelism(requested, s.maxParallelism)
+}
+
+// clampParallelism is the shared resolve-then-clamp: the GOMAXPROCS
+// sentinel resolves before the cap so it cannot sidestep it. The server
+// startup default (main.go) and per-request overrides both go through
+// it, so the two paths cannot drift apart.
+func clampParallelism(requested, max int) int {
+	if requested < 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if max > 0 && requested > max {
+		requested = max
+	}
+	return requested
+}
+
 // maxInt64 CAS-raises an atomic high-water mark.
 func maxInt64(a *atomic.Int64, v int64) {
 	for {
@@ -181,8 +211,22 @@ type queryResponse struct {
 		Join  float64 `json:"join"`
 		Total float64 `json:"total"`
 	} `json:"timings_ms"`
-	// Search reports the aggregated CTP search effort of this query.
+	// Search reports the aggregated CTP search effort of this query. On a
+	// cache hit it is the effort of the run that populated the entry, not
+	// of this request (which searched nothing).
 	Search searchJSON `json:"search"`
+	// Cache reports how the result cache served this request; absent when
+	// the server runs without -cache-bytes.
+	Cache *cacheJSON `json:"cache,omitempty"`
+}
+
+// cacheJSON is the per-request cache report.
+type cacheJSON struct {
+	// Hit: served from a stored entry, no search ran.
+	Hit bool `json:"hit"`
+	// Coalesced: this request waited on an identical in-flight query
+	// instead of running its own search (singleflight).
+	Coalesced bool `json:"coalesced"`
 }
 
 // searchJSON mirrors ctpquery.SearchStats for the wire.
@@ -242,20 +286,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			opts.Algorithm = req.Algorithm
 		}
 		if req.Parallelism != nil {
-			// Each worker pins an OS thread, so requested degrees clamp to
-			// the server's ceiling (and are ignored when overrides are off).
-			// Negative means GOMAXPROCS; resolve it here so it cannot
-			// sidestep the clamp.
-			p := *req.Parallelism
-			if p < 0 {
-				p = runtime.GOMAXPROCS(0)
-			}
-			if s.maxParallelism <= 0 {
-				p = opts.Parallelism
-			} else if p > s.maxParallelism {
-				p = s.maxParallelism
-			}
-			opts.Parallelism = p
+			opts.Parallelism = s.resolveParallelism(*req.Parallelism, opts.Parallelism)
 		}
 		var err error
 		if db, err = s.base.WithOptions(opts); err != nil {
@@ -278,7 +309,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	res, err := db.Query(ctx, req.Query)
+	res, cinfo, err := db.QueryWithInfo(ctx, req.Query)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
@@ -293,19 +324,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.TimedOut() {
 		s.timeouts.Add(1)
 	}
-	st := res.SearchStats()
-	s.treesGenerated.Add(int64(st.TreesGenerated))
-	s.treesRecycled.Add(int64(st.TreesRecycled))
-	s.allocations.Add(st.Allocations)
-	maxInt64(&s.peakQueueLen, int64(st.PeakQueueLen))
-	maxInt64(&s.peakTrees, int64(st.PeakTrees))
-	s.noteWorkers(st.Workers)
+	// Aggregate search effort only when this request actually executed a
+	// search: a cache hit (or a coalesced waiter) re-reports the leader's
+	// SearchStats and would inflate the /stats effort counters with work
+	// that never happened.
+	if !cinfo.Hit && !cinfo.Coalesced {
+		st := res.SearchStats()
+		s.treesGenerated.Add(int64(st.TreesGenerated))
+		s.treesRecycled.Add(int64(st.TreesRecycled))
+		s.allocations.Add(st.Allocations)
+		maxInt64(&s.peakQueueLen, int64(st.PeakQueueLen))
+		maxInt64(&s.peakTrees, int64(st.PeakTrees))
+		s.noteWorkers(st.Workers)
+	}
 
 	maxRows := s.maxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
 		maxRows = req.MaxRows
 	}
-	writeJSON(w, http.StatusOK, s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, time.Since(start)))
+	resp := s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, time.Since(start))
+	if cinfo.Enabled {
+		resp.Cache = &cacheJSON{Hit: cinfo.Hit, Coalesced: cinfo.Coalesced}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
@@ -394,7 +435,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		avgMS = ms(time.Duration(s.busyNS.Load()) / time.Duration(completed))
 	}
 	g := s.base.Graph()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"uptime_s":       time.Since(s.started).Seconds(),
 		"requests":       requests,
 		"failures":       s.failures.Load(),
@@ -412,7 +453,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"peak_trees":      s.peakTrees.Load(),
 			"workers":         s.workersSnapshot(),
 		},
-	})
+	}
+	// The cache instance is shared by every derived (per-request override)
+	// DB, so the base handle's counters aggregate the whole server.
+	if cs, ok := s.base.CacheStats(); ok {
+		payload["cache"] = map[string]any{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"coalesced": cs.Coalesced,
+			"evictions": cs.Evictions,
+			"rejected":  cs.Rejected,
+			"entries":   cs.Entries,
+			"bytes":     cs.Bytes,
+			"max_bytes": cs.MaxBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // workersSnapshot renders the per-worker aggregates for /stats.

@@ -15,11 +15,13 @@ import (
 )
 
 // newTestServer serves a deterministic generated graph (800 nodes, 2400
-// edges, connected by construction).
+// edges, connected by construction) with the result cache enabled, the
+// way a production deployment would run.
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	g := ctpquery.RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
-	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true, TrackAllocs: true})
+	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true, TrackAllocs: true},
+		ctpquery.WithCache(64<<20, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,6 +409,190 @@ func TestParallelismWithBadAlgorithm(t *testing.T) {
 		Query: `SELECT ?w WHERE { CONNECT n1 n2 AS ?w . }`, Algorithm: "nope", Parallelism: &par})
 	if code != http.StatusBadRequest || fail.Error == "" {
 		t.Fatalf("bad algorithm accepted: code %d", code)
+	}
+}
+
+// statsCache decodes the /stats cache section.
+type statsCache struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+func getStatsCache(t *testing.T, url string) statsCache {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache *statsCache `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache == nil {
+		t.Fatal("/stats has no cache section on a cache-enabled server")
+	}
+	return *stats.Cache
+}
+
+// TestCacheSingleflightServer fires K identical queries concurrently and
+// requires that exactly one underlying search ran: one cache miss, K-1
+// hits or coalesced waiters, and server-wide search effort equal to a
+// single execution. Run under -race in CI.
+func TestCacheSingleflightServer(t *testing.T) {
+	s, ts := newTestServer(t)
+	const k = 12
+	// No LIMIT: the result must be complete so it is admitted.
+	const query = "SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 6 . }"
+
+	var wg sync.WaitGroup
+	responses := make([]queryResponse, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, out, fail := postQuery(t, ts.URL, queryRequest{Query: query, TimeoutMS: 30000})
+			if code != http.StatusOK {
+				t.Errorf("query %d: status %d: %s", i, code, fail.Error)
+				return
+			}
+			responses[i] = out
+		}(i)
+	}
+	wg.Wait()
+
+	leaders := 0
+	for i, out := range responses {
+		if out.Cache == nil {
+			t.Fatalf("response %d carries no cache report", i)
+		}
+		if !out.Cache.Hit && !out.Cache.Coalesced {
+			leaders++
+		}
+		if out.RowCount != responses[0].RowCount {
+			t.Fatalf("response %d: %d rows, others saw %d", i, out.RowCount, responses[0].RowCount)
+		}
+		if out.TimedOut {
+			t.Fatalf("response %d timed out; test premise broken", i)
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d requests executed a search, want exactly 1", leaders)
+	}
+
+	cs := getStatsCache(t, ts.URL)
+	if cs.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (singleflight)", cs.Misses)
+	}
+	if cs.Hits+cs.Coalesced != k-1 {
+		t.Errorf("hits %d + coalesced %d = %d, want %d", cs.Hits, cs.Coalesced, cs.Hits+cs.Coalesced, k-1)
+	}
+	if cs.Entries != 1 || cs.Bytes <= 0 {
+		t.Errorf("cache stores %d entries / %d bytes, want 1 / > 0", cs.Entries, cs.Bytes)
+	}
+
+	// "Exactly one search" is also visible in the server's aggregated
+	// effort: hits and coalesced waiters do not re-add the leader's
+	// SearchStats, so the total equals one execution's report.
+	if got, want := s.treesGenerated.Load(), int64(responses[0].Search.TreesGenerated); got != want {
+		t.Errorf("aggregated trees_generated = %d, want one search's %d", got, want)
+	}
+}
+
+// A request that timed out is served its partial result but the entry is
+// never admitted: the next identical request runs the search again.
+func TestCacheNeverServesStalePartial(t *testing.T) {
+	_, ts := newTestServer(t)
+	// The exhaustive 6-seed enumeration needs far more than 1ms, so the
+	// first answer is deterministically partial.
+	req := queryRequest{
+		Query:     "SELECT ?w WHERE { CONNECT n1 n2 n3 n4 n5 n6 AS ?w . }",
+		TimeoutMS: 1,
+	}
+	code, out, fail := postQuery(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, fail.Error)
+	}
+	if !out.TimedOut {
+		t.Fatal("1ms budget did not time out; test premise broken")
+	}
+	cs := getStatsCache(t, ts.URL)
+	if cs.Entries != 0 || cs.Rejected != 1 {
+		t.Fatalf("partial result admitted: %+v", cs)
+	}
+
+	code, out2, fail := postQuery(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("second status %d: %s", code, fail.Error)
+	}
+	if out2.Cache == nil || out2.Cache.Hit {
+		t.Fatal("second request was served the stale partial from cache")
+	}
+	if cs := getStatsCache(t, ts.URL); cs.Misses != 2 {
+		t.Fatalf("second request did not re-execute: %+v", cs)
+	}
+}
+
+// resolveParallelism pins the per-request resolution order: the
+// GOMAXPROCS sentinel resolves before the -max-parallelism clamp, and
+// maxParallelism == 0 means requests cannot override at all.
+func TestResolveParallelism(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name               string
+		maxParallelism     int
+		requested, fallbck int
+		want               int
+	}{
+		{"plain request under cap", 16, 4, 0, 4},
+		{"request above cap clamps", 16, 200, 0, 16},
+		{"sentinel resolves before clamp", 2, -1, 0, min(gmp, 2)},
+		{"any negative is the sentinel", 2, -7, 0, min(gmp, 2)},
+		{"cap zero ignores request", 0, 8, 3, 3},
+		{"cap zero ignores sentinel", 0, -1, 3, 3},
+	} {
+		s := &server{maxParallelism: tc.maxParallelism}
+		if got := s.resolveParallelism(tc.requested, tc.fallbck); got != tc.want {
+			t.Errorf("%s: resolveParallelism(%d, %d) with cap %d = %d, want %d",
+				tc.name, tc.requested, tc.fallbck, tc.maxParallelism, got, tc.want)
+		}
+	}
+}
+
+// With -max-parallelism 0, the flag help promises "requests may not
+// override"; pin it end to end, not just in the helper.
+func TestMaxParallelismZeroNoOverride(t *testing.T) {
+	g := ctpquery.RandomGraph(200, 600, []string{"t"}, 5)
+	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler(false))
+	defer ts.Close()
+
+	q := "SELECT ?w WHERE { CONNECT n1 n100 AS ?w MAX 8 LIMIT 1 . }"
+	for _, requested := range []int{8, -1} {
+		requested := requested
+		code, out, fail := postQuery(t, ts.URL, queryRequest{Query: q, Parallelism: &requested})
+		if code != http.StatusOK {
+			t.Fatalf("parallelism=%d: status %d: %s", requested, code, fail.Error)
+		}
+		// The server default is the sequential kernel (Parallelism 0), and
+		// the override must be ignored.
+		if out.Search.Parallelism != 0 || len(out.Search.Workers) != 0 {
+			t.Errorf("parallelism=%d with cap 0 ran %d workers, want the server default (sequential)",
+				requested, out.Search.Parallelism)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package ctpquery
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"ctpquery/internal/core"
 	"ctpquery/internal/engine"
 	"ctpquery/internal/eql"
+	"ctpquery/internal/qcache"
 )
 
 // Options configures query evaluation. The zero value selects MoLESP, the
@@ -52,6 +54,30 @@ type Options struct {
 	// Concurrent queries inflate each other's counts; prefer the
 	// testing.B benchmarks for precise numbers.
 	TrackAllocs bool
+
+	// Cache, when non-nil with a positive MaxBytes, caches completed
+	// query results and collapses concurrent identical queries into one
+	// execution; see CacheConfig. Run and Query consult it; RunStream and
+	// QueryStream never do (their per-tree callback is a side effect a
+	// cached result could not replay).
+	Cache *CacheConfig
+}
+
+// engineOptions is the single construction site for engine.Options: Open
+// and RunStream both call it, so a new facade option cannot be wired into
+// one execution path and silently missed in the other. onResult — the
+// streaming callback — is the only difference between the two paths.
+func (o Options) engineOptions(alg core.Algorithm, onResult func(int, core.Result) bool) engine.Options {
+	return engine.Options{
+		Algorithm:      alg,
+		MultiQueue:     o.MultiQueue,
+		SkewThreshold:  o.SkewThreshold,
+		DefaultTimeout: o.DefaultTimeout,
+		Parallel:       o.Parallel,
+		Parallelism:    o.Parallelism,
+		TrackAllocs:    o.TrackAllocs,
+		OnCTPResult:    onResult,
+	}
 }
 
 // Algorithms lists the CTP evaluation algorithm names accepted by
@@ -138,6 +164,13 @@ type DB struct {
 	g    *Graph
 	eng  *engine.Engine
 	opts Options
+
+	// cache is the query-result cache (nil when Options.Cache is unset);
+	// optsSig is this DB's precomputed contribution to cache keys. Derived
+	// DBs (WithOptions, With) share the parent's cache instance — the
+	// options signature inside the key keeps their entries apart.
+	cache   *qcache.Cache
+	optsSig string
 }
 
 // Open creates a DB over g. A nil opts selects the defaults (MoLESP,
@@ -159,19 +192,16 @@ func Open(g *Graph, opts *Options, query ...QueryOption) (*DB, error) {
 		return nil, err
 	}
 	o.Algorithm = alg.String()
-	return &DB{
-		g: g,
-		eng: engine.New(g.g, engine.Options{
-			Algorithm:      alg,
-			MultiQueue:     o.MultiQueue,
-			SkewThreshold:  o.SkewThreshold,
-			DefaultTimeout: o.DefaultTimeout,
-			Parallel:       o.Parallel,
-			Parallelism:    o.Parallelism,
-			TrackAllocs:    o.TrackAllocs,
-		}),
-		opts: o,
-	}, nil
+	db := &DB{
+		g:       g,
+		eng:     engine.New(g.g, o.engineOptions(alg, nil)),
+		opts:    o,
+		optsSig: o.cacheSignature(),
+	}
+	if o.Cache != nil && o.Cache.MaxBytes > 0 {
+		db.cache = qcache.New(o.Cache.MaxBytes, o.Cache.TTL)
+	}
+	return db, nil
 }
 
 // Graph returns the graph the DB queries.
@@ -183,14 +213,39 @@ func (db *DB) Options() Options { return db.opts }
 
 // WithOptions returns a DB sharing this DB's graph but using opts — the
 // way to serve per-request algorithm or timeout choices without reloading
-// the graph.
-func (db *DB) WithOptions(opts Options) (*DB, error) { return Open(db.g, &opts) }
+// the graph. When the cache configuration is unchanged, the derived DB
+// also shares this DB's cache instance, so per-request overrides hit one
+// server-wide cache instead of fragmenting into per-request caches (the
+// options signature inside each key keeps differently-configured results
+// apart).
+func (db *DB) WithOptions(opts Options) (*DB, error) {
+	// Decide sharing before Open so the per-request override path never
+	// constructs a fresh cache just to discard it.
+	share := db.cache != nil && opts.Cache != nil && *db.opts.Cache == *opts.Cache
+	openOpts := opts
+	if share {
+		openOpts.Cache = nil
+	}
+	ndb, err := Open(db.g, &openOpts)
+	if err != nil {
+		return nil, err
+	}
+	if share {
+		ndb.cache = db.cache
+		ndb.opts.Cache = opts.Cache
+	}
+	return ndb, nil
+}
 
 // With derives a DB from this one with the QueryOptions applied, e.g.
-// db.With(WithParallelism(4)).
+// db.With(WithParallelism(4)). Like WithOptions, it shares this DB's
+// cache when the cache configuration is unchanged.
 func (db *DB) With(query ...QueryOption) (*DB, error) {
 	opts := db.opts
-	return Open(db.g, &opts, query...)
+	for _, qo := range query {
+		qo(&opts)
+	}
+	return db.WithOptions(opts)
 }
 
 // Query parses text and executes it; see Run for the execution semantics.
@@ -202,17 +257,105 @@ func (db *DB) Query(ctx context.Context, text string) (*Results, error) {
 	return db.Run(ctx, q)
 }
 
+// QueryWithInfo is Query plus the execution's CacheInfo, for servers
+// surfacing per-request hit/miss/coalesced counters.
+func (db *DB) QueryWithInfo(ctx context.Context, text string) (*Results, CacheInfo, error) {
+	q, err := ParseQuery(text)
+	if err != nil {
+		return nil, CacheInfo{Enabled: db.cache != nil}, err
+	}
+	return db.RunWithInfo(ctx, q)
+}
+
 // Run executes q. Context cancellation is honored between evaluation
 // phases and inside CTP searches and returns ctx.Err(); a context
 // deadline instead clamps each CTP's time budget so an expiring deadline
 // yields the partial results found so far, flagged by Results.TimedOut —
 // the same semantics as the query-level TIMEOUT filter.
+//
+// On a DB with Options.Cache, Run serves completed results from the
+// cache and collapses concurrent identical queries into one execution;
+// partial (timed-out, truncated, or canceled) runs are returned to their
+// caller but never cached, so the next identical query re-executes.
 func (db *DB) Run(ctx context.Context, q *Query) (*Results, error) {
+	res, _, err := db.RunWithInfo(ctx, q)
+	return res, err
+}
+
+// RunWithInfo is Run plus the execution's CacheInfo.
+func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, error) {
+	// An already-canceled context returns ctx.Err() regardless of cache
+	// warmth — the engine enforces this on the cold path, and a hit must
+	// not silently bypass the documented cancellation contract. (An
+	// expired *deadline* is different: its contract is "best results the
+	// budget allows", and a complete cached answer satisfies it.)
+	if ctx.Err() == context.Canceled {
+		return nil, CacheInfo{Enabled: db.cache != nil}, ctx.Err()
+	}
+	if db.cache == nil {
+		res, err := db.runUncached(ctx, q)
+		return res, CacheInfo{}, err
+	}
+	info := CacheInfo{Enabled: true}
+	key := qcache.Key{Graph: db.g.Fingerprint(), Query: q.String(), Opts: db.optsSig}
+	v, hit, coalesced, err := db.cache.Do(ctx, key, func() (any, int64, bool, error) {
+		res, err := db.runUncached(ctx, q)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		// Admission: only complete answers may be cached. A timed-out or
+		// truncated result is a valid subset for this caller, but serving
+		// it to a later request — which might have afforded a full run —
+		// would silently drop answers; a post-run canceled context means
+		// we cannot even be sure the flags are trustworthy.
+		admit := !res.TimedOut() && !res.Truncated() && ctx.Err() == nil
+		return res, res.ApproxSize(), admit, nil
+	})
+	info.Hit, info.Coalesced = hit, coalesced
+	if err != nil {
+		// A waiter whose own deadline expired while queued behind the
+		// leader must still get Run's deadline semantics — partial
+		// results, never an error. Only the waiter path can surface
+		// DeadlineExceeded (the engine turns an expiring deadline into
+		// TimedOut results, and cancellation into context.Canceled), so
+		// run directly: the engine clamps the spent budget and returns
+		// immediately with whatever that allows.
+		if errors.Is(err, context.DeadlineExceeded) {
+			res, rerr := db.runUncached(ctx, q)
+			return res, CacheInfo{Enabled: true}, rerr
+		}
+		return nil, info, err
+	}
+	return v.(*Results), info, nil
+}
+
+// runUncached executes q directly against the engine.
+func (db *DB) runUncached(ctx context.Context, q *Query) (*Results, error) {
 	res, err := db.eng.ExecuteContext(ctx, q.q)
 	if err != nil {
 		return nil, err
 	}
 	return newResults(db.g, q.q, res), nil
+}
+
+// CacheStats returns a snapshot of the DB's query-result cache counters;
+// ok is false when the DB has no cache. Derived DBs (WithOptions, With)
+// report the shared parent cache.
+func (db *DB) CacheStats() (CacheStats, bool) {
+	if db.cache == nil {
+		return CacheStats{}, false
+	}
+	st := db.cache.Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+		Rejected:  st.Rejected,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		MaxBytes:  st.MaxBytes,
+	}, true
 }
 
 // QueryStream parses text and executes it, streaming connecting trees;
@@ -237,19 +380,14 @@ type StreamFunc func(ctp int, t *Tree) bool
 // instead of waiting for the full enumeration. When the DB has
 // Options.Parallel set and the query has several CONNECT clauses, fn may
 // be called from several goroutines at once and must be safe for that.
+// RunStream never consults the DB's cache: a cached result could not
+// replay the per-tree callback.
 func (db *DB) RunStream(ctx context.Context, q *Query, fn StreamFunc) (*Results, error) {
-	eng := engine.New(db.g.g, engine.Options{
-		Algorithm:      mustAlgorithm(db.opts.Algorithm),
-		MultiQueue:     db.opts.MultiQueue,
-		SkewThreshold:  db.opts.SkewThreshold,
-		DefaultTimeout: db.opts.DefaultTimeout,
-		Parallel:       db.opts.Parallel,
-		Parallelism:    db.opts.Parallelism,
-		TrackAllocs:    db.opts.TrackAllocs,
-		OnCTPResult: func(ctp int, r core.Result) bool {
+	eng := engine.New(db.g.g, db.opts.engineOptions(
+		mustAlgorithm(db.opts.Algorithm),
+		func(ctp int, r core.Result) bool {
 			return fn(ctp, &Tree{g: db.g, t: r.Tree})
-		},
-	})
+		}))
 	res, err := eng.ExecuteContext(ctx, q.q)
 	if err != nil {
 		return nil, err

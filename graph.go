@@ -47,6 +47,14 @@ func (g *Graph) NodeByLabel(s string) (n NodeID, ok bool) {
 // degree statistics).
 func (g *Graph) Stats() string { return graph.ComputeStats(g.g).String() }
 
+// Fingerprint returns a 64-bit digest of the graph's logical content
+// (labels, types, edges, properties), frozen at build time. Two loads of
+// the same data — including a snapshot or triples round trip — produce
+// the same fingerprint, so it identifies the graph across processes; the
+// query-result cache keys on it, which is also why cached entries never
+// need invalidating: a different graph is a different fingerprint.
+func (g *Graph) Fingerprint() uint64 { return g.g.Fingerprint() }
+
 // WriteTriples writes the graph in the line-oriented triple text format
 // ("src edgeLabel dst", "node type t" for types; see LoadTriples). Graphs
 // with duplicate or empty node labels cannot be serialized this way.

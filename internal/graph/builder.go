@@ -205,6 +205,8 @@ func (b *Builder) Build() *Graph {
 			tnCur[t]++
 		}
 	}
+
+	g.fingerprint = g.computeFingerprint()
 	return g
 }
 

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"sort"
+
+	"ctpquery/internal/hash64"
+)
+
+// fingerprintSeed starts the fingerprint chain away from 0 so an empty
+// graph does not fingerprint to the mixer's fixed point.
+const fingerprintSeed = 0x9e3779b97f4a7c15
+
+// Fingerprint returns a 64-bit digest of the graph's logical content:
+// node labels and types, edges (endpoints, direction, label), and node and
+// edge properties. It is computed once at Build time — the graph is
+// immutable afterwards — so it identifies the graph for the lifetime of
+// the process and across processes: the same build sequence, and a
+// snapshot or triples round trip of it, always produce the same value.
+// Query-result caches key on it (see internal/qcache); Mix is a 64-bit
+// hash, so distinct graphs colliding is possible but needs ~2^32 graphs
+// in one cache to become likely.
+func (g *Graph) Fingerprint() uint64 { return g.fingerprint }
+
+// computeFingerprint chains every logical component of the graph through
+// the shared splitmix64 mixer. Strings are hashed by content (FNV-1a),
+// never by interned LabelID, so the digest does not depend on dictionary
+// interning order; per-node type sets combine by XOR, so it does not
+// depend on type-ID sort order either. Property maps iterate in sorted
+// key order for the same reason.
+func (g *Graph) computeFingerprint() uint64 {
+	h := uint64(fingerprintSeed)
+	mix := func(v uint64) { h = hash64.Mix(h ^ v) }
+
+	mix(uint64(len(g.nodeLabel)))
+	mix(uint64(len(g.edges)))
+	for i, l := range g.nodeLabel {
+		mix(fnv64a(g.labels.String(l)))
+		var ts uint64
+		for _, t := range g.nodeTypes[i] {
+			ts ^= hash64.Mix(fnv64a(g.labels.String(t)))
+		}
+		mix(ts)
+	}
+	for _, e := range g.edges {
+		mix(uint64(uint32(e.Source)))
+		mix(uint64(uint32(e.Target)))
+		mix(fnv64a(g.labels.String(e.Label)))
+	}
+	mix(fingerprintNodeProps(g.nodeProps))
+	mix(fingerprintEdgeProps(g.edgeProps))
+	return h
+}
+
+func fingerprintNodeProps(props map[string]map[NodeID]string) uint64 {
+	h := uint64(fingerprintSeed)
+	for _, p := range sortedKeys(props) {
+		h = hash64.Mix(h ^ fnv64a(p))
+		m := props[p]
+		ids := make([]NodeID, 0, len(m))
+		for n := range m {
+			ids = append(ids, n)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, n := range ids {
+			h = hash64.Mix(h ^ uint64(uint32(n)))
+			h = hash64.Mix(h ^ fnv64a(m[n]))
+		}
+	}
+	return h
+}
+
+func fingerprintEdgeProps(props map[string]map[EdgeID]string) uint64 {
+	h := uint64(fingerprintSeed)
+	for _, p := range sortedKeys(props) {
+		h = hash64.Mix(h ^ fnv64a(p))
+		m := props[p]
+		ids := make([]EdgeID, 0, len(m))
+		for e := range m {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, e := range ids {
+			h = hash64.Mix(h ^ uint64(uint32(e)))
+			h = hash64.Mix(h ^ fnv64a(m[e]))
+		}
+	}
+	return h
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fnv64a is the 64-bit FNV-1a string hash: cheap, dependency-free, and
+// stable across processes (unlike the runtime's seeded map hash).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fpGraph builds a small graph exercising every fingerprinted component:
+// labels, types, edges, and node/edge properties. mutate, when non-nil,
+// perturbs the builder before Build.
+func fpGraph(mutate func(b *Builder)) *Graph {
+	b := NewBuilder()
+	a := b.AddNode("Alice")
+	bo := b.AddNode("Bob")
+	c := b.AddNode("Carole")
+	b.AddType(a, "person")
+	b.AddType(bo, "person")
+	b.AddType(bo, "founder")
+	e0 := b.AddEdge(a, "knows", bo)
+	b.AddEdge(bo, "funds", c)
+	b.SetNodeProp(a, "country", "FR")
+	b.SetEdgeProp(e0, "since", "2019")
+	if mutate != nil {
+		mutate(b)
+	}
+	return b.Build()
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	g1 := fpGraph(nil)
+	g2 := fpGraph(nil)
+	if g1.Fingerprint() == 0 {
+		t.Fatal("fingerprint is 0")
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("same build sequence, different fingerprints: %#x vs %#x",
+			g1.Fingerprint(), g2.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishesContent(t *testing.T) {
+	base := fpGraph(nil).Fingerprint()
+	for name, mutate := range map[string]func(b *Builder){
+		"extra node":     func(b *Builder) { b.AddNode("Doug") },
+		"extra edge":     func(b *Builder) { b.AddEdge(0, "knows", 2) },
+		"edge direction": func(b *Builder) { b.AddEdge(2, "funds", 1) },
+		"edge label":     func(b *Builder) { b.AddEdge(0, "cites", 1) },
+		"node label":     func(b *Builder) { b.SetNodeLabel(2, "Caroline") },
+		"extra type":     func(b *Builder) { b.AddType(2, "person") },
+		"node prop":      func(b *Builder) { b.SetNodeProp(1, "country", "US") },
+		"edge prop":      func(b *Builder) { b.SetEdgeProp(1, "since", "2020") },
+	} {
+		if got := fpGraph(mutate).Fingerprint(); got == base {
+			t.Errorf("%s: fingerprint unchanged (%#x)", name, got)
+		}
+	}
+}
+
+// The fingerprint must survive both serialization round trips: a snapshot
+// preserves everything, and the triples text format preserves everything
+// it can represent (no properties, unique labels).
+func TestFingerprintRoundTrips(t *testing.T) {
+	g := fpGraph(nil)
+	var snap bytes.Buffer
+	if err := WriteSnapshot(&snap, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != g.Fingerprint() {
+		t.Errorf("snapshot round trip changed fingerprint: %#x -> %#x",
+			g.Fingerprint(), loaded.Fingerprint())
+	}
+
+	const triples = `
+Alice knows Bob
+Bob funds Carole
+Alice type person
+Bob a founder
+`
+	t1, err := LoadTriples(strings.NewReader(triples))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTriples(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := LoadTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Fingerprint() != t2.Fingerprint() {
+		t.Errorf("triples round trip changed fingerprint: %#x -> %#x",
+			t1.Fingerprint(), t2.Fingerprint())
+	}
+}

@@ -69,6 +69,10 @@ type Graph struct {
 
 	nodeProps map[string]map[NodeID]string
 	edgeProps map[string]map[EdgeID]string
+
+	// fingerprint digests the logical content, frozen at Build time; see
+	// Fingerprint (fingerprint.go).
+	fingerprint uint64
 }
 
 // NumNodes returns the number of nodes.

@@ -1,0 +1,281 @@
+// Package qcache is the query-result cache of the serving path: a
+// concurrency-safe, byte-budgeted LRU with optional TTL, fronted by
+// singleflight admission.
+//
+// The cache exploits two invariants of the surrounding system. First, a
+// graph.Graph is frozen at Build time and carries a content fingerprint,
+// so (fingerprint, canonical query text, effective engine options) fully
+// determines a complete query result — there is nothing to invalidate,
+// ever; a new graph is a new fingerprint and the old entries simply age
+// out of the LRU. Second, the EQL printer round-trips
+// (ParseQuery(q.String()) == q), so the canonical key text is free.
+//
+// Singleflight is what actually protects a server under thundering-herd
+// load: N concurrent identical queries collapse into one engine execution
+// and N-1 waiters. Admission is the caller's decision per execution —
+// partial results (timed out, truncated, canceled) must never be cached,
+// because serving a stale partial as if it were the full answer would be
+// a correctness bug, not a performance one.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Key identifies one cacheable execution. Two executions with equal Keys
+// must produce interchangeable results; see the package comment for why
+// the three components suffice.
+type Key struct {
+	// Graph is the graph's content fingerprint (graph.Graph.Fingerprint).
+	Graph uint64
+	// Query is the canonical query text (Query.String()).
+	Query string
+	// Opts digests every engine option that can change the result.
+	Opts string
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // lookups served from a stored entry
+	Misses    int64 // lookups that executed (singleflight leaders)
+	Coalesced int64 // lookups that waited on a leader instead of executing
+	Evictions int64 // entries dropped by the byte budget or TTL
+	Rejected  int64 // executions whose result was not admitted
+	Entries   int   // stored entries
+	Bytes     int64 // stored payload bytes (caller-estimated)
+	MaxBytes  int64 // configured budget
+}
+
+// Cache is a byte-budgeted LRU of query results with singleflight
+// admission. All methods are safe for concurrent use.
+type Cache struct {
+	maxBytes int64
+	ttl      time.Duration
+	now      func() time.Time // injectable clock for TTL tests
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*call
+	bytes    int64
+
+	hits, misses, coalesced, evictions, rejected int64
+}
+
+// entry is one stored result.
+type entry struct {
+	key     Key
+	val     any
+	size    int64
+	expires time.Time // zero = never
+}
+
+// call is one in-flight execution; waiters block on done. admitted
+// records whether the leader's result was cacheable: waiters share only
+// admitted results — an inadmissible (partial) result belongs to the
+// leader alone, and a leader that failed or panicked left nothing to
+// share — so in every other case waiters retry instead.
+type call struct {
+	done     chan struct{}
+	val      any
+	err      error
+	admitted bool
+}
+
+// New creates a cache holding at most maxBytes of caller-estimated
+// payload (maxBytes must be > 0). A non-zero ttl additionally expires
+// entries that old, for deployments that prefer bounded staleness even
+// though graph immutability makes entries valid forever.
+func New(maxBytes int64, ttl time.Duration) *Cache {
+	if maxBytes <= 0 {
+		panic("qcache: maxBytes must be > 0")
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// Do returns the result for key, executing exec at most once across all
+// concurrent callers of the same key.
+//
+// exec returns the value, its approximate payload size in bytes, and
+// whether the value may be admitted to the cache; a partial result must
+// return admit=false so the next request re-executes instead of being
+// served a stale partial.
+//
+// The flags report how this call was served: hit means a stored entry,
+// coalesced means the call waited on another caller's execution and
+// received its result. Waiters share ONLY admitted results — a leader's
+// partial (admit=false) result is returned to the leader alone, because
+// a waiter's own budget might have afforded the complete answer; such
+// waiters retry, re-entering Do, where the first becomes the next
+// leader. Likewise a waiter never inherits a leader's error (typically
+// the leader's own context being canceled): it retries, so one request's
+// cancellation cannot poison the others. A waiter whose own ctx is
+// canceled stops waiting and returns ctx.Err(). A caller that retried
+// and then executed reports coalesced=false: it did the work itself.
+func (c *Cache) Do(ctx context.Context, key Key, exec func() (val any, size int64, admit bool, err error)) (val any, hit, coalesced bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			e := el.Value.(*entry)
+			if e.expires.IsZero() || c.now().Before(e.expires) {
+				c.ll.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return e.val, true, false, nil
+			}
+			c.removeLocked(el)
+			c.evictions++
+		}
+		if cl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.err == nil && cl.admitted {
+					c.mu.Lock()
+					c.coalesced++
+					c.mu.Unlock()
+					return cl.val, false, true, nil
+				}
+				// The leader failed, panicked, or produced a partial
+				// result this waiter must not be served. Retry; the loop
+				// makes this waiter the next leader (or a waiter on one).
+				if ctx.Err() != nil {
+					return nil, false, true, ctx.Err()
+				}
+				continue
+			case <-ctx.Done():
+				return nil, false, true, ctx.Err()
+			}
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[key] = cl
+		c.misses++
+		c.mu.Unlock()
+
+		return c.lead(key, cl, exec)
+	}
+}
+
+// lead runs the leader's execution for key. The deferred cleanup runs
+// even if exec panics, so a panicking engine cannot wedge the key: the
+// in-flight slot is always released and done always closed (waiters then
+// see an unadmitted, error-free call and retry).
+func (c *Cache) lead(key Key, cl *call, exec func() (val any, size int64, admit bool, err error)) (val any, hit, coalesced bool, err error) {
+	var size int64
+	var admit, completed bool
+	defer func() {
+		cl.val, cl.err, cl.admitted = val, err, admit
+		c.mu.Lock()
+		delete(c.inflight, key)
+		switch {
+		case !completed || err != nil:
+			// Panicked or failed: nothing to store or count.
+		case admit:
+			c.addLocked(key, val, size)
+		default:
+			c.rejected++
+		}
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	val, size, admit, err = exec()
+	completed = true
+	return val, false, false, err
+}
+
+// get returns the stored value for key without executing anything. It is
+// a test seam, deliberately unexported: it does not count hits, so a
+// production caller adopting it would silently skew the operator-facing
+// hit rate — Do is the read API.
+func (c *Cache) get(key Key) (val any, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		c.removeLocked(el)
+		c.evictions++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Rejected:  c.rejected,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// EntryOverhead is the fixed per-entry charge against the byte budget,
+// approximating the entry struct, its list element, and its map bucket
+// share. The key strings are charged at their length on top, so a
+// workload of huge query texts with tiny results cannot blow past the
+// operator's memory bound uncounted.
+const EntryOverhead = 160
+
+// addLocked stores val under key at the LRU front and evicts from the
+// back until the budget holds. The charged size is the caller-estimated
+// payload plus the key strings plus EntryOverhead; entries larger than
+// the whole budget are rejected rather than evicting everything for one
+// entry.
+func (c *Cache) addLocked(key Key, val any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	size += int64(len(key.Query)) + int64(len(key.Opts)) + EntryOverhead
+	if size > c.maxBytes {
+		c.rejected++
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// Sequential re-admission after an expiry or a non-admitted run
+		// raced with another leader; replace the stored value.
+		c.removeLocked(el)
+	}
+	e := &entry{key: key, val: val, size: size}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.entries[key] = c.ll.PushFront(e)
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+// removeLocked unlinks one entry and returns its bytes to the budget.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}

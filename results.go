@@ -51,6 +51,30 @@ func (r *Results) Each(fn func(Row) bool) {
 	}
 }
 
+// ApproxSize estimates the heap bytes this result set retains: the row
+// table, the column names, and the connecting trees (node/edge slices
+// plus fixed per-object overhead). Provenance sub-trees shared between
+// results are charged once per tree they appear under, and interned graph
+// data is not charged at all, so the number is an estimate, not an exact
+// accounting — the query-result cache uses it to budget entries.
+func (r *Results) ApproxSize() int64 {
+	const (
+		resultsOverhead = 256 // Results + engine.Result + slice headers
+		rowOverhead     = 24  // []int32 header per row
+		treeOverhead    = 112 // tree.Tree struct + slice headers
+	)
+	size := int64(resultsOverhead)
+	cols := r.res.Table.Cols()
+	for _, c := range cols {
+		size += int64(len(c)) + 16
+	}
+	size += int64(r.res.Table.NumRows()) * (rowOverhead + 4*int64(len(cols)))
+	for _, t := range r.res.Trees {
+		size += treeOverhead + 4*int64(len(t.Edges)) + 4*int64(len(t.Nodes))
+	}
+	return size
+}
+
 // TimedOut reports whether any CTP search hit its time bound (a TIMEOUT
 // filter, Options.DefaultTimeout, or a context deadline); the rows are
 // then a — still valid — subset of the full answer.

@@ -170,9 +170,13 @@ func TestCacheRejectsTimedOut(t *testing.T) {
 	}
 }
 
-// Truncated results (a CONNECT LIMIT stopped the enumeration early) are
-// likewise never admitted.
-func TestCacheRejectsTruncated(t *testing.T) {
+// A run a CONNECT LIMIT stopped early IS cacheable: the LIMIT is part
+// of the canonical query text, so every future request of this key
+// wants exactly that bound — the run is the complete answer to the
+// query as written, and caching it keeps the kept subset stable across
+// requests. (Timed-out runs remain uncacheable: the time budget is
+// deliberately not part of the key.)
+func TestCacheAdmitsLimitTruncated(t *testing.T) {
 	db, err := ctpquery.Open(ctpquery.SampleGraph(), nil, ctpquery.WithCache(1<<20, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -185,12 +189,17 @@ func TestCacheRejectsTruncated(t *testing.T) {
 	if !res.Truncated() {
 		t.Fatal("LIMIT 1 did not truncate; test premise broken")
 	}
-	if _, info, err := db.QueryWithInfo(context.Background(), query); err != nil {
+	res2, info, err := db.QueryWithInfo(context.Background(), query)
+	if err != nil {
 		t.Fatal(err)
-	} else if info.Hit {
-		t.Fatal("truncated result served from cache")
 	}
-	if st := mustCacheStats(t, db); st.Entries != 0 || st.Misses != 2 {
+	if !info.Hit {
+		t.Fatal("LIMIT-completed result was not served from cache")
+	}
+	if res2.Len() != res.Len() {
+		t.Fatalf("cached rows = %d, want %d", res2.Len(), res.Len())
+	}
+	if st := mustCacheStats(t, db); st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("cache stats = %+v", st)
 	}
 }

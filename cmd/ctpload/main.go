@@ -1,0 +1,139 @@
+// Command ctpload is the traffic-realism harness for ctpserve: it
+// replays open-loop workload mixes — cache-heavy Zipf traffic,
+// heavy-tail analytical enumerations, burst floods — and reports SLO
+// metrics (p50/p95/p99 per class, throughput, shed counts, cache-hit
+// ratio).
+//
+// Two modes:
+//
+//	ctpload -url http://localhost:8080 -mix burst -duration 10s -rps 30
+//	    replay one mix against a live server and print the report.
+//
+//	ctpload -suite -out BENCH_pr6.json -baseline BENCH_pr5.json
+//	    run the full self-contained suite (in-process servers, the
+//	    three canonical mixes, and the admission-on/off saturation
+//	    comparison) and write the benchmark trajectory file.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"ctpquery/internal/load"
+)
+
+func main() {
+	var (
+		// live-replay mode
+		urlFlag  = flag.String("url", "", "base URL of a running ctpserve (live-replay mode)")
+		mixFlag  = flag.String("mix", "cache-heavy", "workload: cache-heavy, analytical-heavy, or burst")
+		duration = flag.Duration("duration", 10*time.Second, "total replay duration (per-phase for burst)")
+		rps      = flag.Float64("rps", 25, "open-loop arrival rate (baseline rate for burst)")
+		nodes    = flag.Int("nodes", 4000, "node-id range for generated queries / suite graph size")
+		seed     = flag.Int64("seed", 1, "workload seed (same seed = same query sequence)")
+		jsonOut  = flag.Bool("json", false, "print the live-replay report as JSON")
+
+		// suite mode
+		suite    = flag.Bool("suite", false, "run the self-contained benchmark suite instead of a live replay")
+		edges    = flag.Int("edges", 0, "suite graph edges (0 = 4x nodes)")
+		scale    = flag.Float64("scale", 1.0, "suite duration multiplier (0.1 = CI smoke)")
+		out      = flag.String("out", "BENCH_pr6.json", "suite report path")
+		baseline = flag.String("baseline", "", "previous BENCH json to embed as baseline")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *suite {
+		if err := runSuite(ctx, *nodes, *edges, *seed, *scale, *out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "ctpload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *urlFlag == "" {
+		fmt.Fprintln(os.Stderr, "ctpload: either -url (live replay) or -suite is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := runLive(ctx, *urlFlag, *mixFlag, *duration, *rps, *nodes, *seed, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "ctpload:", err)
+		os.Exit(1)
+	}
+}
+
+func buildPlan(mix string, d time.Duration, rps float64, nodes int, seed int64) (load.Plan, error) {
+	switch mix {
+	case "cache-heavy":
+		return load.SteadyPlan(load.CacheHeavyMix(nodes, 32, seed), rps, d), nil
+	case "analytical-heavy":
+		return load.SteadyPlan(load.AnalyticalHeavyMix(nodes), rps, d), nil
+	case "burst":
+		return load.BurstPlan(nodes, seed, rps, rps*2.4, d), nil
+	default:
+		return load.Plan{}, fmt.Errorf("unknown mix %q (want cache-heavy, analytical-heavy, or burst)", mix)
+	}
+}
+
+func runLive(ctx context.Context, url, mix string, d time.Duration, rps float64, nodes int, seed int64, asJSON bool) error {
+	plan, err := buildPlan(mix, d, rps, nodes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replaying %s against %s (%.0f rps, seed %d)\n", plan.Name, url, rps, seed)
+	res, err := load.Replay(ctx, url, plan, seed)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	printResult(res)
+	return nil
+}
+
+func printResult(r *load.Result) {
+	fmt.Printf("plan %s: %d requests in %.1fs (%.1f ok-rps)\n", r.Plan, r.Requests, r.DurationS, r.ThroughputRPS)
+	fmt.Printf("  ok %d  shed %d  errors %d  timeouts %d  cache-hits %d (%.0f%%)  bypasses %d\n",
+		r.OK, r.Shed, r.Errors, r.Timeouts, r.CacheHits, 100*r.CacheHitRatio, r.CacheBypasses)
+	row := func(name string, c load.ClassSummary) {
+		if c.Count == 0 {
+			return
+		}
+		fmt.Printf("  %-10s n=%-5d p50 %7.1fms  p95 %7.1fms  p99 %7.1fms  max %7.1fms\n",
+			name, c.Count, c.P50MS, c.P95MS, c.P99MS, c.MaxMS)
+	}
+	row("overall", r.Overall)
+	row("cheap", r.Cheap)
+	row("analytical", r.Analytical)
+}
+
+func runSuite(ctx context.Context, nodes, edges int, seed int64, scale float64, out, baseline string) error {
+	rep, err := load.RunSuite(ctx, load.SuiteConfig{
+		Nodes: nodes, Edges: edges, Seed: seed, Scale: scale, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if baseline != "" {
+		if err := rep.EmbedBaseline(baseline); err != nil {
+			return err
+		}
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	c := rep.Comparison
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	fmt.Fprintf(os.Stderr, "saturation cheap p99: admission on %.1fms, off %.1fms (%.1fx), %d shed\n",
+		c.CheapP99OnMS, c.CheapP99OffMS, c.CheapP99Ratio, c.ShedsAdmission)
+	return nil
+}

@@ -57,6 +57,8 @@ import (
 	"time"
 
 	"ctpquery"
+	"ctpquery/internal/admission"
+	"ctpquery/internal/serve"
 )
 
 func main() {
@@ -78,6 +80,13 @@ func main() {
 		trackAllocs    = flag.Bool("track-allocs", true, "sample per-query heap allocation counts into the search report (two runtime.ReadMemStats calls per CONNECT search; disable for maximum throughput)")
 		cacheBytes     = flag.Int64("cache-bytes", 0, "query-result cache budget in bytes (0 = no cache); completed results are served from cache and concurrent identical queries collapse into one search")
 		cacheTTL       = flag.Duration("cache-ttl", 0, "expire cache entries this old (0 = never; the graph is immutable, so entries cannot go stale)")
+		admissionOn    = flag.Bool("admission", true, "enable admission control: requests are cost-classified (cheap vs analytical), queued in bounded two-class queues, and shed with 429 + Retry-After under saturation")
+		admitSlots     = flag.Int("admit-concurrent", 0, "execution slots for admitted requests (0 = GOMAXPROCS)")
+		admitReserve   = flag.Int("admit-cheap-reserve", 1, "slots only cheap-class requests may occupy (clamped below admit-concurrent)")
+		admitQueue     = flag.Int("admit-queue-depth", 64, "per-class wait-queue bound; beyond it requests shed immediately")
+		admitWait      = flag.Duration("admit-queue-wait", 2*time.Second, "longest a request may wait for a slot before it is shed")
+		admitBudget    = flag.Float64("admit-cost-budget", 0, "cap on summed in-flight estimated cost units; analytical requests beyond it shed (0 = no budget)")
+		admitThreshold = flag.Duration("admit-cheap-threshold", 50*time.Millisecond, "estimated search time above which a request classifies analytical")
 	)
 	flag.Parse()
 	cfg := serverConfig{
@@ -98,6 +107,13 @@ func main() {
 		trackAllocs:    *trackAllocs,
 		cacheBytes:     *cacheBytes,
 		cacheTTL:       *cacheTTL,
+		admission:      *admissionOn,
+		admitSlots:     *admitSlots,
+		admitReserve:   *admitReserve,
+		admitQueue:     *admitQueue,
+		admitWait:      *admitWait,
+		admitBudget:    *admitBudget,
+		admitThreshold: *admitThreshold,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
@@ -125,6 +141,13 @@ type serverConfig struct {
 	trackAllocs    bool
 	cacheBytes     int64
 	cacheTTL       time.Duration
+	admission      bool
+	admitSlots     int
+	admitReserve   int
+	admitQueue     int
+	admitWait      time.Duration
+	admitBudget    float64
+	admitThreshold time.Duration
 }
 
 func run(cfg serverConfig) error {
@@ -134,7 +157,7 @@ func run(cfg serverConfig) error {
 	}
 	// The startup default resolves and clamps through the same helper as
 	// per-request overrides, so the two paths cannot drift apart.
-	cfg.parallelism = clampParallelism(cfg.parallelism, cfg.maxParallelism)
+	cfg.parallelism = serve.ClampParallelism(cfg.parallelism, cfg.maxParallelism)
 	if cfg.saveSnapshot != "" {
 		if err := writeSnapshot(g, cfg.saveSnapshot); err != nil {
 			return fmt.Errorf("save snapshot: %w", err)
@@ -151,7 +174,28 @@ func run(cfg serverConfig) error {
 	if err != nil {
 		return err
 	}
-	s, err := newServer(db, cfg.defaultTimeout, cfg.maxTimeout, cfg.maxRows, cfg.maxParallelism)
+	scfg := serve.Config{
+		DefaultTimeout: cfg.defaultTimeout,
+		MaxTimeout:     cfg.maxTimeout,
+		MaxRows:        cfg.maxRows,
+		MaxParallelism: cfg.maxParallelism,
+	}
+	if cfg.admission {
+		scfg.Admission = &admission.Config{
+			MaxConcurrent: cfg.admitSlots,
+			CheapReserve:  cfg.admitReserve,
+			QueueDepth:    cfg.admitQueue,
+			MaxQueueWait:  cfg.admitWait,
+			CostBudget:    cfg.admitBudget,
+		}
+		if cfg.admitSlots <= 0 {
+			scfg.Admission.MaxConcurrent = serve.ClampParallelism(-1, 0)
+		}
+		scfg.Estimator = admission.EstimatorConfig{
+			CheapThreshold: float64(cfg.admitThreshold.Milliseconds()) * admission.UnitsPerMS,
+		}
+	}
+	s, err := serve.New(db, scfg)
 	if err != nil {
 		return err
 	}
@@ -162,10 +206,14 @@ func run(cfg serverConfig) error {
 		log.Printf("result cache: %d byte budget, ttl %v, graph fingerprint %#x",
 			cfg.cacheBytes, cfg.cacheTTL, g.Fingerprint())
 	}
+	if cfg.admission {
+		log.Printf("admission control: %d slots (%d cheap-reserved), queue depth %d, max wait %v",
+			scfg.Admission.MaxConcurrent, cfg.admitReserve, cfg.admitQueue, cfg.admitWait)
+	}
 	if cfg.pprof {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Addr: cfg.addr, Handler: s.handler(cfg.pprof)}
+	srv := &http.Server{Addr: cfg.addr, Handler: s.Handler(cfg.pprof)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

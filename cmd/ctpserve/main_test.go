@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"ctpquery"
+)
+
+// -save-snapshot writes a file the -graph sniffer loads back.
+func TestSaveSnapshotRoundTrip(t *testing.T) {
+	g := ctpquery.RandomGraph(50, 120, []string{"t"}, 3)
+	path := t.TempDir() + "/g.ctpg"
+	if err := writeSnapshot(g, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ctpquery.OpenGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot round-trip: got %d/%d nodes-edges, want %d/%d",
+			loaded.NumNodes(), loaded.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}

@@ -275,8 +275,9 @@ func (db *DB) QueryWithInfo(ctx context.Context, text string) (*Results, CacheIn
 //
 // On a DB with Options.Cache, Run serves completed results from the
 // cache and collapses concurrent identical queries into one execution;
-// partial (timed-out, truncated, or canceled) runs are returned to their
-// caller but never cached, so the next identical query re-executes.
+// partial (timed-out or canceled) runs are returned to their caller but
+// never cached, so the next identical query re-executes. A run stopped
+// by the query's own LIMIT is complete for its key and is cached.
 func (db *DB) Run(ctx context.Context, q *Query) (*Results, error) {
 	res, _, err := db.RunWithInfo(ctx, q)
 	return res, err
@@ -303,12 +304,21 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 		if err != nil {
 			return nil, 0, false, err
 		}
-		// Admission: only complete answers may be cached. A timed-out or
-		// truncated result is a valid subset for this caller, but serving
-		// it to a later request — which might have afforded a full run —
-		// would silently drop answers; a post-run canceled context means
-		// we cannot even be sure the flags are trustworthy.
-		admit := !res.TimedOut() && !res.Truncated() && ctx.Err() == nil
+		// Admission: only complete answers may be cached. A timed-out
+		// result is a valid subset for this caller, but the time budget
+		// is deliberately not part of the key, so a later request might
+		// have afforded the full run — serving the partial would
+		// silently drop answers. A LIMIT-truncated run is different:
+		// the LIMIT lives in the canonical query text, so every future
+		// request of this key wants exactly that bound — the run IS the
+		// complete answer, and caching it keeps the kept subset stable
+		// across requests. Truncation the query's own limits cannot
+		// explain stays out (defensively — the streaming callback, the
+		// other truncation source, bypasses the cache entirely). A
+		// post-run canceled context means we cannot even be sure the
+		// flags are trustworthy.
+		admit := !res.TimedOut() && ctx.Err() == nil &&
+			(!res.Truncated() || queryHasLimit(q))
 		return res, res.ApproxSize(), admit, nil
 	})
 	info.Hit, info.Coalesced = hit, coalesced
@@ -329,6 +339,22 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 	return v.(*Results), info, nil
 }
 
+// queryHasLimit reports whether q carries a result bound in its own
+// text — a CTP LIMIT filter or the top-level solution modifier — i.e.
+// whether a Truncated flag is attributable to the query itself rather
+// than to the caller's run.
+func queryHasLimit(q *Query) bool {
+	if q.q.Limit > 0 {
+		return true
+	}
+	for _, c := range q.q.CTPs {
+		if c.Filters.Limit > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // runUncached executes q directly against the engine.
 func (db *DB) runUncached(ctx context.Context, q *Query) (*Results, error) {
 	res, err := db.eng.ExecuteContext(ctx, q.q)
@@ -336,6 +362,25 @@ func (db *DB) runUncached(ctx context.Context, q *Query) (*Results, error) {
 		return nil, err
 	}
 	return newResults(db.g, q.q, res), nil
+}
+
+// Peek reports whether a complete cached result for q is already stored,
+// returning it without executing, waiting, or coalescing with in-flight
+// runs. ok is false when the DB has no cache or the entry is absent — the
+// caller then proceeds through Run/RunWithInfo as usual. Servers with
+// admission control peek before queuing so warm requests are answered in
+// microseconds instead of waiting behind analytical work; a successful
+// peek counts as a cache hit in CacheStats.
+func (db *DB) Peek(q *Query) (*Results, bool) {
+	if db.cache == nil {
+		return nil, false
+	}
+	key := qcache.Key{Graph: db.g.Fingerprint(), Query: q.String(), Opts: db.optsSig}
+	v, ok := db.cache.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Results), true
 }
 
 // CacheStats returns a snapshot of the DB's query-result cache counters;

@@ -1,0 +1,340 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Shed reasons returned by Acquire. Servers translate every one of them
+// into 429 + Retry-After: the request never executed and may be retried
+// verbatim once pressure drops.
+var (
+	// ErrQueueFull sheds a request because its class's wait queue is at
+	// capacity — the server is saturated beyond what bounded queueing
+	// can absorb.
+	ErrQueueFull = errors.New("admission: queue full")
+	// ErrExpired sheds a queued request whose deadline (or the
+	// controller's MaxQueueWait) passed before a slot freed: executing
+	// it now would do work no one is waiting for.
+	ErrExpired = errors.New("admission: queued request expired")
+	// ErrBudget sheds an analytical request that would push the summed
+	// in-flight estimated cost past the configured budget.
+	ErrBudget = errors.New("admission: in-flight cost budget exhausted")
+)
+
+// Config tunes the controller; zero values select documented defaults.
+type Config struct {
+	// MaxConcurrent is the total number of requests executing at once
+	// (default 4). Each CTP search is CPU-bound, so this tracks cores,
+	// not connections.
+	MaxConcurrent int
+	// CheapReserve is how many of those slots only Cheap requests may
+	// occupy (default 1, clamped below MaxConcurrent). The reserve is
+	// what guarantees a cached/cheap request never waits behind a full
+	// house of analytical enumerations.
+	CheapReserve int
+	// QueueDepth bounds each class's wait queue (default 64); beyond it
+	// requests shed with ErrQueueFull.
+	QueueDepth int
+	// MaxQueueWait bounds how long a request may wait for a slot
+	// (default 2s), independent of its own deadline.
+	MaxQueueWait time.Duration
+	// CostBudget, when positive, bounds the summed estimated cost units
+	// of in-flight requests: an analytical request that would exceed it
+	// sheds immediately with ErrBudget (one analytical request is always
+	// allowed to run, so a single huge estimate cannot wedge the class).
+	CostBudget float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.CheapReserve < 0 {
+		c.CheapReserve = 0
+	}
+	if c.CheapReserve == 0 {
+		c.CheapReserve = 1
+	}
+	if c.CheapReserve >= c.MaxConcurrent {
+		c.CheapReserve = c.MaxConcurrent - 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 2 * time.Second
+	}
+	return c
+}
+
+// Controller is the bounded two-class admission queue. All methods are
+// safe for concurrent use.
+//
+// Scheduling is strict two-class priority with a reserve: Cheap
+// requests may use every slot and are always woken first; Analytical
+// requests are capped at MaxConcurrent−CheapReserve slots. Within a
+// class, waiters are served FIFO. A waiter that expires or is canceled
+// while queued is counted shed and never executes.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	running [2]int
+	cost    float64 // summed estimated units of in-flight requests
+	waiters [2][]*waiter
+
+	admitted    [2]int64
+	shedFull    [2]int64
+	shedExpired [2]int64
+	shedBudget  [2]int64
+	waitNS      [2]int64 // summed queue wait of admitted requests
+	peakQueue   [2]int
+}
+
+// waiter is one queued Acquire call.
+type waiter struct {
+	ready   chan struct{} // closed when a slot is assigned
+	class   Class
+	cost    float64
+	granted bool // slot already accounted to this waiter
+	gone    bool // waiter abandoned (expired/canceled); skip on wake
+}
+
+// NewController builds a controller.
+func NewController(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Acquire obtains an execution slot for a request of the given class
+// and estimated cost, blocking in the class's bounded FIFO queue while
+// the server is busy. On success it returns a release function (callers
+// must invoke it exactly once, after the request finishes) and the time
+// spent queued. It fails with ErrQueueFull, ErrExpired, or ErrBudget —
+// all meaning "shed, never executed" — or the ctx error if the caller's
+// context ends first.
+func (c *Controller) Acquire(ctx context.Context, class Class, cost float64) (release func(), waited time.Duration, err error) {
+	c.mu.Lock()
+	if c.canRunLocked(class) {
+		if class == Analytical && !c.withinBudgetLocked(cost) {
+			c.shedBudget[class]++
+			c.mu.Unlock()
+			return nil, 0, ErrBudget
+		}
+		c.grantLocked(class, cost)
+		c.mu.Unlock()
+		return c.releaseFunc(class, cost), 0, nil
+	}
+	// The budget check also sheds immediately for requests that would
+	// queue: a budget-breaking estimate will break it just the same
+	// after waiting, so fail fast while the client can still back off.
+	if class == Analytical && !c.withinBudgetLocked(cost) {
+		c.shedBudget[class]++
+		c.mu.Unlock()
+		return nil, 0, ErrBudget
+	}
+	if len(c.waiters[class]) >= c.cfg.QueueDepth {
+		c.shedFull[class]++
+		c.mu.Unlock()
+		return nil, 0, ErrQueueFull
+	}
+	w := &waiter{ready: make(chan struct{}), class: class, cost: cost}
+	c.waiters[class] = append(c.waiters[class], w)
+	if n := len(c.waiters[class]); n > c.peakQueue[class] {
+		c.peakQueue[class] = n
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(c.cfg.MaxQueueWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		waited = time.Since(start)
+		c.mu.Lock()
+		c.waitNS[class] += int64(waited)
+		c.mu.Unlock()
+		return c.releaseFunc(class, cost), waited, nil
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-timer.C:
+		err = ErrExpired
+	}
+	// Expired or canceled while queued. The grant may have raced us: if
+	// a slot was already assigned, hand it straight back (waking the
+	// next waiter); either way this request never executes.
+	c.mu.Lock()
+	w.gone = true
+	for i, q := range c.waiters[class] {
+		if q == w {
+			c.waiters[class] = append(c.waiters[class][:i], c.waiters[class][i+1:]...)
+			break
+		}
+	}
+	if w.granted {
+		c.releaseLocked(class, cost)
+	}
+	c.shedExpired[class]++
+	c.mu.Unlock()
+	return nil, 0, err
+}
+
+// canRunLocked reports whether a request of class could start now.
+func (c *Controller) canRunLocked(class Class) bool {
+	total := c.running[Cheap] + c.running[Analytical]
+	if total >= c.cfg.MaxConcurrent {
+		return false
+	}
+	if class == Analytical {
+		return c.running[Analytical] < c.cfg.MaxConcurrent-c.cfg.CheapReserve
+	}
+	return true
+}
+
+// withinBudgetLocked reports whether adding cost keeps the in-flight
+// estimate under the budget; the first analytical request is exempt so
+// one over-budget estimate cannot wedge the class forever.
+func (c *Controller) withinBudgetLocked(cost float64) bool {
+	if c.cfg.CostBudget <= 0 {
+		return true
+	}
+	if c.running[Analytical] == 0 && len(c.waiters[Analytical]) == 0 {
+		return true
+	}
+	return c.cost+cost <= c.cfg.CostBudget
+}
+
+// grantLocked accounts a running request.
+func (c *Controller) grantLocked(class Class, cost float64) {
+	c.running[class]++
+	c.cost += cost
+	c.admitted[class]++
+}
+
+// releaseFunc returns the idempotence-guarded release closure.
+func (c *Controller) releaseFunc(class Class, cost float64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.releaseLocked(class, cost)
+			c.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked returns a slot and wakes the best waiter: cheap first
+// (they may use any slot, including the freed one), then analytical if
+// its cap allows. Abandoned waiters are discarded in passing.
+func (c *Controller) releaseLocked(class Class, cost float64) {
+	c.running[class]--
+	c.cost -= cost
+	for {
+		var w *waiter
+		var wc Class
+		if c.popLocked(Cheap, &w) {
+			wc = Cheap
+		} else if c.canRunLocked(Analytical) && c.popLocked(Analytical, &w) {
+			wc = Analytical
+		} else {
+			return
+		}
+		if !c.canRunLocked(wc) {
+			// Raced below capacity change; put the waiter back at the
+			// front and stop.
+			c.waiters[wc] = append([]*waiter{w}, c.waiters[wc]...)
+			return
+		}
+		c.grantLocked(wc, w.cost)
+		w.granted = true
+		close(w.ready)
+		if c.running[Cheap]+c.running[Analytical] >= c.cfg.MaxConcurrent {
+			return
+		}
+	}
+}
+
+// popLocked pops the first live waiter of class into *w, discarding
+// abandoned ones.
+func (c *Controller) popLocked(class Class, w **waiter) bool {
+	for len(c.waiters[class]) > 0 {
+		head := c.waiters[class][0]
+		c.waiters[class] = c.waiters[class][1:]
+		if head.gone {
+			continue
+		}
+		*w = head
+		return true
+	}
+	return false
+}
+
+// ClassStats is one class's controller counters.
+type ClassStats struct {
+	Running     int   // executing now
+	Queued      int   // waiting now
+	PeakQueued  int   // high-water queue depth
+	Admitted    int64 // granted a slot
+	ShedFull    int64 // rejected, queue at capacity
+	ShedExpired int64 // rejected, expired or canceled while queued
+	ShedBudget  int64 // rejected, in-flight cost budget exhausted
+	AvgWaitMS   float64
+}
+
+// Stats is a controller snapshot for /stats.
+type Stats struct {
+	Cheap        ClassStats
+	Analytical   ClassStats
+	InFlightCost float64
+}
+
+// Shed returns the class's total shed count.
+func (s ClassStats) Shed() int64 { return s.ShedFull + s.ShedExpired + s.ShedBudget }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := func(cl Class) ClassStats {
+		s := ClassStats{
+			Running:     c.running[cl],
+			Queued:      len(c.waiters[cl]),
+			PeakQueued:  c.peakQueue[cl],
+			Admitted:    c.admitted[cl],
+			ShedFull:    c.shedFull[cl],
+			ShedExpired: c.shedExpired[cl],
+			ShedBudget:  c.shedBudget[cl],
+		}
+		if s.Admitted > 0 {
+			s.AvgWaitMS = float64(c.waitNS[cl]) / float64(s.Admitted) / 1e6
+		}
+		return s
+	}
+	return Stats{Cheap: snap(Cheap), Analytical: snap(Analytical), InFlightCost: c.cost}
+}
+
+// RetryAfter suggests the Retry-After seconds for a shed request of the
+// given class: roughly how long until queued work of that class drains,
+// floored at one second.
+func (c *Controller) RetryAfter(class Class) int {
+	c.mu.Lock()
+	queued := len(c.waiters[class])
+	c.mu.Unlock()
+	slots := c.cfg.MaxConcurrent - c.cfg.CheapReserve
+	if class == Cheap {
+		slots = c.cfg.MaxConcurrent
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	s := int(c.cfg.MaxQueueWait.Seconds()) * (1 + queued/slots)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

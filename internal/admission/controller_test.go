@@ -1,0 +1,293 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := NewController(Config{}).Config()
+	if cfg.MaxConcurrent != 4 || cfg.CheapReserve != 1 || cfg.QueueDepth != 64 || cfg.MaxQueueWait != 2*time.Second {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	cfg = NewController(Config{MaxConcurrent: 2, CheapReserve: 5}).Config()
+	if cfg.CheapReserve != 1 {
+		t.Fatalf("reserve not clamped below MaxConcurrent: %+v", cfg)
+	}
+}
+
+// Analytical requests can never occupy the cheap reserve: with 2 slots
+// and a reserve of 1, a second analytical request queues even though a
+// slot is free, and a cheap request takes that slot immediately.
+func TestCheapReserve(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2, CheapReserve: 1, QueueDepth: 4, MaxQueueWait: time.Minute})
+	rel1, _, err := c.Acquire(context.Background(), Analytical, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second analytical must queue: cap is MaxConcurrent-CheapReserve=1.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Acquire(ctx, Analytical, 100); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second analytical: got err %v, want deadline exceeded while queued", err)
+	}
+	// Cheap takes the reserved slot without waiting.
+	relC, waited, err := c.Acquire(context.Background(), Cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waited != 0 {
+		t.Fatalf("cheap waited %v with the reserve free", waited)
+	}
+	relC()
+	rel1()
+
+	st := c.Stats()
+	if st.Analytical.ShedExpired != 1 || st.Analytical.Admitted != 1 || st.Cheap.Admitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Cheap requests may use every slot, and release wakes cheap waiters
+// before analytical ones.
+func TestCheapWokenFirst(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2, CheapReserve: 1, QueueDepth: 8, MaxQueueWait: time.Minute})
+	relA, _, err := c.Acquire(context.Background(), Analytical, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relC, _, err := c.Acquire(context.Background(), Cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue one analytical (first, FIFO-wise) and one cheap waiter.
+	type result struct {
+		class Class
+		err   error
+	}
+	order := make(chan result, 2)
+	var wg sync.WaitGroup
+	enqueue := func(cl Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := c.Acquire(context.Background(), cl, 1)
+			order <- result{cl, err}
+			if err == nil {
+				rel()
+			}
+		}()
+		// Wait until the waiter is visibly queued.
+		for i := 0; ; i++ {
+			st := c.Stats()
+			if st.Cheap.Queued+st.Analytical.Queued > 0 || i > 1000 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue(Analytical)
+	enqueue(Cheap)
+
+	// Free the cheap-held slot: the cheap waiter must win it even though
+	// the analytical waiter queued first (and the analytical cap is full).
+	relC()
+	first := <-order
+	if first.err != nil || first.class != Cheap {
+		t.Fatalf("first woken: %+v, want cheap", first)
+	}
+	relA()
+	second := <-order
+	if second.err != nil || second.class != Analytical {
+		t.Fatalf("second woken: %+v, want analytical", second)
+	}
+	wg.Wait()
+}
+
+// Past QueueDepth waiters, requests shed immediately with ErrQueueFull.
+func TestQueueFullShed(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, CheapReserve: 1, QueueDepth: 1, MaxQueueWait: time.Minute})
+	rel, _, err := c.Acquire(context.Background(), Cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		c.Acquire(ctx, Cheap, 1) // occupies the single queue slot, then expires
+	}()
+	for i := 0; c.Stats().Cheap.Queued == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := c.Acquire(context.Background(), Cheap, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	if got := c.Stats().Cheap.ShedFull; got != 1 {
+		t.Fatalf("ShedFull = %d, want 1", got)
+	}
+	wg.Wait()
+}
+
+// A queued request that outlives MaxQueueWait sheds with ErrExpired.
+func TestQueueWaitExpiry(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, CheapReserve: 1, QueueDepth: 4, MaxQueueWait: 20 * time.Millisecond})
+	rel, _, err := c.Acquire(context.Background(), Cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, _, err := c.Acquire(context.Background(), Cheap, 1); !errors.Is(err, ErrExpired) {
+		t.Fatalf("got %v, want ErrExpired", err)
+	}
+	st := c.Stats()
+	if st.Cheap.ShedExpired != 1 || st.Cheap.Queued != 0 {
+		t.Fatalf("stats after expiry: %+v", st)
+	}
+}
+
+// The in-flight cost budget sheds analytical requests that would exceed
+// it — except the first, so one over-budget estimate cannot starve the
+// class — and never sheds cheap requests.
+func TestCostBudget(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 4, CheapReserve: 1, CostBudget: 1000, MaxQueueWait: time.Minute})
+	// First analytical is exempt even when over budget alone.
+	relA, _, err := c.Acquire(context.Background(), Analytical, 5000)
+	if err != nil {
+		t.Fatalf("first analytical: %v", err)
+	}
+	if _, _, err := c.Acquire(context.Background(), Analytical, 10); !errors.Is(err, ErrBudget) {
+		t.Fatalf("second analytical: got %v, want ErrBudget", err)
+	}
+	// Cheap ignores the budget entirely.
+	relC, _, err := c.Acquire(context.Background(), Cheap, 5000)
+	if err != nil {
+		t.Fatalf("cheap under exhausted budget: %v", err)
+	}
+	relC()
+	relA()
+	// Budget freed: analytical admits again.
+	relA2, _, err := c.Acquire(context.Background(), Analytical, 900)
+	if err != nil {
+		t.Fatalf("analytical after release: %v", err)
+	}
+	relA2()
+	if got := c.Stats().Analytical.ShedBudget; got != 1 {
+		t.Fatalf("ShedBudget = %d, want 1", got)
+	}
+}
+
+// Release is idempotent: calling it twice must not free two slots.
+func TestReleaseIdempotent(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 1, CheapReserve: 1})
+	rel, _, err := c.Acquire(context.Background(), Cheap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	st := c.Stats()
+	if st.Cheap.Running != 0 || st.InFlightCost != 0 {
+		t.Fatalf("after double release: %+v", st)
+	}
+	// And the single slot is usable exactly once at a time afterwards.
+	rel2, _, err := c.Acquire(context.Background(), Cheap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Acquire(ctx, Cheap, 1); err == nil {
+		t.Fatal("second concurrent acquire succeeded on a 1-slot controller")
+	}
+}
+
+// Hammer the controller from many goroutines of both classes and check
+// the accounting converges to zero with no lost or duplicated slots.
+// Run under -race this is the concurrency test for the grant/expire race.
+func TestConcurrentChurn(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 3, CheapReserve: 1, QueueDepth: 16, MaxQueueWait: 10 * time.Millisecond})
+	var running, peak int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		class := Cheap
+		if i%3 == 0 {
+			class = Analytical
+		}
+		go func(cl Class) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				rel, _, err := c.Acquire(ctx, cl, 10)
+				if err == nil {
+					n := atomic.AddInt64(&running, 1)
+					for {
+						p := atomic.LoadInt64(&peak)
+						if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+							break
+						}
+					}
+					time.Sleep(time.Duration(j%3) * time.Millisecond)
+					atomic.AddInt64(&running, -1)
+					rel()
+				}
+				cancel()
+			}
+		}(class)
+	}
+	wg.Wait()
+	if p := atomic.LoadInt64(&peak); p > 3 {
+		t.Fatalf("observed %d concurrent holders, cap is 3", p)
+	}
+	st := c.Stats()
+	if st.Cheap.Running != 0 || st.Analytical.Running != 0 || st.Cheap.Queued != 0 || st.Analytical.Queued != 0 {
+		t.Fatalf("non-quiescent after churn: %+v", st)
+	}
+	if st.InFlightCost != 0 {
+		t.Fatalf("leaked in-flight cost: %v", st.InFlightCost)
+	}
+	if st.Cheap.Admitted == 0 || st.Analytical.Admitted == 0 {
+		t.Fatalf("suspiciously idle churn: %+v", st)
+	}
+}
+
+// RetryAfter scales with queue depth and never returns below 1s.
+func TestRetryAfter(t *testing.T) {
+	c := NewController(Config{MaxConcurrent: 2, CheapReserve: 1, QueueDepth: 64, MaxQueueWait: 2 * time.Second})
+	if got := c.RetryAfter(Cheap); got != 2 {
+		t.Fatalf("idle RetryAfter = %d, want 2", got)
+	}
+	rel, _, err := c.Acquire(context.Background(), Analytical, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Acquire(ctx, Analytical, 1)
+		}()
+	}
+	for i := 0; c.Stats().Analytical.Queued < 3 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.RetryAfter(Analytical); got <= 2 {
+		t.Fatalf("RetryAfter with 3 queued on 1 slot = %d, want > 2", got)
+	}
+	cancel()
+	wg.Wait()
+}

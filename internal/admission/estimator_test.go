@@ -1,0 +1,182 @@
+package admission
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ctpquery"
+)
+
+// randShape builds a random query shape with every member constrained
+// (≥1 condition) — the domain of the relaxation lattice, which relaxes
+// and strengthens predicates on anchored members but never conjures
+// universal ones.
+func randShape(rng *rand.Rand) ctpquery.QueryShape {
+	s := ctpquery.QueryShape{
+		BGPPatterns: rng.Intn(4),
+		Limit:       rng.Intn(3) * 5,
+	}
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		c := ctpquery.CTPShape{
+			Members:  2 + rng.Intn(4),
+			MaxEdges: rng.Intn(3) * 4, // 0 (unbounded), 4, or 8
+			Labels:   rng.Intn(3),
+			Uni:      rng.Intn(2) == 0,
+			Limit:    rng.Intn(2) * 3,
+			TopK:     0,
+		}
+		c.Conditions = c.Members + rng.Intn(4) // ≥1 condition per member
+		if rng.Intn(4) == 0 {
+			c.Timeout = time.Duration(1+rng.Intn(5)) * time.Second
+		}
+		s.CTPs = append(s.CTPs, c)
+	}
+	return s
+}
+
+// strengthen applies one lattice-strengthening step to a random CTP of
+// the shape and describes it. The inverse of each step is a relaxation
+// the future relaxation-lattice work will perform.
+func strengthen(rng *rand.Rand, s ctpquery.QueryShape) (ctpquery.QueryShape, string) {
+	out := s
+	out.CTPs = append([]ctpquery.CTPShape(nil), s.CTPs...)
+	i := rng.Intn(len(out.CTPs))
+	c := &out.CTPs[i]
+	switch rng.Intn(3) {
+	case 0: // add a constrained member (a new seed requirement)
+		c.Members++
+		c.Conditions++
+		return out, "add member"
+	case 1: // add a predicate condition to an existing member
+		c.Conditions++
+		return out, "add condition"
+	default: // widen the LABEL allow-list (relaxation = dropping labels)
+		c.Labels++
+		return out, "add label"
+	}
+}
+
+// TestEstimatorMonotoneOverRelaxationLattice is the property test
+// guarding the relaxation-lattice work: for a fixed graph, a query that
+// strictly adds constraints or seeds never gets a lower estimate — and
+// therefore never a lower class — than its relaxation. The admission
+// decision made for an over-constrained query then upper-bounds every
+// relaxation the engine may cascade into. The property is a guarantee
+// of the static model, so the estimator is fresh (no observed
+// feedback, which is keyed per exact shape and never compared across
+// shapes).
+func TestEstimatorMonotoneOverRelaxationLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 2000
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
+		nodes := 100 + rng.Intn(100_000)
+		edges := nodes + rng.Intn(4*nodes)
+		e := NewEstimator(nodes, edges, EstimatorConfig{})
+
+		shape := randShape(rng)
+		est := e.Estimate(shape, 0)
+		// Walk a random chain up the lattice, checking every step.
+		for step := 0; step < 4; step++ {
+			stronger, op := strengthen(rng, shape)
+			sEst := e.Estimate(stronger, 0)
+			if sEst.Units < est.Units {
+				t.Fatalf("trial %d step %d (%s): estimate dropped %.1f -> %.1f\nrelaxed:  %+v\nstronger: %+v",
+					trial, step, op, est.Units, sEst.Units, shape, stronger)
+			}
+			if sEst.Class < est.Class {
+				t.Fatalf("trial %d step %d (%s): class dropped %v -> %v (units %.1f -> %.1f)",
+					trial, step, op, est.Class, sEst.Class, est.Units, sEst.Units)
+			}
+			shape, est = stronger, sEst
+		}
+	}
+}
+
+// A tightly bounded two-member CONNECT is cheap; an unbounded
+// four-member enumeration is analytical; a universal member is
+// analytical on any non-toy graph.
+func TestEstimatorClassifiesObviousShapes(t *testing.T) {
+	e := NewEstimator(5000, 20000, EstimatorConfig{})
+	cheap := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{
+		{Members: 2, Conditions: 2, MaxEdges: 4, Limit: 2},
+	}}
+	if est := e.Estimate(cheap, 0); est.Class != Cheap {
+		t.Errorf("bounded 2-member CONNECT classified %v (%.0f units), want cheap", est.Class, est.Units)
+	}
+	heavy := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{
+		{Members: 4, Conditions: 4},
+	}}
+	if est := e.Estimate(heavy, 0); est.Class != Analytical {
+		t.Errorf("unbounded 4-member CONNECT classified %v (%.0f units), want analytical", est.Class, est.Units)
+	}
+	universal := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{
+		{Members: 2, Conditions: 1, Universal: 1, MaxEdges: 4, Limit: 2},
+	}}
+	if est := e.Estimate(universal, 0); est.Class != Analytical {
+		t.Errorf("universal member classified %v (%.0f units), want analytical", est.Class, est.Units)
+	}
+}
+
+// The deadline budget caps the estimate: a monster shape under a tiny
+// request timeout can only cost the server the timeout.
+func TestEstimatorBudgetCap(t *testing.T) {
+	e := NewEstimator(5000, 20000, EstimatorConfig{})
+	heavy := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{{Members: 6, Conditions: 6}}}
+	unbounded := e.Estimate(heavy, 0)
+	bounded := e.Estimate(heavy, 10*time.Millisecond)
+	if bounded.Units >= unbounded.Units {
+		t.Fatalf("budget did not cap: %.0f vs %.0f", bounded.Units, unbounded.Units)
+	}
+	if bounded.Class != Cheap {
+		t.Errorf("10ms-bounded request classified %v (%.0f units), want cheap", bounded.Class, bounded.Units)
+	}
+}
+
+// Observed feedback overrides the static model for the exact shape and
+// flips the class accordingly, in both directions.
+func TestEstimatorLearnsObservedCost(t *testing.T) {
+	e := NewEstimator(5000, 20000, EstimatorConfig{})
+	shape := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{{Members: 4, Conditions: 4}}}
+	first := e.Estimate(shape, 0)
+	if first.Class != Analytical || first.Learned {
+		t.Fatalf("static estimate: %+v", first)
+	}
+	// Reality: this shape is cheap on this graph (say the seeds are rare).
+	for i := 0; i < 5; i++ {
+		e.Observe(first.Sig, 500)
+	}
+	learned := e.Estimate(shape, 0)
+	if !learned.Learned || learned.Class != Cheap {
+		t.Fatalf("estimate after cheap observations: %+v", learned)
+	}
+	// And back: sustained expensive observations push it analytical again.
+	for i := 0; i < 40; i++ {
+		e.Observe(first.Sig, 4e6)
+	}
+	relearned := e.Estimate(shape, 0)
+	if relearned.Class != Analytical {
+		t.Fatalf("estimate after expensive observations: %+v", relearned)
+	}
+	st := e.Stats()
+	if st.Observations != 45 || st.LearnedShapes != 1 || st.Estimates != 3 {
+		t.Fatalf("estimator stats: %+v", st)
+	}
+}
+
+// Shape signatures separate structurally different queries and pool
+// structurally identical ones.
+func TestShapeSig(t *testing.T) {
+	a := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{{Members: 2, Conditions: 2, MaxEdges: 4}}}
+	b := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{{Members: 2, Conditions: 2, MaxEdges: 4}}}
+	c := ctpquery.QueryShape{CTPs: []ctpquery.CTPShape{{Members: 3, Conditions: 3, MaxEdges: 4}}}
+	if shapeSig(a) != shapeSig(b) {
+		t.Error("identical shapes got different signatures")
+	}
+	if shapeSig(a) == shapeSig(c) {
+		t.Error("different shapes collided")
+	}
+}

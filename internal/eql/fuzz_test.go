@@ -1,0 +1,125 @@
+package eql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives arbitrary input through the parser and, for every
+// input that parses, checks the printer contract: Parse(q.String())
+// must succeed and reach a fixpoint (the reprinted form equals the
+// first printed form). Run with
+//
+//	go test -fuzz=FuzzParse ./internal/eql/
+//
+// The committed corpus under testdata/fuzz/FuzzParse seeds the mutator
+// with every statement kind, the constant shorthand, quoted strings
+// with escapes, and keyword-shaped labels — the inputs that historically
+// broke the printer (labels ending in '\', labels spelled like EQL
+// keywords).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE { ?x knows ?y . }",
+		"SELECT ?x ?w WHERE { ?x citizenOf USA . CONNECT ?x ?y AS ?w MAX 8 . }",
+		"SELECT * WHERE { CONNECT a b c AS ?w UNI LABEL founded investsIn SCORE size TOP 3 LIMIT 5 TIMEOUT 100ms . } LIMIT 10",
+		"SELECT ?x WHERE { ?x type ?t . FILTER label(?t) ~ \"*lice\" . FILTER size(?x) <= 10 . }",
+		"SELECT ?w WHERE { CONNECT \"a b\" \"c\\\"d\" AS ?w . }",
+		"SELECT ?w WHERE { CONNECT \"as\" \"uni\" AS ?w LABEL \"max\" . }",
+		"SELECT ?w WHERE { CONNECT \"x\\\\\" ?y AS ?w . } # trailing backslash label",
+		"SELECT ?a WHERE { ?a b ?c . ?c d ?e . ?x y ?z . }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form does not reparse:\ninput: %q\nprinted: %q\nerr: %v", input, text, err)
+		}
+		if text2 := q2.String(); text2 != text {
+			t.Fatalf("printer not a fixpoint:\ninput: %q\nfirst:  %q\nsecond: %q", input, text, text2)
+		}
+	})
+}
+
+// The two printer bugs the fuzz property pins down, as deterministic
+// regressions: labels that collide with EQL keywords must be quoted
+// (bare they terminate the surrounding list), and backslashes must be
+// escaped before quotes (a label ending in '\' otherwise swallows the
+// closing quote).
+func TestQuotedKeywordsAndEscapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"plain", "plain"},
+		{"as", `"as"`},
+		{"As", `"As"`},
+		{"UNI", `"UNI"`},
+		{"timeout", `"timeout"`},
+		{`back\slash`, `"back\\slash"`},
+		{`end\`, `"end\\"`},
+		{`qu"ote`, `"qu\"ote"`},
+		{`\"`, `"\\\""`},
+		{"", `""`},
+	}
+	for _, c := range cases {
+		if got := quoted(c.in); got != c.want {
+			t.Errorf("quoted(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripKeywordLabels(t *testing.T) {
+	// Member labels spelled like keywords, and a LABEL entry spelled
+	// like a filter keyword: both must survive print → reparse.
+	in := `SELECT ?w WHERE { CONNECT "as" "connect" ?x AS ?w LABEL "max" "Uni" knows . }`
+	q1, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q1.CTPs[0].Members); got != 3 {
+		t.Fatalf("members = %d, want 3", got)
+	}
+	if got := q1.CTPs[0].Filters.Labels; len(got) != 3 || got[0] != "max" || got[1] != "Uni" || got[2] != "knows" {
+		t.Fatalf("labels = %q", got)
+	}
+	text := q1.String()
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", text, err)
+	}
+	if q2.String() != text {
+		t.Fatalf("unstable:\nfirst:  %s\nsecond: %s", text, q2.String())
+	}
+	if len(q2.CTPs[0].Members) != 3 || len(q2.CTPs[0].Filters.Labels) != 3 {
+		t.Fatalf("reparse lost terms: %s", text)
+	}
+}
+
+func TestRoundTripBackslashLabel(t *testing.T) {
+	in := `SELECT ?w WHERE { CONNECT "end\\" ?y AS ?w . }`
+	q1, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := q1.CTPs[0].Members[0].uniqueLabelValue(); !ok || l != `end\` {
+		t.Fatalf("member label = %q", l)
+	}
+	text := q1.String()
+	if !strings.Contains(text, `"end\\"`) {
+		t.Fatalf("backslash not escaped in %q", text)
+	}
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", text, err)
+	}
+	if l, _ := q2.CTPs[0].Members[0].uniqueLabelValue(); l != `end\` {
+		t.Fatalf("label after round trip = %q", l)
+	}
+}

@@ -224,16 +224,31 @@ func writeFilters(sb *strings.Builder, f Filters) {
 	}
 }
 
+// eqlKeywords are the words the parser treats as syntax in at least one
+// position where quoted() output can appear: statement heads (CONNECT,
+// FILTER), the CONNECT member terminator (AS), and the CTP filter words
+// that end a LABEL entry list. Keyword recognition is case-insensitive,
+// so the quoting test must be too — a label spelled "As" printed bare
+// would terminate the member list it sits in.
+var eqlKeywords = map[string]bool{
+	"select": true, "where": true, "filter": true, "connect": true,
+	"as": true, "uni": true, "label": true, "max": true,
+	"score": true, "top": true, "limit": true, "timeout": true,
+}
+
 func quoted(s string) string {
-	plain := s != ""
-	for i := 0; i < len(s); i++ {
+	plain := s != "" && !eqlKeywords[strings.ToLower(s)]
+	for i := 0; plain && i < len(s); i++ {
 		if !isIdentByte(s[i]) {
 			plain = false
-			break
 		}
 	}
 	if plain {
 		return s
 	}
-	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+	// Backslash must be escaped before the quote: a label ending in '\'
+	// would otherwise print as `"...\"` and swallow the closing quote.
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
 }

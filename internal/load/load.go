@@ -1,0 +1,395 @@
+// Package load is the traffic-realism harness behind cmd/ctpload: it
+// replays configurable workload mixes against a running ctpserve
+// endpoint — open-loop, so arrival rate does not slow down when the
+// server does, exactly the regime that exposes queueing collapse — and
+// reports SLO-grade metrics: p50/p95/p99 latency per scheduling class,
+// throughput, shed/error/timeout counts, and cache-hit ratio.
+//
+// Three canonical mixes model the serving reality the admission layer
+// (internal/admission) defends against: a cache-friendly mix of
+// Zipf-skewed repeated queries, a heavy-tail analytical mix of
+// multi-member enumerations in the spirit of the paper's Figure 11
+// grid (member count m drives the 2^(m-1) provenance explosion), and a
+// burst plan that floods a steady cheap baseline with an analytical
+// spike. The suite (suite.go) runs them against in-process servers
+// with admission on and off and writes the BENCH_pr6.json trajectory.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request is one generated query posting.
+type Request struct {
+	// Query is the EQL text.
+	Query string
+	// TimeoutMS is the per-request budget sent to the server.
+	TimeoutMS int64
+	// Class is the generator's intent ("cheap" or "analytical") — used to
+	// bucket latencies consistently across servers with and without
+	// admission control (the server's own classification may differ once
+	// its estimator has learned).
+	Class string
+}
+
+// Mix generates requests for one traffic pattern. Next must be safe to
+// call from a single goroutine with the replay's rng.
+type Mix struct {
+	Name string
+	Next func(rng *rand.Rand) Request
+}
+
+// Phase is one open-loop interval of a plan: requests arrive at RPS
+// drawn from Mix for Duration, regardless of how the server keeps up.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	RPS      float64
+	Mix      *Mix
+}
+
+// Plan is a named sequence of phases replayed back to back.
+type Plan struct {
+	Name   string
+	Phases []Phase
+}
+
+// Scale returns a copy of the plan with every phase duration multiplied
+// by f — the knob that turns a benchmark plan into a CI smoke.
+func (p Plan) Scale(f float64) Plan {
+	out := Plan{Name: p.Name}
+	for _, ph := range p.Phases {
+		ph.Duration = time.Duration(float64(ph.Duration) * f)
+		out.Phases = append(out.Phases, ph)
+	}
+	return out
+}
+
+// CheapQuery renders a tightly bounded two-member CONNECT between two
+// generated-graph node labels — the workhorse interactive query.
+func CheapQuery(a, b int) Request {
+	return Request{
+		Query:     fmt.Sprintf("SELECT ?w WHERE { CONNECT n%d n%d AS ?w MAX 4 LIMIT 1 . }", a, b),
+		TimeoutMS: 2000,
+		Class:     "cheap",
+	}
+}
+
+// AnalyticalQuery renders an m-member enumeration (m in 3..4) with the
+// given search budget — the Figure 11 heavy tail, where member count
+// drives the 2^(m-1) provenance explosion and the budget bounds how
+// much CPU each request burns.
+func AnalyticalQuery(members []int, budgetMS int64) Request {
+	q := "SELECT ?w WHERE { CONNECT"
+	for _, n := range members {
+		q += fmt.Sprintf(" n%d", n)
+	}
+	q += " AS ?w MAX 14 . }"
+	return Request{Query: q, TimeoutMS: budgetMS, Class: "analytical"}
+}
+
+// CacheHeavyMix models an interactive dashboard: 90% of requests draw
+// from a hot set of hotSize distinct cheap queries under Zipf skew, the
+// rest are cold random pairs. On a cache-enabled server most of this
+// traffic is hits.
+func CacheHeavyMix(nodes, hotSize int, seed int64) *Mix {
+	setup := rand.New(rand.NewSource(seed))
+	hot := make([]Request, hotSize)
+	for i := range hot {
+		hot[i] = CheapQuery(1+setup.Intn(nodes), 1+setup.Intn(nodes))
+	}
+	// Zipf over the hot set: rank 0 dominates, the tail is long. The
+	// Zipf source must be the replay rng for determinism per seed.
+	return &Mix{
+		Name: "cache-heavy",
+		Next: func(rng *rand.Rand) Request {
+			if rng.Float64() < 0.10 {
+				return CheapQuery(1+rng.Intn(nodes), 1+rng.Intn(nodes))
+			}
+			z := rand.NewZipf(rng, 1.3, 1, uint64(hotSize-1))
+			return hot[z.Uint64()]
+		},
+	}
+}
+
+// AnalyticalHeavyMix models exploratory analytics: 70% multi-member
+// enumerations with heavy-tail budgets, 30% cheap interactive queries
+// caught in the same traffic.
+func AnalyticalHeavyMix(nodes int) *Mix {
+	budgets := []int64{100, 200, 200, 400}
+	return &Mix{
+		Name: "analytical-heavy",
+		Next: func(rng *rand.Rand) Request {
+			if rng.Float64() < 0.30 {
+				return CheapQuery(1+rng.Intn(nodes), 1+rng.Intn(nodes))
+			}
+			m := 3 + rng.Intn(2)
+			members := make([]int, m)
+			for i := range members {
+				members[i] = 1 + rng.Intn(nodes)
+			}
+			return AnalyticalQuery(members, budgets[rng.Intn(len(budgets))])
+		},
+	}
+}
+
+// WeightedMix draws from mixes with the given weights (parallel
+// slices; weights need not sum to 1).
+func WeightedMix(name string, mixes []*Mix, weights []float64) *Mix {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return &Mix{
+		Name: name,
+		Next: func(rng *rand.Rand) Request {
+			x := rng.Float64() * total
+			for i, w := range weights {
+				if x < w || i == len(mixes)-1 {
+					return mixes[i].Next(rng)
+				}
+				x -= w
+			}
+			return mixes[len(mixes)-1].Next(rng)
+		},
+	}
+}
+
+// BurstPlan is the open-loop burst scenario: a steady cheap baseline,
+// then an analytical flood on top of it, then the baseline again — the
+// recovery phase shows whether the server drains or stays wedged.
+func BurstPlan(nodes int, seed int64, baseRPS, burstRPS float64, phase time.Duration) Plan {
+	cheap := CacheHeavyMix(nodes, 32, seed)
+	flood := WeightedMix("burst-flood", []*Mix{cheap, AnalyticalHeavyMix(nodes)}, []float64{0.3, 0.7})
+	return Plan{
+		Name: "burst",
+		Phases: []Phase{
+			{Name: "baseline", Duration: phase, RPS: baseRPS, Mix: cheap},
+			{Name: "burst", Duration: phase, RPS: burstRPS, Mix: flood},
+			{Name: "recovery", Duration: phase, RPS: baseRPS, Mix: cheap},
+		},
+	}
+}
+
+// SteadyPlan wraps one mix in a single constant-rate phase.
+func SteadyPlan(mix *Mix, rps float64, d time.Duration) Plan {
+	return Plan{Name: mix.Name, Phases: []Phase{{Name: mix.Name, Duration: d, RPS: rps, Mix: mix}}}
+}
+
+// sample is one completed request observation.
+type sample struct {
+	latencyMS float64
+	code      int
+	class     string
+	cacheHit  bool
+	bypass    bool
+	timedOut  bool
+}
+
+// ClassSummary is the latency distribution of one scheduling class.
+type ClassSummary struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Result is one plan replay's SLO report. Latency summaries cover only
+// requests that were answered 200 — a shed answered in a millisecond
+// must not flatter the latency numbers of work the server refused.
+type Result struct {
+	Plan          string  `json:"plan"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int64   `json:"requests"`
+	OK            int64   `json:"ok"`
+	Shed          int64   `json:"shed"`
+	Errors        int64   `json:"errors"`
+	Timeouts      int64   `json:"timeouts"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheBypasses int64   `json:"cache_bypasses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Overall    ClassSummary `json:"overall"`
+	Cheap      ClassSummary `json:"cheap"`
+	Analytical ClassSummary `json:"analytical"`
+}
+
+// replayResponse is the slice of the server's response the harness
+// reads.
+type replayResponse struct {
+	TimedOut bool `json:"timed_out"`
+	Cache    *struct {
+		Hit       bool `json:"hit"`
+		Coalesced bool `json:"coalesced"`
+	} `json:"cache"`
+	Admission *struct {
+		CacheBypass bool `json:"cache_bypass"`
+	} `json:"admission"`
+}
+
+// Replay runs the plan against the server at url, open-loop: a request
+// launches at every arrival tick whether or not earlier ones came back.
+// The rng drives every generator draw, so a (plan, seed) pair replays
+// the identical query sequence against any server.
+func Replay(ctx context.Context, url string, plan Plan, seed int64) (*Result, error) {
+	client := &http.Client{Timeout: 60 * time.Second}
+	rng := rand.New(rand.NewSource(seed))
+
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for _, ph := range plan.Phases {
+		if ph.RPS <= 0 || ph.Duration <= 0 {
+			continue
+		}
+		interval := time.Duration(float64(time.Second) / ph.RPS)
+		ticker := time.NewTicker(interval)
+		phaseEnd := time.After(ph.Duration)
+	phase:
+		for {
+			select {
+			case <-ctx.Done():
+				ticker.Stop()
+				wg.Wait()
+				return nil, ctx.Err()
+			case <-phaseEnd:
+				break phase
+			case <-ticker.C:
+				req := ph.Mix.Next(rng)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					s := post(client, url, req)
+					mu.Lock()
+					samples = append(samples, s)
+					mu.Unlock()
+				}()
+			}
+		}
+		ticker.Stop()
+	}
+	wg.Wait()
+	return summarize(plan.Name, samples, time.Since(start)), nil
+}
+
+// post issues one request and observes it.
+func post(client *http.Client, url string, req Request) sample {
+	body, _ := json.Marshal(map[string]any{
+		"query":      req.Query,
+		"timeout_ms": req.TimeoutMS,
+		"omit_trees": true,
+		"max_rows":   1,
+	})
+	t0 := time.Now()
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	s := sample{class: req.Class}
+	if err != nil {
+		s.code = -1
+		s.latencyMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		return s
+	}
+	defer resp.Body.Close()
+	s.code = resp.StatusCode
+	var out replayResponse
+	if resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr == nil {
+			s.timedOut = out.TimedOut
+			if out.Cache != nil {
+				s.cacheHit = out.Cache.Hit
+			}
+			if out.Admission != nil {
+				s.bypass = out.Admission.CacheBypass
+			}
+		}
+	}
+	s.latencyMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	return s
+}
+
+// summarize folds samples into the Result.
+func summarize(plan string, samples []sample, elapsed time.Duration) *Result {
+	r := &Result{Plan: plan, DurationS: elapsed.Seconds(), Requests: int64(len(samples))}
+	var all, cheap, analytical []float64
+	for _, s := range samples {
+		switch {
+		case s.code == http.StatusOK:
+			r.OK++
+			if s.timedOut {
+				r.Timeouts++
+			}
+			if s.cacheHit {
+				r.CacheHits++
+			}
+			if s.bypass {
+				r.CacheBypasses++
+			}
+			all = append(all, s.latencyMS)
+			if s.class == "analytical" {
+				analytical = append(analytical, s.latencyMS)
+			} else {
+				cheap = append(cheap, s.latencyMS)
+			}
+		case s.code == http.StatusTooManyRequests:
+			r.Shed++
+		default:
+			r.Errors++
+		}
+	}
+	if r.OK > 0 {
+		r.CacheHitRatio = float64(r.CacheHits) / float64(r.OK)
+	}
+	if elapsed > 0 {
+		r.ThroughputRPS = float64(r.OK) / elapsed.Seconds()
+	}
+	r.Overall = summarizeLatencies(all)
+	r.Cheap = summarizeLatencies(cheap)
+	r.Analytical = summarizeLatencies(analytical)
+	return r
+}
+
+// summarizeLatencies computes the percentile summary of one bucket.
+func summarizeLatencies(ms []float64) ClassSummary {
+	s := ClassSummary{Count: int64(len(ms))}
+	if len(ms) == 0 {
+		return s
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	s.MeanMS = sum / float64(len(ms))
+	s.MaxMS = ms[len(ms)-1]
+	s.P50MS = percentile(ms, 0.50)
+	s.P95MS = percentile(ms, 0.95)
+	s.P99MS = percentile(ms, 0.99)
+	return s
+}
+
+// percentile reads q from an ascending-sorted slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,241 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/admission"
+	"ctpquery/internal/serve"
+)
+
+// SuiteConfig parameterizes the self-contained benchmark suite: an
+// in-process graph, in-process servers (the exact production handler
+// from internal/serve on httptest listeners), and the three canonical
+// mixes plus an admission-on/off saturation comparison.
+type SuiteConfig struct {
+	// Nodes/Edges size the generated graph (defaults 4000/16000).
+	Nodes, Edges int
+	// Seed drives graph generation and every workload draw.
+	Seed int64
+	// Scale multiplies every phase duration; 1.0 is the benchmark
+	// setting, CI smokes use ~0.1.
+	Scale float64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 4000
+	}
+	if c.Edges <= 0 {
+		c.Edges = 4 * c.Nodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Comparison is the admission-on vs admission-off saturation run: the
+// same open-loop plan (cheap baseline + analytical flood) against two
+// otherwise identical servers. The admission layer earns its keep when
+// the cheap-class p99 with admission stays well under the p99 without.
+type Comparison struct {
+	Plan           string  `json:"plan"`
+	AdmissionOn    *Result `json:"admission_on"`
+	AdmissionOff   *Result `json:"admission_off"`
+	CheapP99Ratio  float64 `json:"cheap_p99_off_over_on"`
+	CheapP99OnMS   float64 `json:"cheap_p99_on_ms"`
+	CheapP99OffMS  float64 `json:"cheap_p99_off_ms"`
+	ShedsAdmission int64   `json:"sheds_admission_on"`
+}
+
+// SuiteReport is the BENCH_pr6.json payload.
+type SuiteReport struct {
+	Description string `json:"description"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Graph       struct {
+		Nodes int   `json:"nodes"`
+		Edges int   `json:"edges"`
+		Seed  int64 `json:"seed"`
+	} `json:"graph"`
+	Scale float64 `json:"scale"`
+	// Mixes are the canonical plans replayed against the admission-on
+	// server.
+	Mixes []*Result `json:"mixes"`
+	// Comparison is the saturation A/B between admission on and off.
+	Comparison *Comparison `json:"comparison"`
+	// Baseline embeds the previous PR's benchmark report verbatim, so
+	// one file carries the trajectory.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+}
+
+// suiteServer builds a fresh DB (own cache, own stats) over g and
+// serves it in-process.
+func suiteServer(g *ctpquery.Graph, withAdmission bool) (*httptest.Server, error) {
+	db, err := ctpquery.Open(g, &ctpquery.Options{Cache: &ctpquery.CacheConfig{MaxBytes: 64 << 20}})
+	if err != nil {
+		return nil, err
+	}
+	cfg := serve.Config{
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     30 * time.Second,
+		MaxRows:        100,
+	}
+	if withAdmission {
+		// Two slots with one cheap-reserved, regardless of core count:
+		// the suite must demonstrate the scheduling policy, and a small
+		// fixed slot count makes saturation reproducible across machines.
+		cfg.Admission = &admission.Config{
+			MaxConcurrent: 2,
+			CheapReserve:  1,
+			QueueDepth:    16,
+			MaxQueueWait:  500 * time.Millisecond,
+		}
+	}
+	s, err := serve.New(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return httptest.NewServer(s.Handler(false)), nil
+}
+
+// saturationPlan is the comparison workload: a steady cheap stream that
+// an analytical flood tries to drown. The flood must genuinely saturate:
+// every flood request is a 4-member enumeration that burns its full
+// 400ms budget, and at 70% of 50 rps the offered concurrency without
+// admission averages ~14 CPU-hungry searches — enough that
+// processor-sharing drags every cheap query down with them. With
+// admission the flood is confined to one slot (the rest shed 429) and
+// the cheap reserve keeps interactive traffic fast.
+func saturationPlan(nodes int, seed int64, d time.Duration) Plan {
+	cheap := CacheHeavyMix(nodes, 32, seed)
+	flood := &Mix{
+		Name: "flood",
+		Next: func(rng *rand.Rand) Request {
+			members := make([]int, 4)
+			for i := range members {
+				members[i] = 1 + rng.Intn(nodes)
+			}
+			return AnalyticalQuery(members, 400)
+		},
+	}
+	mixed := WeightedMix("saturation", []*Mix{cheap, flood}, []float64{0.3, 0.7})
+	return Plan{Name: "saturation", Phases: []Phase{
+		{Name: "saturation", Duration: d, RPS: 50, Mix: mixed},
+	}}
+}
+
+// RunSuite executes the full suite and returns the report.
+func RunSuite(ctx context.Context, cfg SuiteConfig) (*SuiteReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &SuiteReport{
+		Description: "ctpload traffic-realism suite: open-loop workload replay against the in-process serving path; SLO percentiles per scheduling class, shed counts, cache-hit ratios, and the admission-on/off saturation comparison",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Scale:       cfg.Scale,
+	}
+	rep.Graph.Nodes, rep.Graph.Edges, rep.Graph.Seed = cfg.Nodes, cfg.Edges, cfg.Seed
+
+	fmt.Fprintf(cfg.Log, "generating graph %dx%d (seed %d)\n", cfg.Nodes, cfg.Edges, cfg.Seed)
+	g := ctpquery.RandomGraph(cfg.Nodes, cfg.Edges, []string{"knows", "cites", "funds", "worksFor"}, cfg.Seed)
+
+	base := 6 * time.Second
+	plans := []Plan{
+		SteadyPlan(CacheHeavyMix(cfg.Nodes, 32, cfg.Seed), 40, base).Scale(cfg.Scale),
+		SteadyPlan(AnalyticalHeavyMix(cfg.Nodes), 20, base).Scale(cfg.Scale),
+		BurstPlan(cfg.Nodes, cfg.Seed, 25, 60, base/3).Scale(cfg.Scale),
+	}
+
+	srv, err := suiteServer(g, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, plan := range plans {
+		fmt.Fprintf(cfg.Log, "replaying %s against admission-on server\n", plan.Name)
+		res, err := Replay(ctx, srv.URL, plan, cfg.Seed)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Log, "  %s: %d req, %.1f rps, p99 %.1fms (cheap %.1fms), shed %d, cache %.0f%%\n",
+			res.Plan, res.Requests, res.ThroughputRPS, res.Overall.P99MS, res.Cheap.P99MS,
+			res.Shed, 100*res.CacheHitRatio)
+		rep.Mixes = append(rep.Mixes, res)
+	}
+	srv.Close()
+
+	// The A/B: identical saturation plan, fresh server per arm so
+	// neither inherits the other's warm cache or learned estimator.
+	cmp := &Comparison{Plan: "saturation"}
+	for _, arm := range []struct {
+		admission bool
+		out       **Result
+	}{
+		{false, &cmp.AdmissionOff},
+		{true, &cmp.AdmissionOn},
+	} {
+		srv, err := suiteServer(g, arm.admission)
+		if err != nil {
+			return nil, err
+		}
+		plan := saturationPlan(cfg.Nodes, cfg.Seed, time.Duration(float64(base)*cfg.Scale))
+		fmt.Fprintf(cfg.Log, "replaying %s with admission=%v\n", plan.Name, arm.admission)
+		res, err := Replay(ctx, srv.URL, plan, cfg.Seed)
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Log, "  cheap p99 %.1fms, analytical p99 %.1fms, shed %d\n",
+			res.Cheap.P99MS, res.Analytical.P99MS, res.Shed)
+		*arm.out = res
+	}
+	cmp.CheapP99OnMS = cmp.AdmissionOn.Cheap.P99MS
+	cmp.CheapP99OffMS = cmp.AdmissionOff.Cheap.P99MS
+	cmp.ShedsAdmission = cmp.AdmissionOn.Shed
+	if cmp.CheapP99OnMS > 0 {
+		cmp.CheapP99Ratio = cmp.CheapP99OffMS / cmp.CheapP99OnMS
+	}
+	rep.Comparison = cmp
+	return rep, nil
+}
+
+// EmbedBaseline attaches the previous benchmark report file verbatim.
+func (r *SuiteReport) EmbedBaseline(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("baseline %s is not valid JSON", path)
+	}
+	r.Baseline = json.RawMessage(raw)
+	return nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *SuiteReport) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -13,9 +13,10 @@
 // Singleflight is what actually protects a server under thundering-herd
 // load: N concurrent identical queries collapse into one engine execution
 // and N-1 waiters. Admission is the caller's decision per execution —
-// partial results (timed out, truncated, canceled) must never be cached,
-// because serving a stale partial as if it were the full answer would be
-// a correctness bug, not a performance one.
+// partial results (timed out, canceled, or truncated for reasons the
+// query's own text cannot explain) must never be cached, because serving
+// a stale partial as if it were the full answer would be a correctness
+// bug, not a performance one.
 package qcache
 
 import (
@@ -191,6 +192,29 @@ func (c *Cache) lead(key Key, cl *call, exec func() (val any, size int64, admit 
 	val, size, admit, err = exec()
 	completed = true
 	return val, false, false, err
+}
+
+// Peek returns the stored value for key without executing or waiting on
+// anything. A successful peek counts as a hit (it IS a serve from the
+// cache — admission control uses it to let warm requests bypass the
+// wait queue entirely); a miss counts nothing, because the caller's
+// follow-up Do accounts for how the request was ultimately served.
+func (c *Cache) Peek(key Key) (val any, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && !c.now().Before(e.expires) {
+		c.removeLocked(el)
+		c.evictions++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.val, true
 }
 
 // get returns the stored value for key without executing anything. It is

@@ -1,4 +1,15 @@
-package main
+// Package serve is the HTTP query server behind cmd/ctpserve, factored
+// out so the workload generator (cmd/ctpload) and tests can run the
+// exact production serving path in-process against httptest listeners.
+//
+// The server serves concurrent EQL queries over one immutable graph,
+// optionally defended by an admission layer (internal/admission): every
+// request is priced by a cost estimator before it runs, queued in a
+// bounded two-class queue (cheap requests never wait behind analytical
+// enumerations), and shed with 429 + Retry-After when the queue or the
+// in-flight cost budget saturates. Warm cache entries bypass the queue
+// entirely via DB.Peek.
+package serve
 
 import (
 	"context"
@@ -8,30 +19,59 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ctpquery"
+	"ctpquery/internal/admission"
 )
 
-// server serves concurrent EQL queries over one immutable graph. The
+// Config tunes a Server; the DB comes separately in New.
+type Config struct {
+	// DefaultTimeout is the per-request budget when the request names none.
+	DefaultTimeout time.Duration
+	// MaxTimeout hard-caps requested budgets (0 = uncapped).
+	MaxTimeout time.Duration
+	// MaxRows is the default response row cap (0 = unlimited).
+	MaxRows int
+	// MaxParallelism caps per-request worker counts (0 = no override).
+	MaxParallelism int
+	// Admission, when non-nil, enables the admission layer with the given
+	// controller configuration (zero values select its defaults).
+	Admission *admission.Config
+	// Estimator tunes the cost estimator; only read when Admission is set.
+	Estimator admission.EstimatorConfig
+}
+
+// Server serves concurrent EQL queries over one immutable graph. The
 // graph is loaded once and shared by every DB handle, so a request
 // picking its own algorithm only costs a small engine struct. All
-// mutable state is the atomic request metrics, keeping every handler
-// safe under arbitrary concurrency.
-type server struct {
+// mutable state is the atomic request metrics and the admission layer,
+// keeping every handler safe under arbitrary concurrency.
+type Server struct {
 	base *ctpquery.DB
 
-	defaultTimeout time.Duration // per-request budget when the request names none
-	maxTimeout     time.Duration // hard cap on requested budgets (0 = uncapped)
-	maxRows        int           // default response row cap (0 = unlimited)
-	maxParallelism int           // cap on per-request worker counts (0 = no override)
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxRows        int
+	maxParallelism int
+
+	// Admission layer; both nil when Config.Admission was nil.
+	ctrl *admission.Controller
+	est  *admission.Estimator
+
+	// testExecGate, when set by tests, runs after a request is admitted
+	// and before it executes — while it holds its admission slot — so
+	// tests can saturate the server deterministically.
+	testExecGate func(admission.Class)
 
 	started  time.Time
 	requests atomic.Int64
 	failures atomic.Int64
 	timeouts atomic.Int64
+	sheds    atomic.Int64 // 429 responses; disjoint from failures
 	inFlight atomic.Int64
 	busyNS   atomic.Int64 // total completed-handler time, for the average latency
 
@@ -61,7 +101,7 @@ type workerAgg struct {
 }
 
 // noteWorkers folds a query's per-worker stats into the server totals.
-func (s *server) noteWorkers(ws []ctpquery.WorkerSearchStats) {
+func (s *Server) noteWorkers(ws []ctpquery.WorkerSearchStats) {
 	if len(ws) == 0 {
 		return
 	}
@@ -88,18 +128,18 @@ func (s *server) noteWorkers(ws []ctpquery.WorkerSearchStats) {
 //     server default wins regardless of what was asked;
 //  3. otherwise the request clamps to maxParallelism. Each worker pins
 //     an OS thread, so the ceiling is a resource guard, not advice.
-func (s *server) resolveParallelism(requested, serverDefault int) int {
+func (s *Server) resolveParallelism(requested, serverDefault int) int {
 	if s.maxParallelism <= 0 {
 		return serverDefault
 	}
-	return clampParallelism(requested, s.maxParallelism)
+	return ClampParallelism(requested, s.maxParallelism)
 }
 
-// clampParallelism is the shared resolve-then-clamp: the GOMAXPROCS
+// ClampParallelism is the shared resolve-then-clamp: the GOMAXPROCS
 // sentinel resolves before the cap so it cannot sidestep it. The server
-// startup default (main.go) and per-request overrides both go through
-// it, so the two paths cannot drift apart.
-func clampParallelism(requested, max int) int {
+// startup default (cmd/ctpserve) and per-request overrides both go
+// through it, so the two paths cannot drift apart.
+func ClampParallelism(requested, max int) int {
 	if requested < 0 {
 		requested = runtime.GOMAXPROCS(0)
 	}
@@ -119,23 +159,29 @@ func maxInt64(a *atomic.Int64, v int64) {
 	}
 }
 
-// newServer builds a server over db.
-func newServer(db *ctpquery.DB, defaultTimeout, maxTimeout time.Duration, maxRows, maxParallelism int) (*server, error) {
-	return &server{
+// New builds a server over db.
+func New(db *ctpquery.DB, cfg Config) (*Server, error) {
+	s := &Server{
 		base:           db,
-		defaultTimeout: defaultTimeout,
-		maxTimeout:     maxTimeout,
-		maxRows:        maxRows,
-		maxParallelism: maxParallelism,
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		maxRows:        cfg.MaxRows,
+		maxParallelism: cfg.MaxParallelism,
 		started:        time.Now(),
-	}, nil
+	}
+	if cfg.Admission != nil {
+		g := db.Graph()
+		s.ctrl = admission.NewController(*cfg.Admission)
+		s.est = admission.NewEstimator(g.NumNodes(), g.NumEdges(), cfg.Estimator)
+	}
+	return s, nil
 }
 
-// handler returns the HTTP routes: POST /query, GET /healthz, GET /stats,
+// Handler returns the HTTP routes: POST /query, GET /healthz, GET /stats,
 // and — when enablePprof is set — the net/http/pprof profiling endpoints
 // under /debug/pprof/ (CPU, heap, allocs, goroutine, ...), so a live
 // server can be profiled exactly like the benchmarks.
-func (s *server) handler(enablePprof bool) http.Handler {
+func (s *Server) Handler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -218,6 +264,9 @@ type queryResponse struct {
 	// Cache reports how the result cache served this request; absent when
 	// the server runs without -cache-bytes.
 	Cache *cacheJSON `json:"cache,omitempty"`
+	// Admission reports how the admission layer scheduled this request;
+	// absent when the server runs without admission control.
+	Admission *admissionJSON `json:"admission,omitempty"`
 }
 
 // cacheJSON is the per-request cache report.
@@ -227,6 +276,27 @@ type cacheJSON struct {
 	// Coalesced: this request waited on an identical in-flight query
 	// instead of running its own search (singleflight).
 	Coalesced bool `json:"coalesced"`
+}
+
+// admissionJSON is the per-request admission report: what the request
+// was estimated to cost, what it actually cost, and what that cost it
+// in queueing.
+type admissionJSON struct {
+	// Class is the scheduling class ("cheap" or "analytical").
+	Class string `json:"class"`
+	// EstimatedUnits is the pre-execution cost estimate.
+	EstimatedUnits float64 `json:"estimated_units"`
+	// ActualUnits is the measured search effort (only for requests that
+	// executed a search — absent on cache hits and coalesced waiters).
+	ActualUnits float64 `json:"actual_units,omitempty"`
+	// Learned reports whether the estimate came from observed feedback
+	// rather than the static model.
+	Learned bool `json:"learned,omitempty"`
+	// QueueWaitMS is time spent waiting for an execution slot.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// CacheBypass: a warm cache entry answered this request without it
+	// ever entering the admission queue.
+	CacheBypass bool `json:"cache_bypass,omitempty"`
 }
 
 // searchJSON mirrors ctpquery.SearchStats for the wire.
@@ -254,11 +324,14 @@ type workerJSON struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RetryAfterS mirrors the Retry-After header on 429 responses, for
+	// clients that only read bodies.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
 	start := time.Now()
@@ -295,6 +368,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Parse before admission: malformed queries are the caller's mistake
+	// and answer 400 immediately — they never cost a queue slot.
+	q, err := ctpquery.ParseQuery(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
 	ctx := r.Context()
 	timeout := s.defaultTimeout
 	if req.TimeoutMS > 0 {
@@ -309,7 +390,38 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	res, cinfo, err := db.QueryWithInfo(ctx, req.Query)
+	var adm *admissionJSON
+	var estSig uint64
+	if s.ctrl != nil {
+		// A warm cache entry answers in microseconds; letting it wait in
+		// the queue would invert the whole point of the two-class split,
+		// so peek first and bypass admission entirely on a hit.
+		if res, ok := db.Peek(q); ok {
+			resp := s.finishResponse(res, ctpquery.CacheInfo{Enabled: true, Hit: true}, db, req, start)
+			resp.Admission = &admissionJSON{Class: admission.Cheap.String(), CacheBypass: true}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		est := s.est.Estimate(q.Shape(), timeout)
+		estSig = est.Sig
+		release, waited, aerr := s.ctrl.Acquire(ctx, est.Class, est.Units)
+		if aerr != nil {
+			s.shed(w, r, est.Class, aerr)
+			return
+		}
+		defer release()
+		adm = &admissionJSON{
+			Class:          est.Class.String(),
+			EstimatedUnits: est.Units,
+			Learned:        est.Learned,
+			QueueWaitMS:    ms(waited),
+		}
+		if gate := s.testExecGate; gate != nil {
+			gate(est.Class)
+		}
+	}
+
+	res, cinfo, err := db.RunWithInfo(ctx, q)
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
@@ -324,10 +436,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.TimedOut() {
 		s.timeouts.Add(1)
 	}
-	// Aggregate search effort only when this request actually executed a
-	// search: a cache hit (or a coalesced waiter) re-reports the leader's
-	// SearchStats and would inflate the /stats effort counters with work
-	// that never happened.
+	// Feed the estimator and the /stats effort aggregates only when this
+	// request actually executed a search: a cache hit (or a coalesced
+	// waiter) re-reports the leader's SearchStats and would inflate both
+	// with work that never happened.
 	if !cinfo.Hit && !cinfo.Coalesced {
 		st := res.SearchStats()
 		s.treesGenerated.Add(int64(st.TreesGenerated))
@@ -336,8 +448,21 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		maxInt64(&s.peakQueueLen, int64(st.PeakQueueLen))
 		maxInt64(&s.peakTrees, int64(st.PeakTrees))
 		s.noteWorkers(st.Workers)
+		if s.est != nil {
+			actual := st.CostUnits()
+			s.est.Observe(estSig, actual)
+			adm.ActualUnits = actual
+		}
 	}
 
+	resp := s.finishResponse(res, cinfo, db, req, start)
+	resp.Admission = adm
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// finishResponse encodes results with the request's row cap and cache
+// report applied.
+func (s *Server) finishResponse(res *ctpquery.Results, cinfo ctpquery.CacheInfo, db *ctpquery.DB, req queryRequest, start time.Time) queryResponse {
 	maxRows := s.maxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
 		maxRows = req.MaxRows
@@ -346,10 +471,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if cinfo.Enabled {
 		resp.Cache = &cacheJSON{Hit: cinfo.Hit, Coalesced: cinfo.Coalesced}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
-func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
+// shed answers a request the admission layer rejected: 429 with a
+// Retry-After estimate. Sheds are deliberately not failures — the
+// request was well-formed and the server healthy, just saturated — and
+// the shed request never executed, so it must leave no trace in the
+// search-effort aggregates or the result cache.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, class admission.Class, err error) {
+	s.sheds.Add(1)
+	if r.Context().Err() != nil {
+		// Client gone (or its deadline spent) while queued; don't write.
+		return
+	}
+	retry := s.ctrl.RetryAfter(class)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, errorResponse{
+		Error:       fmt.Sprintf("overloaded (%s class): %v", class, err),
+		RetryAfterS: retry,
+	})
+}
+
+func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
 	resp := queryResponse{
 		Columns:   res.Columns(),
 		Rows:      []map[string]cell{},
@@ -417,7 +561,7 @@ func (s *server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 	return resp
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.base.Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -426,7 +570,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	requests := s.requests.Load()
 	// busyNS only accumulates at handler exit, so average over completed
 	// requests, not ones still in flight.
@@ -440,6 +584,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"requests":       requests,
 		"failures":       s.failures.Load(),
 		"timeouts":       s.timeouts.Load(),
+		"sheds":          s.sheds.Load(),
 		"in_flight":      s.inFlight.Load(),
 		"avg_latency_ms": avgMS,
 		"graph":          map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
@@ -468,11 +613,40 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_bytes": cs.MaxBytes,
 		}
 	}
+	if s.ctrl != nil {
+		cst := s.ctrl.Stats()
+		est := s.est.Stats()
+		payload["admission"] = map[string]any{
+			"cheap":                classStatsJSON(cst.Cheap),
+			"analytical":           classStatsJSON(cst.Analytical),
+			"in_flight_cost_units": cst.InFlightCost,
+			"estimator": map[string]any{
+				"estimates":      est.Estimates,
+				"observations":   est.Observations,
+				"learned_shapes": est.LearnedShapes,
+			},
+		}
+	}
 	writeJSON(w, http.StatusOK, payload)
 }
 
+// classStatsJSON renders one admission class for /stats.
+func classStatsJSON(cs admission.ClassStats) map[string]any {
+	return map[string]any{
+		"running":      cs.Running,
+		"queued":       cs.Queued,
+		"peak_queued":  cs.PeakQueued,
+		"admitted":     cs.Admitted,
+		"shed_full":    cs.ShedFull,
+		"shed_expired": cs.ShedExpired,
+		"shed_budget":  cs.ShedBudget,
+		"shed":         cs.Shed(),
+		"avg_wait_ms":  cs.AvgWaitMS,
+	}
+}
+
 // workersSnapshot renders the per-worker aggregates for /stats.
-func (s *server) workersSnapshot() []map[string]any {
+func (s *Server) workersSnapshot() []map[string]any {
 	s.workerMu.Lock()
 	defer s.workerMu.Unlock()
 	out := make([]map[string]any, len(s.workerAgg))
@@ -488,7 +662,7 @@ func (s *server) workersSnapshot() []map[string]any {
 	return out
 }
 
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.failures.Add(1)
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -16,8 +16,10 @@ import (
 
 // newTestServer serves a deterministic generated graph (800 nodes, 2400
 // edges, connected by construction) with the result cache enabled, the
-// way a production deployment would run.
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+// way a production deployment would run. Admission is off: these tests
+// pin the serving semantics that exist independent of it (admission has
+// its own suite in admission_test.go).
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	g := ctpquery.RandomGraph(800, 2400, []string{"knows", "cites", "funds"}, 42)
 	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true, TrackAllocs: true},
@@ -25,11 +27,12 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000, 16)
+	s, err := New(db, Config{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second,
+		MaxRows: 1000, MaxParallelism: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler(true))
+	ts := httptest.NewServer(s.Handler(true))
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -137,11 +140,11 @@ func TestMaxTimeoutCap(t *testing.T) {
 	// Server cap of 1ms beats the huge requested budget; the query is
 	// trivial, so it still completes — the point is the request is
 	// accepted and served under the cap, not rejected.
-	s, err := newServer(db, 0, time.Millisecond, 0, 16)
+	s, err := New(db, Config{MaxTimeout: time.Millisecond, MaxParallelism: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler(false))
+	ts := httptest.NewServer(s.Handler(false))
 	defer ts.Close()
 	code, _, fail := postQuery(t, ts.URL, queryRequest{
 		Query:     "SELECT ?w WHERE { CONNECT Alice Bob AS ?w MAX 2 . }",
@@ -313,11 +316,11 @@ func TestPprofEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(db, 0, 0, 0, 16)
+	s, err := New(db, Config{MaxParallelism: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off := httptest.NewServer(s.handler(false))
+	off := httptest.NewServer(s.Handler(false))
 	defer off.Close()
 	resp, err = http.Get(off.URL + "/debug/pprof/")
 	if err != nil {
@@ -557,7 +560,7 @@ func TestResolveParallelism(t *testing.T) {
 		{"cap zero ignores request", 0, 8, 3, 3},
 		{"cap zero ignores sentinel", 0, -1, 3, 3},
 	} {
-		s := &server{maxParallelism: tc.maxParallelism}
+		s := &Server{maxParallelism: tc.maxParallelism}
 		if got := s.resolveParallelism(tc.requested, tc.fallbck); got != tc.want {
 			t.Errorf("%s: resolveParallelism(%d, %d) with cap %d = %d, want %d",
 				tc.name, tc.requested, tc.fallbck, tc.maxParallelism, got, tc.want)
@@ -573,11 +576,12 @@ func TestMaxParallelismZeroNoOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(db, 10*time.Second, 30*time.Second, 1000, 0)
+	s, err := New(db, Config{DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second,
+		MaxRows: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.handler(false))
+	ts := httptest.NewServer(s.Handler(false))
 	defer ts.Close()
 
 	q := "SELECT ?w WHERE { CONNECT n1 n100 AS ?w MAX 8 LIMIT 1 . }"
@@ -593,22 +597,5 @@ func TestMaxParallelismZeroNoOverride(t *testing.T) {
 			t.Errorf("parallelism=%d with cap 0 ran %d workers, want the server default (sequential)",
 				requested, out.Search.Parallelism)
 		}
-	}
-}
-
-// -save-snapshot writes a file the -graph sniffer loads back.
-func TestSaveSnapshotRoundTrip(t *testing.T) {
-	g := ctpquery.RandomGraph(50, 120, []string{"t"}, 3)
-	path := t.TempDir() + "/g.ctpg"
-	if err := writeSnapshot(g, path); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := ctpquery.OpenGraph(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if loaded.NumNodes() != g.NumNodes() || loaded.NumEdges() != g.NumEdges() {
-		t.Fatalf("snapshot round-trip: got %d/%d nodes-edges, want %d/%d",
-			loaded.NumNodes(), loaded.NumEdges(), g.NumNodes(), g.NumEdges())
 	}
 }

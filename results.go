@@ -139,6 +139,19 @@ type WorkerSearchStats struct {
 	BusyNS int64
 }
 
+// CostUnits collapses the report into one scalar effort number — the
+// feedback signal the admission estimator (internal/admission) learns
+// observed per-shape costs from. Units are provenance-tree
+// constructions, the paper's effort metric; a query that searched
+// nothing still reports 1 so downstream ratios stay finite.
+func (s SearchStats) CostUnits() float64 {
+	u := float64(s.TreesGenerated)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
 // SearchStats aggregates the per-CONNECT search statistics of the query.
 func (r *Results) SearchStats() SearchStats {
 	var out SearchStats

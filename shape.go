@@ -1,0 +1,74 @@
+package ctpquery
+
+import "time"
+
+// QueryShape is a structural summary of a parsed query — how many
+// CONNECT clauses it has, how many members and predicate conditions
+// each carries, and which filters bound its search — exposed for
+// serving-side cost estimation (internal/admission). The shape carries
+// no label or property values: two queries connecting different nodes
+// through the same clause structure share a shape, which is exactly the
+// granularity the admission estimator learns observed costs at.
+type QueryShape struct {
+	// BGPPatterns counts the edge patterns across every BGP of the body.
+	BGPPatterns int
+	// CTPs describes each CONNECT clause, in query order.
+	CTPs []CTPShape
+	// Limit is the query-level LIMIT solution modifier (0 = none).
+	Limit int
+}
+
+// CTPShape summarizes one CONNECT clause.
+type CTPShape struct {
+	// Members is the number of member predicates (the paper's m).
+	Members int
+	// Universal counts members with no conditions and no BGP binding:
+	// their seed set is the whole node set, the most expensive kind.
+	Universal int
+	// Conditions is the total predicate-condition count across members
+	// (a constant member contributes its implicit label equality).
+	Conditions int
+	// MaxEdges is the MAX filter (0 = unbounded tree size).
+	MaxEdges int
+	// Labels is the size of the LABEL allow-list (0 = all edge labels).
+	Labels int
+	// Uni reports the UNI directionality filter.
+	Uni bool
+	// Limit is the per-CTP LIMIT filter (0 = enumerate everything).
+	Limit int
+	// TopK is the SCORE ... TOP k filter (0 = no top-k trimming).
+	TopK int
+	// Timeout is the TIMEOUT filter (0 = no per-clause bound).
+	Timeout time.Duration
+}
+
+// Shape returns the query's structural summary; see QueryShape.
+func (q *Query) Shape() QueryShape {
+	s := QueryShape{Limit: q.q.Limit}
+	bgpVars := map[string]bool{}
+	for _, b := range q.q.BGPs {
+		s.BGPPatterns += len(b.Patterns)
+		for _, v := range b.Vars() {
+			bgpVars[v] = true
+		}
+	}
+	for _, c := range q.q.CTPs {
+		cs := CTPShape{
+			Members:  len(c.Members),
+			MaxEdges: c.Filters.MaxEdges,
+			Labels:   len(c.Filters.Labels),
+			Uni:      c.Filters.Uni,
+			Limit:    c.Filters.Limit,
+			TopK:     c.Filters.TopK,
+			Timeout:  c.Filters.Timeout,
+		}
+		for _, m := range c.Members {
+			cs.Conditions += len(m.Conds)
+			if len(m.Conds) == 0 && !bgpVars[m.Var] {
+				cs.Universal++
+			}
+		}
+		s.CTPs = append(s.CTPs, cs)
+	}
+	return s
+}

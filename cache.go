@@ -1,8 +1,11 @@
 package ctpquery
 
 import (
+	"errors"
 	"fmt"
 	"time"
+
+	"ctpquery/internal/fault"
 )
 
 // CacheConfig enables a query-result cache on a DB (Options.Cache or
@@ -55,6 +58,26 @@ type CacheStats struct {
 	Entries   int   // stored entries
 	Bytes     int64 // stored payload bytes (Results.ApproxSize estimates)
 	MaxBytes  int64 // configured budget
+}
+
+// IsInternalError reports whether err was the engine's (or the server's)
+// own fault — a panic contained at one of the runtime's recovery
+// boundaries — rather than a problem with the query. Servers use it to
+// answer 500 instead of 400.
+func IsInternalError(err error) bool {
+	var pe *fault.PanicError
+	return errors.As(err, &pe)
+}
+
+// ShedCache evicts result-cache entries until the stored bytes fit
+// within frac of the configured budget (0 empties the cache) and
+// returns the bytes freed. It is the degradation watchdog's memory
+// relief valve; a DB without a cache returns 0.
+func (db *DB) ShedCache(frac float64) int64 {
+	if db.cache == nil {
+		return 0
+	}
+	return db.cache.Shed(frac)
 }
 
 // cacheSignature digests every option that can change a query's result

@@ -30,13 +30,17 @@ import (
 func main() {
 	var (
 		// live-replay mode
-		urlFlag  = flag.String("url", "", "base URL of a running ctpserve (live-replay mode)")
-		mixFlag  = flag.String("mix", "cache-heavy", "workload: cache-heavy, analytical-heavy, or burst")
-		duration = flag.Duration("duration", 10*time.Second, "total replay duration (per-phase for burst)")
-		rps      = flag.Float64("rps", 25, "open-loop arrival rate (baseline rate for burst)")
-		nodes    = flag.Int("nodes", 4000, "node-id range for generated queries / suite graph size")
-		seed     = flag.Int64("seed", 1, "workload seed (same seed = same query sequence)")
-		jsonOut  = flag.Bool("json", false, "print the live-replay report as JSON")
+		urlFlag     = flag.String("url", "", "base URL of a running ctpserve (live-replay mode)")
+		mixFlag     = flag.String("mix", "cache-heavy", "workload: cache-heavy, analytical-heavy, or burst")
+		duration    = flag.Duration("duration", 10*time.Second, "total replay duration (per-phase for burst)")
+		rps         = flag.Float64("rps", 25, "open-loop arrival rate (baseline rate for burst)")
+		nodes       = flag.Int("nodes", 4000, "node-id range for generated queries / suite graph size")
+		seed        = flag.Int64("seed", 1, "workload seed (same seed = same query sequence)")
+		jsonOut     = flag.Bool("json", false, "print the live-replay report as JSON")
+		retries     = flag.Int("retries", 0, "per-request retry cap for 429 sheds, honoring Retry-After under capped exponential backoff with jitter (0 = sheds are terminal)")
+		retryBudget = flag.Int64("retry-budget", 0, "total retries allowed per scheduling class across the replay (0 = unlimited while -retries > 0)")
+		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "base backoff before the first retry; doubles per attempt")
+		retryMax    = flag.Duration("retry-max", 5*time.Second, "cap on any single backoff wait")
 
 		// suite mode
 		suite    = flag.Bool("suite", false, "run the self-contained benchmark suite instead of a live replay")
@@ -62,7 +66,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := runLive(ctx, *urlFlag, *mixFlag, *duration, *rps, *nodes, *seed, *jsonOut); err != nil {
+	pol := load.RetryPolicy{
+		MaxRetries:  *retries,
+		Budget:      *retryBudget,
+		BaseBackoff: *retryBase,
+		MaxBackoff:  *retryMax,
+	}
+	if err := runLive(ctx, *urlFlag, *mixFlag, *duration, *rps, *nodes, *seed, *jsonOut, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpload:", err)
 		os.Exit(1)
 	}
@@ -81,13 +91,13 @@ func buildPlan(mix string, d time.Duration, rps float64, nodes int, seed int64) 
 	}
 }
 
-func runLive(ctx context.Context, url, mix string, d time.Duration, rps float64, nodes int, seed int64, asJSON bool) error {
+func runLive(ctx context.Context, url, mix string, d time.Duration, rps float64, nodes int, seed int64, asJSON bool, pol load.RetryPolicy) error {
 	plan, err := buildPlan(mix, d, rps, nodes, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "replaying %s against %s (%.0f rps, seed %d)\n", plan.Name, url, rps, seed)
-	res, err := load.Replay(ctx, url, plan, seed)
+	res, err := load.ReplayWithPolicy(ctx, url, plan, seed, pol)
 	if err != nil {
 		return err
 	}
@@ -104,6 +114,10 @@ func printResult(r *load.Result) {
 	fmt.Printf("plan %s: %d requests in %.1fs (%.1f ok-rps)\n", r.Plan, r.Requests, r.DurationS, r.ThroughputRPS)
 	fmt.Printf("  ok %d  shed %d  errors %d  timeouts %d  cache-hits %d (%.0f%%)  bypasses %d\n",
 		r.OK, r.Shed, r.Errors, r.Timeouts, r.CacheHits, 100*r.CacheHitRatio, r.CacheBypasses)
+	if r.Retries > 0 || r.RetryBudgetDry > 0 {
+		fmt.Printf("  retries %d  retried-ok %d  retry-budget-dry %d\n",
+			r.Retries, r.RetriedOK, r.RetryBudgetDry)
+	}
 	row := func(name string, c load.ClassSummary) {
 		if c.Count == 0 {
 			return
@@ -114,6 +128,7 @@ func printResult(r *load.Result) {
 	row("overall", r.Overall)
 	row("cheap", r.Cheap)
 	row("analytical", r.Analytical)
+	row("shed", r.ShedLatency)
 }
 
 func runSuite(ctx context.Context, nodes, edges int, seed int64, scale float64, out, baseline string) error {

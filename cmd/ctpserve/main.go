@@ -58,6 +58,7 @@ import (
 
 	"ctpquery"
 	"ctpquery/internal/admission"
+	"ctpquery/internal/fault"
 	"ctpquery/internal/serve"
 )
 
@@ -87,6 +88,11 @@ func main() {
 		admitWait      = flag.Duration("admit-queue-wait", 2*time.Second, "longest a request may wait for a slot before it is shed")
 		admitBudget    = flag.Float64("admit-cost-budget", 0, "cap on summed in-flight estimated cost units; analytical requests beyond it shed (0 = no budget)")
 		admitThreshold = flag.Duration("admit-cheap-threshold", 50*time.Millisecond, "estimated search time above which a request classifies analytical")
+		memSoftMB      = flag.Int64("mem-soft-mb", 0, "live-heap soft watermark in MiB: above it the server degrades (sheds half the cache, halves parallelism, tightens the admission budget) and /healthz reports \"degraded\" (0 = watchdog off)")
+		memHardMB      = flag.Int64("mem-hard-mb", 0, "live-heap hard watermark in MiB: cache emptied, parallelism capped at 1, admission budget quartered (0 = 2x the soft watermark)")
+		wdInterval     = flag.Duration("watchdog-interval", 5*time.Second, "how often the memory watchdog samples the heap")
+		faultSpec      = flag.String("fault", "", "DEV ONLY: arm fault-injection points, comma-separated point:kind[=duration][@hit[xcount]] specs (e.g. exec.worker.process_op:panic@100)")
+		drainGrace     = flag.Duration("drain-grace", 0, "on SIGTERM, keep serving (with /healthz answering 503 draining) this long before closing the listener, so load-balancer health checks observe the drain (0 = shut down immediately)")
 	)
 	flag.Parse()
 	cfg := serverConfig{
@@ -114,6 +120,11 @@ func main() {
 		admitWait:      *admitWait,
 		admitBudget:    *admitBudget,
 		admitThreshold: *admitThreshold,
+		memSoftMB:      *memSoftMB,
+		memHardMB:      *memHardMB,
+		wdInterval:     *wdInterval,
+		faultSpec:      *faultSpec,
+		drainGrace:     *drainGrace,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
@@ -148,9 +159,20 @@ type serverConfig struct {
 	admitWait      time.Duration
 	admitBudget    float64
 	admitThreshold time.Duration
+	memSoftMB      int64
+	memHardMB      int64
+	wdInterval     time.Duration
+	faultSpec      string
+	drainGrace     time.Duration
 }
 
 func run(cfg serverConfig) error {
+	if cfg.faultSpec != "" {
+		if err := fault.ParseSpec(cfg.faultSpec); err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		log.Printf("FAULT INJECTION armed (dev only): %s", cfg.faultSpec)
+	}
 	g, desc, err := loadGraph(cfg.graphPath, cfg.sample, cfg.random, cfg.seed)
 	if err != nil {
 		return err
@@ -175,10 +197,13 @@ func run(cfg serverConfig) error {
 		return err
 	}
 	scfg := serve.Config{
-		DefaultTimeout: cfg.defaultTimeout,
-		MaxTimeout:     cfg.maxTimeout,
-		MaxRows:        cfg.maxRows,
-		MaxParallelism: cfg.maxParallelism,
+		DefaultTimeout:   cfg.defaultTimeout,
+		MaxTimeout:       cfg.maxTimeout,
+		MaxRows:          cfg.maxRows,
+		MaxParallelism:   cfg.maxParallelism,
+		MemSoftBytes:     cfg.memSoftMB << 20,
+		MemHardBytes:     cfg.memHardMB << 20,
+		WatchdogInterval: cfg.wdInterval,
 	}
 	if cfg.admission {
 		scfg.Admission = &admission.Config{
@@ -210,6 +235,10 @@ func run(cfg serverConfig) error {
 		log.Printf("admission control: %d slots (%d cheap-reserved), queue depth %d, max wait %v",
 			scfg.Admission.MaxConcurrent, cfg.admitReserve, cfg.admitQueue, cfg.admitWait)
 	}
+	if cfg.memSoftMB > 0 {
+		log.Printf("memory watchdog: degrade above %d MiB, hard-degrade above %d MiB (0 = 2x soft), sampling every %v",
+			cfg.memSoftMB, cfg.memHardMB, cfg.wdInterval)
+	}
 	if cfg.pprof {
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
@@ -217,6 +246,7 @@ func run(cfg serverConfig) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	s.StartWatchdog(ctx)
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", cfg.addr)
@@ -228,7 +258,21 @@ func run(cfg serverConfig) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip /healthz to draining (503) first, so load balancers stop
+	// routing new work while the graceful shutdown drains in-flight ones.
+	// Shutdown refuses new connections and closes idle ones immediately,
+	// so without a grace window a health checker on a fresh connection
+	// never observes the 503 — hold the listener open for drainGrace.
+	s.SetDraining()
 	log.Printf("shutting down, draining in-flight queries")
+	if cfg.drainGrace > 0 {
+		log.Printf("drain grace: serving /healthz draining for %v before closing the listener", cfg.drainGrace)
+		select {
+		case <-time.After(cfg.drainGrace):
+		case err := <-errc:
+			return err
+		}
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

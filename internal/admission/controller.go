@@ -81,10 +81,11 @@ func (c Config) withDefaults() Config {
 type Controller struct {
 	cfg Config
 
-	mu      sync.Mutex
-	running [2]int
-	cost    float64 // summed estimated units of in-flight requests
-	waiters [2][]*waiter
+	mu          sync.Mutex
+	running     [2]int
+	cost        float64 // summed estimated units of in-flight requests
+	budgetScale float64 // degradation multiplier on CostBudget; 1 = normal
+	waiters     [2][]*waiter
 
 	admitted    [2]int64
 	shedFull    [2]int64
@@ -105,7 +106,20 @@ type waiter struct {
 
 // NewController builds a controller.
 func NewController(cfg Config) *Controller {
-	return &Controller{cfg: cfg.withDefaults()}
+	return &Controller{cfg: cfg.withDefaults(), budgetScale: 1}
+}
+
+// SetBudgetScale tightens (or restores) the analytical cost budget: the
+// effective budget is CostBudget * scale. The degradation watchdog
+// lowers the scale under memory pressure so expensive queries are shed
+// earlier; scale values outside (0, 1] are clamped to 1.
+func (c *Controller) SetBudgetScale(scale float64) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	c.mu.Lock()
+	c.budgetScale = scale
+	c.mu.Unlock()
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -206,7 +220,7 @@ func (c *Controller) withinBudgetLocked(cost float64) bool {
 	if c.running[Analytical] == 0 && len(c.waiters[Analytical]) == 0 {
 		return true
 	}
-	return c.cost+cost <= c.cfg.CostBudget
+	return c.cost+cost <= c.cfg.CostBudget*c.budgetScale
 }
 
 // grantLocked accounts a running request.
@@ -291,6 +305,7 @@ type Stats struct {
 	Cheap        ClassStats
 	Analytical   ClassStats
 	InFlightCost float64
+	BudgetScale  float64 // current degradation multiplier on CostBudget
 }
 
 // Shed returns the class's total shed count.
@@ -315,7 +330,7 @@ func (c *Controller) Stats() Stats {
 		}
 		return s
 	}
-	return Stats{Cheap: snap(Cheap), Analytical: snap(Analytical), InFlightCost: c.cost}
+	return Stats{Cheap: snap(Cheap), Analytical: snap(Analytical), InFlightCost: c.cost, BudgetScale: c.budgetScale}
 }
 
 // RetryAfter suggests the Retry-After seconds for a shed request of the

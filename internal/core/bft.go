@@ -166,6 +166,7 @@ func bftSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 
 	for !s.stop && len(s.queue) > 0 {
 		t := heap.Pop(&s.queue).(*bftTree)
+		probeBftPop.Hit()
 		s.stats.QueuePops++
 		if s.dl.Expired() {
 			s.stats.TimedOut = true

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ctpquery/internal/fault"
+	"ctpquery/internal/gen"
+)
+
+// TestChaosSequentialKernelContainment injects a panic into each
+// sequential kernel's main loop (the gam and bft pop probes) and asserts
+// Search returns a contained *fault.PanicError instead of panicking the
+// caller — and that a clean rerun still produces results.
+func TestChaosSequentialKernelContainment(t *testing.T) {
+	defer fault.Reset()
+	cases := []struct {
+		point string
+		alg   Algorithm
+	}{
+		{"core.gam.pop", MoLESP},
+		{"core.gam.pop", GAM},
+		{"core.bft.pop", BFT},
+	}
+	for _, c := range cases {
+		t.Run(c.point+"/"+c.alg.String(), func(t *testing.T) {
+			w := gen.Line(3, 3, gen.Alternate)
+			fault.Reset()
+			if err := fault.Arm(c.point, fault.Fault{Kind: fault.Panic}); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := Search(w.Graph, Explicit(w.Seeds...), Options{Algorithm: c.alg})
+			if fault.Fired(c.point) == 0 {
+				t.Fatalf("probe %s never fired for %s", c.point, c.alg)
+			}
+			if err == nil {
+				t.Fatal("panic in kernel did not surface as an error")
+			}
+			var pe *fault.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a contained panic: %v", err)
+			}
+			if !fault.IsInjected(err) {
+				t.Fatalf("contained panic lost the injection marker: %v", err)
+			}
+
+			fault.Reset()
+			rs, _, err := Search(w.Graph, Explicit(w.Seeds...), Options{Algorithm: c.alg})
+			if err != nil {
+				t.Fatalf("clean search after containment errored: %v", err)
+			}
+			if rs == nil {
+				t.Fatal("clean search returned nil result set")
+			}
+		})
+	}
+}

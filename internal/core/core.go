@@ -28,6 +28,8 @@ import (
 	"runtime/metrics"
 	"time"
 
+	"ctpquery/internal/fault"
+
 	"ctpquery/internal/bitset"
 	"ctpquery/internal/eql"
 	"ctpquery/internal/graph"
@@ -272,12 +274,18 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 	)
 	switch opts.Algorithm {
 	case BFT, BFTM, BFTAM:
-		rs, st, err = bftSearch(g, seeds, opts)
+		rs, st, err = contained("core: "+opts.Algorithm.String(), func() (*ResultSet, *Stats, error) {
+			return bftSearch(g, seeds, opts)
+		})
 	case GAM, ESP, MoESP, LESP, MoLESP:
 		if opts.Parallelism > 0 && !opts.MultiQueue && parallelKernel != nil {
+			// The parallel runtime has its own containment boundaries (one
+			// per worker, one around the coordinator).
 			rs, st, err = parallelKernel(g, seeds, opts)
 		} else {
-			rs, st, err = gamSearch(g, seeds, opts)
+			rs, st, err = contained("core: "+opts.Algorithm.String(), func() (*ResultSet, *Stats, error) {
+				return gamSearch(g, seeds, opts)
+			})
 		}
 	default:
 		return nil, nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
@@ -286,6 +294,28 @@ func Search(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stats, 
 		st.Allocations = heapAllocObjects() - a0
 	}
 	return rs, st, err
+}
+
+// Sequential-kernel probe points (inert unless armed via internal/fault):
+// one per main loop, hit once per queue pop, so a chaos test can land a
+// panic on an exact iteration of either kernel.
+var (
+	probeGamPop = fault.Register("core.gam.pop")
+	probeBftPop = fault.Register("core.bft.pop")
+)
+
+// contained runs a sequential kernel behind a panic containment
+// boundary: a panic in the search (or in a caller-supplied callback it
+// invokes) becomes a structured *fault.PanicError instead of killing
+// the process — essential once searches run inside a server.
+func contained(name string, kernel func() (*ResultSet, *Stats, error)) (rs *ResultSet, st *Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			rs, st = nil, nil
+			err = fault.Recovered(name, rec)
+		}
+	}()
+	return kernel()
 }
 
 // parallelKernel is the GAM-family runtime internal/exec registers at

@@ -128,6 +128,7 @@ func gamSearch(g *graph.Graph, seeds []SeedSet, opts Options) (*ResultSet, *Stat
 		if !ok {
 			break
 		}
+		probeGamPop.Hit()
 		s.stats.QueuePops++
 		if s.dl.Expired() {
 			s.stats.TimedOut = true

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ctpquery/internal/core"
+	"ctpquery/internal/fault"
+	"ctpquery/internal/gen"
+)
+
+const chaosQuery = `
+SELECT ?x ?y ?w WHERE {
+  ?x citizenOf USA .
+  ?y citizenOf France .
+  CONNECT ?x ?y AS ?w MAX 5 .
+}`
+
+// TestChaosCTPEvaluationContainment panics inside CTP evaluation — on
+// both the sequential path and the parallel-CTP goroutine path — and
+// asserts ExecuteContext returns a contained *fault.PanicError rather
+// than crashing, then recovers fully once the fault is disarmed.
+func TestChaosCTPEvaluationContainment(t *testing.T) {
+	defer fault.Reset()
+	g := gen.Sample()
+	q := mustParse(t, chaosQuery)
+
+	for _, parallel := range []bool{false, true} {
+		name := "sequential"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			fault.Reset()
+			if err := fault.Arm("engine.eval_ctp", fault.Fault{Kind: fault.Panic}); err != nil {
+				t.Fatal(err)
+			}
+			e := New(g, Options{Algorithm: core.MoLESP, Parallel: parallel})
+			_, err := e.ExecuteContext(context.Background(), q)
+			if fault.Fired("engine.eval_ctp") == 0 {
+				t.Fatal("eval_ctp probe never fired")
+			}
+			if err == nil {
+				t.Fatal("CTP panic did not surface as an error")
+			}
+			var pe *fault.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a contained panic: %v", err)
+			}
+
+			fault.Reset()
+			res, err := e.ExecuteContext(context.Background(), q)
+			if err != nil {
+				t.Fatalf("clean execution after containment errored: %v", err)
+			}
+			if res.Table.NumRows() == 0 {
+				t.Fatal("clean execution returned no rows")
+			}
+		})
+	}
+}
+
+// TestChaosTopLevelRecover arms the eval probe with an error-kind fault:
+// Err-capable sites don't exist on this path, so nothing fires and the
+// query must succeed — proving inert probes (and error faults at
+// panic-only sites) cost nothing and change nothing.
+func TestChaosTopLevelRecover(t *testing.T) {
+	defer fault.Reset()
+	g := gen.Sample()
+	q := mustParse(t, chaosQuery)
+	fault.Reset()
+	if err := fault.Arm("engine.eval_ctp", fault.Fault{Kind: fault.Error}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewDefault(g).ExecuteContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("error fault at a panic-only site broke the query: %v", err)
+	}
+	if fault.Fired("engine.eval_ctp") != 0 {
+		t.Fatal("error fault fired at a Hit-only probe")
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("query returned no rows")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	// Linked for its side effect: registers the parallel CTP search
 	// runtime that Options.Parallelism selects.
 	_ "ctpquery/internal/exec"
+	"ctpquery/internal/fault"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/score"
 	"ctpquery/internal/storage"
@@ -156,14 +157,22 @@ func (e *Engine) Execute(q *eql.Query) (*Result, error) {
 // partial results found so far, flagged via Result.TimedOut: the paper's
 // TIMEOUT semantics (Section 2). Only the CTP searches are interruptible;
 // BGP evaluation and the final join run to completion.
-func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (*Result, error) {
+func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (res *Result, err error) {
+	// Containment backstop for the phases outside the CTP searches (BGP
+	// evaluation, the join, projection): a panic there becomes a
+	// structured error instead of killing the process.
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, fault.Recovered("engine: execute", rec)
+		}
+	}()
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err == context.Canceled {
 		return nil, err
 	}
-	res := &Result{}
+	res = &Result{}
 
 	// Step (A): evaluate the BGPs.
 	startBGP := time.Now()
@@ -191,13 +200,13 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (*Result, err
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				ctpOuts[i] = e.evalCTP(ctx, i, q.CTPs[i], bgpTables)
+				ctpOuts[i] = e.safeEvalCTP(ctx, i, q.CTPs[i], bgpTables)
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range q.CTPs {
-			ctpOuts[i] = e.evalCTP(ctx, i, q.CTPs[i], bgpTables)
+			ctpOuts[i] = e.safeEvalCTP(ctx, i, q.CTPs[i], bgpTables)
 		}
 	}
 	// A cancelled (as opposed to expired) context aborts the query; an
@@ -299,7 +308,25 @@ type ctpOutput struct {
 // the named member variables plus the tree variable. idx is the CTP's
 // position in query order (for the streaming callback); ctx cancellation
 // and deadline are pushed into the search.
+// probeEvalCTP fires once per CTP evaluation (inert unless armed via
+// internal/fault).
+var probeEvalCTP = fault.Register("engine.eval_ctp")
+
+// safeEvalCTP is evalCTP behind a panic containment boundary. It matters
+// most on the Parallel path, where each CTP runs on its own goroutine: an
+// uncontained panic there would kill the whole process no matter what the
+// HTTP layer recovers.
+func (e *Engine) safeEvalCTP(ctx context.Context, idx int, c eql.CTP, bgpTables []*storage.Table) (out ctpOutput) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = ctpOutput{err: fault.Recovered("engine: CTP evaluation", rec)}
+		}
+	}()
+	return e.evalCTP(ctx, idx, c, bgpTables)
+}
+
 func (e *Engine) evalCTP(ctx context.Context, idx int, c eql.CTP, bgpTables []*storage.Table) ctpOutput {
+	probeEvalCTP.Hit()
 	seeds := make([]core.SeedSet, len(c.Members))
 	maxSize, minSize := 0, -1
 	for i, m := range c.Members {

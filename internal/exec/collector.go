@@ -36,6 +36,7 @@ func newCollector(g *graph.Graph, si *core.SeedIndex, opts core.Options) *collec
 // add records a result tree; true means the LIMIT filter (or a streaming
 // callback) asks the search to stop. Safe for concurrent use.
 func (c *collector) add(t *tree.Tree) bool {
+	probeCollectorAdd.Hit()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.rc.Add(t)

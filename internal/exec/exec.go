@@ -57,12 +57,28 @@ import (
 	"time"
 
 	"ctpquery/internal/core"
+	"ctpquery/internal/fault"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/hash64"
 	"ctpquery/internal/tree"
 )
 
 func init() { core.RegisterParallelKernel(Search) }
+
+// Probe points compiled into the runtime's hot paths (inert unless armed
+// via internal/fault). The chaos suite panics each of them in turn and
+// asserts the search surfaces an error instead of deadlocking the
+// pending-count termination protocol. Probes sit outside every critical
+// section: a fault fired at one never unwinds past a held lock.
+var (
+	probeWorkerLoop   = fault.Register("exec.worker.loop")
+	probeProcessOp    = fault.Register("exec.worker.process_op")
+	probeProcessTree  = fault.Register("exec.worker.process_tree")
+	probeProcessMo    = fault.Register("exec.worker.process_mo")
+	probeDrainMail    = fault.Register("exec.worker.drain_mail")
+	probeSteal        = fault.Register("exec.worker.steal")
+	probeCollectorAdd = fault.Register("exec.collector.add")
+)
 
 // maxWorkers caps Options.Parallelism; beyond the hardware's core count
 // extra workers only add exchange traffic.
@@ -83,9 +99,19 @@ func Search(g *graph.Graph, seeds []core.SeedSet, opts core.Options) (*core.Resu
 	start := time.Now()
 
 	r := newRun(g, seeds, opts, k)
-	r.seedInits(seeds)
+	if err := r.seedSafely(seeds); err != nil {
+		return nil, nil, err
+	}
 	r.startWorkers()
 	r.wg.Wait()
+	if pe := r.panicErr.Load(); pe != nil {
+		// A worker panicked. Its shard's state (dedup history, merge
+		// index, possibly a half-built tree) is unreliable, so the whole
+		// search fails with a structured error rather than reporting a
+		// silently-partial result set.
+		r.drainPoisoned()
+		return nil, nil, pe
+	}
 
 	stats := r.assembleStats(k)
 	stats.Duration = time.Since(start)
@@ -112,6 +138,7 @@ type run struct {
 	coll    *collector
 
 	pending   atomic.Int64 // queued + in-flight tasks; 0 = search complete
+	panicErr  atomic.Pointer[fault.PanicError]
 	stop      atomic.Bool
 	stopOnce  sync.Once
 	stopCh    chan struct{}
@@ -177,6 +204,44 @@ func (r *run) seedInits(seeds []core.SeedSet) {
 			r.deposit(0, r.owner(n), task{kind: taskInit, t: t})
 		}
 	}
+}
+
+// seedSafely runs the coordinator's seeding behind its own containment
+// boundary: no worker has started yet, so a panic here (before the
+// termination protocol is live) simply fails the search.
+func (r *run) seedSafely(seeds []core.SeedSet) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fault.Recovered("exec: seeding", rec)
+		}
+	}()
+	r.seedInits(seeds)
+	return nil
+}
+
+// fail records the first containment error and stops the search. The
+// pending count can no longer reach zero honestly (the panicking
+// worker's in-flight task never retires), so failure stops the run
+// directly instead of waiting on the termination protocol.
+func (r *run) fail(pe *fault.PanicError) {
+	r.panicErr.CompareAndSwap(nil, pe)
+	r.shutdown()
+}
+
+// drainPoisoned empties every exchange mailbox and zeroes the pending
+// count after a failed search. All workers have exited by now.
+// Undelivered trees may be mid-mutation, so they are dropped for the GC
+// rather than recycled into the pool; releasing the pending count keeps
+// the termination invariant (pending == 0 after shutdown) intact for
+// any observer.
+func (r *run) drainPoisoned() {
+	for i := range r.mail {
+		mb := &r.mail[i]
+		mb.mu.Lock()
+		mb.items, mb.free = nil, nil
+		mb.mu.Unlock()
+	}
+	r.pending.Store(0)
 }
 
 func (r *run) startWorkers() {

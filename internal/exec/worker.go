@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"fmt"
 	goruntime "runtime"
 	"sync/atomic"
 
 	"ctpquery/internal/bitset"
 	"ctpquery/internal/core"
+	"ctpquery/internal/fault"
 	"ctpquery/internal/graph"
 	"ctpquery/internal/tree"
 )
@@ -53,6 +55,16 @@ func newWorker(r *run, id int) *worker {
 // (TIMEOUT, LIMIT, MaxTrees, cancellation) ended the search early.
 func (w *worker) loop() {
 	defer w.r.wg.Done()
+	// Containment boundary: a panic anywhere in this worker's slice of
+	// the kernel is converted to a run-level error and the search is
+	// stopped, so the other workers wake from their parks and exit
+	// instead of waiting forever on a pending count that can no longer
+	// reach zero. Registered after wg.Done so Done still runs last.
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.r.fail(fault.Recovered(fmt.Sprintf("exec: worker %d", w.id), rec))
+		}
+	}()
 	if cpuTimeSupported {
 		// Pin to an OS thread so the kernel's per-thread CPU clock
 		// attributes exactly this worker's work — the span measurement the
@@ -64,6 +76,7 @@ func (w *worker) loop() {
 	defer func() { w.busyNS = threadCPUNanos() - cpu0 }()
 
 	for !w.r.stopped() {
+		probeWorkerLoop.Hit()
 		progress := w.drainMail()
 		if op, ok := w.q.pop(); ok {
 			w.ops++
@@ -112,6 +125,7 @@ func (w *worker) drainMail() bool {
 			if w.r.stopped() {
 				return true
 			}
+			probeDrainMail.Hit()
 			switch tk.kind {
 			case taskGrowOp:
 				w.seq++
@@ -155,6 +169,7 @@ func (w *worker) drainMail() bool {
 // processOp turns a Grow opportunity into a candidate tree and runs it
 // through the kernel (Algorithm 1's loop body, this shard's slice).
 func (w *worker) processOp(op growOp) {
+	probeProcessOp.Hit()
 	if w.dl.Expired() {
 		w.r.noteTimeout()
 		return
@@ -182,6 +197,7 @@ func (w *worker) trySteal() bool {
 			if w.r.stopped() {
 				return true
 			}
+			probeSteal.Hit()
 			w.ops++
 			w.stats.QueuePops++
 			if w.dl.Expired() {
@@ -271,6 +287,7 @@ func (w *worker) keep(t *tree.Tree) {
 // aggressively. Identical to the sequential kernel except that grows and
 // Mo copies whose root lives elsewhere are shipped instead of recursed.
 func (w *worker) processTree(t *tree.Tree) {
+	probeProcessTree.Hit()
 	if w.r.stopped() {
 		return
 	}
@@ -342,6 +359,7 @@ func (w *worker) recordForMerging(t *tree.Tree) {
 // the (already claimed) parent's — and deduplicate on the rooted
 // identity only, exactly as in the sequential kernel.
 func (w *worker) processMo(mo *tree.Tree) {
+	probeProcessMo.Hit()
 	if w.r.stopped() {
 		return
 	}

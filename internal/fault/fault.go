@@ -1,0 +1,385 @@
+// Package fault is the deterministic fault-injection framework behind
+// the chaos test suite and the ctpserve -fault dev flag.
+//
+// Subsystems register named probe points (Register) that are compiled
+// into their hot paths and are inert by default: an unarmed probe is a
+// single atomic load of a package-level gate, so production code pays
+// nothing measurable for carrying them. Tests (and the -fault flag) arm
+// a probe with a Fault — panic, injected error, or delay — that fires
+// deterministically on a chosen hit count, which is what makes chaos
+// runs reproducible: the same seed visits the same probe on the same
+// iteration every time.
+//
+// The package also owns PanicError, the structured error every
+// containment boundary (exec workers, the sequential kernels, the
+// engine, the qcache singleflight leader, the HTTP handler) converts a
+// recovered panic into. Keeping the error type here — the one package
+// with no dependencies — lets every layer wrap and classify panics
+// without import cycles.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed fault does when it fires.
+type Kind int
+
+const (
+	// Panic panics with an *Injected value. The surrounding containment
+	// boundary is expected to recover it into a *PanicError.
+	Panic Kind = iota
+	// Error makes error-capable probes (Point.Err) return an injected
+	// error; panic-only probes (Point.Hit) ignore it.
+	Error
+	// Delay sleeps Fault.Delay at the probe, for latency chaos.
+	Delay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault describes one armed behavior at a probe point.
+type Fault struct {
+	Kind Kind
+	// After skips the first After hits; the fault fires starting at hit
+	// number After+1. This is the determinism knob: a chaos test derives
+	// After from its seed and the fault lands on the same loop iteration
+	// every run.
+	After uint64
+	// Count bounds how many times the fault fires (0 means once).
+	Count uint64
+	// Delay is how long a Kind == Delay fault sleeps.
+	Delay time.Duration
+	// Err overrides the error a Kind == Error fault injects (nil means
+	// an error wrapping ErrInjected).
+	Err error
+}
+
+// Injected is the value a Panic fault panics with, so containment tests
+// can tell an injected panic from a genuine bug.
+type Injected struct{ Point string }
+
+func (i *Injected) Error() string {
+	return "fault: injected panic at " + i.Point
+}
+
+// ErrInjected is the sentinel wrapped by every injected error.
+var ErrInjected = errors.New("fault: injected error")
+
+// trigger is the armed state of one point. It is swapped in and out
+// atomically so Arm/Reset never race with probe hits on hot paths.
+type trigger struct {
+	f     Fault
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Point is one compiled-in probe. Obtain one with Register at package
+// init and call Hit (or Err at error-capable sites) on the hot path.
+type Point struct {
+	name string
+	trig atomic.Pointer[trigger]
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+var (
+	// gate counts armed points; zero short-circuits every probe to a
+	// single atomic load.
+	gate     atomic.Int32
+	mu       sync.Mutex
+	registry = map[string]*Point{}
+)
+
+// Register returns the probe point with the given name, creating it if
+// needed. Registration is idempotent so tests and init order don't
+// matter; call it from a package-level var so the point is compiled in
+// exactly once.
+func Register(name string) *Point {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Points returns the sorted names of every registered probe point —
+// the chaos suite iterates this inventory.
+func Points() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	return pointsLocked()
+}
+
+func pointsLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Arm installs f at the named point, replacing any previous fault
+// there. It fails if the point was never registered (a typo in a test
+// or -fault spec), listing the valid inventory.
+func Arm(point string, f Fault) error {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := registry[point]
+	if !ok {
+		return fmt.Errorf("fault: unknown probe point %q (registered: %s)",
+			point, strings.Join(pointsLocked(), ", "))
+	}
+	if p.trig.Swap(&trigger{f: f}) == nil {
+		gate.Add(1)
+	}
+	return nil
+}
+
+// Reset disarms every point. Call it (deferred) from every test that
+// arms faults.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range registry {
+		if p.trig.Swap(nil) != nil {
+			gate.Add(-1)
+		}
+	}
+}
+
+// Armed reports whether any point is currently armed.
+func Armed() bool { return gate.Load() > 0 }
+
+// Hits returns how many times the named point was passed since it was
+// armed (zero if unarmed or unknown).
+func Hits(point string) uint64 {
+	mu.Lock()
+	p := registry[point]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	t := p.trig.Load()
+	if t == nil {
+		return 0
+	}
+	return t.hits.Load()
+}
+
+// Fired returns how many times the named point's fault actually fired
+// since it was armed. Chaos tests use it to distinguish "the query
+// failed because my fault landed" from "the fault never triggered, so
+// the query must have succeeded with complete results".
+func Fired(point string) uint64 {
+	mu.Lock()
+	p := registry[point]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	t := p.trig.Load()
+	if t == nil {
+		return 0
+	}
+	n := t.fired.Load()
+	if max := t.count(); n > max {
+		n = max
+	}
+	return n
+}
+
+func (t *trigger) count() uint64 {
+	if t.f.Count == 0 {
+		return 1
+	}
+	return t.f.Count
+}
+
+// Hit is the probe for panic/delay-capable sites. Inert unless the
+// point is armed.
+func (p *Point) Hit() {
+	if gate.Load() == 0 {
+		return
+	}
+	p.fire(false)
+}
+
+// Err is the probe for error-capable sites: it returns the injected
+// error when an Error fault fires, and behaves like Hit for the other
+// kinds. Inert (always nil) unless the point is armed.
+func (p *Point) Err() error {
+	if gate.Load() == 0 {
+		return nil
+	}
+	return p.fire(true)
+}
+
+func (p *Point) fire(canErr bool) error {
+	t := p.trig.Load()
+	if t == nil {
+		return nil
+	}
+	if t.f.Kind == Error && !canErr {
+		// This site cannot surface an error; leave the trigger untouched
+		// so the fault fires at the intended error-capable site instead
+		// of being silently consumed here.
+		return nil
+	}
+	n := t.hits.Add(1)
+	if n <= t.f.After {
+		return nil
+	}
+	if t.fired.Add(1) > t.count() {
+		return nil
+	}
+	switch t.f.Kind {
+	case Panic:
+		panic(&Injected{Point: p.name})
+	case Delay:
+		time.Sleep(t.f.Delay)
+	case Error:
+		if canErr {
+			if t.f.Err != nil {
+				return t.f.Err
+			}
+			return fmt.Errorf("%w at %s", ErrInjected, p.name)
+		}
+	}
+	return nil
+}
+
+// ParseSpec arms faults from a -fault flag value. The grammar is a
+// comma-separated list of
+//
+//	point:kind[=duration][@hit[xcount]]
+//
+// where kind is panic, error, or delay (delay requires =duration), @hit
+// is the 1-based hit number the fault first fires on (default 1), and
+// xcount is how many times it fires (default 1). Examples:
+//
+//	exec.worker.process_tree:panic@3
+//	core.gam.pop:delay=50ms@10x100,serve.query.admitted:error
+func ParseSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok || name == "" || rest == "" {
+			return fmt.Errorf("fault: bad spec %q (want point:kind[=duration][@hit[xcount]])", part)
+		}
+		var f Fault
+		if at := strings.IndexByte(rest, '@'); at >= 0 {
+			tail := rest[at+1:]
+			rest = rest[:at]
+			if x := strings.IndexByte(tail, 'x'); x >= 0 {
+				count, err := strconv.ParseUint(tail[x+1:], 10, 64)
+				if err != nil || count == 0 {
+					return fmt.Errorf("fault: bad count in spec %q", part)
+				}
+				f.Count = count
+				tail = tail[:x]
+			}
+			hit, err := strconv.ParseUint(tail, 10, 64)
+			if err != nil || hit == 0 {
+				return fmt.Errorf("fault: bad hit number in spec %q", part)
+			}
+			f.After = hit - 1
+		}
+		kind, durStr, hasDur := strings.Cut(rest, "=")
+		switch kind {
+		case "panic":
+			f.Kind = Panic
+		case "error":
+			f.Kind = Error
+		case "delay":
+			f.Kind = Delay
+			if !hasDur {
+				return fmt.Errorf("fault: delay needs a duration in spec %q (e.g. delay=50ms)", part)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d < 0 {
+				return fmt.Errorf("fault: bad duration in spec %q", part)
+			}
+			f.Delay = d
+		default:
+			return fmt.Errorf("fault: unknown kind %q in spec %q (want panic, error, or delay)", kind, part)
+		}
+		if f.Kind != Delay && hasDur {
+			return fmt.Errorf("fault: %s takes no duration in spec %q", kind, part)
+		}
+		if err := Arm(name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PanicError is a panic converted to an error at a containment
+// boundary. It wraps the recovered value and the goroutine stack at
+// recovery time, so an operator sees where the panic happened even
+// though the process kept serving.
+type PanicError struct {
+	Op    string // which boundary contained it, e.g. "exec: worker 3"
+	Value any    // the recover() value
+	Stack []byte // debug.Stack() at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("internal: panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (notably
+// *Injected), so errors.Is/As reach through.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recovered wraps a recover() value into a *PanicError. A value that
+// already is one (a panic crossing two boundaries) passes through
+// unchanged, keeping the innermost — most precise — Op and stack.
+func Recovered(op string, v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+}
+
+// IsInjected reports whether err stems from an armed fault (directly
+// injected, or a contained injected panic). Chaos tests use it to
+// assert the error the client saw is the one they planted.
+func IsInjected(err error) bool {
+	if errors.Is(err, ErrInjected) {
+		return true
+	}
+	var inj *Injected
+	return errors.As(err, &inj)
+}

@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedProbeIsInert(t *testing.T) {
+	p := Register("test.inert")
+	defer Reset()
+	for i := 0; i < 1000; i++ {
+		p.Hit()
+		if err := p.Err(); err != nil {
+			t.Fatalf("unarmed Err returned %v", err)
+		}
+	}
+	if Armed() {
+		t.Fatal("nothing armed, but Armed() = true")
+	}
+	if Fired("test.inert") != 0 || Hits("test.inert") != 0 {
+		t.Fatal("unarmed point recorded hits")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := Register("test.idem")
+	b := Register("test.idem")
+	if a != b {
+		t.Fatal("Register returned distinct points for the same name")
+	}
+	if a.Name() != "test.idem" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+}
+
+func TestPanicFiresOnExactHit(t *testing.T) {
+	p := Register("test.panic_at")
+	defer Reset()
+	if err := Arm("test.panic_at", Fault{Kind: Panic, After: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.Hit()
+	p.Hit() // hits 1 and 2 must not fire (After: 2)
+	panicked := func() (v any) {
+		defer func() { v = recover() }()
+		p.Hit()
+		return nil
+	}()
+	inj, ok := panicked.(*Injected)
+	if !ok {
+		t.Fatalf("hit 3 recovered %v, want *Injected", panicked)
+	}
+	if inj.Point != "test.panic_at" {
+		t.Fatalf("Injected.Point = %q", inj.Point)
+	}
+	if Fired("test.panic_at") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("test.panic_at"))
+	}
+	p.Hit() // count exhausted: must not fire again
+	if Fired("test.panic_at") != 1 {
+		t.Fatalf("fault fired past its count")
+	}
+}
+
+func TestErrorFaultAndCount(t *testing.T) {
+	p := Register("test.err")
+	defer Reset()
+	custom := errors.New("boom")
+	if err := Arm("test.err", Fault{Kind: Error, Count: 2, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Err(); !errors.Is(err, custom) {
+			t.Fatalf("fire %d: err = %v, want %v", i+1, err, custom)
+		}
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("count exhausted but Err returned %v", err)
+	}
+	// Error faults never fire at panic-only sites, and a Hit there must
+	// not consume the fire budget either.
+	if err := Arm("test.err", Fault{Kind: Error}); err != nil {
+		t.Fatal(err)
+	}
+	p.Hit()
+	if err := p.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err after Hit = %v, want ErrInjected (Hit must not consume an Error fire)", err)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	p := Register("test.delay")
+	defer Reset()
+	if err := Arm("test.delay", Fault{Kind: Delay, Delay: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	p.Hit()
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 30ms", d)
+	}
+}
+
+func TestArmUnknownPoint(t *testing.T) {
+	if err := Arm("no.such.point", Fault{Kind: Panic}); err == nil {
+		t.Fatal("Arm of unregistered point succeeded")
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	p := Register("test.reset")
+	if err := Arm("test.reset", Fault{Kind: Error}); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() after Reset")
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	Register("test.spec.a")
+	Register("test.spec.b")
+	defer Reset()
+	err := ParseSpec("test.spec.a:panic@3x2, test.spec.b:delay=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("spec parsed but nothing armed")
+	}
+	// @3 means After=2: two hits pass, the third panics.
+	a := Register("test.spec.a")
+	a.Hit()
+	a.Hit()
+	v := func() (v any) {
+		defer func() { v = recover() }()
+		a.Hit()
+		return nil
+	}()
+	if _, ok := v.(*Injected); !ok {
+		t.Fatalf("third hit recovered %v, want *Injected", v)
+	}
+
+	for _, bad := range []string{
+		"nope",                    // no kind
+		"test.spec.a:explode",     // unknown kind
+		"test.spec.a:delay",       // delay without duration
+		"test.spec.a:panic=50ms",  // duration on panic
+		"test.spec.a:panic@0",     // hit numbers are 1-based
+		"test.spec.a:panic@1x0",   // zero count
+		"unregistered.pt:panic@1", // unknown point
+	} {
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+		Reset()
+	}
+}
+
+func TestConcurrentHitsRace(t *testing.T) {
+	p := Register("test.race")
+	defer Reset()
+	if err := Arm("test.race", Fault{Kind: Error, After: 50, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := p.Err(); err != nil {
+					fired.Store(fmt.Sprintf("%d/%d", w, i), true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("fault fired %d times under concurrency, want exactly Count=3", n)
+	}
+	if Fired("test.race") != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired("test.race"))
+	}
+}
+
+func TestRecoveredWrapsAndPassesThrough(t *testing.T) {
+	inner := Recovered("inner op", &Injected{Point: "x"})
+	if inner.Op != "inner op" || len(inner.Stack) == 0 {
+		t.Fatalf("Recovered lost op or stack: %+v", inner)
+	}
+	outer := Recovered("outer op", inner)
+	if outer != inner {
+		t.Fatal("nested PanicError was re-wrapped; innermost Op must win")
+	}
+	if !IsInjected(inner) {
+		t.Fatal("IsInjected must reach through PanicError to *Injected")
+	}
+	wrapped := fmt.Errorf("engine: CTP 2: %w", inner)
+	var pe *PanicError
+	if !errors.As(wrapped, &pe) {
+		t.Fatal("errors.As through fmt wrapping failed")
+	}
+	if IsInjected(errors.New("ordinary")) {
+		t.Fatal("IsInjected on an ordinary error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -12,202 +13,428 @@ import (
 // labels, node types, and string properties. The format is versioned and
 // little-endian:
 //
-//	magic "CTPG" | version u32 | label dictionary | node labels |
-//	node types | edges | node props | edge props
+//	magic "CTPG" | version u32 |
+//	dictionary §  | nodes §  | edges §  | node-props §  | edge-props §
 //
-// Strings are length-prefixed (u32). The format is not meant for
-// cross-version durability guarantees — it is a cache, not an archive.
+// where each § section ends with a CRC32 (IEEE) of its payload bytes
+// (version 2; version-1 snapshots, without checksums, remain readable).
+// Strings are length-prefixed (u32). Corruption — a flipped bit, a
+// truncated file, garbage — surfaces as a structured *SnapshotError
+// naming the section and byte offset, never as a panic or a silently
+// wrong graph: every ID is bounds-checked against the counts already
+// read, and the checksum catches what validation cannot. The format is
+// not meant for cross-version durability guarantees — it is a cache,
+// not an archive.
 
 const (
-	snapshotMagic   = "CTPG"
-	snapshotVersion = 1
+	snapshotMagic     = "CTPG"
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1 // legacy: no section checksums
 )
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// SnapshotError is a structured snapshot decoding failure: which
+// section could not be decoded and at what byte offset into the stream,
+// so an operator can tell a truncated copy from a flipped disk bit.
+type SnapshotError struct {
+	Section string // "header", "dictionary", "nodes", "edges", "node-props", "edge-props", "decode"
+	Offset  int64  // bytes consumed when the failure was detected
+	Err     error
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("graph: snapshot %s section at offset %d: %v", e.Section, e.Offset, e.Err)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// snapWriter accumulates a CRC32 over each section's payload;
+// endSection emits it.
+type snapWriter struct {
+	bw  *bufio.Writer
+	crc uint32
+	err error
+}
+
+// raw writes outside the checksum (magic, version, the CRCs themselves).
+func (w *snapWriter) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+func (w *snapWriter) write(b []byte) {
+	w.crc = crc32.Update(w.crc, crcTable, b)
+	w.raw(b)
+}
+
+func (w *snapWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.write(buf[:])
+}
+
+func (w *snapWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+func (w *snapWriter) endSection() {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w.crc)
+	w.raw(buf[:])
+	w.crc = 0
+}
 
 // WriteSnapshot serializes g into w.
 func WriteSnapshot(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return err
-	}
-	putU32 := func(v uint32) {
-		var buf [4]byte
-		binary.LittleEndian.PutUint32(buf[:], v)
-		bw.Write(buf[:])
-	}
-	putStr := func(s string) {
-		putU32(uint32(len(s)))
-		bw.WriteString(s)
-	}
-	putU32(snapshotVersion)
+	sw := &snapWriter{bw: bufio.NewWriter(w)}
+	sw.raw([]byte(snapshotMagic))
+	var vbuf [4]byte
+	binary.LittleEndian.PutUint32(vbuf[:], snapshotVersion)
+	sw.raw(vbuf[:])
 
 	// Label dictionary (index 0 is always ε; store all entries anyway so
 	// IDs survive verbatim).
-	putU32(uint32(g.labels.Len()))
+	sw.u32(uint32(g.labels.Len()))
 	for i := 0; i < g.labels.Len(); i++ {
-		putStr(g.labels.String(LabelID(i)))
+		sw.str(g.labels.String(LabelID(i)))
 	}
+	sw.endSection()
+
 	// Nodes.
-	putU32(uint32(g.NumNodes()))
+	sw.u32(uint32(g.NumNodes()))
 	for _, l := range g.nodeLabel {
-		putU32(uint32(l))
+		sw.u32(uint32(l))
 	}
 	for _, ts := range g.nodeTypes {
-		putU32(uint32(len(ts)))
+		sw.u32(uint32(len(ts)))
 		for _, t := range ts {
-			putU32(uint32(t))
+			sw.u32(uint32(t))
 		}
 	}
+	sw.endSection()
+
 	// Edges.
-	putU32(uint32(g.NumEdges()))
+	sw.u32(uint32(g.NumEdges()))
 	for _, e := range g.edges {
-		putU32(uint32(e.Source))
-		putU32(uint32(e.Label))
-		putU32(uint32(e.Target))
+		sw.u32(uint32(e.Source))
+		sw.u32(uint32(e.Label))
+		sw.u32(uint32(e.Target))
 	}
+	sw.endSection()
+
 	// Properties.
-	putU32(uint32(len(g.nodeProps)))
+	sw.u32(uint32(len(g.nodeProps)))
 	for p, m := range g.nodeProps {
-		putStr(p)
-		putU32(uint32(len(m)))
+		sw.str(p)
+		sw.u32(uint32(len(m)))
 		for n, v := range m {
-			putU32(uint32(n))
-			putStr(v)
+			sw.u32(uint32(n))
+			sw.str(v)
 		}
 	}
-	putU32(uint32(len(g.edgeProps)))
+	sw.endSection()
+
+	sw.u32(uint32(len(g.edgeProps)))
 	for p, m := range g.edgeProps {
-		putStr(p)
-		putU32(uint32(len(m)))
+		sw.str(p)
+		sw.u32(uint32(len(m)))
 		for e, v := range m {
-			putU32(uint32(e))
-			putStr(v)
+			sw.u32(uint32(e))
+			sw.str(v)
 		}
 	}
-	return bw.Flush()
+	sw.endSection()
+
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.bw.Flush()
 }
 
-// ReadSnapshot deserializes a graph written by WriteSnapshot.
-func ReadSnapshot(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
+// snapReader funnels every payload read through one point that tracks
+// the byte offset and the running section CRC. The CRC is computed at
+// the consumption layer (not a TeeReader) because bufio's read-ahead
+// would otherwise checksum bytes the decoder never reached.
+type snapReader struct {
+	br      *bufio.Reader
+	crc     uint32
+	off     int64
+	err     *SnapshotError
+	section string
+	checked bool // version >= 2: sections end with a CRC32
+}
+
+func (r *snapReader) fail(err error) {
+	if r.err == nil {
+		r.err = &SnapshotError{Section: r.section, Offset: r.off, Err: err}
+	}
+}
+
+func (r *snapReader) failf(format string, args ...any) {
+	r.fail(fmt.Errorf(format, args...))
+}
+
+func (r *snapReader) read(b []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		r.fail(fmt.Errorf("truncated: %w", err))
+		return false
+	}
+	r.off += int64(len(b))
+	r.crc = crc32.Update(r.crc, crcTable, b)
+	return true
+}
+
+func (r *snapReader) u32() uint32 {
+	var buf [4]byte
+	if !r.read(buf[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (r *snapReader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<24 {
+		r.failf("implausible string length %d", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if !r.read(b) {
+		return ""
+	}
+	return string(b)
+}
+
+// endSection verifies the current section's stored checksum (version 2)
+// and begins the named next one. The stored CRC itself is read outside
+// the running checksum.
+func (r *snapReader) endSection(next string) {
+	if r.checked && r.err == nil {
+		sum := r.crc
+		var buf [4]byte
+		if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+			r.fail(fmt.Errorf("truncated checksum: %w", err))
+		} else {
+			r.off += 4
+			if got := binary.LittleEndian.Uint32(buf[:]); got != sum {
+				r.failf("checksum mismatch (stored %#08x, computed %#08x): corrupted snapshot", got, sum)
+			}
+		}
+	}
+	r.crc = 0
+	r.section = next
+}
+
+// ReadSnapshot deserializes a graph written by WriteSnapshot (version 2
+// or the checksum-less version 1). Any failure — truncation, corruption,
+// implausible counts, out-of-range IDs — returns a *SnapshotError; the
+// function never panics on arbitrary input.
+func ReadSnapshot(rd io.Reader) (g *Graph, err error) {
+	// Backstop: any decode panic the validations below miss becomes a
+	// structured error — a corrupted cache file must never take down the
+	// process that tries to load it.
+	defer func() {
+		if rec := recover(); rec != nil {
+			g, err = nil, &SnapshotError{Section: "decode", Err: fmt.Errorf("panic: %v", rec)}
+		}
+	}()
+
+	r := &snapReader{br: bufio.NewReader(rd), section: "header"}
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	if !r.read(magic) {
+		return nil, r.err
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("graph: not a snapshot (magic %q)", magic)
+		return nil, &SnapshotError{Section: "header", Err: fmt.Errorf("not a snapshot (magic %q)", magic)}
 	}
-	var readErr error
-	getU32 := func() uint32 {
-		if readErr != nil {
-			return 0
-		}
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			readErr = err
-			return 0
-		}
-		return binary.LittleEndian.Uint32(buf[:])
+	switch v := r.u32(); {
+	case r.err != nil:
+		return nil, r.err
+	case v == snapshotVersion:
+		r.checked = true
+	case v == snapshotVersionV1:
+		// Legacy: decode with full validation but no checksums.
+	default:
+		r.failf("unsupported snapshot version %d", v)
+		return nil, r.err
 	}
-	getStr := func() string {
-		n := getU32()
-		if readErr != nil {
-			return ""
-		}
-		if n > 1<<24 {
-			readErr = fmt.Errorf("graph: implausible string length %d", n)
-			return ""
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			readErr = err
-			return ""
-		}
-		return string(b)
-	}
-	if v := getU32(); v != snapshotVersion {
-		if readErr == nil {
-			readErr = fmt.Errorf("graph: unsupported snapshot version %d", v)
-		}
-		return nil, readErr
-	}
+	r.crc = 0 // the header is not checksummed
+	r.section = "dictionary"
 
 	b := NewBuilder()
-	nLabels := getU32()
-	for i := uint32(0); i < nLabels && readErr == nil; i++ {
-		s := getStr()
+	nLabels := r.u32()
+	if r.err == nil && nLabels > 1<<24 {
+		r.failf("implausible label count %d", nLabels)
+	}
+	if r.err == nil && nLabels == 0 {
+		r.failf("empty dictionary (ε is always present)")
+	}
+	for i := uint32(0); i < nLabels && r.err == nil; i++ {
+		s := r.str()
 		if i == 0 {
 			continue // ε is pre-seeded
 		}
 		b.labels.Intern(s)
 	}
-	nNodes := getU32()
-	if readErr == nil && nNodes > 1<<28 {
-		return nil, fmt.Errorf("graph: implausible node count %d", nNodes)
+	r.endSection("nodes")
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	nNodes := r.u32()
+	if r.err == nil && nNodes > 1<<28 {
+		r.failf("implausible node count %d", nNodes)
+	}
+	if r.err != nil {
+		return nil, r.err
 	}
 	labels := make([]LabelID, nNodes)
 	for i := range labels {
-		labels[i] = LabelID(getU32())
+		l := r.u32()
+		if r.err != nil {
+			break
+		}
+		if l >= nLabels {
+			r.failf("node %d label %d outside dictionary [0,%d)", i, l, nLabels)
+			break
+		}
+		labels[i] = LabelID(l)
 	}
 	types := make([][]LabelID, nNodes)
 	for i := range types {
-		k := getU32()
-		if readErr != nil {
+		if r.err != nil {
+			break
+		}
+		k := r.u32()
+		if r.err != nil {
+			break
+		}
+		if k > nLabels {
+			r.failf("node %d type count %d exceeds dictionary size %d", i, k, nLabels)
 			break
 		}
 		if k > 0 {
 			types[i] = make([]LabelID, k)
 			for j := range types[i] {
-				types[i][j] = LabelID(getU32())
+				tl := r.u32()
+				if r.err != nil {
+					break
+				}
+				if tl >= nLabels {
+					r.failf("node %d type label %d outside dictionary [0,%d)", i, tl, nLabels)
+					break
+				}
+				types[i][j] = LabelID(tl)
 			}
 		}
 	}
-	if readErr != nil {
-		return nil, fmt.Errorf("graph: snapshot nodes: %w", readErr)
+	r.endSection("edges")
+	if r.err != nil {
+		return nil, r.err
 	}
 	b.nodeLabel = labels
 	b.nodeTypes = types
 
-	nEdges := getU32()
-	if readErr == nil && nEdges > 1<<28 {
-		return nil, fmt.Errorf("graph: implausible edge count %d", nEdges)
+	nEdges := r.u32()
+	if r.err == nil && nEdges > 1<<28 {
+		r.failf("implausible edge count %d", nEdges)
 	}
-	for i := uint32(0); i < nEdges && readErr == nil; i++ {
-		src := NodeID(getU32())
-		lbl := LabelID(getU32())
-		dst := NodeID(getU32())
-		if readErr == nil {
-			if int(src) >= len(labels) || int(dst) >= len(labels) {
-				return nil, fmt.Errorf("graph: snapshot edge %d out of range", i)
+	for i := uint32(0); i < nEdges && r.err == nil; i++ {
+		src := r.u32()
+		lbl := r.u32()
+		dst := r.u32()
+		if r.err != nil {
+			break
+		}
+		if src >= nNodes || dst >= nNodes {
+			r.failf("edge %d endpoint (%d -> %d) outside nodes [0,%d)", i, src, dst, nNodes)
+			break
+		}
+		if lbl >= nLabels {
+			r.failf("edge %d label %d outside dictionary [0,%d)", i, lbl, nLabels)
+			break
+		}
+		b.edges = append(b.edges, Edge{Source: NodeID(src), Target: NodeID(dst), Label: LabelID(lbl)})
+	}
+	r.endSection("node-props")
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	nProps := r.u32()
+	if r.err == nil && nProps > 1<<20 {
+		r.failf("implausible node property count %d", nProps)
+	}
+	for i := uint32(0); i < nProps && r.err == nil; i++ {
+		p := r.str()
+		k := r.u32()
+		if r.err != nil {
+			break
+		}
+		if k > nNodes {
+			r.failf("property %q has %d values for %d nodes", p, k, nNodes)
+			break
+		}
+		for j := uint32(0); j < k && r.err == nil; j++ {
+			n := r.u32()
+			v := r.str()
+			if r.err != nil {
+				break
 			}
-			b.edges = append(b.edges, Edge{Source: src, Target: dst, Label: lbl})
+			if n >= nNodes {
+				r.failf("property %q node %d outside nodes [0,%d)", p, n, nNodes)
+				break
+			}
+			b.SetNodeProp(NodeID(n), p, v)
 		}
 	}
-	nProps := getU32()
-	for i := uint32(0); i < nProps && readErr == nil; i++ {
-		p := getStr()
-		k := getU32()
-		for j := uint32(0); j < k && readErr == nil; j++ {
-			n := NodeID(getU32())
-			v := getStr()
-			if readErr == nil {
-				b.SetNodeProp(n, p, v)
+	r.endSection("edge-props")
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	nEProps := r.u32()
+	if r.err == nil && nEProps > 1<<20 {
+		r.failf("implausible edge property count %d", nEProps)
+	}
+	for i := uint32(0); i < nEProps && r.err == nil; i++ {
+		p := r.str()
+		k := r.u32()
+		if r.err != nil {
+			break
+		}
+		if k > nEdges {
+			r.failf("property %q has %d values for %d edges", p, k, nEdges)
+			break
+		}
+		for j := uint32(0); j < k && r.err == nil; j++ {
+			e := r.u32()
+			v := r.str()
+			if r.err != nil {
+				break
 			}
+			if e >= nEdges {
+				r.failf("property %q edge %d outside edges [0,%d)", p, e, nEdges)
+				break
+			}
+			b.SetEdgeProp(EdgeID(e), p, v)
 		}
 	}
-	nEProps := getU32()
-	for i := uint32(0); i < nEProps && readErr == nil; i++ {
-		p := getStr()
-		k := getU32()
-		for j := uint32(0); j < k && readErr == nil; j++ {
-			e := EdgeID(getU32())
-			v := getStr()
-			if readErr == nil {
-				b.SetEdgeProp(e, p, v)
-			}
-		}
-	}
-	if readErr != nil {
-		return nil, fmt.Errorf("graph: snapshot body: %w", readErr)
+	r.endSection("")
+	if r.err != nil {
+		return nil, r.err
 	}
 	return b.Build(), nil
 }

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestChaosSnapshotEveryByteCorruption flips every single byte of a
+// valid snapshot in turn and asserts each corrupted copy is rejected
+// with a structured *SnapshotError — the per-section CRC32 guarantees no
+// single-byte corruption can load as a silently wrong graph, and the
+// bounds validation plus recover backstop guarantee none can panic.
+func TestChaosSnapshotEveryByteCorruption(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for i := range valid {
+		corrupted := append([]byte(nil), valid...)
+		corrupted[i] ^= 0xA5
+		_, err := ReadSnapshot(bytes.NewReader(corrupted))
+		if err == nil {
+			t.Fatalf("corruption at byte %d/%d accepted", i, len(valid))
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("corruption at byte %d: unstructured error %v", i, err)
+		}
+		if se.Section == "" {
+			t.Fatalf("corruption at byte %d: error names no section: %v", i, err)
+		}
+	}
+}
+
+// TestChaosSnapshotEveryTruncation cuts the snapshot at every length and
+// asserts each prefix errors (structured) instead of panicking or
+// half-loading.
+func TestChaosSnapshotEveryTruncation(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut++ {
+		_, err := ReadSnapshot(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(valid))
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("truncation at %d: unstructured error %v", cut, err)
+		}
+	}
+}
+
+// writeSnapshotV1 emits the legacy checksum-less version-1 layout, which
+// ReadSnapshot must keep accepting.
+func writeSnapshotV1(buf *bytes.Buffer, g *Graph) {
+	buf.WriteString("CTPG")
+	u32 := func(v uint32) { buf.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}) }
+	str := func(s string) { u32(uint32(len(s))); buf.WriteString(s) }
+	u32(1) // version
+	u32(uint32(g.labels.Len()))
+	for i := 0; i < g.labels.Len(); i++ {
+		str(g.labels.String(LabelID(i)))
+	}
+	u32(uint32(g.NumNodes()))
+	for _, l := range g.nodeLabel {
+		u32(uint32(l))
+	}
+	for _, ts := range g.nodeTypes {
+		u32(uint32(len(ts)))
+		for _, tl := range ts {
+			u32(uint32(tl))
+		}
+	}
+	u32(uint32(g.NumEdges()))
+	for _, e := range g.edges {
+		u32(uint32(e.Source))
+		u32(uint32(e.Label))
+		u32(uint32(e.Target))
+	}
+	u32(uint32(len(g.nodeProps)))
+	for p, m := range g.nodeProps {
+		str(p)
+		u32(uint32(len(m)))
+		for n, v := range m {
+			u32(uint32(n))
+			str(v)
+		}
+	}
+	u32(uint32(len(g.edgeProps)))
+	for p, m := range g.edgeProps {
+		str(p)
+		u32(uint32(len(m)))
+		for e, v := range m {
+			u32(uint32(e))
+			str(v)
+		}
+	}
+}
+
+func TestSnapshotReadsLegacyV1(t *testing.T) {
+	g := snapshotFixture(t)
+	var buf bytes.Buffer
+	writeSnapshotV1(&buf, g)
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("v1 decode: %d nodes %d edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if got.Fingerprint() != g.Fingerprint() {
+		t.Fatal("v1 decode changed the graph fingerprint")
+	}
+}

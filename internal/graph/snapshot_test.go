@@ -2,7 +2,7 @@ package graph
 
 import (
 	"bytes"
-	"strings"
+	"errors"
 	"testing"
 )
 
@@ -115,7 +115,12 @@ func TestSnapshotRejectsOutOfRangeEdge(t *testing.T) {
 	u32(0) // target
 	u32(0) // node props
 	u32(0) // edge props
-	if _, err := ReadSnapshot(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
-		t.Fatalf("out-of-range edge accepted: %v", err)
+	_, err := ReadSnapshot(&buf)
+	var se *SnapshotError
+	if err == nil || !errors.As(err, &se) {
+		t.Fatalf("out-of-range edge accepted or unstructured error: %v", err)
+	}
+	if se.Section != "edges" {
+		t.Fatalf("failure attributed to %q section, want edges: %v", se.Section, err)
 	}
 }

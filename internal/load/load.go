@@ -23,7 +23,9 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -184,6 +186,67 @@ func SteadyPlan(mix *Mix, rps float64, d time.Duration) Plan {
 	return Plan{Name: mix.Name, Phases: []Phase{{Name: mix.Name, Duration: d, RPS: rps, Mix: mix}}}
 }
 
+// RetryPolicy makes the client resilient to shedding: a 429 is retried
+// after honoring the server's Retry-After, under capped exponential
+// backoff with jitter, against a per-class retry budget so a saturated
+// server is not hammered into deeper saturation by its own clients. The
+// zero value disables retries (every 429 is a terminal shed), which is
+// what the benchmark suite uses so admission-on/off runs stay
+// comparable.
+type RetryPolicy struct {
+	// MaxRetries is the per-request retry cap (0 = no retries).
+	MaxRetries int
+	// Budget caps total retries across the whole replay per scheduling
+	// class (0 = unlimited while MaxRetries > 0). Once a class's budget is
+	// dry, its remaining 429s are terminal sheds.
+	Budget int64
+	// BaseBackoff seeds the exponential backoff (default 100ms); the wait
+	// before retry n is max(Retry-After, BaseBackoff<<n), capped at
+	// MaxBackoff, plus up to 25% jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single wait (default 5s).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxRetries > 0 }
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseBackoff > 0 {
+		return p.BaseBackoff
+	}
+	return 100 * time.Millisecond
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 5 * time.Second
+}
+
+// retryBudgets is the replay-wide per-class retry allowance.
+type retryBudgets struct {
+	cheap      atomic.Int64
+	analytical atomic.Int64
+}
+
+// take consumes one retry from the class budget; false means dry.
+func (b *retryBudgets) take(class string) bool {
+	c := &b.cheap
+	if class == "analytical" {
+		c = &b.analytical
+	}
+	for {
+		cur := c.Load()
+		if cur <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
 // sample is one completed request observation.
 type sample struct {
 	latencyMS float64
@@ -192,6 +255,8 @@ type sample struct {
 	cacheHit  bool
 	bypass    bool
 	timedOut  bool
+	retries   int  // retry attempts this request consumed
+	budgetDry bool // a retry was wanted but the class budget was dry
 }
 
 // ClassSummary is the latency distribution of one scheduling class.
@@ -220,9 +285,22 @@ type Result struct {
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 
+	// Retries is the total retry attempts issued; RetriedOK counts
+	// requests that ended 200 only thanks to a retry; RetryBudgetDry
+	// counts requests that wanted a retry after the class budget was
+	// exhausted (their 429 became a terminal shed).
+	Retries        int64 `json:"retries,omitempty"`
+	RetriedOK      int64 `json:"retried_ok,omitempty"`
+	RetryBudgetDry int64 `json:"retry_budget_dry,omitempty"`
+
 	Overall    ClassSummary `json:"overall"`
 	Cheap      ClassSummary `json:"cheap"`
 	Analytical ClassSummary `json:"analytical"`
+	// ShedLatency is the latency distribution of terminally shed
+	// requests — kept out of the OK buckets (a 1ms 429 must not flatter
+	// p50) but reported, because with retries enabled a shed burns real
+	// client time waiting out backoffs.
+	ShedLatency ClassSummary `json:"shed_latency"`
 }
 
 // replayResponse is the slice of the server's response the harness
@@ -241,14 +319,31 @@ type replayResponse struct {
 // Replay runs the plan against the server at url, open-loop: a request
 // launches at every arrival tick whether or not earlier ones came back.
 // The rng drives every generator draw, so a (plan, seed) pair replays
-// the identical query sequence against any server.
+// the identical query sequence against any server. Retries are off; see
+// ReplayWithPolicy.
 func Replay(ctx context.Context, url string, plan Plan, seed int64) (*Result, error) {
+	return ReplayWithPolicy(ctx, url, plan, seed, RetryPolicy{})
+}
+
+// ReplayWithPolicy is Replay with client-side 429 resilience: shed
+// requests retry per pol, honoring the server's Retry-After. Backoff
+// jitter comes from a per-request rng seeded from (seed, request
+// index), so a (plan, seed, pol) triple still replays deterministically
+// modulo server timing.
+func ReplayWithPolicy(ctx context.Context, url string, plan Plan, seed int64, pol RetryPolicy) (*Result, error) {
 	client := &http.Client{Timeout: 60 * time.Second}
 	rng := rand.New(rand.NewSource(seed))
+	var budgets *retryBudgets
+	if pol.enabled() && pol.Budget > 0 {
+		budgets = &retryBudgets{}
+		budgets.cheap.Store(pol.Budget)
+		budgets.analytical.Store(pol.Budget)
+	}
 
 	var mu sync.Mutex
 	var samples []sample
 	var wg sync.WaitGroup
+	var reqIndex int64
 	start := time.Now()
 
 	for _, ph := range plan.Phases {
@@ -269,10 +364,12 @@ func Replay(ctx context.Context, url string, plan Plan, seed int64) (*Result, er
 				break phase
 			case <-ticker.C:
 				req := ph.Mix.Next(rng)
+				idx := reqIndex
+				reqIndex++
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					s := post(client, url, req)
+					s := post(ctx, client, url, req, pol, budgets, seed^idx)
 					mu.Lock()
 					samples = append(samples, s)
 					mu.Unlock()
@@ -285,48 +382,89 @@ func Replay(ctx context.Context, url string, plan Plan, seed int64) (*Result, er
 	return summarize(plan.Name, samples, time.Since(start)), nil
 }
 
-// post issues one request and observes it.
-func post(client *http.Client, url string, req Request) sample {
+// post issues one request, retrying sheds per pol, and observes it. The
+// reported latency spans the whole attempt sequence including backoff
+// waits — that is the latency the notional end user saw.
+func post(ctx context.Context, client *http.Client, url string, req Request, pol RetryPolicy, budgets *retryBudgets, jitterSeed int64) (s sample) {
 	body, _ := json.Marshal(map[string]any{
 		"query":      req.Query,
 		"timeout_ms": req.TimeoutMS,
 		"omit_trees": true,
 		"max_rows":   1,
 	})
+	jrng := rand.New(rand.NewSource(jitterSeed))
+	s = sample{class: req.Class}
 	t0 := time.Now()
-	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
-	s := sample{class: req.Class}
-	if err != nil {
-		s.code = -1
-		s.latencyMS = float64(time.Since(t0)) / float64(time.Millisecond)
-		return s
-	}
-	defer resp.Body.Close()
-	s.code = resp.StatusCode
-	var out replayResponse
-	if resp.StatusCode == http.StatusOK {
-		if derr := json.NewDecoder(resp.Body).Decode(&out); derr == nil {
-			s.timedOut = out.TimedOut
-			if out.Cache != nil {
-				s.cacheHit = out.Cache.Hit
+	// Named return: the deferred stamp must land in the value the caller
+	// receives, covering every return path including backoff waits.
+	defer func() { s.latencyMS = float64(time.Since(t0)) / float64(time.Millisecond) }()
+
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			s.code = -1
+			return s
+		}
+		s.code = resp.StatusCode
+		retryAfter := 0
+		if resp.StatusCode == http.StatusOK {
+			var out replayResponse
+			if derr := json.NewDecoder(resp.Body).Decode(&out); derr == nil {
+				s.timedOut = out.TimedOut
+				if out.Cache != nil {
+					s.cacheHit = out.Cache.Hit
+				}
+				if out.Admission != nil {
+					s.bypass = out.Admission.CacheBypass
+				}
 			}
-			if out.Admission != nil {
-				s.bypass = out.Admission.CacheBypass
-			}
+		} else if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
+		}
+		resp.Body.Close()
+
+		if s.code != http.StatusTooManyRequests || !pol.enabled() || attempt >= pol.MaxRetries {
+			return s
+		}
+		if budgets != nil && !budgets.take(req.Class) {
+			s.budgetDry = true
+			return s
+		}
+		// Honor the server's Retry-After when it is longer than our own
+		// exponential backoff, cap the wait, then add up to 25% jitter so
+		// a synchronized shed wave does not retry as a synchronized wave.
+		wait := pol.base() << attempt
+		if ra := time.Duration(retryAfter) * time.Second; ra > wait {
+			wait = ra
+		}
+		if wait > pol.cap() {
+			wait = pol.cap()
+		}
+		wait += time.Duration(jrng.Int63n(int64(wait)/4 + 1))
+		s.retries++
+		select {
+		case <-ctx.Done():
+			return s
+		case <-time.After(wait):
 		}
 	}
-	s.latencyMS = float64(time.Since(t0)) / float64(time.Millisecond)
-	return s
 }
 
 // summarize folds samples into the Result.
 func summarize(plan string, samples []sample, elapsed time.Duration) *Result {
 	r := &Result{Plan: plan, DurationS: elapsed.Seconds(), Requests: int64(len(samples))}
-	var all, cheap, analytical []float64
+	var all, cheap, analytical, shed []float64
 	for _, s := range samples {
+		r.Retries += int64(s.retries)
+		if s.budgetDry {
+			r.RetryBudgetDry++
+		}
 		switch {
 		case s.code == http.StatusOK:
 			r.OK++
+			if s.retries > 0 {
+				r.RetriedOK++
+			}
 			if s.timedOut {
 				r.Timeouts++
 			}
@@ -344,6 +482,7 @@ func summarize(plan string, samples []sample, elapsed time.Duration) *Result {
 			}
 		case s.code == http.StatusTooManyRequests:
 			r.Shed++
+			shed = append(shed, s.latencyMS)
 		default:
 			r.Errors++
 		}
@@ -357,6 +496,7 @@ func summarize(plan string, samples []sample, elapsed time.Duration) *Result {
 	r.Overall = summarizeLatencies(all)
 	r.Cheap = summarizeLatencies(cheap)
 	r.Analytical = summarizeLatencies(analytical)
+	r.ShedLatency = summarizeLatencies(shed)
 	return r
 }
 

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedThenServe answers 429 + Retry-After for the first n requests, 200
+// afterwards — the shape of a server recovering from a saturation spike.
+func shedThenServe(n int64) (*httptest.Server, *atomic.Int64) {
+	var served atomic.Int64
+	var total atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if total.Add(1) <= n {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"columns":[],"rows":[],"row_count":0,"timed_out":false}`))
+	})
+	return httptest.NewServer(h), &served
+}
+
+// TestRetryRecoversFromSheds: with retries enabled, requests shed during
+// the spike retry (honoring Retry-After) and end OK; the result reports
+// how many succeeded only thanks to a retry.
+func TestRetryRecoversFromSheds(t *testing.T) {
+	srv, served := shedThenServe(3)
+	defer srv.Close()
+
+	pol := RetryPolicy{MaxRetries: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	budgets := &retryBudgets{}
+	budgets.cheap.Store(100)
+	budgets.analytical.Store(100)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var samples []sample
+	for i := 0; i < 5; i++ {
+		samples = append(samples, post(t.Context(), client, srv.URL, CheapQuery(1, 2), pol, budgets, int64(i)))
+	}
+	r := summarize("retry", samples, time.Second)
+	if r.OK != 5 {
+		t.Fatalf("ok = %d of 5 (shed %d, errors %d)", r.OK, r.Shed, r.Errors)
+	}
+	if r.Retries == 0 || r.RetriedOK == 0 {
+		t.Fatalf("retries=%d retried_ok=%d, want both > 0", r.Retries, r.RetriedOK)
+	}
+	if served.Load() != 5 {
+		t.Fatalf("server served %d, want 5", served.Load())
+	}
+}
+
+// TestRetryBudgetDryTurnsShedsTerminal: once the per-class budget is
+// spent, remaining 429s are terminal sheds (flagged budget-dry) and land
+// in the shed-latency bucket instead of hammering the server.
+func TestRetryBudgetDryTurnsShedsTerminal(t *testing.T) {
+	srv, _ := shedThenServe(1 << 30) // always shedding
+	defer srv.Close()
+
+	pol := RetryPolicy{MaxRetries: 3, Budget: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	budgets := &retryBudgets{}
+	budgets.cheap.Store(pol.Budget)
+	budgets.analytical.Store(pol.Budget)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var samples []sample
+	for i := 0; i < 4; i++ {
+		samples = append(samples, post(t.Context(), client, srv.URL, CheapQuery(1, 2), pol, budgets, int64(i)))
+	}
+	r := summarize("budget", samples, time.Second)
+	if r.Shed != 4 {
+		t.Fatalf("shed = %d of 4", r.Shed)
+	}
+	if r.Retries != 2 {
+		t.Fatalf("retries = %d, want exactly the budget (2)", r.Retries)
+	}
+	if r.RetryBudgetDry == 0 {
+		t.Fatal("no request reported a dry retry budget")
+	}
+	if r.ShedLatency.Count != 4 {
+		t.Fatalf("shed latency bucket has %d samples, want 4", r.ShedLatency.Count)
+	}
+	if r.Overall.Count != 0 {
+		t.Fatalf("shed latencies leaked into the OK bucket: %+v", r.Overall)
+	}
+}
+
+// TestRetryDisabledByZeroPolicy: the zero RetryPolicy (what Replay and
+// the benchmark suite use) treats every 429 as terminal.
+func TestRetryDisabledByZeroPolicy(t *testing.T) {
+	srv, _ := shedThenServe(1 << 30)
+	defer srv.Close()
+	client := &http.Client{Timeout: 5 * time.Second}
+	s := post(t.Context(), client, srv.URL, CheapQuery(1, 2), RetryPolicy{}, nil, 1)
+	if s.code != http.StatusTooManyRequests || s.retries != 0 {
+		t.Fatalf("zero policy: code=%d retries=%d", s.code, s.retries)
+	}
+}

@@ -23,8 +23,16 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ctpquery/internal/fault"
 )
+
+// probeLead fires inside every singleflight leader execution (inert
+// unless armed via internal/fault), so chaos tests can crash a leader
+// without cooperating exec functions.
+var probeLead = fault.Register("qcache.singleflight.lead")
 
 // Key identifies one cacheable execution. Two executions with equal Keys
 // must produce interchangeable results; see the package comment for why
@@ -77,13 +85,17 @@ type entry struct {
 // call is one in-flight execution; waiters block on done. admitted
 // records whether the leader's result was cacheable: waiters share only
 // admitted results — an inadmissible (partial) result belongs to the
-// leader alone, and a leader that failed or panicked left nothing to
-// share — so in every other case waiters retry instead.
+// leader alone — so otherwise waiters retry. The one exception is a
+// panicking leader (panicked set): its waiters receive the contained
+// error instead of retrying, because re-executing the very call that
+// just crashed would turn one panic into N.
 type call struct {
 	done     chan struct{}
 	val      any
 	err      error
 	admitted bool
+	panicked bool
+	waiters  atomic.Int32 // callers that blocked on done (test observability)
 }
 
 // New creates a cache holding at most maxBytes of caller-estimated
@@ -118,11 +130,14 @@ func New(maxBytes int64, ttl time.Duration) *Cache {
 // partial (admit=false) result is returned to the leader alone, because
 // a waiter's own budget might have afforded the complete answer; such
 // waiters retry, re-entering Do, where the first becomes the next
-// leader. Likewise a waiter never inherits a leader's error (typically
-// the leader's own context being canceled): it retries, so one request's
-// cancellation cannot poison the others. A waiter whose own ctx is
-// canceled stops waiting and returns ctx.Err(). A caller that retried
-// and then executed reports coalesced=false: it did the work itself.
+// leader. Likewise a waiter never inherits a leader's ordinary error
+// (typically the leader's own context being canceled): it retries, so
+// one request's cancellation cannot poison the others. The exception is
+// a leader that PANICKED: its waiters receive the contained
+// *fault.PanicError promptly instead of re-executing the call that just
+// crashed. A waiter whose own ctx is canceled stops waiting and returns
+// ctx.Err(). A caller that retried and then executed reports
+// coalesced=false: it did the work itself.
 func (c *Cache) Do(ctx context.Context, key Key, exec func() (val any, size int64, admit bool, err error)) (val any, hit, coalesced bool, err error) {
 	for {
 		c.mu.Lock()
@@ -138,6 +153,7 @@ func (c *Cache) Do(ctx context.Context, key Key, exec func() (val any, size int6
 			c.evictions++
 		}
 		if cl, ok := c.inflight[key]; ok {
+			cl.waiters.Add(1)
 			c.mu.Unlock()
 			select {
 			case <-cl.done:
@@ -147,9 +163,20 @@ func (c *Cache) Do(ctx context.Context, key Key, exec func() (val any, size int6
 					c.mu.Unlock()
 					return cl.val, false, true, nil
 				}
-				// The leader failed, panicked, or produced a partial
-				// result this waiter must not be served. Retry; the loop
-				// makes this waiter the next leader (or a waiter on one).
+				if cl.panicked {
+					// The leader panicked. Fail the waiters promptly with
+					// the contained error rather than retrying: the same
+					// execution would likely crash again, once per waiter.
+					// Nothing was stored, so the NEXT identical query
+					// re-executes cleanly.
+					c.mu.Lock()
+					c.coalesced++
+					c.mu.Unlock()
+					return nil, false, true, cl.err
+				}
+				// The leader failed or produced a partial result this
+				// waiter must not be served. Retry; the loop makes this
+				// waiter the next leader (or a waiter on one).
 				if ctx.Err() != nil {
 					return nil, false, true, ctx.Err()
 				}
@@ -169,12 +196,20 @@ func (c *Cache) Do(ctx context.Context, key Key, exec func() (val any, size int6
 
 // lead runs the leader's execution for key. The deferred cleanup runs
 // even if exec panics, so a panicking engine cannot wedge the key: the
-// in-flight slot is always released and done always closed (waiters then
-// see an unadmitted, error-free call and retry).
+// in-flight slot is always released and done always closed. A panic is
+// contained here into a *fault.PanicError returned to the leader AND
+// its waiters (see call.panicked); nothing is stored, so the entry is
+// never poisoned and the next identical query re-executes.
 func (c *Cache) lead(key Key, cl *call, exec func() (val any, size int64, admit bool, err error)) (val any, hit, coalesced bool, err error) {
 	var size int64
 	var admit, completed bool
 	defer func() {
+		if !completed && err == nil {
+			if rec := recover(); rec != nil {
+				cl.panicked = true
+				err = fault.Recovered("qcache: singleflight leader", rec)
+			}
+		}
 		cl.val, cl.err, cl.admitted = val, err, admit
 		c.mu.Lock()
 		delete(c.inflight, key)
@@ -189,6 +224,7 @@ func (c *Cache) lead(key Key, cl *call, exec func() (val any, size int64, admit 
 		c.mu.Unlock()
 		close(cl.done)
 	}()
+	probeLead.Hit()
 	val, size, admit, err = exec()
 	completed = true
 	return val, false, false, err
@@ -236,6 +272,33 @@ func (c *Cache) get(key Key) (val any, ok bool) {
 	}
 	c.ll.MoveToFront(el)
 	return e.val, true
+}
+
+// Shed evicts LRU entries until the stored bytes fit within frac of the
+// byte budget (frac 0 empties the cache) and returns the bytes freed.
+// The degradation watchdog calls it under memory pressure; in-flight
+// executions are unaffected.
+func (c *Cache) Shed(frac float64) int64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	target := int64(float64(c.maxBytes) * frac)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var freed int64
+	for c.bytes > target {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		freed += back.Value.(*entry).size
+		c.removeLocked(back)
+		c.evictions++
+	}
+	return freed
 }
 
 // Stats returns a snapshot of the counters.

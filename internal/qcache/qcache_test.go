@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ctpquery/internal/fault"
 )
 
 func key(s string) Key { return Key{Graph: 1, Query: s, Opts: "o"} }
@@ -315,16 +317,13 @@ func TestPartialNotSharedWithWaiters(t *testing.T) {
 // released, waiters retry, and the next caller executes normally.
 func TestPanicReleasesKey(t *testing.T) {
 	c := New(1<<20, 0)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("panic did not propagate to the leader")
-			}
-		}()
-		c.Do(context.Background(), key("q"), func() (any, int64, bool, error) {
-			panic("engine blew up")
-		})
-	}()
+	_, _, _, err := c.Do(context.Background(), key("q"), func() (any, int64, bool, error) {
+		panic("engine blew up")
+	})
+	var pe *fault.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("leader got %v, want a contained *fault.PanicError", err)
+	}
 
 	done := make(chan struct{})
 	go func() {

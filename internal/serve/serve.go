@@ -26,6 +26,17 @@ import (
 
 	"ctpquery"
 	"ctpquery/internal/admission"
+	"ctpquery/internal/fault"
+)
+
+// Request-path probe points (inert unless armed via internal/fault):
+// admitted fires after a request holds its admission slot and before it
+// executes; encode fires while the response is being built. Both sit
+// inside the recover middleware, so the chaos suite uses them to prove
+// a mid-request panic answers 500 and releases the slot.
+var (
+	probeQueryAdmitted = fault.Register("serve.query.admitted")
+	probeQueryEncode   = fault.Register("serve.query.encode")
 )
 
 // Config tunes a Server; the DB comes separately in New.
@@ -43,6 +54,18 @@ type Config struct {
 	Admission *admission.Config
 	// Estimator tunes the cost estimator; only read when Admission is set.
 	Estimator admission.EstimatorConfig
+	// MemSoftBytes, when positive, enables the memory watchdog: above
+	// this live-heap watermark the server degrades (sheds cache bytes,
+	// steps down default parallelism, tightens the admission budget) and
+	// /healthz reports "degraded". See StartWatchdog.
+	MemSoftBytes int64
+	// MemHardBytes is the aggressive second watermark (default 2x soft):
+	// the cache is emptied, parallelism drops to 1, and the admission
+	// budget tightens further.
+	MemHardBytes int64
+	// WatchdogInterval is how often the watchdog samples the heap
+	// (default 5s).
+	WatchdogInterval time.Duration
 }
 
 // Server serves concurrent EQL queries over one immutable graph. The
@@ -62,18 +85,28 @@ type Server struct {
 	ctrl *admission.Controller
 	est  *admission.Estimator
 
+	// Degradation ladder state: health is the /healthz state machine
+	// (ok/degraded/draining), parCeiling (when > 0) caps the effective
+	// parallelism of every request — including the server default — and
+	// wd is the memory watchdog driving both (nil without MemSoftBytes).
+	health     atomic.Int32
+	parCeiling atomic.Int32
+	wd         *watchdog
+
 	// testExecGate, when set by tests, runs after a request is admitted
 	// and before it executes — while it holds its admission slot — so
 	// tests can saturate the server deterministically.
 	testExecGate func(admission.Class)
 
-	started  time.Time
-	requests atomic.Int64
-	failures atomic.Int64
-	timeouts atomic.Int64
-	sheds    atomic.Int64 // 429 responses; disjoint from failures
-	inFlight atomic.Int64
-	busyNS   atomic.Int64 // total completed-handler time, for the average latency
+	started        time.Time
+	requests       atomic.Int64
+	failures       atomic.Int64
+	timeouts       atomic.Int64
+	sheds          atomic.Int64 // 429 responses; disjoint from failures
+	panics         atomic.Int64 // panics recovered by the HTTP middleware
+	internalErrors atomic.Int64 // 500s from panics contained below the handler
+	inFlight       atomic.Int64
+	busyNS         atomic.Int64 // total completed-handler time, for the average latency
 
 	// Aggregated per-query search effort (ctpquery.SearchStats), so
 	// hot-path regressions show up in /stats without attaching a profiler.
@@ -174,6 +207,7 @@ func New(db *ctpquery.DB, cfg Config) (*Server, error) {
 		s.ctrl = admission.NewController(*cfg.Admission)
 		s.est = admission.NewEstimator(g.NumNodes(), g.NumEdges(), cfg.Estimator)
 	}
+	s.wd = newWatchdog(s, cfg)
 	return s, nil
 }
 
@@ -193,7 +227,54 @@ func (s *Server) Handler(enablePprof bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// statusWriter tracks whether a handler already wrote headers, so the
+// recover middleware knows whether a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// recoverMiddleware is the server's outermost containment boundary: a
+// panic escaping a handler answers 500 with a structured error body
+// (when the response hasn't started) instead of tearing down the
+// connection — and the process keeps serving. Handler-registered defers
+// (admission release, in-flight accounting) run during the unwind
+// before this recover, so a panicking request can never leak its
+// admission slot.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The stdlib's own deliberate abort; not ours to swallow.
+				panic(rec)
+			}
+			pe := fault.Recovered("serve: "+r.URL.Path, rec)
+			s.panics.Add(1)
+			s.failures.Add(1)
+			if !sw.wrote {
+				writeJSON(sw, http.StatusInternalServerError, errorResponse{Error: pe.Error()})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 // queryRequest is the JSON body of POST /query.
@@ -353,13 +434,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	db := s.base
-	if req.Algorithm != "" || req.Parallelism != nil {
-		opts := s.base.Options()
+	baseOpts := s.base.Options()
+	// Effective parallelism: request override (clamped by policy), then
+	// the degradation ceiling — under memory pressure the watchdog caps
+	// even the server default, so every request steps down together.
+	effK := baseOpts.Parallelism
+	if req.Parallelism != nil {
+		effK = s.resolveParallelism(*req.Parallelism, effK)
+	}
+	if c := int(s.parCeiling.Load()); c > 0 && effK > c {
+		effK = c
+	}
+	if req.Algorithm != "" || effK != baseOpts.Parallelism {
+		opts := baseOpts
+		opts.Parallelism = effK
 		if req.Algorithm != "" {
 			opts.Algorithm = req.Algorithm
-		}
-		if req.Parallelism != nil {
-			opts.Parallelism = s.resolveParallelism(*req.Parallelism, opts.Parallelism)
 		}
 		var err error
 		if db, err = s.base.WithOptions(opts); err != nil {
@@ -420,6 +510,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			gate(est.Class)
 		}
 	}
+	probeQueryAdmitted.Hit()
 
 	res, cinfo, err := db.RunWithInfo(ctx, q)
 	switch {
@@ -428,8 +519,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failures.Add(1)
 		return
 	case err != nil:
-		// Parse and validation errors are the caller's; anything else
-		// would be ours, but the engine only fails on invalid queries.
+		// Contained panics (exec worker, sequential kernel, engine,
+		// singleflight leader) are OUR fault and answer 500; everything
+		// else the engine reports is a problem with the query — 400.
+		if ctpquery.IsInternalError(err) {
+			s.internalErrors.Add(1)
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -494,6 +591,7 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, class admission.Cl
 }
 
 func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
+	probeQueryEncode.Hit()
 	resp := queryResponse{
 		Columns:   res.Columns(),
 		Rows:      []map[string]cell{},
@@ -561,13 +659,26 @@ func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 	return resp
 }
 
+// handleHealth reports the degradation-ladder state: "ok" and
+// "degraded" answer 200 (a degraded server still serves), "draining"
+// answers 503 so load balancers stop routing new work during graceful
+// shutdown.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h == HealthDraining {
+		code = http.StatusServiceUnavailable
+	}
 	g := s.base.Graph()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
+	payload := map[string]any{
+		"status": h.String(),
 		"nodes":  g.NumNodes(),
 		"edges":  g.NumEdges(),
-	})
+	}
+	if s.wd != nil {
+		payload["memory"] = s.wd.snapshot()
+	}
+	writeJSON(w, code, payload)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -580,16 +691,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	g := s.base.Graph()
 	payload := map[string]any{
-		"uptime_s":       time.Since(s.started).Seconds(),
-		"requests":       requests,
-		"failures":       s.failures.Load(),
-		"timeouts":       s.timeouts.Load(),
-		"sheds":          s.sheds.Load(),
-		"in_flight":      s.inFlight.Load(),
-		"avg_latency_ms": avgMS,
-		"graph":          map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
-		"algorithm":      s.base.Options().Algorithm,
-		"algorithms":     ctpquery.Algorithms(),
+		"uptime_s":        time.Since(s.started).Seconds(),
+		"health":          s.Health().String(),
+		"requests":        requests,
+		"failures":        s.failures.Load(),
+		"timeouts":        s.timeouts.Load(),
+		"sheds":           s.sheds.Load(),
+		"panics":          s.panics.Load(),
+		"internal_errors": s.internalErrors.Load(),
+		"in_flight":       s.inFlight.Load(),
+		"avg_latency_ms":  avgMS,
+		"graph":           map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
+		"algorithm":       s.base.Options().Algorithm,
+		"algorithms":      ctpquery.Algorithms(),
 		"search": map[string]any{
 			"trees_generated": s.treesGenerated.Load(),
 			"trees_recycled":  s.treesRecycled.Load(),
@@ -620,6 +734,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cheap":                classStatsJSON(cst.Cheap),
 			"analytical":           classStatsJSON(cst.Analytical),
 			"in_flight_cost_units": cst.InFlightCost,
+			"budget_scale":         cst.BudgetScale,
 			"estimator": map[string]any{
 				"estimates":      est.Estimates,
 				"observations":   est.Observations,

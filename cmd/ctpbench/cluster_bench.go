@@ -1,0 +1,194 @@
+package main
+
+// The cluster section of the -json suite: the scatter-gather
+// coordinator (internal/cluster) measured end to end over in-process
+// shards. Shards serve from a warm result cache, so per-op time is
+// dominated by coordinator work — routing, transport, response decode,
+// and (for partitions) the canonical-key merge — not by the search
+// engine, which the grid and parallel sections already track.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/cluster"
+	"ctpquery/internal/serve"
+)
+
+const clusterBenchNote = "ns_per_op is one full coordinator gather (route, send, decode, merge) over " +
+	"in-process shards answering from a warm result cache, so entries measure coordinator overhead, " +
+	"not search time. overhead_vs_single = ns_per_op / ns_per_op(single-shard). one-killed runs with " +
+	"a permanently failing replica: the first gathers fail over and trip its breaker, the timed steady " +
+	"state routes straight to the survivor. 2-partitions scatters every gather to two groups holding " +
+	"the same data and dedups the full overlap on canonical row keys — the worst-case merge."
+
+// clusterBenchEntry is one topology scenario of the cluster sweep.
+type clusterBenchEntry struct {
+	Scenario   string  `json:"scenario"`
+	Rows       int     `json:"rows"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Iterations int     `json:"iterations"`
+	// OverheadVsSingle is this scenario's ns_per_op over the single-shard
+	// ns_per_op — the price of replication, failover, or merging.
+	OverheadVsSingle float64 `json:"overhead_vs_single"`
+	// Degraded reports whether steady-state gathers carried a degraded
+	// block (expected false everywhere: one-killed still has a healthy
+	// replica covering the group).
+	Degraded bool `json:"degraded"`
+}
+
+// deadTransport is a replica that lost its process: every send and
+// probe fails immediately.
+type deadTransport struct{ name string }
+
+func (d *deadTransport) Target() string { return d.name }
+func (d *deadTransport) Send(context.Context, *cluster.Request) (*cluster.Response, error) {
+	return nil, errors.New("dead replica")
+}
+func (d *deadTransport) Probe(context.Context) (cluster.HealthReport, error) {
+	return cluster.HealthReport{}, errors.New("dead replica")
+}
+
+// benchShard is one in-process replica with a warm-capable cache,
+// running the parallel kernel (the canonical merge-key order the
+// coordinator merges on comes from the exec collector).
+func benchShard(g *ctpquery.Graph, name string) (cluster.Transport, error) {
+	db, err := ctpquery.Open(g, &ctpquery.Options{
+		Parallel: true, Parallelism: 2,
+		Cache: &ctpquery.CacheConfig{MaxBytes: 64 << 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(db, serve.Config{DefaultTimeout: 10 * time.Second, MaxRows: 1000})
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.LocalTransport{Name: name, Handler: s.Handler(false)}, nil
+}
+
+func clusterBench() ([]clusterBenchEntry, error) {
+	g := ctpquery.RandomGraph(600, 1800, []string{"knows", "cites"}, 42)
+	req := &cluster.Request{
+		Query:     "SELECT ?w WHERE { CONNECT n3 n40 AS ?w MAX 5 LIMIT 200 . }",
+		TimeoutMS: 10000,
+	}
+	// Breaker tuned so the one-killed scenario reaches steady state fast
+	// and stays there: a long cooldown keeps half-open probes of the dead
+	// replica out of the timed loop.
+	cfg := cluster.Config{
+		DefaultTimeout:   10 * time.Second,
+		MaxAttempts:      3,
+		RetryBase:        time.Millisecond,
+		RetryMax:         10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+	}
+
+	scenarios := []struct {
+		name   string
+		groups func() ([]cluster.Group, error)
+	}{
+		{"single-shard", func() ([]cluster.Group, error) {
+			a, err := benchShard(g, "s0")
+			if err != nil {
+				return nil, err
+			}
+			return []cluster.Group{{Name: "g0", Members: []cluster.Transport{a}}}, nil
+		}},
+		{"2-replicas-healthy", func() ([]cluster.Group, error) {
+			a, err := benchShard(g, "r0")
+			if err != nil {
+				return nil, err
+			}
+			b, err := benchShard(g, "r1")
+			if err != nil {
+				return nil, err
+			}
+			return []cluster.Group{{Name: "g0", Members: []cluster.Transport{a, b}}}, nil
+		}},
+		{"2-replicas-one-killed", func() ([]cluster.Group, error) {
+			a, err := benchShard(g, "r0")
+			if err != nil {
+				return nil, err
+			}
+			return []cluster.Group{{Name: "g0", Members: []cluster.Transport{a, &deadTransport{name: "r1"}}}}, nil
+		}},
+		{"2-partitions-merge", func() ([]cluster.Group, error) {
+			a, err := benchShard(g, "p0")
+			if err != nil {
+				return nil, err
+			}
+			b, err := benchShard(g, "p1")
+			if err != nil {
+				return nil, err
+			}
+			return []cluster.Group{
+				{Name: "p0", Members: []cluster.Transport{a}},
+				{Name: "p1", Members: []cluster.Transport{b}},
+			}, nil
+		}},
+	}
+
+	ctx := context.Background()
+	var out []clusterBenchEntry
+	var singleNs float64
+	for _, sc := range scenarios {
+		groups, err := sc.groups()
+		if err != nil {
+			return nil, fmt.Errorf("cluster bench %s: %w", sc.name, err)
+		}
+		coord, err := cluster.New(cfg, groups)
+		if err != nil {
+			return nil, fmt.Errorf("cluster bench %s: %w", sc.name, err)
+		}
+		// Warm up out of band: populate every live shard's cache, run the
+		// one-killed scenario's failovers, and open the dead replica's
+		// breaker, so the timed loop measures the steady state.
+		var warm *cluster.GatherResponse
+		for i := 0; i < 2*cfg.BreakerThreshold; i++ {
+			warm = coord.Gather(ctx, req)
+			if warm.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("cluster bench %s: warm-up answered %d (%s)",
+					sc.name, warm.StatusCode, warm.Error)
+			}
+		}
+		e := clusterBenchEntry{
+			Scenario: sc.name,
+			Rows:     warm.RowCount,
+			Degraded: warm.Degraded != nil,
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gr := coord.Gather(ctx, req)
+				if gr.StatusCode != http.StatusOK {
+					b.Fatalf("gather answered %d (%s)", gr.StatusCode, gr.Error)
+				}
+				if gr.RowCount != e.Rows {
+					b.Fatalf("row count diverged: %d, want %d", gr.RowCount, e.Rows)
+				}
+				if (gr.Degraded != nil) != e.Degraded {
+					b.Fatalf("degraded state flapped mid-bench")
+				}
+			}
+		})
+		e.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		e.Iterations = r.N
+		if sc.name == "single-shard" {
+			singleNs = e.NsPerOp
+		}
+		if singleNs > 0 {
+			e.OverheadVsSingle = e.NsPerOp / singleNs
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-24s cluster %12.0f ns/op  rows=%d  (x%.2f vs single)\n",
+			sc.name, e.NsPerOp, e.Rows, e.OverheadVsSingle)
+	}
+	return out, nil
+}

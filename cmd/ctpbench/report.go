@@ -55,7 +55,13 @@ type benchReport struct {
 	// Figure 11 workloads expressed as EQL queries.
 	CacheBenchNote string            `json:"cache_bench_note,omitempty"`
 	CacheBench     []cacheBenchEntry `json:"cache_bench,omitempty"`
-	Baseline       json.RawMessage   `json:"baseline,omitempty"`
+	// ClusterBench measures the scatter-gather coordinator
+	// (internal/cluster) end to end over in-process shards: single shard,
+	// replicated, replicated with one replica killed, and partitioned
+	// with a canonical-key merge.
+	ClusterBenchNote string              `json:"cluster_bench_note,omitempty"`
+	ClusterBench     []clusterBenchEntry `json:"cluster_bench,omitempty"`
+	Baseline         json.RawMessage     `json:"baseline,omitempty"`
 }
 
 // cacheBenchEntry is one Figure 11 workload measured cold (full BGP +
@@ -118,9 +124,36 @@ func fig11Workloads(withLargestStar bool) []namedWorkload {
 	return ws
 }
 
-func writeJSONReport(path, baselinePath string) error {
+// sectionSet resolves the -sections flag: empty selects every section,
+// otherwise only the named ones run (unknown names are an error so a
+// typo cannot silently produce an empty report).
+type sectionSet map[string]bool
+
+func parseSections(spec string) (sectionSet, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil // nil = all sections
+	}
+	known := map[string]bool{"micro": true, "grid": true, "parallel": true, "cache": true, "cluster": true}
+	s := sectionSet{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if !known[name] {
+			return nil, fmt.Errorf("unknown section %q (want micro, grid, parallel, cache, cluster)", name)
+		}
+		s[name] = true
+	}
+	return s, nil
+}
+
+func (s sectionSet) has(name string) bool { return s == nil || s[name] }
+
+func writeJSONReport(path, baselinePath, sections string) error {
+	sel, err := parseSections(sections)
+	if err != nil {
+		return err
+	}
 	report := benchReport{
-		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path",
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path, cluster scatter-gather sweep",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -139,6 +172,86 @@ func writeJSONReport(path, baselinePath string) error {
 			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
 	}
 
+	if sel.has("micro") {
+		runMicro(run)
+	}
+
+	// The Figure 11 grid: GAM pruning variants on the benchmark workloads.
+	if sel.has("grid") {
+		for _, wl := range fig11Workloads(false) {
+			for _, alg := range core.GAMFamily() {
+				wl, alg := wl, alg
+				run(wl.name+"/"+alg.String(), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						_, _, err := core.Search(wl.w.Graph, core.Explicit(wl.w.Seeds...), core.Options{
+							Algorithm: alg,
+							Filters:   eql.Filters{Timeout: 5 * time.Second},
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+
+	if sel.has("parallel") {
+		report.ParallelSweepNote = "speedup_wall = ns_per_op(workers=1)/ns_per_op(this run) on this machine; " +
+			"speedup_span = span_ns_per_op(workers=1)/span_ns_per_op(this run), where span is the longest " +
+			"per-worker thread-CPU time — the wall time a machine with >= workers free cores would observe. " +
+			"With num_cpu < workers the workers timeslice one core, so wall cannot improve; span is " +
+			"the scaling measurement."
+		sweep, err := parallelSweep()
+		if err != nil {
+			return err
+		}
+		report.ParallelSweep = sweep
+	}
+
+	if sel.has("cache") {
+		report.CacheBenchNote = "cold_ns_per_op runs the full facade pipeline per request; hit_ns_per_op serves " +
+			"the identical query from the result cache (speedup = cold/hit). Entries are complete results — " +
+			"timed-out or truncated runs are never admitted, so the hit path can only return full answers."
+		cache, err := cacheBench()
+		if err != nil {
+			return err
+		}
+		report.CacheBench = cache
+	}
+
+	if sel.has("cluster") {
+		report.ClusterBenchNote = clusterBenchNote
+		cl, err := clusterBench()
+		if err != nil {
+			return err
+		}
+		report.ClusterBench = cl
+	}
+
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("baseline %s is not valid JSON", baselinePath)
+		}
+		report.Baseline = json.RawMessage(raw)
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// runMicro runs the two hot-path micro-benchmarks (CSR expansion and
+// signature dedup).
+func runMicro(run func(name string, f func(b *testing.B))) {
 	// CSR expansion: touch every incident edge of every node.
 	rng := rand.New(rand.NewSource(7))
 	g := gen.Random(5000, 20000, []string{"knows", "cites", "funds", "worksFor"}, rng)
@@ -196,63 +309,6 @@ func writeJSONReport(path, baselinePath string) error {
 			}
 		}
 	})
-
-	// The Figure 11 grid: GAM pruning variants on the benchmark workloads.
-	for _, wl := range fig11Workloads(false) {
-		for _, alg := range core.GAMFamily() {
-			wl, alg := wl, alg
-			run(wl.name+"/"+alg.String(), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					_, _, err := core.Search(wl.w.Graph, core.Explicit(wl.w.Seeds...), core.Options{
-						Algorithm: alg,
-						Filters:   eql.Filters{Timeout: 5 * time.Second},
-					})
-					if err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-		}
-	}
-
-	report.ParallelSweepNote = "speedup_wall = ns_per_op(workers=1)/ns_per_op(this run) on this machine; " +
-		"speedup_span = span_ns_per_op(workers=1)/span_ns_per_op(this run), where span is the longest " +
-		"per-worker thread-CPU time — the wall time a machine with >= workers free cores would observe. " +
-		"With num_cpu < workers the workers timeslice one core, so wall cannot improve; span is " +
-		"the scaling measurement."
-	sweep, err := parallelSweep()
-	if err != nil {
-		return err
-	}
-	report.ParallelSweep = sweep
-
-	report.CacheBenchNote = "cold_ns_per_op runs the full facade pipeline per request; hit_ns_per_op serves " +
-		"the identical query from the result cache (speedup = cold/hit). Entries are complete results — " +
-		"timed-out or truncated runs are never admitted, so the hit path can only return full answers."
-	cache, err := cacheBench()
-	if err != nil {
-		return err
-	}
-	report.CacheBench = cache
-
-	if baselinePath != "" {
-		raw, err := os.ReadFile(baselinePath)
-		if err != nil {
-			return fmt.Errorf("baseline: %w", err)
-		}
-		if !json.Valid(raw) {
-			return fmt.Errorf("baseline %s is not valid JSON", baselinePath)
-		}
-		report.Baseline = json.RawMessage(raw)
-	}
-
-	out, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	return os.WriteFile(path, out, 0o644)
 }
 
 // parallelSweep measures the sharded runtime (MoLESP, the paper's

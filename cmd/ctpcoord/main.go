@@ -1,0 +1,205 @@
+// Command ctpcoord fronts a fleet of ctpserve shards with a
+// fault-tolerant scatter-gather coordinator. It serves the same HTTP
+// surface as a single shard (POST /query, GET /healthz, GET /stats), so
+// clients and load balancers cannot tell the two apart — but behind it
+// queries are routed health-aware across replicas, hedged when a
+// primary straggles, retried with capped exponential backoff, cut off
+// by per-backend circuit breakers, and merged deterministically across
+// partitioned groups on the engine's canonical result order.
+//
+// Usage:
+//
+//	ctpcoord -shards http://a:8372|http://b:8372          # 1 group, 2 replicas
+//	ctpcoord -shards http://a:8372,http://b:8372          # 2 partitioned groups
+//	ctpcoord -shards 'http://a0|http://a1,http://b0'      # 2 groups, mixed
+//
+// -shards is comma-separated groups of pipe-separated replica base
+// URLs: replicas inside a group answer the same data, distinct groups
+// partition it and every gather scatters across all of them. When a
+// whole group has no answering member the coordinator degrades
+// gracefully: it returns the rows it has plus a structured
+// "degraded": {"missing_shards": [...], "reason": ...} block instead of
+// failing the query.
+//
+// On SIGINT/SIGTERM the coordinator drains like a shard: /healthz and
+// /query answer 503 with Retry-After for -drain-grace, then the
+// listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ctpquery/internal/cluster"
+	"ctpquery/internal/fault"
+)
+
+func main() {
+	var (
+		addr             = flag.String("addr", ":8371", "listen address")
+		shards           = flag.String("shards", "", "shard topology: comma-separated groups of pipe-separated replica base URLs (e.g. 'http://a:8372|http://b:8372,http://c:8372')")
+		probeInterval    = flag.Duration("probe-interval", 2*time.Second, "background /healthz sweep period")
+		probeTimeout     = flag.Duration("probe-timeout", time.Second, "per-shard health probe timeout")
+		defaultTimeout   = flag.Duration("default-timeout", 10*time.Second, "whole-gather budget when the request sets no timeout_ms")
+		shardTimeout     = flag.Duration("shard-timeout", 0, "per-attempt cap on one shard query (0 = the remaining gather budget); set below the gather budget so retries and hedges can fire")
+		hedgeAfter       = flag.Duration("hedge-after", 0, "hedge to another replica when the primary is silent this long (0 = hedging off)")
+		maxAttempts      = flag.Int("max-attempts", 0, "attempts per group, hedges included (0 = members+1)")
+		retryBase        = flag.Duration("retry-base", 25*time.Millisecond, "base of the capped exponential retry backoff (jittered ±25%)")
+		retryMax         = flag.Duration("retry-max", time.Second, "cap on the retry backoff and on honored Retry-After holds")
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive failures that open a shard's circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 3*time.Second, "open hold-time before a half-open probe is admitted")
+		drainGrace       = flag.Duration("drain-grace", 0, "on SIGTERM, keep answering 503 draining this long before closing the listener (0 = shut down immediately)")
+		faultSpec        = flag.String("fault", "", "DEV ONLY: arm fault-injection points, comma-separated point:kind[=duration][@hit[xcount]] specs (e.g. cluster.send:error@3x2)")
+	)
+	flag.Parse()
+	if err := run(coordConfig{
+		addr:             *addr,
+		shards:           *shards,
+		probeInterval:    *probeInterval,
+		probeTimeout:     *probeTimeout,
+		defaultTimeout:   *defaultTimeout,
+		shardTimeout:     *shardTimeout,
+		hedgeAfter:       *hedgeAfter,
+		maxAttempts:      *maxAttempts,
+		retryBase:        *retryBase,
+		retryMax:         *retryMax,
+		breakerThreshold: *breakerThreshold,
+		breakerCooldown:  *breakerCooldown,
+		drainGrace:       *drainGrace,
+		faultSpec:        *faultSpec,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcoord:", err)
+		os.Exit(1)
+	}
+}
+
+// coordConfig carries the parsed flags into run by name.
+type coordConfig struct {
+	addr             string
+	shards           string
+	probeInterval    time.Duration
+	probeTimeout     time.Duration
+	defaultTimeout   time.Duration
+	shardTimeout     time.Duration
+	hedgeAfter       time.Duration
+	maxAttempts      int
+	retryBase        time.Duration
+	retryMax         time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	drainGrace       time.Duration
+	faultSpec        string
+}
+
+// parseShards turns the -shards grammar into cluster groups:
+// commas separate groups, pipes separate replicas inside one.
+func parseShards(spec string) ([]cluster.Group, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("need -shards 'url|url,url' (comma = partition group, pipe = replica)")
+	}
+	var groups []cluster.Group
+	for i, gspec := range strings.Split(spec, ",") {
+		g := cluster.Group{Name: fmt.Sprintf("g%d", i)}
+		for _, u := range strings.Split(gspec, "|") {
+			u = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(u), "/"))
+			if u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			g.Members = append(g.Members, &cluster.HTTPTransport{Base: u})
+		}
+		if len(g.Members) == 0 {
+			return nil, fmt.Errorf("group %d of -shards is empty", i)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+func run(cfg coordConfig) error {
+	if cfg.faultSpec != "" {
+		if err := fault.ParseSpec(cfg.faultSpec); err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		log.Printf("FAULT INJECTION armed (dev only): %s", cfg.faultSpec)
+	}
+	groups, err := parseShards(cfg.shards)
+	if err != nil {
+		return err
+	}
+	c, err := cluster.New(cluster.Config{
+		ProbeInterval:    cfg.probeInterval,
+		ProbeTimeout:     cfg.probeTimeout,
+		DefaultTimeout:   cfg.defaultTimeout,
+		ShardTimeout:     cfg.shardTimeout,
+		HedgeAfter:       cfg.hedgeAfter,
+		MaxAttempts:      cfg.maxAttempts,
+		RetryBase:        cfg.retryBase,
+		RetryMax:         cfg.retryMax,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+		DrainGrace:       cfg.drainGrace,
+	}, groups)
+	if err != nil {
+		return err
+	}
+	members := 0
+	for _, g := range groups {
+		members += len(g.Members)
+	}
+	log.Printf("coordinating %d shard(s) in %d group(s); probing every %v",
+		members, len(groups), cfg.probeInterval)
+	if cfg.hedgeAfter > 0 {
+		log.Printf("hedging stragglers after %v", cfg.hedgeAfter)
+	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: c.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	stopProbing := c.StartProbing(ctx)
+	defer stopProbing()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", cfg.addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Same drain choreography as ctpserve: flip to draining first so
+	// health checkers observe the 503 before the listener disappears.
+	c.SetDraining()
+	log.Printf("shutting down, draining in-flight gathers")
+	if cfg.drainGrace > 0 {
+		log.Printf("drain grace: serving 503 draining for %v before closing the listener", cfg.drainGrace)
+		select {
+		case <-time.After(cfg.drainGrace):
+		case err := <-errc:
+			return err
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

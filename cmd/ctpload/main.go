@@ -48,12 +48,22 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "suite duration multiplier (0.1 = CI smoke)")
 		out      = flag.String("out", "BENCH_pr6.json", "suite report path")
 		baseline = flag.String("baseline", "", "previous BENCH json to embed as baseline")
+
+		// cluster-smoke mode
+		clusterSmoke = flag.Bool("cluster-smoke", false, "replay the cache-heavy mix through an in-process 2-replica cluster with one shard fault-armed, and print the report as JSON")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *clusterSmoke {
+		if err := runClusterSmoke(ctx, *nodes, *edges, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "ctpload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *suite {
 		if err := runSuite(ctx, *nodes, *edges, *seed, *scale, *out, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "ctpload:", err)
@@ -129,6 +139,27 @@ func printResult(r *load.Result) {
 	row("cheap", r.Cheap)
 	row("analytical", r.Analytical)
 	row("shed", r.ShedLatency)
+}
+
+func runClusterSmoke(ctx context.Context, nodes, edges int, seed int64, scale float64) error {
+	rep, err := load.RunClusterSmoke(ctx, load.ClusterSmokeConfig{
+		Nodes: nodes, Edges: edges, Seed: seed, Scale: scale, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	// The smoke's pass condition: injected shard faults were absorbed by
+	// failover/retry instead of surfacing to clients.
+	if rep.FaultsFired == 0 {
+		return fmt.Errorf("cluster.send fault never fired — the smoke exercised nothing")
+	}
+	if rep.Replay.Errors > 0 {
+		return fmt.Errorf("%d client-visible errors despite failover (%d faults injected)",
+			rep.Replay.Errors, rep.FaultsFired)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func runSuite(ctx context.Context, nodes, edges int, seed int64, scale float64, out, baseline string) error {

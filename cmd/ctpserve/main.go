@@ -204,6 +204,7 @@ func run(cfg serverConfig) error {
 		MemSoftBytes:     cfg.memSoftMB << 20,
 		MemHardBytes:     cfg.memHardMB << 20,
 		WatchdogInterval: cfg.wdInterval,
+		DrainGrace:       cfg.drainGrace,
 	}
 	if cfg.admission {
 		scfg.Admission = &admission.Config{

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe request; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-shard circuit breaker. It opens after `threshold`
+// consecutive failures, rejects for `cooldown`, then half-opens: the
+// first Allow after the cooldown is admitted as the probe while
+// everything else keeps being rejected. A successful probe closes the
+// breaker and returns the shard to rotation; a failed one re-opens it
+// for another cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // half-open probe in flight
+	opens    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. Every admitted request
+// must be answered with exactly one Report call; cancelled attempts
+// whose outcome says nothing about the shard report with Cancelled.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report feeds an admitted request's outcome back into the breaker.
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// Straggler from before the trip — already open, nothing to learn.
+	}
+}
+
+// Cancelled releases an admitted slot whose attempt was abandoned (the
+// gather's own deadline or a hedge winner cancelled it) — neither a
+// success nor a shard failure.
+func (b *Breaker) Cancelled() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false // let the next Allow retry the probe
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current position without advancing it (an elapsed
+// cooldown still reads open until an Allow converts it to half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts how many times the breaker has tripped.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,467 @@
+package cluster
+
+// Cluster chaos suite: deterministic fault injection (internal/fault)
+// against real serve backends wired through LocalTransport. The
+// invariants under test are the acceptance bar of the scatter-gather
+// tier: a shard killed mid-gather yields either complete results
+// identical to the single-shard answer (replica failover) or a
+// structured degraded partial (partition loss) — never a hang, never a
+// scrambled merge order, never a leaked goroutine.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/fault"
+	"ctpquery/internal/serve"
+	"ctpquery/internal/testutil"
+)
+
+// newShardHandler spins up one in-process serve backend over a
+// deterministic graph. Identical seeds produce identical graphs, so two
+// handlers with the same seed are true replicas.
+func newShardHandler(t *testing.T, seed int64) http.Handler {
+	t.Helper()
+	// Parallelism > 0 routes searches through the exec collector, whose
+	// canonical (score desc, size asc, edge-key asc) order is the merge
+	// contract the coordinator relies on.
+	g := ctpquery.RandomGraph(600, 1800, []string{"knows", "cites"}, seed)
+	db, err := ctpquery.Open(g, &ctpquery.Options{Parallel: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(db, serve.Config{
+		DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second, MaxRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Handler(false)
+}
+
+// chaosQuery enumerates completely within its MAX bound (81 trees on
+// the seed-42 graph, far under the LIMIT): the result SET is therefore
+// identical across evaluations, which is what the identity-keyed
+// comparisons below pin. Row ORDER may still differ between two
+// evaluations where the canonical comparator ties (same score, size,
+// and edge set, different root — sort.Slice is unstable), which is
+// exactly the gap the MergeKey root tiebreak closes for merged output.
+const chaosQuery = "SELECT ?w WHERE { CONNECT n3 n400 AS ?w MAX 6 LIMIT 500 . }"
+
+// keySet collects a keyed response's canonical merge keys. A key is
+// the logical row identity (bound nodes + the tree's score, size, and
+// edge set — the root is a discovery artifact the engine's signature
+// dedup does not pin), so equal key sets mean equal logical results
+// even when two evaluations picked different tree representatives.
+func keySet(t *testing.T, resp *Response) map[string]bool {
+	t.Helper()
+	if len(resp.RowKeys) != len(resp.Rows) {
+		t.Fatalf("response has %d keys for %d rows", len(resp.RowKeys), len(resp.Rows))
+	}
+	m := make(map[string]bool, len(resp.Rows))
+	for _, k := range resp.RowKeys {
+		if m[k] {
+			t.Fatalf("merge key %q duplicated within one response", k)
+		}
+		m[k] = true
+	}
+	return m
+}
+
+func sameKeySet(t *testing.T, got, want map[string]bool, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("%s: row %q missing", label, k)
+		}
+	}
+}
+
+// directQuery asks one shard handler directly, bypassing the cluster.
+func directQuery(t *testing.T, h http.Handler, req *Request) *Response {
+	t.Helper()
+	tr := &LocalTransport{Name: "direct", Handler: h}
+	resp, err := tr.Send(context.Background(), req)
+	if err != nil {
+		t.Fatalf("direct query: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("direct query: status %d: %s", resp.StatusCode, resp.Error)
+	}
+	return resp
+}
+
+// TestChaosShardKilledMidGatherReplicaFailover is the headline
+// invariant: two replicas, one panics mid-query (count-bounded fault,
+// so only the first attempt dies), and the gather still returns results
+// identical to the single-shard answer — complete, same order, no
+// degraded block.
+func TestChaosShardKilledMidGatherReplicaFailover(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h1 := newShardHandler(t, 42)
+	h2 := newShardHandler(t, 42) // same seed: true replica
+
+	want := keySet(t, directQuery(t, h1, &Request{Query: chaosQuery, IncludeKeys: true}))
+
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: []Transport{
+		&LocalTransport{Name: "r0", Handler: h1},
+		&LocalTransport{Name: "r1", Handler: h2},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill whichever replica the router tries first: the panic fires on
+	// the next serve.query.admitted hit and only that one.
+	if err := fault.Arm("serve.query.admitted", fault.Fault{Kind: fault.Panic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	done := make(chan *GatherResponse, 1)
+	go func() {
+		done <- c.Gather(context.Background(), &Request{Query: chaosQuery, IncludeKeys: true})
+	}()
+	var gr *GatherResponse
+	select {
+	case gr = <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("gather hung after a replica was killed mid-query")
+	}
+
+	if fault.Fired("serve.query.admitted") != 1 {
+		t.Fatalf("fault fired %d times, want exactly 1 (one replica killed)",
+			fault.Fired("serve.query.admitted"))
+	}
+	if gr.StatusCode != 200 || gr.Degraded != nil {
+		t.Fatalf("status=%d degraded=%+v, want a clean 200 via the surviving replica",
+			gr.StatusCode, gr.Degraded)
+	}
+	sameKeySet(t, keySet(t, gr.Response), want, "failover answer vs single-shard answer")
+	// Exactly one shard took the panic; the gather record shows both the
+	// 500 and the success.
+	var failed, succeeded int
+	for _, a := range gr.Cluster.Attempts {
+		if a.Error != "" {
+			failed++
+		} else {
+			succeeded++
+		}
+	}
+	if failed != 1 || succeeded != 1 {
+		t.Fatalf("attempts = %+v, want one failed + one succeeded", gr.Cluster.Attempts)
+	}
+
+	fault.Reset()
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosAllReplicasLostStructuredError: when every member of the
+// only group is unreachable the gather must come back quickly with a
+// structured degraded 503 — not an HTTP hang, not a panic.
+func TestChaosAllReplicasLostStructuredError(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h := newShardHandler(t, 42)
+	cfg := fastConfig()
+	cfg.MaxAttempts = 3
+	c, err := New(cfg, []Group{{Name: "g0", Members: []Transport{
+		&LocalTransport{Name: "r0", Handler: h},
+		&LocalTransport{Name: "r1", Handler: h},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent transport loss: every send fails, on both replicas.
+	if err := fault.Arm("cluster.send", fault.Fault{Kind: fault.Error, Count: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(Request{Query: chaosQuery})
+	client := &http.Client{Timeout: 15 * time.Second}
+	resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("coordinator did not answer: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var out struct {
+		Error    string    `json:"error"`
+		Degraded *Degraded `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("unstructured 503 body: %v", err)
+	}
+	if out.Degraded == nil || len(out.Degraded.MissingShards) != 1 || out.Degraded.MissingShards[0] != "g0" {
+		t.Fatalf("degraded = %+v, want missing_shards [g0]", out.Degraded)
+	}
+	if !strings.Contains(out.Degraded.Reason, "injected") {
+		t.Fatalf("degraded reason %q does not surface the underlying failure", out.Degraded.Reason)
+	}
+
+	fault.Reset()
+	ts.Close()
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosPartitionLostDegradedPartial: a two-group partitioned
+// cluster loses one group entirely; the gather returns the surviving
+// partition's rows in canonical merge order plus the structured
+// degraded block naming the lost shard.
+func TestChaosPartitionLostDegradedPartial(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h := newShardHandler(t, 42)
+	want := directQuery(t, h, &Request{Query: chaosQuery, IncludeKeys: true})
+
+	dead := &fakeTransport{name: "dead", fn: alwaysFail()}
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2
+	c, err := New(cfg, []Group{
+		{Name: "p0", Members: []Transport{&LocalTransport{Name: "s0", Handler: h}}},
+		{Name: "p1", Members: []Transport{dead}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: chaosQuery, IncludeKeys: true})
+	if gr.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 degraded partial", gr.StatusCode)
+	}
+	if gr.Degraded == nil || len(gr.Degraded.MissingShards) != 1 || gr.Degraded.MissingShards[0] != "p1" {
+		t.Fatalf("degraded = %+v, want missing_shards [p1]", gr.Degraded)
+	}
+	// Same logical result set as the surviving partition answers directly...
+	sameKeySet(t, keySet(t, gr.Response), keySet(t, want), "degraded partial vs surviving partition")
+	// ...and in canonical merge order: the keys of a merged response
+	// ascend strictly, whatever order the shards answered in.
+	for i := 1; i < len(gr.RowKeys); i++ {
+		if gr.RowKeys[i-1] >= gr.RowKeys[i] {
+			t.Fatalf("merged keys out of canonical order at row %d: %q >= %q",
+				i, gr.RowKeys[i-1], gr.RowKeys[i])
+		}
+	}
+	if !gr.Cluster.Merged {
+		t.Fatal("multi-group gather did not go through the merge")
+	}
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosBreakerOpensAndRecovers drives a shard through the full
+// breaker arc — consecutive failures open it, the cooldown admits a
+// half-open probe, the healed shard closes it — all observable through
+// /stats, as operators would see it.
+func TestChaosBreakerOpensAndRecovers(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	healthy := false
+	tr := &fakeTransport{name: "flappy"}
+	tr.fn = func(n int, _ *Request) (*Response, error) {
+		if healthy {
+			return okResponse("01"), nil
+		}
+		return nil, fault.ErrInjected
+	}
+	cfg := fastConfig()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour // manually advanced below
+	c, err := New(cfg, []Group{{Name: "g0", Members: []Transport{tr}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := c.groups[0][0]
+	now := time.Unix(0, 0)
+	sh.br.now = func() time.Time { return now }
+	cfg.BreakerCooldown = time.Hour
+
+	readStats := func() (breaker string, opens int64, health string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+		var out struct {
+			Groups []struct {
+				Shards []struct {
+					Breaker      string `json:"breaker"`
+					BreakerOpens int64  `json:"breaker_opens"`
+					Health       string `json:"health"`
+				} `json:"shards"`
+			} `json:"groups"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad /stats: %v", err)
+		}
+		s := out.Groups[0].Shards[0]
+		return s.Breaker, s.BreakerOpens, s.Health
+	}
+
+	// Two failing gathers trip the threshold-2 breaker.
+	for i := 0; i < 2; i++ {
+		if gr := c.Gather(context.Background(), &Request{Query: "q"}); gr.StatusCode != 503 {
+			t.Fatalf("gather %d: status %d, want 503 while the shard is down", i, gr.StatusCode)
+		}
+	}
+	if br, opens, _ := readStats(); br != "open" || opens != 1 {
+		t.Fatalf("/stats after failures: breaker=%s opens=%d, want open/1", br, opens)
+	}
+
+	// While open, gathers are rejected without touching the transport.
+	before := tr.sentCount()
+	if gr := c.Gather(context.Background(), &Request{Query: "q"}); gr.StatusCode != 503 {
+		t.Fatal("open breaker did not reject")
+	}
+	if tr.sentCount() != before {
+		t.Fatalf("open breaker let %d request(s) through", tr.sentCount()-before)
+	}
+
+	// Heal the shard, elapse the cooldown: the next gather is the
+	// half-open probe, succeeds, and closes the breaker.
+	healthy = true
+	now = now.Add(2 * time.Hour)
+	if gr := c.Gather(context.Background(), &Request{Query: "q"}); gr.StatusCode != 200 {
+		t.Fatalf("half-open probe gather: status %d, want 200", gr.StatusCode)
+	}
+	if br, _, _ := readStats(); br != "closed" {
+		t.Fatalf("/stats after recovery: breaker=%s, want closed (shard back in rotation)", br)
+	}
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosMergePanicContained: an injected panic inside the merge is
+// contained by the coordinator's recover middleware — the client gets a
+// structured 500, the process survives, the next query works.
+func TestChaosMergePanicContained(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h := newShardHandler(t, 42)
+	c, err := New(fastConfig(), []Group{
+		{Name: "p0", Members: []Transport{&LocalTransport{Name: "s0", Handler: h}}},
+		{Name: "p1", Members: []Transport{&LocalTransport{Name: "s1", Handler: h}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("cluster.gather.merge", fault.Fault{Kind: fault.Panic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	handler := c.Handler()
+	post := func() *httptest.ResponseRecorder {
+		body, _ := json.Marshal(Request{Query: chaosQuery})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := post(); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("merge panic answered %d, want contained 500", rec.Code)
+	}
+	if got := c.panics.Load(); got != 1 {
+		t.Fatalf("panics_contained = %d, want 1", got)
+	}
+	if rec := post(); rec.Code != http.StatusOK {
+		t.Fatalf("query after contained panic answered %d, want 200", rec.Code)
+	}
+	fault.Reset()
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosDelayFaultTriggersHedge: a transport-level delay fault on
+// the first send makes the primary a straggler; the hedge fires, the
+// second replica answers, and the straggler's eventual result is
+// discarded without wedging anything.
+func TestChaosDelayFaultTriggersHedge(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	h1 := newShardHandler(t, 42)
+	h2 := newShardHandler(t, 42)
+	cfg := fastConfig()
+	cfg.HedgeAfter = 25 * time.Millisecond
+	c, err := New(cfg, []Group{{Name: "g0", Members: []Transport{
+		&LocalTransport{Name: "r0", Handler: h1},
+		&LocalTransport{Name: "r1", Handler: h2},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delay dwarfs the cheap query's evaluation time, so a hedged
+	// gather finishing well under it proves the hedge won the race. The
+	// stall must also fit inside the settle check's window below — the
+	// straggler sleeps it out inside the fault probe.
+	const stall = 2 * time.Second
+	cheap := "SELECT ?w WHERE { CONNECT n3 n50 AS ?w MAX 4 LIMIT 3 . }"
+	if err := fault.Arm("cluster.send", fault.Fault{Kind: fault.Delay, Delay: stall, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	start := time.Now()
+	gr := c.Gather(context.Background(), &Request{Query: cheap})
+	elapsed := time.Since(start)
+	if gr.StatusCode != 200 || gr.Degraded != nil {
+		t.Fatalf("status=%d degraded=%+v, want clean hedged success", gr.StatusCode, gr.Degraded)
+	}
+	if elapsed > stall/2 {
+		t.Fatalf("gather took %v, the hedge should beat the %v delay fault", elapsed, stall)
+	}
+	if c.hedges.Load() != 1 || c.hedgeWins.Load() != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", c.hedges.Load(), c.hedgeWins.Load())
+	}
+	fault.Reset()
+	// The delayed straggler may still be sleeping inside the fault probe;
+	// give it time to unwind before the leak check.
+	testutil.SettleGoroutines(t, baseline, 4)
+}
+
+// TestChaosHealthProbeFaultMarksShardDown: an injected probe failure
+// colors the shard down and routing avoids it until the next sweep
+// heals it.
+func TestChaosHealthProbeFaultMarksShardDown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	okT := &fakeTransport{name: "a", health: "ok", fn: alwaysOK("01")}
+	victim := &fakeTransport{name: "b", health: "ok", fn: alwaysOK("01")}
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: []Transport{okT, victim}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sweep probes shard a then shard b: skip a's hit, fail b's. The
+	// sweeps are driven synchronously here so the down window between
+	// them is observable deterministically.
+	if err := fault.Arm("cluster.health.probe", fault.Fault{Kind: fault.Error, After: 1, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Reset()
+
+	ctx := context.Background()
+	c.probeAll(ctx)
+	if got := c.groups[0][1].Health(); got != ShardDown {
+		t.Fatalf("probe fault left the victim %v, want down", got)
+	}
+	if got := c.groups[0][0].Health(); got != ShardOK {
+		t.Fatalf("healthy shard colored %v", got)
+	}
+	// Routing avoids the down member while it lasts.
+	cands := c.candidates(0)
+	if cands[0] != c.groups[0][0] {
+		t.Fatalf("routing prefers %s, want the healthy shard", cands[0].Name())
+	}
+	// The fault is spent; the next sweep heals the shard back into
+	// rotation.
+	c.probeAll(ctx)
+	if got := c.groups[0][1].Health(); got != ShardOK {
+		t.Fatalf("shard never healed after the fault was spent (health %v)", got)
+	}
+	testutil.SettleGoroutines(t, baseline, 4)
+}

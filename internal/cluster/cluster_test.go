@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTransport scripts a backend: fn decides each send by its ordinal.
+type fakeTransport struct {
+	name   string
+	health string // /healthz status it reports
+
+	mu    sync.Mutex
+	sends int
+	fn    func(n int, req *Request) (*Response, error)
+}
+
+func (f *fakeTransport) Target() string { return f.name }
+
+func (f *fakeTransport) Send(_ context.Context, req *Request) (*Response, error) {
+	f.mu.Lock()
+	f.sends++
+	n := f.sends
+	fn := f.fn
+	f.mu.Unlock()
+	return fn(n, req)
+}
+
+func (f *fakeTransport) Probe(context.Context) (HealthReport, error) {
+	if f.health == "" {
+		return HealthReport{Status: "ok", StatusCode: 200}, nil
+	}
+	return HealthReport{Status: f.health, StatusCode: 200}, nil
+}
+
+func (f *fakeTransport) sentCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends
+}
+
+// okResponse fabricates a keyed 200 answer.
+func okResponse(keys ...string) *Response {
+	r := &Response{StatusCode: 200, Columns: []string{"?w"}, RowCount: len(keys)}
+	for _, k := range keys {
+		r.RowKeys = append(r.RowKeys, k)
+		r.Rows = append(r.Rows, json.RawMessage(fmt.Sprintf(`["row-%s"]`, k)))
+	}
+	return r
+}
+
+func alwaysOK(keys ...string) func(int, *Request) (*Response, error) {
+	return func(int, *Request) (*Response, error) { return okResponse(keys...), nil }
+}
+
+func alwaysFail() func(int, *Request) (*Response, error) {
+	return func(int, *Request) (*Response, error) { return nil, fmt.Errorf("boom") }
+}
+
+// fastConfig keeps retries and probes snappy for unit tests.
+func fastConfig() Config {
+	return Config{
+		ProbeInterval:  10 * time.Millisecond,
+		ProbeTimeout:   time.Second,
+		DefaultTimeout: 5 * time.Second,
+		RetryBase:      time.Millisecond,
+		RetryMax:       5 * time.Millisecond,
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	b := newBreaker(3, time.Second)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Report(false)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after 2 failures (threshold 3): state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused third request")
+	}
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 consecutive failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted during cooldown")
+	}
+
+	now = now.Add(2 * time.Second) // cooldown elapsed
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("post-cooldown state %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Report(false) // failed probe
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after failed probe: state %v, want open", got)
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+	b.Report(true) // successful probe closes
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after successful probe: state %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+}
+
+func TestBreakerCancelledProbeReleasesSlot(t *testing.T) {
+	b := newBreaker(1, time.Second)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+
+	b.Allow()
+	b.Report(false) // trip
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no half-open probe admitted")
+	}
+	b.Cancelled() // probe abandoned, not failed
+	if !b.Allow() {
+		t.Fatal("cancelled probe did not release the half-open slot")
+	}
+}
+
+func TestMergeDeterministicAcrossArrivalOrder(t *testing.T) {
+	a := okResponse("0100:a", "0300:c")
+	b := okResponse("0200:b", "0300:c", "0400:d") // "0300:c" duplicated across parts
+
+	forward := mergeResponses([]mergePart{{"g0", a}, {"g1", b}}, 0)
+	a2 := okResponse("0100:a", "0300:c")
+	b2 := okResponse("0200:b", "0300:c", "0400:d")
+	reversed := mergeResponses([]mergePart{{"g1", b2}, {"g0", a2}}, 0)
+
+	wantKeys := []string{"0100:a", "0200:b", "0300:c", "0400:d"}
+	for name, got := range map[string]*Response{"forward": forward, "reversed": reversed} {
+		if len(got.Rows) != len(wantKeys) {
+			t.Fatalf("%s: %d rows, want %d", name, len(got.Rows), len(wantKeys))
+		}
+		for i, k := range wantKeys {
+			if got.RowKeys[i] != k {
+				t.Fatalf("%s: key[%d] = %q, want %q", name, i, got.RowKeys[i], k)
+			}
+		}
+		if got.RowCount != 4 {
+			t.Fatalf("%s: row_count = %d, want 4 (dedup of the replicated key)", name, got.RowCount)
+		}
+	}
+	for i := range forward.Rows {
+		if string(forward.Rows[i]) != string(reversed.Rows[i]) {
+			t.Fatalf("row %d differs between arrival orders: %s vs %s",
+				i, forward.Rows[i], reversed.Rows[i])
+		}
+	}
+}
+
+func TestMergeMaxRowsTrims(t *testing.T) {
+	a := okResponse("01", "03")
+	b := okResponse("02", "04")
+	got := mergeResponses([]mergePart{{"g0", a}, {"g1", b}}, 3)
+	if len(got.Rows) != 3 || !got.RowsTruncated {
+		t.Fatalf("rows=%d truncated=%v, want 3/true", len(got.Rows), got.RowsTruncated)
+	}
+	if got.RowCount != 4 {
+		t.Fatalf("row_count = %d, want 4 (full result size survives the trim)", got.RowCount)
+	}
+}
+
+func TestMergeWithoutKeysConcatenates(t *testing.T) {
+	a := &Response{StatusCode: 200, Rows: []json.RawMessage{json.RawMessage(`["x"]`)}, RowCount: 1}
+	b := &Response{StatusCode: 200, Rows: []json.RawMessage{json.RawMessage(`["y"]`)}, RowCount: 1}
+	got := mergeResponses([]mergePart{{"g0", a}, {"g1", b}}, 0)
+	if len(got.Rows) != 2 || got.RowKeys != nil {
+		t.Fatalf("keyless merge: rows=%d keys=%v, want 2 rows and no keys", len(got.Rows), got.RowKeys)
+	}
+}
+
+func TestCandidatesHealthOrderExcludesDraining(t *testing.T) {
+	members := []Transport{
+		&fakeTransport{name: "a"}, &fakeTransport{name: "b"},
+		&fakeTransport{name: "c"}, &fakeTransport{name: "d"},
+	}
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: members}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := c.groups[0]
+	sh[0].setHealth(ShardDraining)
+	sh[1].setHealth(ShardDegraded)
+	sh[2].setHealth(ShardOK)
+	sh[3].setHealth(ShardDown)
+
+	cands := c.candidates(0)
+	if len(cands) != 3 {
+		t.Fatalf("%d candidates, want 3 (draining excluded)", len(cands))
+	}
+	if cands[0] != sh[2] {
+		t.Fatalf("first candidate %s (health %v), want the ok shard", cands[0].Name(), cands[0].Health())
+	}
+	if cands[1] != sh[1] || cands[2] != sh[3] {
+		t.Fatalf("order = [%s %s %s], want ok, degraded, down",
+			cands[0].Name(), cands[1].Name(), cands[2].Name())
+	}
+}
+
+func TestGatherFailsOverToReplica(t *testing.T) {
+	bad := &fakeTransport{name: "bad", fn: alwaysFail()}
+	good := &fakeTransport{name: "good", fn: alwaysOK("01", "02")}
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: []Transport{bad, good}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: "q"})
+	if gr.StatusCode != 200 || gr.Degraded != nil {
+		t.Fatalf("status=%d degraded=%+v, want clean 200 via the replica", gr.StatusCode, gr.Degraded)
+	}
+	if len(gr.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(gr.Rows))
+	}
+	if gr.RowKeys != nil {
+		t.Fatalf("row_keys leaked to a client that did not ask: %v", gr.RowKeys)
+	}
+}
+
+func TestGatherPartialResultDegraded(t *testing.T) {
+	ok := &fakeTransport{name: "up", fn: alwaysOK("01", "02")}
+	dead := &fakeTransport{name: "dead", fn: alwaysFail()}
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2
+	c, err := New(cfg, []Group{
+		{Name: "alive", Members: []Transport{ok}},
+		{Name: "lost", Members: []Transport{dead}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: "q"})
+	if gr.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 with a degraded block", gr.StatusCode)
+	}
+	if gr.Degraded == nil || len(gr.Degraded.MissingShards) != 1 || gr.Degraded.MissingShards[0] != "lost" {
+		t.Fatalf("degraded = %+v, want missing_shards [lost]", gr.Degraded)
+	}
+	if gr.Degraded.Reason == "" {
+		t.Fatal("degraded block carries no reason")
+	}
+	if len(gr.Rows) != 2 {
+		t.Fatalf("%d rows, want the surviving group's 2", len(gr.Rows))
+	}
+	if !gr.Cluster.Merged || gr.Cluster.GroupsOK != 1 {
+		t.Fatalf("cluster info = %+v, want merged with 1 group ok", gr.Cluster)
+	}
+}
+
+func TestGatherAllGroupsLostIsStructured503(t *testing.T) {
+	dead1 := &fakeTransport{name: "d1", fn: alwaysFail()}
+	dead2 := &fakeTransport{name: "d2", fn: alwaysFail()}
+	cfg := fastConfig()
+	cfg.MaxAttempts = 2
+	c, err := New(cfg, []Group{
+		{Name: "g0", Members: []Transport{dead1}},
+		{Name: "g1", Members: []Transport{dead2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: "q"})
+	if gr.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", gr.StatusCode)
+	}
+	if gr.Degraded == nil || len(gr.Degraded.MissingShards) != 2 {
+		t.Fatalf("degraded = %+v, want both groups missing", gr.Degraded)
+	}
+	if gr.Response.Error == "" {
+		t.Fatal("503 carries no structured error")
+	}
+}
+
+func TestGatherPassesCallerErrorThrough(t *testing.T) {
+	bad := &fakeTransport{name: "s", fn: func(int, *Request) (*Response, error) {
+		return &Response{StatusCode: 400, Error: "parse error: bogus"}, nil
+	}}
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: []Transport{bad}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: "bogus"})
+	if gr.StatusCode != 400 || gr.Response.Error == "" {
+		t.Fatalf("status=%d error=%q, want the shard's 400 passed through", gr.StatusCode, gr.Response.Error)
+	}
+	if bad.sentCount() != 1 {
+		t.Fatalf("caller error retried %d times, want a single attempt", bad.sentCount())
+	}
+}
+
+func TestHedgeWinsOverStraggler(t *testing.T) {
+	slow := &fakeTransport{name: "slow", fn: func(_ int, _ *Request) (*Response, error) {
+		time.Sleep(300 * time.Millisecond)
+		return okResponse("01"), nil
+	}}
+	fast := &fakeTransport{name: "fast", fn: alwaysOK("01")}
+	cfg := fastConfig()
+	cfg.HedgeAfter = 20 * time.Millisecond
+	c, err := New(cfg, []Group{{Name: "g0", Members: []Transport{slow, fast}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin routing: the straggler is the preferred (ok) primary, the fast
+	// replica is the deprioritized hedge target.
+	c.groups[0][0].setHealth(ShardOK)
+	c.groups[0][1].setHealth(ShardDegraded)
+
+	start := time.Now()
+	gr := c.Gather(context.Background(), &Request{Query: "q"})
+	elapsed := time.Since(start)
+	if gr.StatusCode != 200 || len(gr.Rows) != 1 {
+		t.Fatalf("status=%d rows=%d, want hedged success", gr.StatusCode, len(gr.Rows))
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("gather took %v; the hedge should beat the 300ms straggler", elapsed)
+	}
+	if got := c.hedges.Load(); got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	if got := c.hedgeWins.Load(); got != 1 {
+		t.Fatalf("hedge_wins = %d, want 1", got)
+	}
+}
+
+func TestProberColorsShards(t *testing.T) {
+	okT := &fakeTransport{name: "a", health: "ok", fn: alwaysOK()}
+	degT := &fakeTransport{name: "b", health: "degraded", fn: alwaysOK()}
+	drainT := &fakeTransport{name: "c", health: "draining", fn: alwaysOK()}
+	c, err := New(fastConfig(), []Group{{Name: "g0", Members: []Transport{okT, degT, drainT}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := c.StartProbing(context.Background())
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		sh := c.groups[0]
+		if sh[0].Health() == ShardOK && sh[1].Health() == ShardDegraded && sh[2].Health() == ShardDraining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never converged: %v %v %v", sh[0].Health(), sh[1].Health(), sh[2].Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDeadlinePropagationShrinksShardBudget(t *testing.T) {
+	var gotTimeout int64
+	tr := &fakeTransport{name: "s"}
+	tr.fn = func(_ int, req *Request) (*Response, error) {
+		gotTimeout = req.TimeoutMS
+		return okResponse("01"), nil
+	}
+	cfg := fastConfig()
+	cfg.ShardTimeout = 100 * time.Millisecond
+	c, err := New(cfg, []Group{{Name: "g0", Members: []Transport{tr}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := c.Gather(context.Background(), &Request{Query: "q", TimeoutMS: 60_000})
+	if gr.StatusCode != 200 {
+		t.Fatalf("status = %d", gr.StatusCode)
+	}
+	if gotTimeout <= 0 || gotTimeout > 100 {
+		t.Fatalf("shard saw timeout_ms=%d, want it shrunk to the 100ms attempt budget", gotTimeout)
+	}
+}

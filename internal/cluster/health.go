@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// StartProbing launches the background health prober. It sweeps every
+// shard each ProbeInterval, mapping the backend's 3-state /healthz onto
+// the routing colors: ok stays preferred, degraded is deprioritized,
+// draining leaves rotation, and an unanswerable probe marks the shard
+// down. The returned stop cancels the prober and waits for it to exit;
+// cancelling pctx stops it too.
+func (c *Coordinator) StartProbing(pctx context.Context) (stop func()) {
+	ctx, cancel := context.WithCancel(pctx)
+	c.probeWG.Add(1)
+	go func() {
+		defer c.probeWG.Done()
+		ticker := time.NewTicker(c.cfg.ProbeInterval)
+		defer ticker.Stop()
+		// One immediate sweep so a fresh coordinator routes on observed
+		// colors, not ShardUnknown guesses.
+		c.probeAll(ctx)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.probeAll(ctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		c.probeWG.Wait()
+	}
+}
+
+// probeAll sweeps the shards once, sequentially — probe fan-out isn't
+// worth goroutine churn at the shard counts a coordinator fronts.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	for _, group := range c.groups {
+		for _, sh := range group {
+			if ctx.Err() != nil {
+				return
+			}
+			c.probeShard(ctx, sh)
+		}
+	}
+}
+
+// probeShard refreshes one shard's color from its /healthz.
+func (c *Coordinator) probeShard(ctx context.Context, sh *Shard) {
+	c.probes.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	rep, err := func() (HealthReport, error) {
+		if ferr := probeHealth.Err(); ferr != nil {
+			return HealthReport{}, ferr
+		}
+		return sh.tr.Probe(pctx)
+	}()
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutting down, not a verdict on the shard
+		}
+		sh.setHealth(ShardDown)
+		sh.noteError("probe: " + err.Error())
+		return
+	}
+	switch rep.Status {
+	case "ok":
+		sh.setHealth(ShardOK)
+	case "degraded":
+		sh.setHealth(ShardDegraded)
+	case "draining":
+		sh.setHealth(ShardDraining)
+	default:
+		// An answering /healthz speaking another dialect still proves
+		// liveness; treat it as degraded rather than down.
+		sh.setHealth(ShardDegraded)
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// mergePart is one group's answer entering the merge.
+type mergePart struct {
+	group string
+	resp  *Response
+}
+
+// mergeResponses folds per-group answers into one Response in the
+// canonical result order. When every part carries per-row merge keys
+// (Results.MergeKey: score desc, tree size asc, edge-set key asc — the
+// collector's §6 order), rows are unioned, deduplicated by key, and
+// sorted by plain string comparison on the key, which makes the merged
+// output deterministic regardless of which shard answered first. Parts
+// without keys (a shard predating include_keys) fall back to
+// concatenation in group order — still deterministic, but unordered
+// across groups; the response marks merged=false via the missing keys.
+//
+// maxRows > 0 trims the merged row set after ordering, mirroring the
+// shard-side max_rows contract.
+func mergeResponses(parts []mergePart, maxRows int) *Response {
+	probeMerge.Hit()
+	out := &Response{StatusCode: 200}
+
+	keyed := len(parts) > 0
+	for _, p := range parts {
+		if len(p.resp.RowKeys) != len(p.resp.Rows) {
+			keyed = false
+		}
+	}
+
+	type keyedRow struct {
+		key string
+		row json.RawMessage
+		ord int // part index: stable winner for duplicate keys
+	}
+	var rows []keyedRow
+	for i, p := range parts {
+		r := p.resp
+		if out.Columns == nil && r.Columns != nil {
+			out.Columns = r.Columns
+		}
+		if out.Algorithm == "" {
+			out.Algorithm = r.Algorithm
+		}
+		out.RowCount += r.RowCount
+		out.TimedOut = out.TimedOut || r.TimedOut
+		out.Truncated = out.Truncated || r.Truncated
+		out.RowsTruncated = out.RowsTruncated || r.RowsTruncated
+		// Per-phase timings of a scatter are the slowest shard's (they ran
+		// concurrently), not the sum.
+		out.TimingsMS.BGP = maxf(out.TimingsMS.BGP, r.TimingsMS.BGP)
+		out.TimingsMS.CTP = maxf(out.TimingsMS.CTP, r.TimingsMS.CTP)
+		out.TimingsMS.Join = maxf(out.TimingsMS.Join, r.TimingsMS.Join)
+		out.TimingsMS.Total = maxf(out.TimingsMS.Total, r.TimingsMS.Total)
+		for j, row := range r.Rows {
+			kr := keyedRow{row: row, ord: i}
+			if keyed {
+				kr.key = r.RowKeys[j]
+			}
+			rows = append(rows, kr)
+		}
+	}
+
+	if keyed {
+		sort.SliceStable(rows, func(a, b int) bool {
+			if rows[a].key != rows[b].key {
+				return rows[a].key < rows[b].key
+			}
+			return rows[a].ord < rows[b].ord
+		})
+		// Replicated rows appear under identical keys; keep the first.
+		dedup := rows[:0]
+		for i, kr := range rows {
+			if i > 0 && kr.key == rows[i-1].key {
+				out.RowCount--
+				continue
+			}
+			dedup = append(dedup, kr)
+		}
+		rows = dedup
+	}
+
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+		out.RowsTruncated = true
+	}
+	out.Rows = make([]json.RawMessage, len(rows))
+	if keyed {
+		out.RowKeys = make([]string, len(rows))
+	}
+	for i, kr := range rows {
+		out.Rows[i] = kr.row
+		if keyed {
+			out.RowKeys[i] = kr.key
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

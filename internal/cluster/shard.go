@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardHealth is the coordinator-side color of one shard, refreshed by
+// the background prober and by query outcomes.
+type ShardHealth int32
+
+const (
+	// ShardUnknown is the starting color before the first probe; routed
+	// like ok so a cold coordinator can serve immediately.
+	ShardUnknown ShardHealth = iota
+	// ShardOK is preferred for routing.
+	ShardOK
+	// ShardDegraded stays in rotation but is deprioritized behind ok.
+	ShardDegraded
+	// ShardDraining is out of rotation: the shard announced shutdown.
+	ShardDraining
+	// ShardDown failed its probe entirely; tried only as a last resort.
+	ShardDown
+)
+
+func (h ShardHealth) String() string {
+	switch h {
+	case ShardUnknown:
+		return "unknown"
+	case ShardOK:
+		return "ok"
+	case ShardDegraded:
+		return "degraded"
+	case ShardDraining:
+		return "draining"
+	case ShardDown:
+		return "down"
+	}
+	return "invalid"
+}
+
+// routeRank orders shards for candidate selection: lower is better.
+// Draining is deliberately last — it is only reachable through the
+// explicit last-resort path, never normal rotation.
+func (h ShardHealth) routeRank() int {
+	switch h {
+	case ShardOK:
+		return 0
+	case ShardUnknown:
+		return 1
+	case ShardDegraded:
+		return 2
+	case ShardDown:
+		return 3
+	default: // draining
+		return 4
+	}
+}
+
+// SendError is a failed shard attempt, classified. Status 0 means the
+// failure was transport-level (nothing answered); otherwise it carries
+// the shard's HTTP refusal.
+type SendError struct {
+	Shard       string
+	Status      int
+	RetryAfterS int
+	Err         error
+	Msg         string
+}
+
+func (e *SendError) Error() string {
+	switch {
+	case e.Err != nil:
+		return fmt.Sprintf("shard %s: %v", e.Shard, e.Err)
+	case e.Msg != "":
+		return fmt.Sprintf("shard %s: %d: %s", e.Shard, e.Status, e.Msg)
+	default:
+		return fmt.Sprintf("shard %s: status %d", e.Shard, e.Status)
+	}
+}
+
+func (e *SendError) Unwrap() error { return e.Err }
+
+// Shard is one routable backend: a Transport guarded by a circuit
+// breaker and colored by the health prober.
+type Shard struct {
+	name  string
+	group string
+	tr    Transport
+	br    *Breaker
+
+	health atomic.Int32
+
+	sent      atomic.Int64 // attempts delivered to the transport
+	failures  atomic.Int64 // attempts classified as shard failures
+	cancelled atomic.Int64 // attempts abandoned by the coordinator
+	hedges    atomic.Int64 // attempts launched as hedges
+
+	mu        sync.Mutex
+	ewmaLat   time.Duration // smoothed attempt latency (successes)
+	lastError string
+}
+
+func newShard(group string, tr Transport, threshold int, cooldown time.Duration) *Shard {
+	return &Shard{
+		name:  group + "/" + tr.Target(),
+		group: group,
+		tr:    tr,
+		br:    newBreaker(threshold, cooldown),
+	}
+}
+
+// Name is the shard's routing identity: "<group>/<target>".
+func (sh *Shard) Name() string { return sh.name }
+
+// Health returns the shard's current color.
+func (sh *Shard) Health() ShardHealth { return ShardHealth(sh.health.Load()) }
+
+func (sh *Shard) setHealth(h ShardHealth) { sh.health.Store(int32(h)) }
+
+// Breaker exposes the shard's circuit breaker (read-side: tests, /stats).
+func (sh *Shard) Breaker() *Breaker { return sh.br }
+
+func (sh *Shard) noteLatency(d time.Duration) {
+	sh.mu.Lock()
+	if sh.ewmaLat == 0 {
+		sh.ewmaLat = d
+	} else {
+		sh.ewmaLat = (sh.ewmaLat*4 + d) / 5
+	}
+	sh.mu.Unlock()
+}
+
+func (sh *Shard) noteError(msg string) {
+	sh.mu.Lock()
+	sh.lastError = msg
+	sh.mu.Unlock()
+}
+
+// query runs one attempt against the shard with the deadline
+// propagated: the attempt context is capped at shardTimeout (when set),
+// and the shard-side engine budget (timeout_ms) is shrunk to the
+// remaining attempt budget so a straggling shard returns its partial
+// answer instead of being cut off mid-flight with nothing.
+//
+// Returns (resp, nil) for any decoded HTTP answer — including refusals;
+// the caller classifies by resp.StatusCode. A non-nil error means no
+// usable answer exists (transport failure, injected fault, expired
+// attempt). Breaker accounting happens here: 2xx and caller errors
+// (4xx except 429) prove the shard alive; 5xx and transport failures
+// count against it; coordinator-side cancellation counts as neither.
+func (sh *Shard) query(ctx context.Context, req *Request, shardTimeout time.Duration) (*Response, error) {
+	actx := ctx
+	cancel := func() {}
+	if shardTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, shardTimeout)
+	}
+	defer cancel()
+
+	r := *req
+	if dl, ok := actx.Deadline(); ok {
+		// Leave the transport a sliver to carry the answer back.
+		budget := time.Until(dl) - 20*time.Millisecond
+		if budget < time.Millisecond {
+			budget = time.Millisecond
+		}
+		if r.TimeoutMS == 0 || int64(budget/time.Millisecond) < r.TimeoutMS {
+			r.TimeoutMS = int64(budget / time.Millisecond)
+			if r.TimeoutMS == 0 {
+				r.TimeoutMS = 1
+			}
+		}
+	}
+
+	sh.sent.Add(1)
+	start := time.Now()
+	resp, err := func() (*Response, error) {
+		if ferr := probeSend.Err(); ferr != nil {
+			return nil, ferr
+		}
+		return sh.tr.Send(actx, &r)
+	}()
+	elapsed := time.Since(start)
+
+	if err != nil {
+		// The coordinator abandoning the attempt (hedge winner elsewhere,
+		// gather deadline) says nothing about the shard.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			sh.cancelled.Add(1)
+			sh.br.Cancelled()
+			return nil, &SendError{Shard: sh.name, Err: ctx.Err()}
+		}
+		sh.failures.Add(1)
+		sh.noteError(err.Error())
+		sh.br.Report(false)
+		return nil, &SendError{Shard: sh.name, Err: err}
+	}
+
+	switch {
+	case resp.StatusCode < 300:
+		sh.noteLatency(elapsed)
+		sh.br.Report(true)
+		return resp, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != 429:
+		// The caller's fault, answered promptly — the shard is fine.
+		sh.br.Report(true)
+		return resp, nil
+	case resp.StatusCode == 429 || resp.StatusCode == 503:
+		// Saturated or draining: the shard is alive but refusing — fail the
+		// attempt over to a replica without tripping the breaker, and let
+		// the prober handle the draining color.
+		sh.noteError(fmt.Sprintf("%d: %s", resp.StatusCode, resp.Error))
+		sh.br.Report(true)
+		if resp.StatusCode == 503 {
+			sh.setHealth(ShardDraining)
+		}
+		return nil, &SendError{Shard: sh.name, Status: resp.StatusCode, RetryAfterS: resp.RetryAfterS, Msg: resp.Error}
+	default:
+		// 5xx: the shard broke under the query.
+		sh.failures.Add(1)
+		sh.noteError(fmt.Sprintf("%d: %s", resp.StatusCode, resp.Error))
+		sh.br.Report(false)
+		return nil, &SendError{Shard: sh.name, Status: resp.StatusCode, Msg: resp.Error}
+	}
+}
+
+// shardStats is the /stats projection of one shard.
+type shardStats struct {
+	Shard        string  `json:"shard"`
+	Group        string  `json:"group"`
+	Health       string  `json:"health"`
+	Breaker      string  `json:"breaker"`
+	BreakerOpens int64   `json:"breaker_opens"`
+	Sent         int64   `json:"sent"`
+	Failures     int64   `json:"failures"`
+	Cancelled    int64   `json:"cancelled,omitempty"`
+	Hedges       int64   `json:"hedges"`
+	ErrorRate    float64 `json:"error_rate"`
+	EwmaMS       float64 `json:"ewma_latency_ms"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+func (sh *Shard) stats() shardStats {
+	sh.mu.Lock()
+	ewma := sh.ewmaLat
+	lastErr := sh.lastError
+	sh.mu.Unlock()
+	sent := sh.sent.Load()
+	fails := sh.failures.Load()
+	rate := 0.0
+	if sent > 0 {
+		rate = float64(fails) / float64(sent)
+	}
+	return shardStats{
+		Shard:        sh.name,
+		Group:        sh.group,
+		Health:       sh.Health().String(),
+		Breaker:      sh.br.State().String(),
+		BreakerOpens: sh.br.Opens(),
+		Sent:         sent,
+		Failures:     fails,
+		Cancelled:    sh.cancelled.Load(),
+		Hedges:       sh.hedges.Load(),
+		ErrorRate:    rate,
+		EwmaMS:       ms(ewma),
+		LastError:    lastErr,
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ctpquery/internal/eql"
 	"ctpquery/internal/fault"
 	"ctpquery/internal/gen"
+	"ctpquery/internal/testutil"
 )
 
 // execProbes are the parallel runtime's registered fault points; the
@@ -23,27 +24,6 @@ var execProbes = []string{
 	"exec.worker.drain_mail",
 	"exec.worker.steal",
 	"exec.collector.add",
-}
-
-// settleGoroutines waits for the goroutine count to drop back to the
-// baseline (plus slack for runtime helpers); a count that never settles
-// means a containment boundary leaked workers.
-func settleGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC() // nudge finalizers and park idle Ps
-		n := runtime.NumGoroutine()
-		if n <= baseline+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
-				n, baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
 }
 
 // searchWithTimeout runs core.Search in a goroutine and fails the test
@@ -116,7 +96,7 @@ func TestChaosWorkerPanicContainment(t *testing.T) {
 		}
 	}
 	fault.Reset()
-	settleGoroutines(t, baseline)
+	testutil.SettleGoroutines(t, baseline, 2)
 }
 
 // TestChaosRepeatedInjectionNoLeak hammers one search shape with a
@@ -149,7 +129,7 @@ func TestChaosRepeatedInjectionNoLeak(t *testing.T) {
 	if got := fmt.Sprint(resultMultiset(rs)); got != want {
 		t.Fatalf("post-chaos results diverge\nwant %s\ngot  %s", want, got)
 	}
-	settleGoroutines(t, baseline)
+	testutil.SettleGoroutines(t, baseline, 2)
 }
 
 // TestChaosDelayInjection arms a delay (not a panic): the search must

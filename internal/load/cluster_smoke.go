@@ -1,0 +1,157 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/cluster"
+	"ctpquery/internal/fault"
+	"ctpquery/internal/serve"
+)
+
+// ClusterSmokeConfig parameterizes the cluster smoke: a cache-heavy
+// replay driven through a 2-replica in-process cluster with one shard
+// fault-armed, proving the whole fault-tolerance stack — health
+// routing, retry failover, breakers — under open-loop traffic instead
+// of a single surgical chaos test.
+type ClusterSmokeConfig struct {
+	// Nodes/Edges size the generated graph (defaults 2000/8000).
+	Nodes, Edges int
+	// Seed drives graph generation and every workload draw.
+	Seed int64
+	// Scale multiplies the replay duration (1.0 = ~6s of traffic).
+	Scale float64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c ClusterSmokeConfig) withDefaults() ClusterSmokeConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 2000
+	}
+	if c.Edges <= 0 {
+		c.Edges = 4 * c.Nodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// ClusterSmokeReport is the cluster smoke's JSON payload: the replay's
+// SLO result, how many shard sends the armed fault killed, and the
+// coordinator's /stats snapshot (breaker states, hedge counts,
+// per-shard error rates) taken after the replay.
+type ClusterSmokeReport struct {
+	Description string          `json:"description"`
+	Replay      *Result         `json:"replay"`
+	FaultsFired uint64          `json:"faults_fired"`
+	Coordinator json.RawMessage `json:"coordinator_stats"`
+}
+
+// clusterShard builds one in-process replica: its own DB (own cache)
+// over the shared graph, served by the production handler, running the
+// parallel kernel the canonical merge-key order comes from.
+func clusterShard(g *ctpquery.Graph, name string) (cluster.Transport, error) {
+	db, err := ctpquery.Open(g, &ctpquery.Options{
+		Parallel: true, Parallelism: 2,
+		Cache: &ctpquery.CacheConfig{MaxBytes: 32 << 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(db, serve.Config{
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     30 * time.Second,
+		MaxRows:        100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.LocalTransport{Name: name, Handler: s.Handler(false)}, nil
+}
+
+// RunClusterSmoke replays the cache-heavy mix through a coordinator
+// fronting two same-data replicas while a bounded cluster.send fault
+// kills a slice of shard sends mid-replay. With retries on the client
+// and failover in the coordinator, the injected faults must not surface
+// as client-visible errors.
+func RunClusterSmoke(ctx context.Context, cfg ClusterSmokeConfig) (*ClusterSmokeReport, error) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Log, "generating graph %dx%d (seed %d)\n", cfg.Nodes, cfg.Edges, cfg.Seed)
+	g := ctpquery.RandomGraph(cfg.Nodes, cfg.Edges, []string{"knows", "cites", "funds", "worksFor"}, cfg.Seed)
+
+	a, err := clusterShard(g, "replica-a")
+	if err != nil {
+		return nil, err
+	}
+	b, err := clusterShard(g, "replica-b")
+	if err != nil {
+		return nil, err
+	}
+	coord, err := cluster.New(cluster.Config{
+		ProbeInterval:  500 * time.Millisecond,
+		DefaultTimeout: 10 * time.Second,
+		MaxAttempts:    3,
+		RetryBase:      10 * time.Millisecond,
+		RetryMax:       200 * time.Millisecond,
+		// A short cooldown keeps the worst case — the injected fault trips
+		// BOTH replicas' breakers back to back — briefer than one client
+		// retry backoff, so the smoke proves recovery, not just refusal.
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+	}, []cluster.Group{{Name: "g0", Members: []cluster.Transport{a, b}}})
+	if err != nil {
+		return nil, err
+	}
+	stop := coord.StartProbing(ctx)
+	defer stop()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Kill a mid-replay slice of shard sends: skip the first 20 hits so
+	// the cluster warms up healthy, then fail the next 12. Every killed
+	// send must be absorbed by coordinator failover (the replica answers)
+	// or, at worst, a client retry riding out a breaker cooldown.
+	defer fault.Reset()
+	if err := fault.Arm("cluster.send", fault.Fault{Kind: fault.Error, After: 20, Count: 12}); err != nil {
+		return nil, err
+	}
+
+	plan := SteadyPlan(CacheHeavyMix(cfg.Nodes, 32, cfg.Seed), 30, 6*time.Second).Scale(cfg.Scale)
+	fmt.Fprintf(cfg.Log, "replaying %s through a 2-replica cluster with cluster.send fault-armed\n", plan.Name)
+	pol := RetryPolicy{MaxRetries: 3, BaseBackoff: 20 * time.Millisecond, MaxBackoff: 500 * time.Millisecond}
+	res, err := ReplayWithPolicy(ctx, srv.URL, plan, cfg.Seed, pol)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ClusterSmokeReport{
+		Description: "ctpload cluster smoke: cache-heavy open-loop replay through a 2-replica scatter-gather coordinator with a bounded cluster.send fault killing shard sends mid-replay",
+		Replay:      res,
+		FaultsFired: fault.Fired("cluster.send"),
+	}
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err == nil {
+		raw, rerr := io.ReadAll(statsResp.Body)
+		statsResp.Body.Close()
+		if rerr == nil && json.Valid(raw) {
+			rep.Coordinator = json.RawMessage(raw)
+		}
+	}
+	fmt.Fprintf(cfg.Log, "  %d req: ok %d, shed %d, unavailable %d, errors %d; %d shard sends killed\n",
+		res.Requests, res.OK, res.Shed, res.Unavailable, res.Errors, rep.FaultsFired)
+	return rep, nil
+}

@@ -186,19 +186,20 @@ func SteadyPlan(mix *Mix, rps float64, d time.Duration) Plan {
 	return Plan{Name: mix.Name, Phases: []Phase{{Name: mix.Name, Duration: d, RPS: rps, Mix: mix}}}
 }
 
-// RetryPolicy makes the client resilient to shedding: a 429 is retried
-// after honoring the server's Retry-After, under capped exponential
-// backoff with jitter, against a per-class retry budget so a saturated
-// server is not hammered into deeper saturation by its own clients. The
-// zero value disables retries (every 429 is a terminal shed), which is
-// what the benchmark suite uses so admission-on/off runs stay
-// comparable.
+// RetryPolicy makes the client resilient to refusals: a 429 (admission
+// shed) or 503 (draining / hard-degraded) is retried after honoring the
+// server's Retry-After, under capped exponential backoff with jitter,
+// against a per-class retry budget so a saturated server is not
+// hammered into deeper saturation by its own clients. Both refusal
+// classes draw from the same budget. The zero value disables retries
+// (every refusal is terminal), which is what the benchmark suite uses
+// so admission-on/off runs stay comparable.
 type RetryPolicy struct {
 	// MaxRetries is the per-request retry cap (0 = no retries).
 	MaxRetries int
 	// Budget caps total retries across the whole replay per scheduling
 	// class (0 = unlimited while MaxRetries > 0). Once a class's budget is
-	// dry, its remaining 429s are terminal sheds.
+	// dry, its remaining 429s and 503s are terminal.
 	Budget int64
 	// BaseBackoff seeds the exponential backoff (default 100ms); the wait
 	// before retry n is max(Retry-After, BaseBackoff<<n), capped at
@@ -278,6 +279,7 @@ type Result struct {
 	Requests      int64   `json:"requests"`
 	OK            int64   `json:"ok"`
 	Shed          int64   `json:"shed"`
+	Unavailable   int64   `json:"unavailable,omitempty"`
 	Errors        int64   `json:"errors"`
 	Timeouts      int64   `json:"timeouts"`
 	CacheHits     int64   `json:"cache_hits"`
@@ -288,7 +290,8 @@ type Result struct {
 	// Retries is the total retry attempts issued; RetriedOK counts
 	// requests that ended 200 only thanks to a retry; RetryBudgetDry
 	// counts requests that wanted a retry after the class budget was
-	// exhausted (their 429 became a terminal shed).
+	// exhausted (their 429 or 503 became terminal). Shed counts terminal
+	// 429s, Unavailable counts terminal 503s (a draining server).
 	Retries        int64 `json:"retries,omitempty"`
 	RetriedOK      int64 `json:"retried_ok,omitempty"`
 	RetryBudgetDry int64 `json:"retry_budget_dry,omitempty"`
@@ -418,12 +421,15 @@ func post(ctx context.Context, client *http.Client, url string, req Request, pol
 					s.bypass = out.Admission.CacheBypass
 				}
 			}
-		} else if resp.StatusCode == http.StatusTooManyRequests {
+		} else if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			// Both refusal classes carry Retry-After: 429 from admission
+			// shedding, 503 from a draining (or hard-degraded) server.
 			retryAfter, _ = strconv.Atoi(resp.Header.Get("Retry-After"))
 		}
 		resp.Body.Close()
 
-		if s.code != http.StatusTooManyRequests || !pol.enabled() || attempt >= pol.MaxRetries {
+		retryable := s.code == http.StatusTooManyRequests || s.code == http.StatusServiceUnavailable
+		if !retryable || !pol.enabled() || attempt >= pol.MaxRetries {
 			return s
 		}
 		if budgets != nil && !budgets.take(req.Class) {
@@ -482,6 +488,9 @@ func summarize(plan string, samples []sample, elapsed time.Duration) *Result {
 			}
 		case s.code == http.StatusTooManyRequests:
 			r.Shed++
+			shed = append(shed, s.latencyMS)
+		case s.code == http.StatusServiceUnavailable:
+			r.Unavailable++
 			shed = append(shed, s.latencyMS)
 		default:
 			r.Errors++

@@ -91,6 +91,94 @@ func TestRetryBudgetDryTurnsShedsTerminal(t *testing.T) {
 	}
 }
 
+// drainThenServe answers 503 + Retry-After for the first n requests,
+// 200 afterwards — the shape of a rolling restart: the old process
+// drains, then its replacement starts answering on the same address.
+func drainThenServe(n int64) (*httptest.Server, *atomic.Int64) {
+	var served atomic.Int64
+	var total atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if total.Add(1) <= n {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"columns":[],"rows":[],"row_count":0,"timed_out":false}`))
+	})
+	return httptest.NewServer(h), &served
+}
+
+// TestRetryRecoversFromDraining: a 503 draining answer is retried under
+// the same policy and Retry-After handling as a 429 shed, so a client
+// rides through a rolling restart without surfacing errors.
+func TestRetryRecoversFromDraining(t *testing.T) {
+	srv, served := drainThenServe(3)
+	defer srv.Close()
+
+	pol := RetryPolicy{MaxRetries: 4, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	budgets := &retryBudgets{}
+	budgets.cheap.Store(100)
+	budgets.analytical.Store(100)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var samples []sample
+	for i := 0; i < 5; i++ {
+		samples = append(samples, post(t.Context(), client, srv.URL, CheapQuery(1, 2), pol, budgets, int64(i)))
+	}
+	r := summarize("drain", samples, time.Second)
+	if r.OK != 5 {
+		t.Fatalf("ok = %d of 5 (unavailable %d, errors %d)", r.OK, r.Unavailable, r.Errors)
+	}
+	if r.Retries == 0 || r.RetriedOK == 0 {
+		t.Fatalf("retries=%d retried_ok=%d, want both > 0", r.Retries, r.RetriedOK)
+	}
+	if served.Load() != 5 {
+		t.Fatalf("server served %d, want 5", served.Load())
+	}
+}
+
+// TestDrainingBudgetSharedWithSheds: 503 retries draw from the same
+// per-class budget as 429 retries; once it is dry, remaining 503s are
+// terminal, counted as Unavailable (not Shed, not Errors), and join the
+// shed-latency bucket.
+func TestDrainingBudgetSharedWithSheds(t *testing.T) {
+	srv, _ := drainThenServe(1 << 30) // always draining
+	defer srv.Close()
+
+	pol := RetryPolicy{MaxRetries: 3, Budget: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	budgets := &retryBudgets{}
+	budgets.cheap.Store(pol.Budget)
+	budgets.analytical.Store(pol.Budget)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var samples []sample
+	for i := 0; i < 4; i++ {
+		samples = append(samples, post(t.Context(), client, srv.URL, CheapQuery(1, 2), pol, budgets, int64(i)))
+	}
+	r := summarize("drain-budget", samples, time.Second)
+	if r.Unavailable != 4 {
+		t.Fatalf("unavailable = %d of 4 (shed %d, errors %d)", r.Unavailable, r.Shed, r.Errors)
+	}
+	if r.Shed != 0 || r.Errors != 0 {
+		t.Fatalf("503s misclassified: shed=%d errors=%d", r.Shed, r.Errors)
+	}
+	if r.Retries != 2 {
+		t.Fatalf("retries = %d, want exactly the budget (2)", r.Retries)
+	}
+	if r.RetryBudgetDry == 0 {
+		t.Fatal("no request reported a dry retry budget")
+	}
+	if r.ShedLatency.Count != 4 {
+		t.Fatalf("refusal latency bucket has %d samples, want 4", r.ShedLatency.Count)
+	}
+	if r.Overall.Count != 0 {
+		t.Fatalf("503 latencies leaked into the OK bucket: %+v", r.Overall)
+	}
+}
+
 // TestRetryDisabledByZeroPolicy: the zero RetryPolicy (what Replay and
 // the benchmark suite use) treats every 429 as terminal.
 func TestRetryDisabledByZeroPolicy(t *testing.T) {

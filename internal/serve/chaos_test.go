@@ -11,6 +11,7 @@ import (
 	"ctpquery"
 	"ctpquery/internal/admission"
 	"ctpquery/internal/fault"
+	"ctpquery/internal/testutil"
 )
 
 const chaosServeQuery = "SELECT ?w WHERE { CONNECT n1 n400 AS ?w MAX 16 LIMIT 1 . }"
@@ -116,15 +117,5 @@ func TestChaosEveryProbeThroughServer(t *testing.T) {
 		})
 	}
 	fault.Reset()
-
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseline+4 {
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutines leaked after probe sweep: %d > %d\n%s",
-				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-		}
-		runtime.GC()
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.SettleGoroutines(t, baseline, 4)
 }

@@ -66,6 +66,13 @@ type Config struct {
 	// WatchdogInterval is how often the watchdog samples the heap
 	// (default 5s).
 	WatchdogInterval time.Duration
+	// DrainGrace is how long the process keeps its listener open after
+	// SetDraining (cmd/ctpserve's -drain-grace). It is surfaced to
+	// clients as the Retry-After of draining 503s — the earliest moment
+	// a replacement instance could plausibly answer — so cluster
+	// coordinators and ctpload back off instead of hammering a dying
+	// shard. 0 still answers Retry-After: 1.
+	DrainGrace time.Duration
 }
 
 // Server serves concurrent EQL queries over one immutable graph. The
@@ -80,6 +87,7 @@ type Server struct {
 	maxTimeout     time.Duration
 	maxRows        int
 	maxParallelism int
+	drainGrace     time.Duration
 
 	// Admission layer; both nil when Config.Admission was nil.
 	ctrl *admission.Controller
@@ -103,6 +111,7 @@ type Server struct {
 	failures       atomic.Int64
 	timeouts       atomic.Int64
 	sheds          atomic.Int64 // 429 responses; disjoint from failures
+	drained        atomic.Int64 // 503s refused because the server is draining
 	panics         atomic.Int64 // panics recovered by the HTTP middleware
 	internalErrors atomic.Int64 // 500s from panics contained below the handler
 	inFlight       atomic.Int64
@@ -200,6 +209,7 @@ func New(db *ctpquery.DB, cfg Config) (*Server, error) {
 		maxTimeout:     cfg.MaxTimeout,
 		maxRows:        cfg.MaxRows,
 		maxParallelism: cfg.MaxParallelism,
+		drainGrace:     cfg.DrainGrace,
 		started:        time.Now(),
 	}
 	if cfg.Admission != nil {
@@ -299,6 +309,10 @@ type queryRequest struct {
 	// then carry only the edge count), trimming payloads for callers that
 	// only need the bindings.
 	OmitTrees bool `json:"omit_trees"`
+	// IncludeKeys adds per-row canonical merge keys (row_keys) to the
+	// response — the scatter-gather merge contract a cluster coordinator
+	// (internal/cluster) orders and dedups gathered rows by.
+	IncludeKeys bool `json:"include_keys"`
 }
 
 // cell is one value of a result row: a node (ID + label) or, for CONNECT
@@ -325,6 +339,13 @@ type edgeJSON struct {
 type queryResponse struct {
 	Columns []string          `json:"columns"`
 	Rows    []map[string]cell `json:"rows"`
+	// RowKeys, present when the request set include_keys, carries one
+	// canonical merge key per serialized row (ctpquery.Results.MergeKey):
+	// identical logical rows on different replicas encode identically,
+	// and lexicographic key order is the collector's canonical result
+	// order, so a coordinator can merge gathered responses
+	// deterministically.
+	RowKeys []string `json:"row_keys,omitempty"`
 	// RowCount is the full result size; len(Rows) may be smaller when
 	// max_rows trimmed the payload (flagged by RowsTruncated).
 	RowCount      int    `json:"row_count"`
@@ -413,6 +434,21 @@ type errorResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	// A draining server refuses new queries outright — in-flight ones
+	// finish, but routing fresh work at a process about to exit would
+	// strand the caller mid-shutdown. 503 + Retry-After (derived from the
+	// drain grace) tells well-behaved clients — the cluster coordinator,
+	// ctpload's retry policy — to go elsewhere and when to come back.
+	if s.Health() == HealthDraining {
+		s.drained.Add(1)
+		retry := s.drainRetrySeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error:       "draining: server is shutting down",
+			RetryAfterS: retry,
+		})
 		return
 	}
 	start := time.Now()
@@ -564,11 +600,33 @@ func (s *Server) finishResponse(res *ctpquery.Results, cinfo ctpquery.CacheInfo,
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
 		maxRows = req.MaxRows
 	}
-	resp := s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, time.Since(start))
+	resp := s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, req.IncludeKeys, time.Since(start))
 	if cinfo.Enabled {
 		resp.Cache = &cacheJSON{Hit: cinfo.Hit, Coalesced: cinfo.Coalesced}
 	}
 	return resp
+}
+
+// drainRetrySeconds derives the Retry-After of draining 503s (and the
+// floor for hard-degraded sheds) from the configured drain grace,
+// rounded up so a sub-second grace still backs clients off a beat.
+func (s *Server) drainRetrySeconds() int {
+	secs := int((s.drainGrace + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// hardDegraded reports whether the memory watchdog currently sits at the
+// hard watermark.
+func (s *Server) hardDegraded() bool {
+	if s.wd == nil {
+		return false
+	}
+	s.wd.mu.Lock()
+	defer s.wd.mu.Unlock()
+	return s.wd.level == pressureHard
 }
 
 // shed answers a request the admission layer rejected: 429 with a
@@ -583,6 +641,17 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, class admission.Cl
 		return
 	}
 	retry := s.ctrl.RetryAfter(class)
+	// Under hard memory pressure the load estimate behind RetryAfter is
+	// an underestimate — the watchdog has already quartered the budget to
+	// claw heap back, and inviting retries in seconds hammers a server
+	// fighting for its life. Floor the backoff at the drain grace, the
+	// same "come back when this instance is replaced or recovered" signal
+	// draining 503s carry.
+	if s.hardDegraded() {
+		if floor := s.drainRetrySeconds(); retry < floor {
+			retry = floor
+		}
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeJSON(w, http.StatusTooManyRequests, errorResponse{
 		Error:       fmt.Sprintf("overloaded (%s class): %v", class, err),
@@ -590,7 +659,7 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, class admission.Cl
 	})
 }
 
-func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees bool, total time.Duration) queryResponse {
+func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows int, omitTrees, includeKeys bool, total time.Duration) queryResponse {
 	probeQueryEncode.Hit()
 	resp := queryResponse{
 		Columns:   res.Columns(),
@@ -631,6 +700,9 @@ func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 		resp.RowsTruncated = true
 	}
 	for i := 0; i < n; i++ {
+		if includeKeys {
+			resp.RowKeys = append(resp.RowKeys, res.MergeKey(i))
+		}
 		row := res.Row(i)
 		out := make(map[string]cell, len(resp.Columns))
 		for _, col := range resp.Columns {
@@ -668,6 +740,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if h == HealthDraining {
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.drainRetrySeconds()))
 	}
 	g := s.base.Graph()
 	payload := map[string]any{
@@ -697,6 +770,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"failures":        s.failures.Load(),
 		"timeouts":        s.timeouts.Load(),
 		"sheds":           s.sheds.Load(),
+		"drained_rejects": s.drained.Load(),
 		"panics":          s.panics.Load(),
 		"internal_errors": s.internalErrors.Load(),
 		"in_flight":       s.inFlight.Load(),

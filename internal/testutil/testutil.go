@@ -1,0 +1,34 @@
+// Package testutil holds the small helpers the chaos suites share.
+// It may only be imported from _test.go files; keeping the helpers in
+// one place stops the goroutine-leak check drifting apart between the
+// exec, serve, and cluster chaos suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// SettleGoroutines waits for the goroutine count to drop back to the
+// baseline (plus slack for runtime helpers and lingering HTTP
+// keep-alives); a count that never settles means a containment boundary
+// leaked workers. Capture the baseline with runtime.NumGoroutine()
+// before the code under test starts anything.
+func SettleGoroutines(t testing.TB, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge finalizers and park idle Ps
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d (+%d slack)\n%s",
+				n, baseline, slack, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

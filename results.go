@@ -1,10 +1,15 @@
 package ctpquery
 
 import (
+	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"ctpquery/internal/engine"
 	"ctpquery/internal/eql"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/score"
 	"ctpquery/internal/tree"
 )
 
@@ -73,6 +78,114 @@ func (r *Results) ApproxSize() int64 {
 		size += treeOverhead + 4*int64(len(t.Edges)) + 4*int64(len(t.Nodes))
 	}
 	return size
+}
+
+// MergeKey returns a canonical identity-and-order key for row i — the
+// scatter-gather merge contract of internal/cluster. Two shards holding
+// the same graph (replicas, or partitions cut from one shared node/edge
+// dictionary) compute the identical key for the identical logical row,
+// so a coordinator can dedup replica overlap and order a gathered union
+// deterministically by plain string comparison. Per tree column the key
+// embeds the PR 4 collector's canonical order — score descending, then
+// tree size, then the sorted edge-set key (node identity for 0-edge
+// trees) — each component encoded so lexicographic key order equals the
+// collector's comparator; node columns append their bound node IDs.
+// Every component is hex-encoded ASCII: the key must survive a JSON
+// round-trip byte-for-byte (serve ships it as row_keys), and
+// encoding/json silently rewrites invalid UTF-8 to U+FFFD, which would
+// both mangle the order and let distinct keys collide. Keys are only
+// comparable between results of the same query over the same graph
+// build.
+func (r *Results) MergeKey(i int) string {
+	var b strings.Builder
+	row := r.res.Table.Row(i)
+	for ci, col := range r.res.Table.Cols() {
+		if ci > 0 {
+			b.WriteByte('|')
+		}
+		if !r.treeCols[col] {
+			b.WriteByte('n')
+			appendHex(&b, uint64(uint32(row[ci])), 8)
+			continue
+		}
+		t := r.res.Tree(row[ci])
+		if t == nil {
+			b.WriteString("t-")
+			continue
+		}
+		var sc float64
+		if f := r.scoreFor(col); f != nil {
+			sc = f(r.g.g, t)
+		}
+		appendScoreDesc(&b, sc)
+		b.WriteByte(':')
+		appendHex(&b, uint64(uint32(t.Size())), 8)
+		b.WriteByte(':')
+		if t.Size() == 0 {
+			b.WriteByte('n')
+			appendHexBytes(&b, tree.EdgeSetKey([]graph.EdgeID{graph.EdgeID(t.Root)}))
+		} else {
+			// Deliberately no root component: the search dedups results by
+			// edge-set signature, so the root of a multi-edge tree is a
+			// discovery artifact (two replicas — or two runs — may represent
+			// the same logical result with different roots). Keying on the
+			// edge set alone makes a cross-replica merge collapse those
+			// representations instead of double-counting them.
+			appendHexBytes(&b, tree.EdgeSetKey(t.Edges))
+		}
+	}
+	return b.String()
+}
+
+// scoreFor resolves the score function ranking the CTP bound to col
+// (nil when that CONNECT names no SCORE).
+func (r *Results) scoreFor(col string) func(*graph.Graph, *tree.Tree) float64 {
+	for _, c := range r.q.CTPs {
+		if c.TreeVar == col && c.Filters.Score != "" {
+			if f, ok := score.Get(c.Filters.Score); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// appendHex writes v zero-padded to width hex digits, so lexicographic
+// order over the digits equals numeric order.
+func appendHex(b *strings.Builder, v uint64, width int) {
+	s := strconv.FormatUint(v, 16)
+	for pad := width - len(s); pad > 0; pad-- {
+		b.WriteByte('0')
+	}
+	b.WriteString(s)
+}
+
+// appendHexBytes hex-encodes raw key bytes (tree.EdgeSetKey's
+// little-endian edge IDs). Hex expands each byte to a fixed-width digit
+// pair, so lexicographic order over the encoding equals lexicographic
+// order over the raw bytes — the collector's tie-break comparator —
+// while keeping the key valid ASCII for a JSON round-trip.
+func appendHexBytes(b *strings.Builder, key string) {
+	const digits = "0123456789abcdef"
+	for i := 0; i < len(key); i++ {
+		b.WriteByte(digits[key[i]>>4])
+		b.WriteByte(digits[key[i]&0xf])
+	}
+}
+
+// appendScoreDesc writes a float64 encoded so lexicographic order over
+// the 16 hex digits equals DESCENDING numeric order — the collector
+// sorts score-high-first. The standard order-embedding (flip the sign
+// bit of positives, complement negatives) makes the bits ascend with
+// the value; complementing once more reverses it.
+func appendScoreDesc(b *strings.Builder, s float64) {
+	bits := math.Float64bits(s)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	appendHex(b, ^bits, 16)
 }
 
 // TimedOut reports whether any CTP search hit its time bound (a TIMEOUT

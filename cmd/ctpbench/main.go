@@ -43,7 +43,7 @@ func main() {
 		alt      = flag.Bool("alternate", true, "alternate edge directions")
 		jsonOut  = flag.String("json", "", "run the perf-tracking suite and write a JSON report to FILE")
 		baseline = flag.String("baseline", "", "embed a previous -json report under \"baseline\"")
-		sections = flag.String("sections", "", "comma-separated subset of the -json suite to run: micro, grid, parallel, cache, cluster (empty = all)")
+		sections = flag.String("sections", "", "comma-separated subset of the -json suite to run: micro, grid, parallel, cache, cluster, obs (empty = all)")
 	)
 	flag.Parse()
 

@@ -1,0 +1,225 @@
+package main
+
+// obsBench: the observability-overhead contrast. Each Figure 11
+// workload (one per topology) is served twice through the full serving
+// stack — once with tracing disabled (the span API hands out nil spans
+// behind one atomic load) and once with tracing enabled (a full span
+// tree recorded into the flight recorder per request) — so the
+// trajectory pins the claim that enabled tracing stays within ~2% of
+// the untraced serving path on pipeline-bound queries. Requests go
+// through the real handler via httptest.NewRecorder: same JSON decode,
+// serving path, and response encode on both sides of the contrast, no
+// network between them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/gen"
+	"ctpquery/internal/graph"
+	"ctpquery/internal/serve"
+)
+
+// obsBenchEntry is one workload measured with tracing off and on.
+// OverheadPct is the paired estimate of the cost of recording the span
+// tree — the median over adjacent request pairs of (on/off − 1)·100 —
+// while Off/OnNsPerOp are each side's per-request median.
+type obsBenchEntry struct {
+	Workload    string  `json:"workload"`
+	Query       string  `json:"query"`
+	Rows        int     `json:"rows"`
+	Spans       int     `json:"spans"`
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OnNsPerOp   float64 `json:"on_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// queryBenchResponse is the slice of the serve response the bench
+// inspects.
+type queryBenchResponse struct {
+	RowCount int    `json:"row_count"`
+	TimedOut bool   `json:"timed_out"`
+	TraceID  string `json:"trace_id"`
+}
+
+// obsHandler builds the serving stack over a Figure 11 workload graph,
+// with tracing on or off, and the CONNECT query for its seed sets. No
+// result cache: every request runs the full pipeline, the path the
+// overhead claim is about.
+func obsHandler(w *gen.Workload, traceOff bool) (http.Handler, *serve.Server, string, error) {
+	var buf bytes.Buffer
+	if err := graph.WriteTriples(&buf, w.Graph); err != nil {
+		return nil, nil, "", err
+	}
+	g, err := ctpquery.LoadTriples(&buf)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	s, err := serve.New(db, serve.Config{
+		DefaultTimeout: 30 * time.Second,
+		TraceOff:       traceOff,
+	})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	members := make([]string, w.M())
+	for i, set := range w.Seeds {
+		members[i] = w.Graph.NodeLabel(set[0])
+	}
+	query := fmt.Sprintf("SELECT ?w WHERE { CONNECT %s AS ?w . }", strings.Join(members, " "))
+	return s.Handler(false), s, query, nil
+}
+
+// serveOnce drives one request through the handler in process and
+// decodes the response.
+func serveOnce(h http.Handler, body []byte) (*queryBenchResponse, error) {
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("query answered %d: %s", rec.Code, rec.Body.String())
+	}
+	var out queryBenchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func obsBench() ([]obsBenchEntry, error) {
+	// One workload per Figure 11 topology, the pipeline-bound members of
+	// the shared grid (hundreds of microseconds to milliseconds per
+	// request) — the regime the ≲2% claim is about. The ~30µs smallest
+	// line is excluded deliberately: against a request that barely runs
+	// the pipeline, the fixed per-trace cost (a handful of span records)
+	// reads as tens of percent and measures nothing but the constant.
+	ws := fig11Workloads(false)
+	subset := []namedWorkload{ws[1], ws[2], ws[4]}
+
+	var out []obsBenchEntry
+	for _, wl := range subset {
+		e, err := obsBench1(wl)
+		if err != nil {
+			return nil, fmt.Errorf("obs bench %s: %w", wl.name, err)
+		}
+		out = append(out, *e)
+	}
+	return out, nil
+}
+
+// obsBench1 measures one workload on both sides of the contrast.
+func obsBench1(wl namedWorkload) (*obsBenchEntry, error) {
+	offHandler, _, query, err := obsHandler(wl.w, true)
+	if err != nil {
+		return nil, err
+	}
+	onHandler, onSrv, _, err := obsHandler(wl.w, false)
+	if err != nil {
+		return nil, err
+	}
+	reqBody, _ := json.Marshal(map[string]any{"query": query, "omit_trees": true})
+
+	// Warm up both stacks and sanity-check the contrast: the untraced
+	// response must carry no trace ID, the traced one must, and both
+	// must compute the same result.
+	offResp, err := serveOnce(offHandler, reqBody)
+	if err != nil {
+		return nil, err
+	}
+	if offResp.TimedOut {
+		return nil, fmt.Errorf("untraced warm-up timed out")
+	}
+	if offResp.TraceID != "" {
+		return nil, fmt.Errorf("tracing disabled yet response carries trace_id")
+	}
+	onResp, err := serveOnce(onHandler, reqBody)
+	if err != nil {
+		return nil, err
+	}
+	if onResp.TraceID == "" {
+		return nil, fmt.Errorf("tracing enabled yet response carries no trace_id")
+	}
+	if onResp.RowCount != offResp.RowCount {
+		return nil, fmt.Errorf("traced and untraced runs disagree: %d vs %d rows",
+			onResp.RowCount, offResp.RowCount)
+	}
+	e := &obsBenchEntry{Workload: wl.name, Query: query, Rows: offResp.RowCount}
+	if trace := onSrv.Tracer().Trace(onResp.TraceID); trace != nil {
+		e.Spans = len(trace.Spans)
+	}
+
+	// Measurement discipline: the contrast is a few percent at most, far
+	// below the noise of coarse back-to-back benchmark runs on a shared
+	// machine (two identical untraced runs were observed ±10% apart). So
+	// the two sides alternate REQUEST BY REQUEST — any disturbance
+	// slower than one request (co-tenant bursts, frequency drift, GC of
+	// the surrounding suite) lands on both sides alike — and each
+	// adjacent off/on pair contributes one duration ratio. The estimate
+	// is the median over all pairs: drift cancels inside each pair by
+	// adjacency, scheduling spikes fall to the median, and hundreds to
+	// thousands of pairs tighten the estimate. Within a pair the order
+	// flips every iteration so a monotone trend cannot bias the ratio.
+	timeOne := func(h http.Handler) (float64, error) {
+		start := time.Now()
+		if _, err := serveOnce(h, reqBody); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Nanoseconds()), nil
+	}
+	per, err := timeOne(offHandler)
+	if err != nil {
+		return nil, err
+	}
+	pairs := int(1.5e9 / (2 * per))
+	if pairs < 50 {
+		pairs = 50
+	} else if pairs > 5000 {
+		pairs = 5000
+	}
+	ratios := make([]float64, 0, pairs)
+	offs := make([]float64, 0, pairs)
+	ons := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		var off, on float64
+		var err error
+		if i%2 == 0 {
+			off, err = timeOne(offHandler)
+			if err == nil {
+				on, err = timeOne(onHandler)
+			}
+		} else {
+			on, err = timeOne(onHandler)
+			if err == nil {
+				off, err = timeOne(offHandler)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		offs = append(offs, off)
+		ons = append(ons, on)
+		ratios = append(ratios, on/off)
+	}
+	sort.Float64s(ratios)
+	sort.Float64s(offs)
+	sort.Float64s(ons)
+	e.OffNsPerOp = offs[len(offs)/2]
+	e.OnNsPerOp = ons[len(ons)/2]
+	e.OverheadPct = (ratios[len(ratios)/2] - 1) * 100
+	fmt.Fprintf(os.Stderr, "%-24s obs    %12.0f ns/op off   %12.0f ns/op on    (%+.2f%%, %d spans)\n",
+		wl.name, e.OffNsPerOp, e.OnNsPerOp, e.OverheadPct, e.Spans)
+	return e, nil
+}

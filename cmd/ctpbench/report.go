@@ -61,7 +61,12 @@ type benchReport struct {
 	// with a canonical-key merge.
 	ClusterBenchNote string              `json:"cluster_bench_note,omitempty"`
 	ClusterBench     []clusterBenchEntry `json:"cluster_bench,omitempty"`
-	Baseline         json.RawMessage     `json:"baseline,omitempty"`
+	// ObsOverhead contrasts the serving path with tracing disabled and
+	// enabled (internal/obs through internal/serve) on a Figure 11
+	// subset, pinning the claim that enabled tracing costs ≲2%.
+	ObsOverheadNote string          `json:"obs_overhead_note,omitempty"`
+	ObsOverhead     []obsBenchEntry `json:"obs_overhead,omitempty"`
+	Baseline        json.RawMessage `json:"baseline,omitempty"`
 }
 
 // cacheBenchEntry is one Figure 11 workload measured cold (full BGP +
@@ -133,12 +138,12 @@ func parseSections(spec string) (sectionSet, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil // nil = all sections
 	}
-	known := map[string]bool{"micro": true, "grid": true, "parallel": true, "cache": true, "cluster": true}
+	known := map[string]bool{"micro": true, "grid": true, "parallel": true, "cache": true, "cluster": true, "obs": true}
 	s := sectionSet{}
 	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
 		if !known[name] {
-			return nil, fmt.Errorf("unknown section %q (want micro, grid, parallel, cache, cluster)", name)
+			return nil, fmt.Errorf("unknown section %q (want micro, grid, parallel, cache, cluster, obs)", name)
 		}
 		s[name] = true
 	}
@@ -153,7 +158,7 @@ func writeJSONReport(path, baselinePath, sections string) error {
 		return err
 	}
 	report := benchReport{
-		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path, cluster scatter-gather sweep",
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path, cluster scatter-gather sweep, observability overhead contrast",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -228,6 +233,19 @@ func writeJSONReport(path, baselinePath, sections string) error {
 			return err
 		}
 		report.ClusterBench = cl
+	}
+
+	if sel.has("obs") {
+		report.ObsOverheadNote = "off_ns_per_op serves the workload's CONNECT query through the full handler with " +
+			"tracing disabled (nil spans behind one atomic load); on_ns_per_op records the complete span tree into " +
+			"the flight recorder per request (per-side per-request medians). The two sides alternate request by " +
+			"request and overhead_pct is the median over adjacent pairs of (on/off - 1)*100 — the drift-cancelling " +
+			"paired estimate — and the observability layer claims <=2% on these pipeline-bound workloads."
+		ob, err := obsBench()
+		if err != nil {
+			return err
+		}
+		report.ObsOverhead = ob
 	}
 
 	if baselinePath != "" {

@@ -1,7 +1,8 @@
 // Command ctpcoord fronts a fleet of ctpserve shards with a
 // fault-tolerant scatter-gather coordinator. It serves the same HTTP
-// surface as a single shard (POST /query, GET /healthz, GET /stats), so
-// clients and load balancers cannot tell the two apart — but behind it
+// surface as a single shard (POST /query, GET /healthz, GET /stats,
+// GET /metrics, GET /debug/traces), so clients and load balancers
+// cannot tell the two apart — but behind it
 // queries are routed health-aware across replicas, hedged when a
 // primary straggles, retried with capped exponential backoff, cut off
 // by per-backend circuit breakers, and merged deterministically across
@@ -59,6 +60,9 @@ func main() {
 		breakerCooldown  = flag.Duration("breaker-cooldown", 3*time.Second, "open hold-time before a half-open probe is admitted")
 		drainGrace       = flag.Duration("drain-grace", 0, "on SIGTERM, keep answering 503 draining this long before closing the listener (0 = shut down immediately)")
 		faultSpec        = flag.String("fault", "", "DEV ONLY: arm fault-injection points, comma-separated point:kind[=duration][@hit[xcount]] specs (e.g. cluster.send:error@3x2)")
+		traceOn          = flag.Bool("trace", true, "record per-gather traces into the flight recorder at /debug/traces and propagate Traceparent to shards")
+		traceRing        = flag.Int("trace-ring", 256, "completed gather traces kept in the flight-recorder ring")
+		slowQueryMS      = flag.Int64("slow-query-ms", 0, "log gathers slower than this many ms and pin their traces in the slow ring (0 = slow log off)")
 	)
 	flag.Parse()
 	if err := run(coordConfig{
@@ -76,6 +80,9 @@ func main() {
 		breakerCooldown:  *breakerCooldown,
 		drainGrace:       *drainGrace,
 		faultSpec:        *faultSpec,
+		trace:            *traceOn,
+		traceRing:        *traceRing,
+		slowQueryMS:      *slowQueryMS,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpcoord:", err)
 		os.Exit(1)
@@ -98,6 +105,9 @@ type coordConfig struct {
 	breakerCooldown  time.Duration
 	drainGrace       time.Duration
 	faultSpec        string
+	trace            bool
+	traceRing        int
+	slowQueryMS      int64
 }
 
 // parseShards turns the -shards grammar into cluster groups:
@@ -150,6 +160,9 @@ func run(cfg coordConfig) error {
 		BreakerThreshold: cfg.breakerThreshold,
 		BreakerCooldown:  cfg.breakerCooldown,
 		DrainGrace:       cfg.drainGrace,
+		TraceOff:         !cfg.trace,
+		TraceRing:        cfg.traceRing,
+		SlowQuery:        time.Duration(cfg.slowQueryMS) * time.Millisecond,
 	}, groups)
 	if err != nil {
 		return err

@@ -51,6 +51,9 @@ func main() {
 
 		// cluster-smoke mode
 		clusterSmoke = flag.Bool("cluster-smoke", false, "replay the cache-heavy mix through an in-process 2-replica cluster with one shard fault-armed, and print the report as JSON")
+
+		// scrape-smoke mode
+		scrapeSmoke = flag.Bool("scrape-smoke", false, "replay through an in-process 2-partition traced cluster, then assert /metrics parses and the shard traces join the coordinator's, and print the report as JSON")
 	)
 	flag.Parse()
 
@@ -59,6 +62,13 @@ func main() {
 
 	if *clusterSmoke {
 		if err := runClusterSmoke(ctx, *nodes, *edges, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "ctpload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scrapeSmoke {
+		if err := runScrapeSmoke(ctx, *nodes, *edges, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "ctpload:", err)
 			os.Exit(1)
 		}
@@ -156,6 +166,18 @@ func runClusterSmoke(ctx context.Context, nodes, edges int, seed int64, scale fl
 	if rep.Replay.Errors > 0 {
 		return fmt.Errorf("%d client-visible errors despite failover (%d faults injected)",
 			rep.Replay.Errors, rep.FaultsFired)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func runScrapeSmoke(ctx context.Context, nodes, edges int, seed int64, scale float64) error {
+	rep, err := load.RunScrapeSmoke(ctx, load.ScrapeSmokeConfig{
+		Nodes: nodes, Edges: edges, Seed: seed, Scale: scale, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

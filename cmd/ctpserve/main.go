@@ -25,6 +25,10 @@
 //	GET  /healthz  liveness + graph size
 //	GET  /stats    request metrics (counts, timeouts, in-flight, avg latency)
 //	               plus aggregated search-effort and per-worker counters
+//	GET  /metrics  the same counters in Prometheus text exposition format
+//	GET  /debug/traces    recent query traces from the flight recorder
+//	                      (?id=<trace_id> for one trace's span tree);
+//	                      -slow-query-ms additionally logs and pins slow ones
 //	GET  /debug/pprof/  net/http/pprof profiling, with -pprof
 //
 // Each request gets its own evaluation context: its timeout (capped by
@@ -93,6 +97,9 @@ func main() {
 		wdInterval     = flag.Duration("watchdog-interval", 5*time.Second, "how often the memory watchdog samples the heap")
 		faultSpec      = flag.String("fault", "", "DEV ONLY: arm fault-injection points, comma-separated point:kind[=duration][@hit[xcount]] specs (e.g. exec.worker.process_op:panic@100)")
 		drainGrace     = flag.Duration("drain-grace", 0, "on SIGTERM, keep serving (with /healthz answering 503 draining) this long before closing the listener, so load-balancer health checks observe the drain (0 = shut down immediately)")
+		traceOn        = flag.Bool("trace", true, "record per-query traces into the flight recorder at /debug/traces; off reduces every span to one atomic load")
+		traceRing      = flag.Int("trace-ring", 256, "completed traces kept in the flight-recorder ring")
+		slowQueryMS    = flag.Int64("slow-query-ms", 0, "log queries slower than this many ms and pin their traces in the slow ring (0 = slow log off)")
 	)
 	flag.Parse()
 	cfg := serverConfig{
@@ -125,6 +132,9 @@ func main() {
 		wdInterval:     *wdInterval,
 		faultSpec:      *faultSpec,
 		drainGrace:     *drainGrace,
+		trace:          *traceOn,
+		traceRing:      *traceRing,
+		slowQueryMS:    *slowQueryMS,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpserve:", err)
@@ -164,6 +174,9 @@ type serverConfig struct {
 	wdInterval     time.Duration
 	faultSpec      string
 	drainGrace     time.Duration
+	trace          bool
+	traceRing      int
+	slowQueryMS    int64
 }
 
 func run(cfg serverConfig) error {
@@ -205,6 +218,9 @@ func run(cfg serverConfig) error {
 		MemHardBytes:     cfg.memHardMB << 20,
 		WatchdogInterval: cfg.wdInterval,
 		DrainGrace:       cfg.drainGrace,
+		TraceOff:         !cfg.trace,
+		TraceRing:        cfg.traceRing,
+		SlowQuery:        time.Duration(cfg.slowQueryMS) * time.Millisecond,
 	}
 	if cfg.admission {
 		scfg.Admission = &admission.Config{

@@ -10,6 +10,7 @@ import (
 	"ctpquery/internal/core"
 	"ctpquery/internal/engine"
 	"ctpquery/internal/eql"
+	"ctpquery/internal/obs"
 	"ctpquery/internal/qcache"
 )
 
@@ -299,6 +300,15 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 	}
 	info := CacheInfo{Enabled: true}
 	key := qcache.Key{Graph: db.g.Fingerprint(), Query: q.String(), Opts: db.optsSig}
+	// Cache span: covers the lookup, a coalesced waiter's wait on the
+	// leader, or the leader's own execution (whose engine.eval span nests
+	// under it). Role attrs are attached once the outcome is known.
+	cacheSpan := obs.FromContext(ctx).Child("cache")
+	// End is idempotent; the defer is the panic backstop (a contained
+	// panic inside Do must not leak the span), the explicit Ends below
+	// stamp the accurate duration on every ordinary path.
+	defer cacheSpan.End()
+	ctx = obs.With(ctx, cacheSpan)
 	v, hit, coalesced, err := db.cache.Do(ctx, key, func() (any, int64, bool, error) {
 		res, err := db.runUncached(ctx, q)
 		if err != nil {
@@ -322,6 +332,7 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 		return res, res.ApproxSize(), admit, nil
 	})
 	info.Hit, info.Coalesced = hit, coalesced
+	cacheSpan.AttrBool("hit", hit).AttrBool("coalesced", coalesced)
 	if err != nil {
 		// A waiter whose own deadline expired while queued behind the
 		// leader must still get Run's deadline semantics — partial
@@ -332,10 +343,13 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 		// immediately with whatever that allows.
 		if errors.Is(err, context.DeadlineExceeded) {
 			res, rerr := db.runUncached(ctx, q)
+			cacheSpan.End()
 			return res, CacheInfo{Enabled: true}, rerr
 		}
+		cacheSpan.Error(err).End()
 		return nil, info, err
 	}
+	cacheSpan.End()
 	return v.(*Results), info, nil
 }
 
@@ -361,7 +375,9 @@ func (db *DB) runUncached(ctx context.Context, q *Query) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newResults(db.g, q.q, res), nil
+	out := newResults(db.g, q.q, res)
+	out.traceID = obs.FromContext(ctx).TraceID()
+	return out, nil
 }
 
 // Peek reports whether a complete cached result for q is already stored,

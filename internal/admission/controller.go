@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"ctpquery/internal/obs"
 )
 
 // Shed reasons returned by Acquire. Servers translate every one of them
@@ -133,6 +135,18 @@ func (c *Controller) Config() Config { return c.cfg }
 // all meaning "shed, never executed" — or the ctx error if the caller's
 // context ends first.
 func (c *Controller) Acquire(ctx context.Context, class Class, cost float64) (release func(), waited time.Duration, err error) {
+	// Child of the request's root span (nil no-op when tracing is off or
+	// the caller has no trace): queue wait is the stage admission adds to
+	// a request's latency, so it gets its own span rather than vanishing
+	// into the gap between parse and eval.
+	sp := obs.FromContext(ctx).Child("admission.wait")
+	sp.Attr("class", class.String())
+	defer func() {
+		if err != nil {
+			sp.Error(err)
+		}
+		sp.End()
+	}()
 	c.mu.Lock()
 	if c.canRunLocked(class) {
 		if class == Analytical && !c.withinBudgetLocked(cost) {
@@ -157,6 +171,7 @@ func (c *Controller) Acquire(ctx context.Context, class Class, cost float64) (re
 		c.mu.Unlock()
 		return nil, 0, ErrQueueFull
 	}
+	sp.AttrBool("queued", true)
 	w := &waiter{ready: make(chan struct{}), class: class, cost: cost}
 	c.waiters[class] = append(c.waiters[class], w)
 	if n := len(c.waiters[class]); n > c.peakQueue[class] {

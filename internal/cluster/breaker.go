@@ -41,6 +41,11 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time // test clock
 
+	// onTransition, when set, observes every state change (for the
+	// coordinator's transition counter). Called with b.mu held: keep it
+	// lock-free and fast — incrementing an atomic counter, nothing more.
+	onTransition func(from, to BreakerState)
+
 	mu       sync.Mutex
 	state    BreakerState
 	fails    int // consecutive failures while closed
@@ -66,7 +71,7 @@ func (b *Breaker) Allow() bool {
 		if b.now().Sub(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open: one probe at a time
@@ -83,7 +88,7 @@ func (b *Breaker) Report(ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ok {
-		b.state = BreakerClosed
+		b.setState(BreakerClosed)
 		b.fails = 0
 		b.probing = false
 		return
@@ -114,11 +119,25 @@ func (b *Breaker) Cancelled() {
 
 // trip opens the breaker; callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = BreakerOpen
+	b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.fails = 0
 	b.probing = false
 	b.opens++
+}
+
+// setState moves the breaker and notifies the transition hook; callers
+// hold b.mu. A no-op move (Report(true) on an already-closed breaker)
+// notifies nobody.
+func (b *Breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
 }
 
 // State returns the current position without advancing it (an elapsed

@@ -38,8 +38,11 @@ func newShardHandler(t *testing.T, seed int64) http.Handler {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The default timeout must clear chaosQuery's ~8s race-detector cost
+	// on a 1-core runner with margin, or deadline truncation races the
+	// assertions; the suite's hang bound is the go test timeout.
 	s, err := serve.New(db, serve.Config{
-		DefaultTimeout: 10 * time.Second, MaxTimeout: 30 * time.Second, MaxRows: 100})
+		DefaultTimeout: 60 * time.Second, MaxTimeout: 120 * time.Second, MaxRows: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +138,8 @@ func TestChaosShardKilledMidGatherReplicaFailover(t *testing.T) {
 	var gr *GatherResponse
 	select {
 	case gr = <-done:
-	case <-time.After(15 * time.Second):
+	case <-time.After(90 * time.Second):
+		// Past the 60s gather budget: nothing legitimate is still running.
 		t.Fatal("gather hung after a replica was killed mid-query")
 	}
 

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"ctpquery/internal/fault"
+	"ctpquery/internal/obs"
 )
 
 // Transport-level probe points (inert unless armed via internal/fault):
@@ -105,6 +106,11 @@ type Response struct {
 	// mirrors their Retry-After (429 saturation, 503 draining).
 	Error       string `json:"error,omitempty"`
 	RetryAfterS int    `json:"retry_after_s,omitempty"`
+	// TraceID is the shard's flight-recorder trace for this query. Under
+	// a tracing coordinator it equals the coordinator's trace ID (the
+	// shard adopts the propagated Traceparent), which is how the two
+	// recorders' span trees join.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Transport delivers wire requests to one backend. Send returns an
@@ -157,6 +163,7 @@ func (t *HTTPTransport) Send(ctx context.Context, req *Request) (*Response, erro
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	setTraceparent(ctx, hreq)
 	hresp, err := t.client().Do(hreq)
 	if err != nil {
 		return nil, err
@@ -202,6 +209,7 @@ func (t *LocalTransport) Send(ctx context.Context, req *Request) (*Response, err
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	setTraceparent(ctx, hreq)
 	rec := newRecorder()
 	t.Handler.ServeHTTP(rec, hreq)
 	if err := ctx.Err(); err != nil {
@@ -277,6 +285,17 @@ func decodeHealth(code int, body io.Reader) (HealthReport, error) {
 		return HealthReport{}, fmt.Errorf("cluster: undecodable /healthz (%d): %w", code, err)
 	}
 	return rep, nil
+}
+
+// setTraceparent stamps the outgoing shard request with the sending
+// span's trace context (the coordinator's per-attempt send span), so the
+// shard's root span adopts the coordinator's trace ID and the two flight
+// recorders can be joined on it. No span in ctx — tracing off, or a
+// direct Shard use — stamps nothing.
+func setTraceparent(ctx context.Context, hreq *http.Request) {
+	if sp := obs.FromContext(ctx); sp != nil {
+		hreq.Header.Set(obs.TraceHeader, sp.Context().Traceparent())
+	}
 }
 
 // ms converts a duration for wire reports.

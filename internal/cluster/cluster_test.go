@@ -61,12 +61,18 @@ func alwaysFail() func(int, *Request) (*Response, error) {
 	return func(int, *Request) (*Response, error) { return nil, fmt.Errorf("boom") }
 }
 
-// fastConfig keeps retries and probes snappy for unit tests.
+// fastConfig keeps retries and probes snappy for unit tests. The
+// gather budget is deliberately generous: chaosQuery takes ~8s under
+// the race detector on a 1-core runner, and a budget in that range
+// turns every chaos assertion into a race between two nearly equal
+// timers (the shard's deadline truncation vs the gather context).
+// Fail-fast fake transports never wait on this budget, and the tests
+// that exercise timeout clamping set their own TimeoutMS.
 func fastConfig() Config {
 	return Config{
 		ProbeInterval:  10 * time.Millisecond,
 		ProbeTimeout:   time.Second,
-		DefaultTimeout: 5 * time.Second,
+		DefaultTimeout: 60 * time.Second,
 		RetryBase:      time.Millisecond,
 		RetryMax:       5 * time.Millisecond,
 	}

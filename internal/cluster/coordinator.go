@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ctpquery/internal/obs"
 )
 
 // Config tunes a Coordinator. Zero values take the documented defaults.
@@ -47,6 +49,16 @@ type Config struct {
 	// DrainGrace sizes the Retry-After on 503s the coordinator sends
 	// while draining (default 5s), mirroring ctpserve's -drain-grace.
 	DrainGrace time.Duration
+	// TraceOff disables the coordinator's flight recorder; every span
+	// call degrades to one atomic load.
+	TraceOff bool
+	// TraceRing sizes the completed-gather trace ring (default 256).
+	TraceRing int
+	// SlowQuery logs gathers slower than this and pins their traces in
+	// the slow ring; 0 disables the slow log.
+	SlowQuery time.Duration
+	// TraceLogf receives slow-gather log lines; nil uses log.Printf.
+	TraceLogf func(format string, args ...any)
 }
 
 func (cfg Config) withDefaults(maxMembers int) Config {
@@ -103,6 +115,10 @@ type Coordinator struct {
 
 	probeWG sync.WaitGroup
 
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	met    *coordMetrics
+
 	started   time.Time
 	queries   atomic.Int64
 	degraded  atomic.Int64 // 200s carrying a degraded block
@@ -132,6 +148,14 @@ func New(cfg Config, groups []Group) (*Coordinator, error) {
 		rr:      make([]atomic.Int64, len(groups)),
 		started: time.Now(),
 	}
+	c.tracer = obs.NewTracer(obs.TraceConfig{
+		Disabled:  cfg.TraceOff,
+		RingSize:  cfg.TraceRing,
+		SlowQuery: cfg.SlowQuery,
+		Logf:      cfg.TraceLogf,
+	})
+	c.reg = obs.NewRegistry()
+	c.met = newCoordMetrics(c.reg)
 	seen := make(map[string]bool)
 	for i, g := range groups {
 		name := g.Name
@@ -148,10 +172,16 @@ func New(cfg Config, groups []Group) (*Coordinator, error) {
 		shards := make([]*Shard, len(g.Members))
 		for j, tr := range g.Members {
 			shards[j] = newShard(name, tr, cfg.BreakerThreshold, cfg.BreakerCooldown)
+			// Breaker edges feed the transition counter; the hook runs
+			// under the breaker lock, so it must stay this small.
+			shards[j].br.onTransition = func(from, to BreakerState) {
+				c.met.breakerTransitions.With(from.String(), to.String()).Inc()
+			}
 		}
 		c.groupNames = append(c.groupNames, name)
 		c.groups = append(c.groups, shards)
 	}
+	c.registerCollectors()
 	return c, nil
 }
 
@@ -196,6 +226,10 @@ type GatherResponse struct {
 	*Response
 	Degraded *Degraded   `json:"degraded,omitempty"`
 	Cluster  *GatherInfo `json:"cluster,omitempty"`
+	// TraceID is the coordinator's gather trace. It shadows the embedded
+	// shard Response.TraceID in the JSON answer (shallower field wins),
+	// which is by design: under propagation both hold the same ID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Gather executes one request across every group and merges the
@@ -234,7 +268,14 @@ func (c *Coordinator) Gather(ctx context.Context, req *Request) *GatherResponse 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, atts, err := c.queryGroup(ctx, i, &sreq)
+			gsp := obs.FromContext(ctx).Child("group")
+			gsp.Attr("group", c.groupNames[i])
+			resp, atts, err := c.queryGroup(obs.With(ctx, gsp), i, &sreq)
+			gsp.AttrInt("attempts", int64(len(atts)))
+			if err != nil {
+				gsp.Error(err)
+			}
+			gsp.End()
 			results[i] = groupResult{resp, atts, err}
 		}(i)
 	}
@@ -439,9 +480,28 @@ func (c *Coordinator) raceAttempt(ctx context.Context, primary *Shard, nextAlt f
 	}
 	ch := make(chan outcome, 2) // buffered: late losers must not block
 	launch := func(sh *Shard, hedge bool) {
+		// The send span is created before the goroutine so its start
+		// order under the group span is deterministic; its ID rides the
+		// Traceparent header (setTraceparent reads it from sctx), which
+		// is what makes the shard's root span this span's child. A hedge
+		// loser that outlives the gather ends after trace finalize and is
+		// dropped-but-counted by the tracer — that's the contract.
+		ssp := obs.FromContext(actx).Child("send")
+		ssp.Attr("shard", sh.name)
+		if hedge {
+			ssp.AttrBool("hedge", true)
+		}
+		sctx := obs.With(actx, ssp)
 		go func() {
 			start := time.Now()
-			resp, err := sh.query(actx, req, c.cfg.ShardTimeout)
+			resp, err := sh.query(sctx, req, c.cfg.ShardTimeout)
+			if err != nil {
+				ssp.Error(err)
+				ssp.Attr("breaker", sh.br.State().String())
+			} else {
+				ssp.AttrInt("status", int64(resp.StatusCode))
+			}
+			ssp.End()
 			ch <- outcome{sh, hedge, resp, err, time.Since(start)}
 		}()
 	}
@@ -507,6 +567,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/query", c.handleQuery)
 	mux.HandleFunc("/healthz", c.handleHealth)
 	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/metrics", c.reg.ServeMetrics)
+	mux.HandleFunc("/debug/traces", c.tracer.ServeTraces)
 	return c.recoverMiddleware(mux)
 }
 
@@ -547,7 +609,28 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty query"})
 		return
 	}
-	gr := c.Gather(r.Context(), &req)
+	// The gather's root span; an incoming Traceparent (a client or an
+	// upper tier propagating its own trace) makes this a child of the
+	// caller's trace instead of a new root.
+	var parent obs.SpanContext
+	if hdr := r.Header.Get(obs.TraceHeader); hdr != "" {
+		parent, _ = obs.ParseTraceparent(hdr)
+	}
+	sp := c.tracer.Start("gather", parent)
+	start := time.Now()
+	gr := c.Gather(obs.With(r.Context(), sp), &req)
+	sp.AttrInt("groups", int64(len(c.groups)))
+	if gr.Cluster != nil {
+		sp.AttrInt("groups_ok", int64(gr.Cluster.GroupsOK))
+		sp.AttrBool("merged", gr.Cluster.Merged)
+	}
+	outcome := gatherOutcome(gr)
+	if outcome != "ok" {
+		sp.Status(outcome)
+	}
+	gr.TraceID = sp.TraceID()
+	sp.End()
+	c.met.gatherDur.With(outcome).Observe(time.Since(start).Seconds())
 	if gr.StatusCode == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -599,31 +682,21 @@ func (c *Coordinator) clusterHealth() (string, int) {
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
-	type groupStats struct {
-		Group  string       `json:"group"`
-		Shards []shardStats `json:"shards"`
-	}
-	groups := make([]groupStats, len(c.groups))
-	for i, g := range c.groups {
-		gs := groupStats{Group: c.groupNames[i]}
-		for _, sh := range g {
-			gs.Shards = append(gs.Shards, sh.stats())
-		}
-		groups[i] = gs
-	}
-	status, _ := c.clusterHealth()
+	// One consistent snapshot, shared with the /metrics collector, so
+	// the two surfaces can't disagree on the same counter mid-traffic.
+	snap := c.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s":         time.Since(c.started).Seconds(),
-		"health":           status,
-		"queries":          c.queries.Load(),
-		"degraded_gathers": c.degraded.Load(),
-		"failed_gathers":   c.failed.Load(),
-		"hedges":           c.hedges.Load(),
-		"hedge_wins":       c.hedgeWins.Load(),
-		"retries":          c.retries.Load(),
-		"health_probes":    c.probes.Load(),
-		"panics_contained": c.panics.Load(),
-		"groups":           groups,
+		"uptime_s":         snap.uptimeS,
+		"health":           snap.health,
+		"queries":          snap.queries,
+		"degraded_gathers": snap.degraded,
+		"failed_gathers":   snap.failed,
+		"hedges":           snap.hedges,
+		"hedge_wins":       snap.hedgeW,
+		"retries":          snap.retries,
+		"health_probes":    snap.probes,
+		"panics_contained": snap.panics,
+		"groups":           snap.groups,
 	})
 }
 

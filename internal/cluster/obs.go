@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"ctpquery/internal/obs"
+)
+
+// coordMetrics is the coordinator's hot-path instrument set; the
+// counter families on /metrics derive from the same snapshot /stats
+// renders.
+type coordMetrics struct {
+	// gatherDur is the end-to-end POST /query latency, by terminal
+	// outcome ("ok", "degraded", "failed", "error").
+	gatherDur *obs.HistogramVec
+	// breakerTransitions counts circuit-breaker state changes by edge,
+	// fed by the per-shard transition hook.
+	breakerTransitions *obs.CounterVec
+}
+
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	return &coordMetrics{
+		gatherDur: reg.NewHistogramVec("ctpcoord_gather_duration_seconds",
+			"End-to-end coordinator query latency by gather outcome.",
+			nil, "outcome"),
+		breakerTransitions: reg.NewCounterVec("ctpcoord_breaker_transitions_total",
+			"Circuit-breaker state transitions by edge.",
+			"from", "to"),
+	}
+}
+
+// groupSnap is one group's shard stats inside a coordSnapshot.
+type groupSnap struct {
+	Group  string       `json:"group"`
+	Shards []shardStats `json:"shards"`
+}
+
+// coordSnapshot is one consistent cut of the coordinator counters,
+// shared by /stats and the /metrics collector so the two surfaces agree.
+type coordSnapshot struct {
+	uptimeS  float64
+	health   string
+	queries  int64
+	degraded int64
+	failed   int64
+	hedges   int64
+	hedgeW   int64
+	retries  int64
+	probes   int64
+	panics   int64
+	groups   []groupSnap
+}
+
+func (c *Coordinator) snapshot() coordSnapshot {
+	status, _ := c.clusterHealth()
+	snap := coordSnapshot{
+		uptimeS:  time.Since(c.started).Seconds(),
+		health:   status,
+		queries:  c.queries.Load(),
+		degraded: c.degraded.Load(),
+		failed:   c.failed.Load(),
+		hedges:   c.hedges.Load(),
+		hedgeW:   c.hedgeWins.Load(),
+		retries:  c.retries.Load(),
+		probes:   c.probes.Load(),
+		panics:   c.panics.Load(),
+	}
+	for i, g := range c.groups {
+		gs := groupSnap{Group: c.groupNames[i]}
+		for _, sh := range g {
+			gs.Shards = append(gs.Shards, sh.stats())
+		}
+		snap.groups = append(snap.groups, gs)
+	}
+	return snap
+}
+
+// eachShard walks the snapshot's shards flat, for the per-shard
+// metric families.
+func (snap coordSnapshot) eachShard(f func(shardStats)) {
+	for _, g := range snap.groups {
+		for _, s := range g.Shards {
+			f(s)
+		}
+	}
+}
+
+// healthValue maps the folded cluster health to a numeric gauge.
+func healthValue(status string) float64 {
+	switch status {
+	case "ok":
+		return 0
+	case "degraded":
+		return 1
+	case "draining":
+		return 2
+	default: // down
+		return 3
+	}
+}
+
+// registerCollectors wires the snapshot-derived families: one Collect
+// callback, one snapshot per scrape.
+func (c *Coordinator) registerCollectors() {
+	c.reg.Collect(func(w *obs.Exposition) {
+		snap := c.snapshot()
+		gauge := func(name, help string, v float64) {
+			w.Family(name, help, "gauge")
+			w.Sample("", nil, v)
+		}
+		counter := func(name, help string, v float64) {
+			w.Family(name, help, "counter")
+			w.Sample("", nil, v)
+		}
+		gauge("ctpcoord_uptime_seconds", "Seconds since the coordinator started.", snap.uptimeS)
+		gauge("ctpcoord_health_state", "Folded cluster health (0 ok, 1 degraded, 2 draining, 3 down).", healthValue(snap.health))
+		counter("ctpcoord_queries_total", "Gathers executed.", float64(snap.queries))
+		counter("ctpcoord_degraded_gathers_total", "200s answered with a degraded block.", float64(snap.degraded))
+		counter("ctpcoord_failed_gathers_total", "Gathers with zero answering groups.", float64(snap.failed))
+		counter("ctpcoord_hedges_total", "Hedged second requests launched.", float64(snap.hedges))
+		counter("ctpcoord_hedge_wins_total", "Hedges that answered first.", float64(snap.hedgeW))
+		counter("ctpcoord_retries_total", "Attempts beyond the first, per group.", float64(snap.retries))
+		counter("ctpcoord_health_probes_total", "Background /healthz probes issued.", float64(snap.probes))
+		counter("ctpcoord_panics_contained_total", "Panics contained by the HTTP middleware.", float64(snap.panics))
+
+		type sf struct {
+			name, help, typ string
+			get             func(shardStats) float64
+		}
+		for _, f := range []sf{
+			{"ctpcoord_shard_health", "Shard health color (0 unknown, 1 ok, 2 degraded, 3 draining, 4 down).", "gauge",
+				func(s shardStats) float64 { return shardHealthValue(s.Health) }},
+			{"ctpcoord_shard_breaker_state", "Shard breaker position (0 closed, 1 open, 2 half-open).", "gauge",
+				func(s shardStats) float64 { return breakerStateValue(s.Breaker) }},
+			{"ctpcoord_shard_breaker_opens_total", "Times the shard's breaker tripped open.", "counter",
+				func(s shardStats) float64 { return float64(s.BreakerOpens) }},
+			{"ctpcoord_shard_sent_total", "Attempts delivered to the shard.", "counter",
+				func(s shardStats) float64 { return float64(s.Sent) }},
+			{"ctpcoord_shard_failures_total", "Attempts classified as shard failures.", "counter",
+				func(s shardStats) float64 { return float64(s.Failures) }},
+			{"ctpcoord_shard_cancelled_total", "Attempts abandoned by the coordinator.", "counter",
+				func(s shardStats) float64 { return float64(s.Cancelled) }},
+			{"ctpcoord_shard_hedges_total", "Attempts launched as hedges against the shard.", "counter",
+				func(s shardStats) float64 { return float64(s.Hedges) }},
+			{"ctpcoord_shard_ewma_latency_seconds", "Smoothed successful-attempt latency.", "gauge",
+				func(s shardStats) float64 { return s.EwmaMS / 1e3 }},
+		} {
+			w.Family(f.name, f.help, f.typ)
+			snap.eachShard(func(s shardStats) {
+				w.Sample("", []obs.Label{{Name: "shard", Value: s.Shard}}, f.get(s))
+			})
+		}
+
+		started, ended, dropped := c.tracer.SpanCounts()
+		counter("ctpcoord_trace_spans_started_total", "Spans started by the coordinator tracer.", float64(started))
+		counter("ctpcoord_trace_spans_ended_total", "Spans ended (started==ended once settled).", float64(ended))
+		counter("ctpcoord_trace_spans_dropped_total", "Spans ended after their trace finalized (hedge losers).", float64(dropped))
+		tStarted, tFinished, tSlow := c.tracer.TraceCounts()
+		counter("ctpcoord_traces_started_total", "Gather traces started.", float64(tStarted))
+		counter("ctpcoord_traces_finished_total", "Gather traces finalized into the flight recorder.", float64(tFinished))
+		counter("ctpcoord_traces_slow_total", "Gather traces past the slow-query threshold.", float64(tSlow))
+	})
+}
+
+func shardHealthValue(s string) float64 {
+	switch s {
+	case "unknown":
+		return 0
+	case "ok":
+		return 1
+	case "degraded":
+		return 2
+	case "draining":
+		return 3
+	default: // down
+		return 4
+	}
+}
+
+func breakerStateValue(s string) float64 {
+	switch s {
+	case "closed":
+		return 0
+	case "open":
+		return 1
+	default: // half-open
+		return 2
+	}
+}
+
+// Tracer exposes the coordinator's tracer (flight recorder) to tests
+// and the in-process smokes.
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
+
+// Registry exposes the coordinator's metric registry.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// gatherOutcome classifies a finished gather for the latency histogram.
+func gatherOutcome(gr *GatherResponse) string {
+	switch {
+	case gr.StatusCode == http.StatusOK && gr.Degraded == nil:
+		return "ok"
+	case gr.StatusCode == http.StatusOK:
+		return "degraded"
+	case gr.StatusCode == http.StatusServiceUnavailable:
+		return "failed"
+	default:
+		return "error"
+	}
+}

@@ -212,6 +212,7 @@ type WorkerStats struct {
 	Shipped int   // tasks routed to other workers' shards
 	Stolen  int   // ops stolen from other workers' queues
 	BusyNS  int64 // thread CPU time inside the worker loop (0 where unsupported)
+	WallNS  int64 // wall time inside the worker loop (spawn to drain)
 }
 
 // created counts a freshly constructed provenance and tracks the live

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	_ "ctpquery/internal/exec"
 	"ctpquery/internal/fault"
 	"ctpquery/internal/graph"
+	"ctpquery/internal/obs"
 	"ctpquery/internal/score"
 	"ctpquery/internal/storage"
 	"ctpquery/internal/tree"
@@ -158,6 +160,16 @@ func (e *Engine) Execute(q *eql.Query) (*Result, error) {
 // TIMEOUT semantics (Section 2). Only the CTP searches are interruptible;
 // BGP evaluation and the final join run to completion.
 func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (res *Result, err error) {
+	// Evaluation span (nil no-op without a tracer in ctx). Registered
+	// before the recovery defer so the LIFO unwind recovers first — the
+	// span then records the structured error a contained panic became.
+	eval := obs.FromContext(ctx).Child("engine.eval")
+	defer func() {
+		if err != nil {
+			eval.Error(err)
+		}
+		eval.End()
+	}()
 	// Containment backstop for the phases outside the CTP searches (BGP
 	// evaluation, the join, projection): a panic there becomes a
 	// structured error instead of killing the process.
@@ -185,6 +197,8 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (res *Result,
 		bgpTables[i] = t
 	}
 	res.BGPTime = time.Since(startBGP)
+	eval.ChildTimed("bgp", startBGP, res.BGPTime,
+		obs.Attr{Key: "bgps", Val: strconv.Itoa(len(q.BGPs))})
 	if err := ctx.Err(); err == context.Canceled {
 		return nil, err
 	}
@@ -220,6 +234,23 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (res *Result,
 		if out.err != nil {
 			return nil, fmt.Errorf("engine: CTP %d: %w", i, out.err)
 		}
+		// Synthesize the CTP's span tree retroactively from its Stats —
+		// per-worker spans come from the exec runtime's spawn-to-drain
+		// aggregates, so the hot search loop carries zero tracing cost.
+		if st := out.stats; st != nil {
+			cs := eval.ChildTimed(fmt.Sprintf("ctp[%d]", i), startCTP, st.Duration,
+				obs.Attr{Key: "kept", Val: strconv.Itoa(st.Kept())},
+				obs.Attr{Key: "results", Val: strconv.Itoa(st.Results)},
+				obs.Attr{Key: "parallelism", Val: strconv.Itoa(st.Parallelism)})
+			for wi, ws := range st.Workers {
+				cs.ChildTimed(fmt.Sprintf("worker[%d]", wi), startCTP, time.Duration(ws.WallNS),
+					obs.Attr{Key: "ops", Val: strconv.Itoa(ws.Ops)},
+					obs.Attr{Key: "kept", Val: strconv.Itoa(ws.Kept)},
+					obs.Attr{Key: "shipped", Val: strconv.Itoa(ws.Shipped)},
+					obs.Attr{Key: "stolen", Val: strconv.Itoa(ws.Stolen)},
+					obs.Attr{Key: "busy_ms", Val: strconv.FormatFloat(float64(ws.BusyNS)/1e6, 'f', 3, 64)})
+			}
+		}
 		base := int32(len(res.Trees))
 		res.Trees = append(res.Trees, out.trees...)
 		if base != 0 && out.table.NumRows() > 0 {
@@ -249,6 +280,8 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *eql.Query) (res *Result,
 		})
 	}
 	res.JoinTime = time.Since(startJoin)
+	eval.ChildTimed("join", startJoin, res.JoinTime,
+		obs.Attr{Key: "rows", Val: strconv.Itoa(res.Table.NumRows())})
 	return res, nil
 }
 

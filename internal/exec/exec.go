@@ -333,6 +333,7 @@ func (r *run) assembleStats(k int) *core.Stats {
 			Shipped: w.shipped,
 			Stolen:  w.stolen,
 			BusyNS:  w.busyNS,
+			WallNS:  w.wallNS,
 		})
 	}
 	st.TimedOut = r.timedOut.Load()

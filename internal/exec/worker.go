@@ -4,6 +4,7 @@ import (
 	"fmt"
 	goruntime "runtime"
 	"sync/atomic"
+	"time"
 
 	"ctpquery/internal/bitset"
 	"ctpquery/internal/core"
@@ -35,6 +36,9 @@ type worker struct {
 	shipped int        // tasks routed to other shards
 	stolen  int        // ops taken from peers' queues
 	busyNS  int64      // thread CPU time in loop (cputime_linux.go)
+	wallNS  int64      // wall time in loop; with wallStart, lets the
+	// tracer reconstruct each worker's lifetime as a span after the fact
+	wallStart time.Time
 }
 
 func newWorker(r *run, id int) *worker {
@@ -73,7 +77,11 @@ func (w *worker) loop() {
 		defer goruntime.UnlockOSThread()
 	}
 	cpu0 := threadCPUNanos()
-	defer func() { w.busyNS = threadCPUNanos() - cpu0 }()
+	w.wallStart = time.Now()
+	defer func() {
+		w.busyNS = threadCPUNanos() - cpu0
+		w.wallNS = int64(time.Since(w.wallStart))
+	}()
 
 	for !w.r.stopped() {
 		probeWorkerLoop.Hit()

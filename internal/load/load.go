@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ctpquery/internal/obs"
 )
 
 // Request is one generated query posting.
@@ -266,8 +268,23 @@ type ClassSummary struct {
 	P50MS  float64 `json:"p50_ms"`
 	P95MS  float64 `json:"p95_ms"`
 	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
 	MeanMS float64 `json:"mean_ms"`
 	MaxMS  float64 `json:"max_ms"`
+	// Histogram is the client-observed distribution in the server's own
+	// fixed bucket layout (obs.LatencyBuckets rendered in milliseconds,
+	// cumulative counts), so a client-side histogram lays directly over
+	// the server's ctp_request_duration_seconds: divergence between the
+	// two is queueing and transport the server never saw.
+	Histogram []Bucket `json:"histogram,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket: Count samples took at
+// most LeMS milliseconds. The implicit +Inf bucket is Count on the
+// summary itself.
+type Bucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
 }
 
 // Result is one plan replay's SLO report. Latency summaries cover only
@@ -525,6 +542,12 @@ func summarizeLatencies(ms []float64) ClassSummary {
 	s.P50MS = percentile(ms, 0.50)
 	s.P95MS = percentile(ms, 0.95)
 	s.P99MS = percentile(ms, 0.99)
+	s.P999MS = percentile(ms, 0.999)
+	for _, le := range obs.LatencyBuckets {
+		leMS := le * 1e3
+		n := sort.Search(len(ms), func(i int) bool { return ms[i] > leMS })
+		s.Histogram = append(s.Histogram, Bucket{LeMS: leMS, Count: int64(n)})
+	}
 	return s
 }
 

@@ -1,0 +1,256 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/cluster"
+	"ctpquery/internal/obs"
+	"ctpquery/internal/serve"
+)
+
+// ScrapeSmokeConfig parameterizes the observability smoke: a short
+// replay through a 2-partition in-process coordinator with tracing on
+// everywhere, then assertions that the whole observability surface
+// holds together — /metrics parses as strict Prometheus text on the
+// coordinator and both shards, the query response carries a trace ID,
+// /debug/traces?id= serves a well-formed span tree for it, and the
+// shard-side traces join the coordinator's trace through the
+// propagated Traceparent.
+type ScrapeSmokeConfig struct {
+	// Nodes/Edges size the generated graph (defaults 2000/8000).
+	Nodes, Edges int
+	// Seed drives graph generation and every workload draw.
+	Seed int64
+	// Scale multiplies the replay duration (1.0 = ~3s of traffic).
+	Scale float64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c ScrapeSmokeConfig) withDefaults() ScrapeSmokeConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 2000
+	}
+	if c.Edges <= 0 {
+		c.Edges = 4 * c.Nodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// ScrapeSmokeReport is the scrape smoke's JSON payload.
+type ScrapeSmokeReport struct {
+	Description string  `json:"description"`
+	Replay      *Result `json:"replay"`
+	// TraceID is the probe query's gather trace, shared by the
+	// coordinator and both shards.
+	TraceID string `json:"trace_id"`
+	// CoordinatorSpans counts spans in the coordinator's trace,
+	// ShardSpans in each shard's half of the same trace.
+	CoordinatorSpans int   `json:"coordinator_spans"`
+	ShardSpans       []int `json:"shard_spans"`
+	// MetricFamilies counts parsed families per scraped endpoint.
+	MetricFamilies map[string]int `json:"metric_families"`
+}
+
+// tracedShard is one in-process partition: the serving stack with
+// tracing on, plus the handle the smoke needs to reach its flight
+// recorder directly.
+type tracedShard struct {
+	name string
+	srv  *serve.Server
+	tr   cluster.Transport
+}
+
+func newTracedShard(g *ctpquery.Graph, name string) (*tracedShard, error) {
+	db, err := ctpquery.Open(g, &ctpquery.Options{
+		Parallel: true, Parallelism: 2,
+		Cache: &ctpquery.CacheConfig{MaxBytes: 32 << 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(db, serve.Config{
+		DefaultTimeout: 10 * time.Second,
+		MaxTimeout:     30 * time.Second,
+		MaxRows:        100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &tracedShard{
+		name: name,
+		srv:  s,
+		tr:   &cluster.LocalTransport{Name: name, Handler: s.Handler(false)},
+	}, nil
+}
+
+// scrapeMetrics GETs url and strict-parses the body as Prometheus text.
+func scrapeMetrics(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", url, err)
+	}
+	return len(fams), nil
+}
+
+// RunScrapeSmoke drives the observability surface end to end and fails
+// on any broken invariant; CI runs it as the scrape-smoke job.
+func RunScrapeSmoke(ctx context.Context, cfg ScrapeSmokeConfig) (*ScrapeSmokeReport, error) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(cfg.Log, "generating graph %dx%d (seed %d)\n", cfg.Nodes, cfg.Edges, cfg.Seed)
+	g := ctpquery.RandomGraph(cfg.Nodes, cfg.Edges, []string{"knows", "cites", "funds", "worksFor"}, cfg.Seed)
+
+	shards := make([]*tracedShard, 2)
+	groups := make([]cluster.Group, 2)
+	for i := range shards {
+		sh, err := newTracedShard(g, fmt.Sprintf("part-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+		groups[i] = cluster.Group{Name: fmt.Sprintf("g%d", i), Members: []cluster.Transport{sh.tr}}
+	}
+	coord, err := cluster.New(cluster.Config{
+		ProbeInterval:  500 * time.Millisecond,
+		DefaultTimeout: 10 * time.Second,
+	}, groups)
+	if err != nil {
+		return nil, err
+	}
+	stop := coord.StartProbing(ctx)
+	defer stop()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	plan := SteadyPlan(CacheHeavyMix(cfg.Nodes, 32, cfg.Seed), 30, 3*time.Second).Scale(cfg.Scale)
+	fmt.Fprintf(cfg.Log, "replaying %s through a 2-partition traced cluster\n", plan.Name)
+	res, err := Replay(ctx, srv.URL, plan, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if res.OK == 0 {
+		return nil, fmt.Errorf("scrape smoke: no request succeeded (%d errors)", res.Errors)
+	}
+
+	rep := &ScrapeSmokeReport{
+		Description:    "ctpload scrape smoke: open-loop replay through a 2-partition traced coordinator, then /metrics exposition and cross-process trace-join assertions",
+		Replay:         res,
+		MetricFamilies: map[string]int{},
+	}
+
+	// One probe query whose trace the assertions dissect.
+	body, _ := json.Marshal(map[string]any{
+		"query":      fmt.Sprintf("SELECT ?w WHERE { CONNECT n1 n%d AS ?w MAX 4 LIMIT 1 . }", cfg.Nodes/2),
+		"timeout_ms": 5000,
+		"omit_trees": true,
+	})
+	presp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		TraceID string `json:"trace_id"`
+	}
+	perr := json.NewDecoder(presp.Body).Decode(&probe)
+	presp.Body.Close()
+	if perr != nil {
+		return nil, fmt.Errorf("probe query: %w", perr)
+	}
+	if probe.TraceID == "" {
+		return nil, fmt.Errorf("probe query response carries no trace_id")
+	}
+	rep.TraceID = probe.TraceID
+
+	// The coordinator's half, through the HTTP surface.
+	tresp, err := http.Get(srv.URL + "/debug/traces?id=" + probe.TraceID)
+	if err != nil {
+		return nil, err
+	}
+	var ctrace obs.Trace
+	terr := json.NewDecoder(tresp.Body).Decode(&ctrace)
+	tresp.Body.Close()
+	if terr != nil || tresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/traces?id=%s: status %d, %v", probe.TraceID, tresp.StatusCode, terr)
+	}
+	if msg := ctrace.WellFormed(); msg != "" {
+		return nil, fmt.Errorf("coordinator trace malformed: %s", msg)
+	}
+	rep.CoordinatorSpans = len(ctrace.Spans)
+	sendSpans := map[string]bool{}
+	groupsSeen := 0
+	for _, sp := range ctrace.Spans {
+		switch sp.Name {
+		case "send":
+			sendSpans[sp.SpanID] = true
+		case "group":
+			groupsSeen++
+		}
+	}
+	if ctrace.Root != "gather" || groupsSeen != 2 || len(sendSpans) < 2 {
+		return nil, fmt.Errorf("coordinator trace incoherent: root %q, %d group spans, %d send spans",
+			ctrace.Root, groupsSeen, len(sendSpans))
+	}
+
+	// Each shard must hold the same trace ID, rooted at a span whose
+	// remote parent is one of the coordinator's send spans — the
+	// Traceparent join, observed from both ends.
+	for _, sh := range shards {
+		strace := sh.srv.Tracer().Trace(probe.TraceID)
+		if strace == nil {
+			return nil, fmt.Errorf("shard %s recorded no trace %s", sh.name, probe.TraceID)
+		}
+		if msg := strace.WellFormed(); msg != "" {
+			return nil, fmt.Errorf("shard %s trace malformed: %s", sh.name, msg)
+		}
+		if strace.RemoteParent == "" || !sendSpans[strace.RemoteParent] {
+			return nil, fmt.Errorf("shard %s trace parent %q is not a coordinator send span",
+				sh.name, strace.RemoteParent)
+		}
+		rep.ShardSpans = append(rep.ShardSpans, len(strace.Spans))
+	}
+
+	// Every /metrics endpoint must serve strict, parseable exposition.
+	n, err := scrapeMetrics(srv.URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	rep.MetricFamilies["coordinator"] = n
+	for _, sh := range shards {
+		ssrv := httptest.NewServer(sh.srv.Handler(false))
+		n, err := scrapeMetrics(ssrv.URL + "/metrics")
+		ssrv.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.MetricFamilies[sh.name] = n
+	}
+
+	fmt.Fprintf(cfg.Log, "  trace %s: %d coordinator spans, shards %v; metric families %v\n",
+		rep.TraceID, rep.CoordinatorSpans, rep.ShardSpans, rep.MetricFamilies)
+	return rep, nil
+}

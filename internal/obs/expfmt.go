@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricFamily is one parsed family of the text exposition format.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | untyped
+	Samples []ParsedSample
+}
+
+// ParsedSample is one parsed sample line.
+type ParsedSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count
+	Labels map[string]string
+	Value  float64
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []*MetricFamily, name string) *MetricFamily {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Value returns the first sample matching name and the given label
+// subset (every given label must match; extra labels on the sample are
+// ignored).
+func (f *MetricFamily) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses and validates Prometheus text format as the
+// registry emits it. Beyond syntax it enforces the invariants the
+// tests and the scrape smoke rely on: every family has HELP and TYPE
+// before its first sample, sample names belong to their family,
+// counters are non-negative, and histogram buckets are cumulative,
+// non-decreasing in le order, include le="+Inf", and agree with
+// _count. It returns every family in emission order.
+func ParseExposition(r io.Reader) ([]*MetricFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		fams  []*MetricFamily
+		byN   = map[string]*MetricFamily{}
+		cur   *MetricFamily
+		helps = map[string]bool{}
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if helps[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", line, name)
+				}
+				helps[name] = true
+				f := byN[name]
+				if f == nil {
+					f = &MetricFamily{Name: name}
+					byN[name] = f
+					fams = append(fams, f)
+				}
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				}
+				cur = f
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE needs a type", line)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q for %s", line, typ, name)
+				}
+				f := byN[name]
+				if f == nil {
+					f = &MetricFamily{Name: name}
+					byN[name] = f
+					fams = append(fams, f)
+				}
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", line, name)
+				}
+				f.Type = typ
+				cur = f
+			}
+			continue
+		}
+		s, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if cur == nil || !sampleBelongs(cur, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family (HELP/TYPE must precede samples)", line, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if err := validateFamily(f); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+func sampleBelongs(f *MetricFamily, sample string) bool {
+	if sample == f.Name {
+		return true
+	}
+	if f.Type == "histogram" {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if sample == f.Name+suf {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func parseSampleLine(text string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.Name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		var err error
+		s.Labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", text)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty sample name in %q", text)
+	}
+	// A timestamp after the value is legal in the format; the registry
+	// never emits one, but tolerate it.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] in %q", text)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	i := 0
+	for i < len(s) {
+		// name
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j == len(s) {
+			return nil, fmt.Errorf("label without value in %q", s)
+		}
+		name := strings.TrimSpace(s[i:j])
+		if name == "" {
+			return nil, fmt.Errorf("empty label name in %q", s)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label value must be quoted in %q", s)
+		}
+		i++
+		var b strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in %q", s[i], s)
+				}
+			} else {
+				b.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %s in %q", name, s)
+		}
+		out[name] = b.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels in %q", s)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func validateFamily(f *MetricFamily) error {
+	if f.Type == "" {
+		return fmt.Errorf("family %s has no TYPE", f.Name)
+	}
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return fmt.Errorf("counter %s has negative or NaN sample %v", f.Name, s.Value)
+			}
+		}
+	case "histogram":
+		return validateHistogram(f)
+	}
+	return nil
+}
+
+// validateHistogram groups _bucket/_sum/_count series by their
+// non-le labels and checks cumulativity, the +Inf bucket, and the
+// bucket/_count agreement per series.
+func validateHistogram(f *MetricFamily) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	bySeries := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		sr := bySeries[k]
+		if sr == nil {
+			sr = &series{}
+			bySeries[k] = sr
+		}
+		return sr
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s bucket without le label", f.Name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			sr := get(s.Labels)
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case f.Name + "_count":
+			sr := get(s.Labels)
+			sr.count = s.Value
+			sr.hasCnt = true
+		}
+	}
+	for k, sr := range bySeries {
+		if len(sr.les) == 0 {
+			return fmt.Errorf("histogram %s{%s} has no buckets", f.Name, k)
+		}
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				return fmt.Errorf("histogram %s{%s}: le bounds not increasing", f.Name, k)
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s}: buckets not cumulative at le=%v", f.Name, k, sr.les[i])
+			}
+		}
+		last := len(sr.les) - 1
+		if !math.IsInf(sr.les[last], 1) {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", f.Name, k)
+		}
+		if !sr.hasCnt {
+			return fmt.Errorf("histogram %s{%s}: missing _count", f.Name, k)
+		}
+		if sr.counts[last] != sr.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", f.Name, k, sr.counts[last], sr.count)
+		}
+	}
+	return nil
+}

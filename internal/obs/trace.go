@@ -1,0 +1,730 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span inside one trace — the unit of
+// cross-process propagation.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// Traceparent renders the context as a W3C-style traceparent value:
+// 00-<32 hex trace id>-<16 hex span id>-01. The engine's IDs are 64-bit,
+// so the trace id's high 16 hex digits are zero.
+func (sc SpanContext) Traceparent() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(strings.Repeat("0", 16))
+	b.WriteString(hex16(sc.TraceID))
+	b.WriteByte('-')
+	b.WriteString(hex16(sc.SpanID))
+	b.WriteString("-01")
+	return b.String()
+}
+
+// TraceHeader is the HTTP header carrying the traceparent value.
+const TraceHeader = "Traceparent"
+
+// ParseTraceparent decodes a traceparent value produced by
+// SpanContext.Traceparent (or any W3C traceparent whose trace id fits
+// in the low 64 bits). It returns false on anything malformed or on the
+// all-zero IDs the spec reserves for "no trace".
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	tid, err := strconv.ParseUint(parts[1][16:], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sid, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: tid, SpanID: sid}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// appendHex16 appends v's 16 hex digits to buf.
+func appendHex16(buf []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(buf, b[:]...)
+}
+
+// TraceConfig tunes a Tracer; the zero value selects the defaults.
+type TraceConfig struct {
+	// Disabled starts the tracer off (it can be flipped later with
+	// SetEnabled); the default is on.
+	Disabled bool
+	// RingSize caps the flight recorder's completed-trace ring
+	// (default 256).
+	RingSize int
+	// SlowQuery, when positive, logs every completed trace at least
+	// this slow as one structured-JSON line through Logf.
+	SlowQuery time.Duration
+	// Logf receives slow-query lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Tracer owns one process-local trace pipeline: span creation, the
+// completed-trace flight-recorder ring, and the slow-query log. A nil
+// *Tracer is valid and inert, as is every method on the nil *Span that
+// a disabled tracer hands out.
+type Tracer struct {
+	enabled atomic.Int32
+	slowNS  atomic.Int64
+	logf    func(format string, args ...any)
+	rng     atomic.Uint64
+
+	// Leak accounting across every trace this tracer started, for the
+	// span-leak contract test and the ctp_spans_* metrics.
+	started atomic.Int64 // spans created
+	ended   atomic.Int64 // spans ended (End called)
+	dropped atomic.Int64 // spans ended after their trace finalized
+
+	tracesStarted  atomic.Int64
+	tracesFinished atomic.Int64
+	slowTraces     atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Trace // circular, ring[next] is the oldest
+	next int
+}
+
+// NewTracer builds a tracer.
+func NewTracer(cfg TraceConfig) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	t := &Tracer{
+		logf: cfg.Logf,
+		ring: make([]*Trace, 0, cfg.RingSize),
+	}
+	t.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	if !cfg.Disabled {
+		t.enabled.Store(1)
+	}
+	t.slowNS.Store(int64(cfg.SlowQuery))
+	return t
+}
+
+// Enabled reports whether Start hands out live spans — the one atomic
+// load the disabled path costs.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() == 1 }
+
+// SetEnabled flips span collection at runtime. In-flight traces finish
+// normally either way.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	if on {
+		t.enabled.Store(1)
+	} else {
+		t.enabled.Store(0)
+	}
+}
+
+// SetSlowQuery updates the slow-query threshold (0 disables the log).
+func (t *Tracer) SetSlowQuery(d time.Duration) {
+	if t != nil {
+		t.slowNS.Store(int64(d))
+	}
+}
+
+// newID draws a non-zero 64-bit ID (splitmix64 over an atomic counter).
+func (t *Tracer) newID() uint64 {
+	for {
+		x := t.rng.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// Start opens a new trace's root span. When parent is valid the trace
+// adopts its trace ID and records the remote span as the root's parent
+// (the coordinator→shard join); otherwise a fresh trace ID is drawn.
+// Returns nil — a no-op span — when the tracer is nil or disabled.
+func (t *Tracer) Start(name string, parent SpanContext) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	// One allocation covers the typical query's span records (the query
+	// lifecycle runs 7-8 spans); only traces with worker or per-shard
+	// fan-out grow past it. Keeps the enabled-tracing overhead
+	// alloc-light — GC assist charges the serving path per byte.
+	td := &trace{
+		tr:     t,
+		start:  time.Now(),
+		spans:  make([]SpanRecord, 0, 8),
+		rawIDs: make([]rawSpanID, 0, 8),
+	}
+	if parent.Valid() {
+		td.traceID = parent.TraceID
+		td.remoteParent = parent.SpanID
+	} else {
+		td.traceID = t.newID()
+	}
+	s := td.newSpanLocked() // no lock needed: the trace is not shared yet
+	s.td, s.id, s.parent, s.name, s.start = td, t.newID(), td.remoteParent, name, td.start
+	td.rootID = s.id
+	td.started = 1
+	t.started.Add(1)
+	t.tracesStarted.Add(1)
+	return s
+}
+
+// SpanCounts returns the tracer-lifetime span accounting: spans
+// started, spans ended, and ended-after-finalize drops. started==ended
+// once traffic settles is the span-leak contract.
+func (t *Tracer) SpanCounts() (started, ended, dropped int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.started.Load(), t.ended.Load(), t.dropped.Load()
+}
+
+// TraceCounts returns traces started, finished, and slow-logged.
+func (t *Tracer) TraceCounts() (started, finished, slow int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.tracesStarted.Load(), t.tracesFinished.Load(), t.slowTraces.Load()
+}
+
+// trace is one in-flight trace's mutable state, shared by its spans.
+type trace struct {
+	tr           *Tracer
+	traceID      uint64
+	rootID       uint64
+	remoteParent uint64
+	start        time.Time
+
+	mu       sync.Mutex
+	started  int
+	ended    int
+	dropped  int
+	finished bool
+	spans    []SpanRecord
+	// rawIDs holds each recorded span's numeric (id, parent) parallel to
+	// spans; the hex strings are rendered once at finalize into a single
+	// shared backing string (hex16 per span end was half the tracer's
+	// allocations).
+	rawIDs []rawSpanID
+	// arena backs the typical query's Span structs with the trace's own
+	// allocation instead of one per Child — the enabled-tracing overhead
+	// is alloc-bound (GC assist charges the serving path per byte), so
+	// the lifecycle's handful of spans should not be a handful of
+	// mallocs. Slots are handed out under mu and never recycled; spans
+	// past the arena fall back to the heap.
+	arenaUsed int
+	arena     [10]Span
+}
+
+// newSpanLocked hands out a span slot; the caller holds td.mu.
+func (td *trace) newSpanLocked() *Span {
+	if td.arenaUsed < len(td.arena) {
+		s := &td.arena[td.arenaUsed]
+		td.arenaUsed++
+		return s
+	}
+	return &Span{}
+}
+
+// Span is one timed operation inside a trace. All methods are safe on
+// a nil receiver (the disabled-tracing path). A span's attributes must
+// be set by the goroutine that owns it, before End; children may be
+// created and ended concurrently from other goroutines.
+type Span struct {
+	td     *trace
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	status string
+	ended  atomic.Bool
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Child opens a sub-span. Returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	td := s.td
+	td.mu.Lock()
+	if td.finished {
+		// The trace already finalized (a late hedge loser, say): record
+		// nothing, but keep the global accounting balanced.
+		td.mu.Unlock()
+		td.tr.started.Add(1)
+		td.tr.ended.Add(1)
+		td.tr.dropped.Add(1)
+		return nil
+	}
+	td.started++
+	c := td.newSpanLocked()
+	td.mu.Unlock()
+	c.td, c.id, c.parent, c.name, c.start = td, td.tr.newID(), s.id, name, time.Now()
+	td.tr.started.Add(1)
+	return c
+}
+
+// ChildTimed records an already-measured sub-span in one shot — used to
+// graft aggregates measured elsewhere (per-worker busy time, stage
+// timings) into the tree without instrumenting their hot loops.
+func (s *Span) ChildTimed(name string, start time.Time, d time.Duration, attrs ...Attr) *Span {
+	c := s.Child(name)
+	if c == nil {
+		return nil
+	}
+	c.start = start
+	c.attrs = attrs
+	c.endAt(d)
+	// The returned span is already ended; it is only useful as a parent
+	// for further retroactive children (per-worker spans under a
+	// synthesized ctp span).
+	return c
+}
+
+// Attr attaches a string attribute (last write wins on duplicate keys;
+// the linear overwrite scan keeps AttrList's keys unique so it can
+// marshal as a JSON object).
+func (s *Span) Attr(key, val string) *Span {
+	if s == nil {
+		return nil
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			return s
+		}
+	}
+	s.attrs = append(s.attrs, Attr{key, val})
+	return s
+}
+
+// AttrInt attaches an integer attribute.
+func (s *Span) AttrInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Attr(key, strconv.FormatInt(v, 10))
+}
+
+// AttrBool attaches a boolean attribute.
+func (s *Span) AttrBool(key string, v bool) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Attr(key, strconv.FormatBool(v))
+}
+
+// Status sets the span's terminal status ("" reads as ok).
+func (s *Span) Status(st string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.status = st
+	return s
+}
+
+// Error sets an error status when err is non-nil.
+func (s *Span) Error(err error) *Span {
+	if s == nil || err == nil {
+		return s
+	}
+	return s.Status("error: " + err.Error())
+}
+
+// Context returns the span's propagation context (zero when nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.td.traceID, SpanID: s.id}
+}
+
+// TraceID returns the hex trace ID ("" when nil) — the handle returned
+// to clients for /debug/traces?id= lookups.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return hex16(s.td.traceID)
+}
+
+// End closes the span. Ending the root span finalizes the trace:
+// the record enters the flight-recorder ring and, past the slow-query
+// threshold, the structured slow log. Safe to call once per span from
+// any goroutine; duplicate Ends are ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.endAt(time.Since(s.start))
+}
+
+func (s *Span) endAt(d time.Duration) {
+	td := s.td
+	td.tr.ended.Add(1)
+	td.mu.Lock()
+	td.ended++
+	if td.finished {
+		td.dropped++
+		td.mu.Unlock()
+		td.tr.dropped.Add(1)
+		return
+	}
+	// IDs stay numeric here; the hex strings are rendered in one batch
+	// at finalize.
+	td.spans = append(td.spans, SpanRecord{
+		Name:       s.name,
+		StartUS:    s.start.Sub(td.start).Microseconds(),
+		DurationUS: d.Microseconds(),
+		Status:     s.status,
+		Attrs:      AttrList(s.attrs),
+	})
+	td.rawIDs = append(td.rawIDs, rawSpanID{id: s.id, parent: s.parent})
+	if s.id != td.rootID {
+		td.mu.Unlock()
+		return
+	}
+	td.finished = true
+	rec := &Trace{
+		Root:         s.name,
+		Start:        td.start,
+		DurationMS:   float64(d.Microseconds()) / 1000,
+		SpansStarted: td.started,
+		SpansEnded:   td.ended,
+		Spans:        td.spans,
+	}
+	td.renderIDs(rec)
+	td.mu.Unlock()
+	tr := td.tr
+	tr.tracesFinished.Add(1)
+	if slow := tr.slowNS.Load(); slow > 0 && d >= time.Duration(slow) {
+		rec.Slow = true
+		tr.slowTraces.Add(1)
+		if raw, err := json.Marshal(rec); err == nil {
+			tr.logf("obs: slow query trace=%s dur=%s %s", rec.TraceID, d.Round(time.Microsecond), raw)
+		}
+	}
+	tr.mu.Lock()
+	if len(tr.ring) < cap(tr.ring) {
+		tr.ring = append(tr.ring, rec)
+	} else {
+		tr.ring[tr.next] = rec
+		tr.next = (tr.next + 1) % cap(tr.ring)
+	}
+	tr.mu.Unlock()
+}
+
+// rawSpanID is a recorded span's numeric identity, parallel to the
+// trace's SpanRecord slice until finalize renders the hex forms.
+type rawSpanID struct {
+	id, parent uint64
+}
+
+// renderIDs stamps the hex span IDs onto rec and its records, all
+// sliced out of one shared backing string: two allocations for the
+// whole trace instead of two small strings per span. Caller holds
+// td.mu.
+func (td *trace) renderIDs(rec *Trace) {
+	offs := make([]int, 0, 2+2*len(td.rawIDs))
+	buf := make([]byte, 0, 16*(2+2*len(td.rawIDs)))
+	push := func(v uint64) {
+		if v == 0 {
+			offs = append(offs, -1)
+			return
+		}
+		offs = append(offs, len(buf))
+		buf = appendHex16(buf, v)
+	}
+	push(td.traceID)
+	push(td.remoteParent)
+	for _, raw := range td.rawIDs {
+		push(raw.id)
+		push(raw.parent)
+	}
+	s := string(buf)
+	get := func(i int) string {
+		if offs[i] < 0 {
+			return ""
+		}
+		return s[offs[i] : offs[i]+16]
+	}
+	rec.TraceID = get(0)
+	rec.RemoteParent = get(1)
+	for i := range rec.Spans {
+		rec.Spans[i].SpanID = get(2 + 2*i)
+		rec.Spans[i].ParentID = get(3 + 2*i)
+	}
+}
+
+// Trace is one completed trace as kept by the flight recorder and
+// served by /debug/traces.
+type Trace struct {
+	TraceID      string       `json:"trace_id"`
+	Root         string       `json:"root"`
+	RemoteParent string       `json:"remote_parent,omitempty"`
+	Start        time.Time    `json:"start"`
+	DurationMS   float64      `json:"duration_ms"`
+	Slow         bool         `json:"slow,omitempty"`
+	SpansStarted int          `json:"spans_started"`
+	SpansEnded   int          `json:"spans_ended"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is one finished span inside a Trace. Offsets are relative
+// to the trace's start.
+type SpanRecord struct {
+	SpanID     string   `json:"span_id"`
+	ParentID   string   `json:"parent_id,omitempty"`
+	Name       string   `json:"name"`
+	StartUS    int64    `json:"start_us"`
+	DurationUS int64    `json:"duration_us"`
+	Status     string   `json:"status,omitempty"`
+	Attrs      AttrList `json:"attrs,omitempty"`
+}
+
+// AttrList is a span's attributes, kept as the write-ordered slice the
+// span accumulated (Attr enforces key uniqueness at write time) but
+// marshalled as the same JSON object a map would produce — retaining
+// the slice spares the serving path a map allocation per span.
+type AttrList []Attr
+
+// Get returns the value for key ("" when absent).
+func (l AttrList) Get(key string) string {
+	for _, a := range l {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+func (l AttrList) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, a := range l {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		k, err := json.Marshal(a.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(a.Val)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		buf.Write(v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+func (l *AttrList) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*l = (*l)[:0]
+	// Sorted for a deterministic round-trip (object order is lost).
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		*l = append(*l, Attr{Key: k, Val: m[k]})
+	}
+	return nil
+}
+
+// Traces returns the ring's completed traces, newest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, len(t.ring))
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		out = append(out, t.ring[(t.next+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Trace looks a completed trace up by its hex ID (nil when evicted or
+// unknown).
+func (t *Tracer) Trace(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rec := range t.ring {
+		if rec.TraceID == id {
+			return rec
+		}
+	}
+	return nil
+}
+
+// traceSummary is the /debug/traces listing entry.
+type traceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Slow       bool      `json:"slow,omitempty"`
+	Status     string    `json:"status,omitempty"`
+}
+
+// ServeTraces is the GET /debug/traces handler: without parameters it
+// lists the ring newest-first; ?id=<trace id> returns one full span
+// tree (404 when evicted or unknown).
+func (t *Tracer) ServeTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if id := r.URL.Query().Get("id"); id != "" {
+		rec := t.Trace(id)
+		if rec == nil {
+			w.WriteHeader(http.StatusNotFound)
+			enc.Encode(map[string]string{"error": "trace not found (evicted or unknown)", "trace_id": id})
+			return
+		}
+		enc.Encode(rec)
+		return
+	}
+	recs := t.Traces()
+	sums := make([]traceSummary, 0, len(recs))
+	for _, rec := range recs {
+		sum := traceSummary{
+			TraceID:    rec.TraceID,
+			Root:       rec.Root,
+			Start:      rec.Start,
+			DurationMS: rec.DurationMS,
+			Spans:      len(rec.Spans),
+			Slow:       rec.Slow,
+		}
+		for _, sp := range rec.Spans {
+			if sp.SpanID == rootSpanID(rec) {
+				sum.Status = sp.Status
+			}
+		}
+		sums = append(sums, sum)
+	}
+	started, ended, dropped := t.SpanCounts()
+	enc.Encode(map[string]any{
+		"enabled":       t.Enabled(),
+		"traces":        sums,
+		"spans_started": started,
+		"spans_ended":   ended,
+		"spans_dropped": dropped,
+	})
+}
+
+// rootSpanID finds the record's root span (the one without a local
+// parent, or whose parent is the remote one).
+func rootSpanID(rec *Trace) string {
+	for _, sp := range rec.Spans {
+		if sp.ParentID == "" || sp.ParentID == rec.RemoteParent {
+			return sp.SpanID
+		}
+	}
+	return ""
+}
+
+// WellFormed checks a completed trace's structural invariants — every
+// span's parent present in the tree (or the remote parent), a single
+// root, and started == ended — returning "" or a description of the
+// first violation. The chaos span-leak test sweeps the ring with it.
+func (rec *Trace) WellFormed() string {
+	if rec.SpansStarted != rec.SpansEnded {
+		return "spans started != ended"
+	}
+	ids := make(map[string]bool, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		if sp.SpanID == "" {
+			return "span with empty id"
+		}
+		if ids[sp.SpanID] {
+			return "duplicate span id " + sp.SpanID
+		}
+		ids[sp.SpanID] = true
+	}
+	roots := 0
+	for _, sp := range rec.Spans {
+		switch {
+		case sp.ParentID == "" || sp.ParentID == rec.RemoteParent:
+			roots++
+		case !ids[sp.ParentID]:
+			return "span " + sp.SpanID + " (" + sp.Name + ") has unknown parent " + sp.ParentID
+		}
+	}
+	if roots != 1 {
+		return "trace must have exactly one root span"
+	}
+	return ""
+}

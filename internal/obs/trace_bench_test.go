@@ -1,0 +1,24 @@
+package obs
+
+import "testing"
+
+func BenchmarkTraceLifecycle(b *testing.B) {
+	tr := NewTracer(TraceConfig{Logf: func(string, ...any) {}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("query", SpanContext{})
+		p := sp.Child("parse")
+		p.End()
+		c := sp.Child("cache")
+		c.AttrBool("hit", false)
+		e := c.Child("engine.eval")
+		e.ChildTimed("bgp", c.start, 0, Attr{Key: "bgps", Val: "1"})
+		e.ChildTimed("ctp[0]", c.start, 0, Attr{Key: "kept", Val: "10"}, Attr{Key: "results", Val: "3"})
+		e.ChildTimed("join", c.start, 0, Attr{Key: "rows", Val: "3"})
+		e.End()
+		c.End()
+		enc := sp.Child("encode")
+		enc.End()
+		sp.End()
+	}
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerHandsOutNilSpans(t *testing.T) {
+	tr := NewTracer(TraceConfig{Disabled: true})
+	s := tr.Start("query", SpanContext{})
+	if s != nil {
+		t.Fatalf("disabled tracer returned a live span")
+	}
+	// Every method must be a no-op on nil, including on a nil *Tracer.
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer reads enabled")
+	}
+	if sp := nilT.Start("x", SpanContext{}); sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	s.Attr("k", "v").AttrInt("n", 1).AttrBool("b", true).Status("ok").Error(nil)
+	c := s.Child("child")
+	c.End()
+	s.ChildTimed("t", time.Now(), time.Millisecond)
+	s.End()
+	if s.TraceID() != "" || s.Context().Valid() {
+		t.Fatal("nil span leaked an identity")
+	}
+	if got := FromContext(With(context.Background(), s)); got != nil {
+		t.Fatal("nil span stored in context")
+	}
+}
+
+func TestSpanTreeAndRing(t *testing.T) {
+	tr := NewTracer(TraceConfig{RingSize: 4})
+	root := tr.Start("query", SpanContext{})
+	if root == nil {
+		t.Fatal("enabled tracer returned nil span")
+	}
+	root.Attr("query", "MATCH ...")
+	a := root.Child("parse")
+	a.End()
+	b := root.Child("engine")
+	c := b.Child("bgp")
+	c.AttrInt("rows", 7)
+	c.End()
+	b.ChildTimed("worker[0]", time.Now(), 3*time.Millisecond, Attr{"ops", "12"})
+	b.End()
+	id := root.TraceID()
+	root.End()
+
+	rec := tr.Trace(id)
+	if rec == nil {
+		t.Fatalf("trace %s not in ring", id)
+	}
+	if msg := rec.WellFormed(); msg != "" {
+		t.Fatalf("trace not well-formed: %s", msg)
+	}
+	if len(rec.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(rec.Spans))
+	}
+	if rec.SpansStarted != 5 || rec.SpansEnded != 5 {
+		t.Fatalf("span accounting %d/%d, want 5/5", rec.SpansStarted, rec.SpansEnded)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range rec.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["bgp"].ParentID != byName["engine"].SpanID {
+		t.Fatal("bgp span not parented under engine")
+	}
+	if byName["worker[0]"].Attrs.Get("ops") != "12" {
+		t.Fatal("ChildTimed attrs lost")
+	}
+	started, ended, dropped := tr.SpanCounts()
+	if started != 5 || ended != 5 || dropped != 0 {
+		t.Fatalf("tracer counts %d/%d/%d, want 5/5/0", started, ended, dropped)
+	}
+
+	// Ring eviction: oldest traces fall out at capacity.
+	for i := 0; i < 6; i++ {
+		s := tr.Start(fmt.Sprintf("q%d", i), SpanContext{})
+		s.End()
+	}
+	if tr.Trace(id) != nil {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if got := len(tr.Traces()); got != 4 {
+		t.Fatalf("ring holds %d traces, want 4", got)
+	}
+	if tr.Traces()[0].Root != "q5" {
+		t.Fatalf("ring not newest-first: got %q", tr.Traces()[0].Root)
+	}
+}
+
+func TestLateSpanEndIsDroppedButCounted(t *testing.T) {
+	tr := NewTracer(TraceConfig{})
+	root := tr.Start("query", SpanContext{})
+	hedge := root.Child("send")
+	root.End()
+	hedge.End() // a hedge loser finishing after the gather returned
+	rec := tr.Trace(root.TraceID())
+	if rec == nil {
+		t.Fatal("trace missing")
+	}
+	if len(rec.Spans) != 1 {
+		t.Fatalf("late span leaked into the record: %d spans", len(rec.Spans))
+	}
+	started, ended, dropped := tr.SpanCounts()
+	if started != ended {
+		t.Fatalf("span leak: started %d != ended %d", started, ended)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	// Children created after finalize behave the same way.
+	if sp := root.Child("too-late"); sp != nil {
+		t.Fatal("child created after trace finalize")
+	}
+	started, ended, _ = tr.SpanCounts()
+	if started != ended {
+		t.Fatalf("span leak after late child: %d != %d", started, ended)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: 0xdeadbeefcafe, SpanID: 0x12345678}
+	hdr := sc.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("bad traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip failed: %q -> %+v ok=%v", hdr, got, ok)
+	}
+	for _, bad := range []string{
+		"", "00-zz-xx-01", "00-0-0-01",
+		"00-00000000000000000000000000000000-0000000000000000-01", // all-zero IDs
+		"00-0000000000000000000000000000000g-0000000000000001-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("accepted malformed traceparent %q", bad)
+		}
+	}
+	// Adoption: a trace started from a remote parent keeps the trace ID
+	// and records the remote span as the root's parent.
+	tr := NewTracer(TraceConfig{})
+	root := tr.Start("shard.query", sc)
+	if root.Context().TraceID != sc.TraceID {
+		t.Fatal("remote trace ID not adopted")
+	}
+	root.End()
+	rec := tr.Trace(root.TraceID())
+	if rec.RemoteParent != hex16(sc.SpanID) {
+		t.Fatalf("remote parent %q, want %q", rec.RemoteParent, hex16(sc.SpanID))
+	}
+	if msg := rec.WellFormed(); msg != "" {
+		t.Fatalf("adopted trace not well-formed: %s", msg)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	tr := NewTracer(TraceConfig{
+		SlowQuery: time.Microsecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	s := tr.Start("query", SpanContext{})
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	fast := tr.Start("query", SpanContext{})
+	tr.SetSlowQuery(time.Hour)
+	fast.End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("slow log wrote %d lines, want 1", len(lines))
+	}
+	// The logged payload embeds the full span tree as JSON.
+	i := strings.Index(lines[0], "{")
+	if i < 0 {
+		t.Fatalf("no JSON in slow log line %q", lines[0])
+	}
+	var rec Trace
+	if err := json.Unmarshal([]byte(lines[0][i:]), &rec); err != nil {
+		t.Fatalf("slow log JSON invalid: %v", err)
+	}
+	if !rec.Slow || rec.Root != "query" {
+		t.Fatalf("bad slow record %+v", rec)
+	}
+	if _, _, slow := tr.TraceCounts(); slow != 1 {
+		t.Fatalf("slow trace count %d, want 1", slow)
+	}
+}
+
+func TestServeTraces(t *testing.T) {
+	tr := NewTracer(TraceConfig{})
+	root := tr.Start("query", SpanContext{})
+	root.Child("parse").End()
+	id := root.TraceID()
+	root.End()
+
+	rr := httptest.NewRecorder()
+	tr.ServeTraces(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var listing struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			TraceID string `json:"trace_id"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+		SpansStarted int64 `json:"spans_started"`
+		SpansEnded   int64 `json:"spans_ended"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v", err)
+	}
+	if !listing.Enabled || len(listing.Traces) != 1 || listing.Traces[0].TraceID != id {
+		t.Fatalf("bad listing %+v", listing)
+	}
+	if listing.SpansStarted != listing.SpansEnded {
+		t.Fatal("listing reports a span leak")
+	}
+
+	rr = httptest.NewRecorder()
+	tr.ServeTraces(rr, httptest.NewRequest("GET", "/debug/traces?id="+id, nil))
+	var rec Trace
+	if err := json.Unmarshal(rr.Body.Bytes(), &rec); err != nil {
+		t.Fatalf("trace lookup not JSON: %v", err)
+	}
+	if rec.TraceID != id || len(rec.Spans) != 2 {
+		t.Fatalf("bad trace lookup %+v", rec)
+	}
+
+	rr = httptest.NewRecorder()
+	tr.ServeTraces(rr, httptest.NewRequest("GET", "/debug/traces?id=ffffffffffffffff", nil))
+	if rr.Code != 404 {
+		t.Fatalf("unknown id returned %d, want 404", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	tr.ServeTraces(rr, httptest.NewRequest("POST", "/debug/traces", nil))
+	if rr.Code != 405 {
+		t.Fatalf("POST returned %d, want 405", rr.Code)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(TraceConfig{})
+	root := tr.Start("gather", SpanContext{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := root.Child(fmt.Sprintf("send[%d]", i))
+			s.AttrInt("attempt", int64(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	rec := tr.Trace(root.TraceID())
+	if msg := rec.WellFormed(); msg != "" {
+		t.Fatalf("concurrent trace not well-formed: %s", msg)
+	}
+	if len(rec.Spans) != 17 {
+		t.Fatalf("got %d spans, want 17", len(rec.Spans))
+	}
+}

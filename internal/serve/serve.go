@@ -27,6 +27,7 @@ import (
 	"ctpquery"
 	"ctpquery/internal/admission"
 	"ctpquery/internal/fault"
+	"ctpquery/internal/obs"
 )
 
 // Request-path probe points (inert unless armed via internal/fault):
@@ -73,6 +74,20 @@ type Config struct {
 	// coordinators and ctpload back off instead of hammering a dying
 	// shard. 0 still answers Retry-After: 1.
 	DrainGrace time.Duration
+	// TraceOff disables query tracing (the span API hands out nil
+	// no-op spans); /metrics stays on. Tracing is on by default — the
+	// disabled path costs one atomic load per request, same discipline
+	// as internal/fault.
+	TraceOff bool
+	// TraceRing caps the flight recorder's completed-trace ring served
+	// at /debug/traces (default 256).
+	TraceRing int
+	// SlowQuery, when positive, logs every completed trace at least
+	// this slow as one structured-JSON line (cmd/ctpserve's
+	// -slow-query-ms).
+	SlowQuery time.Duration
+	// TraceLogf receives slow-query lines (default log.Printf).
+	TraceLogf func(format string, args ...any)
 }
 
 // Server serves concurrent EQL queries over one immutable graph. The
@@ -131,6 +146,13 @@ type Server struct {
 	// than the atomics above, so a mutex is fine here.
 	workerMu  sync.Mutex
 	workerAgg []workerAgg
+
+	// Observability: the tracer owns the span pipeline and the
+	// /debug/traces flight recorder; reg renders /metrics; met holds the
+	// hot-path instruments (response counters, latency histograms).
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	met    *serveMetrics
 }
 
 // workerAgg accumulates one worker index's effort across queries.
@@ -218,18 +240,31 @@ func New(db *ctpquery.DB, cfg Config) (*Server, error) {
 		s.est = admission.NewEstimator(g.NumNodes(), g.NumEdges(), cfg.Estimator)
 	}
 	s.wd = newWatchdog(s, cfg)
+	s.tracer = obs.NewTracer(obs.TraceConfig{
+		Disabled:  cfg.TraceOff,
+		RingSize:  cfg.TraceRing,
+		SlowQuery: cfg.SlowQuery,
+		Logf:      cfg.TraceLogf,
+	})
+	s.reg = obs.NewRegistry()
+	s.met = newServeMetrics(s.reg)
+	s.registerCollectors()
 	return s, nil
 }
 
 // Handler returns the HTTP routes: POST /query, GET /healthz, GET /stats,
-// and — when enablePprof is set — the net/http/pprof profiling endpoints
-// under /debug/pprof/ (CPU, heap, allocs, goroutine, ...), so a live
-// server can be profiled exactly like the benchmarks.
+// GET /metrics (Prometheus text format), GET /debug/traces (the flight
+// recorder; ?id= looks one trace up), and — when enablePprof is set —
+// the net/http/pprof profiling endpoints under /debug/pprof/ (CPU,
+// heap, allocs, goroutine, ...), so a live server can be profiled
+// exactly like the benchmarks.
 func (s *Server) Handler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.reg.ServeMetrics)
+	mux.HandleFunc("/debug/traces", s.tracer.ServeTraces)
 	if enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -369,6 +404,12 @@ type queryResponse struct {
 	// Admission reports how the admission layer scheduled this request;
 	// absent when the server runs without admission control.
 	Admission *admissionJSON `json:"admission,omitempty"`
+	// TraceID identifies this request's trace in the flight recorder
+	// (GET /debug/traces?id=); absent when tracing is disabled. Under a
+	// cluster coordinator it is the coordinator's trace ID, adopted from
+	// the propagated Traceparent header, so the shard's spans and the
+	// coordinator's gather join into one trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // cacheJSON is the per-request cache report.
@@ -454,19 +495,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.requests.Add(1)
 	s.inFlight.Add(1)
+	// Root span: adopted from the coordinator's Traceparent header when
+	// present (the shard's spans then join the coordinator's trace), a
+	// fresh trace otherwise. class/status feed the response counter and
+	// latency histogram at exit; the deferred End finalizes the trace
+	// into the flight recorder even when a contained panic unwinds.
+	sp := s.tracer.Start("query", parentContext(r.Header.Get(obs.TraceHeader)))
+	class, status := "none", "ok"
 	defer func() {
 		s.inFlight.Add(-1)
-		s.busyNS.Add(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		s.busyNS.Add(int64(elapsed))
+		s.met.responses.With(class, status).Inc()
+		s.met.reqDur.With(class).Observe(elapsed.Seconds())
+		if status != "ok" {
+			sp.Status(status)
+		}
+		sp.End()
 	}()
 
+	parseSpan := sp.Child("parse")
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
+		status = "bad_request"
+		parseSpan.Error(err).End()
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.Query == "" {
-		s.fail(w, http.StatusBadRequest, errors.New("missing \"query\""))
+		status = "bad_request"
+		err := errors.New("missing \"query\"")
+		parseSpan.Error(err).End()
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	db := s.base
@@ -489,6 +550,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		var err error
 		if db, err = s.base.WithOptions(opts); err != nil {
+			status = "bad_request"
+			parseSpan.Error(err).End()
 			s.fail(w, http.StatusBadRequest, err)
 			return
 		}
@@ -498,11 +561,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// and answer 400 immediately — they never cost a queue slot.
 	q, err := ctpquery.ParseQuery(req.Query)
 	if err != nil {
+		status = "bad_request"
+		parseSpan.Error(err).End()
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	parseSpan.End()
+	parseDur := time.Since(start)
+	sp.Attr("algorithm", db.Options().Algorithm)
 
-	ctx := r.Context()
+	ctx := obs.With(r.Context(), sp)
 	timeout := s.defaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -518,23 +586,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	var adm *admissionJSON
 	var estSig uint64
+	var waited time.Duration
 	if s.ctrl != nil {
 		// A warm cache entry answers in microseconds; letting it wait in
 		// the queue would invert the whole point of the two-class split,
 		// so peek first and bypass admission entirely on a hit.
 		if res, ok := db.Peek(q); ok {
-			resp := s.finishResponse(res, ctpquery.CacheInfo{Enabled: true, Hit: true}, db, req, start)
+			class = admission.Cheap.String()
+			sp.AttrBool("cache_bypass", true)
+			resp := s.finishResponse(res, ctpquery.CacheInfo{Enabled: true, Hit: true}, db, req, start, sp)
 			resp.Admission = &admissionJSON{Class: admission.Cheap.String(), CacheBypass: true}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		est := s.est.Estimate(q.Shape(), timeout)
 		estSig = est.Sig
-		release, waited, aerr := s.ctrl.Acquire(ctx, est.Class, est.Units)
+		class = est.Class.String()
+		sp.Attr("class", class)
+		release, w8, aerr := s.ctrl.Acquire(ctx, est.Class, est.Units)
 		if aerr != nil {
+			status = "shed"
 			s.shed(w, r, est.Class, aerr)
 			return
 		}
+		waited = w8
 		defer release()
 		adm = &admissionJSON{
 			Class:          est.Class.String(),
@@ -552,6 +627,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
+		status = "canceled"
 		s.failures.Add(1)
 		return
 	case err != nil:
@@ -559,16 +635,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// singleflight leader) are OUR fault and answer 500; everything
 		// else the engine reports is a problem with the query — 400.
 		if ctpquery.IsInternalError(err) {
+			status = "internal_error"
 			s.internalErrors.Add(1)
 			s.fail(w, http.StatusInternalServerError, err)
 			return
 		}
+		status = "bad_request"
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	if res.TimedOut() {
 		s.timeouts.Add(1)
+		sp.AttrBool("timed_out", true)
 	}
+	sp.AttrBool("cache_hit", cinfo.Hit).AttrBool("coalesced", cinfo.Coalesced)
 	// Feed the estimator and the /stats effort aggregates only when this
 	// request actually executed a search: a cache hit (or a coalesced
 	// waiter) re-reports the leader's SearchStats and would inflate both
@@ -586,24 +666,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.est.Observe(estSig, actual)
 			adm.ActualUnits = actual
 		}
+		// Stage histograms describe work this handler actually did; a hit
+		// or coalesced waiter would re-observe the leader's timings.
+		bgp, ctp, join := res.Timings()
+		s.met.observeStages(parseDur, waited, bgp, ctp, join)
 	}
+	sp.AttrInt("rows", int64(res.Len()))
 
-	resp := s.finishResponse(res, cinfo, db, req, start)
+	resp := s.finishResponse(res, cinfo, db, req, start, sp)
 	resp.Admission = adm
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // finishResponse encodes results with the request's row cap and cache
-// report applied.
-func (s *Server) finishResponse(res *ctpquery.Results, cinfo ctpquery.CacheInfo, db *ctpquery.DB, req queryRequest, start time.Time) queryResponse {
+// report applied, under an "encode" child span of the request's root.
+func (s *Server) finishResponse(res *ctpquery.Results, cinfo ctpquery.CacheInfo, db *ctpquery.DB, req queryRequest, start time.Time, sp *obs.Span) queryResponse {
 	maxRows := s.maxRows
 	if req.MaxRows > 0 && (maxRows == 0 || req.MaxRows < maxRows) {
 		maxRows = req.MaxRows
 	}
+	encSpan := sp.Child("encode")
+	// Deferred (End is idempotent): a panic inside the encode — the
+	// serve.query.encode probe is armed exactly there — must not leak
+	// the span past the containment middleware.
+	defer encSpan.End()
+	encStart := time.Now()
 	resp := s.encodeResults(res, db.Options().Algorithm, maxRows, req.OmitTrees, req.IncludeKeys, time.Since(start))
+	s.met.stageDur.With("encode").Observe(time.Since(encStart).Seconds())
+	encSpan.End()
 	if cinfo.Enabled {
 		resp.Cache = &cacheJSON{Hit: cinfo.Hit, Coalesced: cinfo.Coalesced}
 	}
+	resp.TraceID = sp.TraceID()
 	return resp
 }
 
@@ -755,41 +849,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	requests := s.requests.Load()
-	// busyNS only accumulates at handler exit, so average over completed
-	// requests, not ones still in flight.
-	var avgMS float64
-	if completed := requests - s.inFlight.Load(); completed > 0 {
-		avgMS = ms(time.Duration(s.busyNS.Load()) / time.Duration(completed))
-	}
-	g := s.base.Graph()
+	// One consistent snapshot backs the whole render — the same cut
+	// /metrics scrapes use — so no two fields of the payload can come
+	// from different instants.
+	snap := s.snapshot()
 	payload := map[string]any{
-		"uptime_s":        time.Since(s.started).Seconds(),
-		"health":          s.Health().String(),
-		"requests":        requests,
-		"failures":        s.failures.Load(),
-		"timeouts":        s.timeouts.Load(),
-		"sheds":           s.sheds.Load(),
-		"drained_rejects": s.drained.Load(),
-		"panics":          s.panics.Load(),
-		"internal_errors": s.internalErrors.Load(),
-		"in_flight":       s.inFlight.Load(),
-		"avg_latency_ms":  avgMS,
-		"graph":           map[string]int{"nodes": g.NumNodes(), "edges": g.NumEdges()},
-		"algorithm":       s.base.Options().Algorithm,
+		"uptime_s":        snap.uptimeS,
+		"health":          snap.health.String(),
+		"requests":        snap.requests,
+		"failures":        snap.failures,
+		"timeouts":        snap.timeouts,
+		"sheds":           snap.sheds,
+		"drained_rejects": snap.drained,
+		"panics":          snap.panics,
+		"internal_errors": snap.internalErrors,
+		"in_flight":       snap.inFlight,
+		"avg_latency_ms":  snap.avgLatencyMS,
+		"graph":           map[string]int{"nodes": snap.nodes, "edges": snap.edges},
+		"algorithm":       snap.algorithm,
 		"algorithms":      ctpquery.Algorithms(),
 		"search": map[string]any{
-			"trees_generated": s.treesGenerated.Load(),
-			"trees_recycled":  s.treesRecycled.Load(),
-			"allocations":     s.allocations.Load(),
-			"peak_queue_len":  s.peakQueueLen.Load(),
-			"peak_trees":      s.peakTrees.Load(),
-			"workers":         s.workersSnapshot(),
+			"trees_generated": snap.treesGenerated,
+			"trees_recycled":  snap.treesRecycled,
+			"allocations":     snap.allocations,
+			"peak_queue_len":  snap.peakQueueLen,
+			"peak_trees":      snap.peakTrees,
+			"workers":         workersJSON(snap.workers),
 		},
 	}
-	// The cache instance is shared by every derived (per-request override)
-	// DB, so the base handle's counters aggregate the whole server.
-	if cs, ok := s.base.CacheStats(); ok {
+	if snap.cache != nil {
+		cs := snap.cache
 		payload["cache"] = map[string]any{
 			"hits":      cs.Hits,
 			"misses":    cs.Misses,
@@ -801,18 +890,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_bytes": cs.MaxBytes,
 		}
 	}
-	if s.ctrl != nil {
-		cst := s.ctrl.Stats()
-		est := s.est.Stats()
+	if snap.admission != nil {
+		cst := snap.admission
 		payload["admission"] = map[string]any{
 			"cheap":                classStatsJSON(cst.Cheap),
 			"analytical":           classStatsJSON(cst.Analytical),
 			"in_flight_cost_units": cst.InFlightCost,
 			"budget_scale":         cst.BudgetScale,
 			"estimator": map[string]any{
-				"estimates":      est.Estimates,
-				"observations":   est.Observations,
-				"learned_shapes": est.LearnedShapes,
+				"estimates":      snap.estimator.Estimates,
+				"observations":   snap.estimator.Observations,
+				"learned_shapes": snap.estimator.LearnedShapes,
 			},
 		}
 	}
@@ -834,12 +922,10 @@ func classStatsJSON(cs admission.ClassStats) map[string]any {
 	}
 }
 
-// workersSnapshot renders the per-worker aggregates for /stats.
-func (s *Server) workersSnapshot() []map[string]any {
-	s.workerMu.Lock()
-	defer s.workerMu.Unlock()
-	out := make([]map[string]any, len(s.workerAgg))
-	for i, w := range s.workerAgg {
+// workersJSON renders the per-worker aggregates for /stats.
+func workersJSON(agg []workerAgg) []map[string]any {
+	out := make([]map[string]any, len(agg))
+	for i, w := range agg {
 		out[i] = map[string]any{
 			"ops":     w.Ops,
 			"kept":    w.Kept,

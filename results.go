@@ -23,6 +23,11 @@ type Results struct {
 	res *engine.Result
 
 	treeCols map[string]bool
+
+	// traceID is the trace the run executed under ("" without a tracer);
+	// surfaced through SearchStats so cached results keep pointing at the
+	// populating run's trace in the flight recorder.
+	traceID string
 }
 
 func newResults(g *Graph, q *eql.Query, res *engine.Result) *Results {
@@ -234,6 +239,16 @@ type SearchStats struct {
 	// searches, index-aligned (worker 0 of every search sums into entry
 	// 0). Empty for sequential queries.
 	Workers []WorkerSearchStats
+
+	// BGPNS, CTPNS, and JoinNS are the per-stage evaluation times in
+	// nanoseconds — the Timings breakdown embedded here so one struct
+	// carries a query's full effort-and-latency report.
+	BGPNS, CTPNS, JoinNS int64
+	// TraceID identifies the run's trace in the executing process's
+	// flight recorder (GET /debug/traces?id=); empty when the run had no
+	// tracer. On a cache hit it is the trace of the run that populated
+	// the entry — the request that actually did the work.
+	TraceID string
 }
 
 // WorkerSearchStats is one parallel-search worker's share of a query's
@@ -250,6 +265,9 @@ type WorkerSearchStats struct {
 	// BusyNS is the worker's thread CPU time (0 where unsupported); the
 	// max over workers approximates the search's critical path.
 	BusyNS int64
+	// WallNS is the worker's wall time from spawn to drain — what the
+	// tracer renders as the worker's span.
+	WallNS int64
 }
 
 // CostUnits collapses the report into one scalar effort number — the
@@ -292,8 +310,13 @@ func (r *Results) SearchStats() SearchStats {
 			out.Workers[i].Shipped += ws.Shipped
 			out.Workers[i].Stolen += ws.Stolen
 			out.Workers[i].BusyNS += ws.BusyNS
+			out.Workers[i].WallNS += ws.WallNS
 		}
 	}
+	out.BGPNS = int64(r.res.BGPTime)
+	out.CTPNS = int64(r.res.CTPTime)
+	out.JoinNS = int64(r.res.JoinTime)
+	out.TraceID = r.traceID
 	return out
 }
 

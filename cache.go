@@ -12,10 +12,13 @@ import (
 // WithCache): completed results are stored in a byte-budgeted LRU keyed
 // on (graph fingerprint, canonical query text, effective engine options)
 // and served without re-running the search, and concurrent identical
-// queries collapse into one engine execution (singleflight). Because a
-// Graph is immutable after Build, cached entries never go stale — there
-// is nothing to invalidate; TTL exists only for deployments that want
-// bounded entry lifetimes anyway.
+// queries collapse into one engine execution (singleflight). Because the
+// graph view a query runs against is immutable, cached entries never go
+// stale — there is nothing to invalidate. On a live graph every mutation
+// advances the fingerprint inside the key, so entries for an old epoch
+// simply stop being asked for (and age out of the LRU), while a DB
+// pinned to that epoch by Snapshot keeps hitting them; TTL exists only
+// for deployments that want bounded entry lifetimes anyway.
 //
 // Partial results are never cached: a run that timed out, was truncated
 // (LIMIT or a stopped stream), or was canceled is returned to its caller

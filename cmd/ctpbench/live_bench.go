@@ -1,0 +1,403 @@
+package main
+
+// The "live" section pins the cost of the mutable delta overlay
+// (internal/graph.Store): the same query workload is timed against the
+// frozen CSR, a live store with an empty delta (the overlay fast path —
+// expected within a few percent of frozen), and live stores with the
+// delta filled to 5% and 20% of the base edge count (the merged-scan
+// slow path compaction exists to bound). A second experiment measures
+// sustained mixed read/write throughput with background compaction
+// landing mid-stream.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ctpquery"
+	"ctpquery/internal/graph"
+)
+
+// liveBenchEntry is one delta-fill variant of the query-latency
+// experiment. VsFrozen is ns_per_op relative to the frozen-CSR row
+// (frozen reads 1.00).
+type liveBenchEntry struct {
+	Variant    string  `json:"variant"`
+	DeltaEdges int     `json:"delta_edges"`
+	Epoch      uint64  `json:"epoch"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	VsFrozen   float64 `json:"vs_frozen"`
+}
+
+// liveFig11Entry is one Figure 11 workload's frozen-CSR vs
+// empty-delta-live contrast: the same CONNECT query cold-executed
+// through the facade on both, pinning the overlay fast-path claim on
+// the paper's own search workloads (VsFrozen ~1.0).
+type liveFig11Entry struct {
+	Workload      string  `json:"workload"`
+	Rows          int     `json:"rows"`
+	FrozenNsPerOp float64 `json:"frozen_ns_per_op"`
+	LiveNsPerOp   float64 `json:"live_ns_per_op"`
+	VsFrozen      float64 `json:"vs_frozen"`
+}
+
+// liveChurnEntry reports the sustained mixed read/write experiment:
+// one writer applying edge-add/delete batches flat out and one reader
+// querying flat out, with the compaction threshold low enough that
+// background compactions land repeatedly under the churn.
+type liveChurnEntry struct {
+	DurationS       float64 `json:"duration_s"`
+	MutateOpsPerSec float64 `json:"mutate_ops_per_sec"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+	FinalEpoch      uint64  `json:"final_epoch"`
+	Compactions     uint64  `json:"compactions"`
+	CompactAborts   uint64  `json:"compact_aborts"`
+	DeltaEdgesAfter int     `json:"delta_edges_after"`
+}
+
+const liveBenchNote = "Each variant times the same two-hop query workload (no result cache) on a " +
+	"5000x20000 random graph; variants are measured interleaved over 5 reps, ns_per_op is the " +
+	"median per variant and vs_frozen the median of per-rep ratios against the same rep's frozen " +
+	"run (drift-cancelling, as in obs_overhead). 'frozen' is the " +
+	"immutable CSR, 'live-0pct' a live store with an empty " +
+	"delta (vs_frozen ~1.0 is the overlay's fast-path claim), 'live-5pct'/'live-20pct' live stores " +
+	"with the delta filled to that fraction of the base edge count and compaction disabled — the " +
+	"merged-scan cost compaction exists to bound. Delta fills add edges, so the deeper fills also " +
+	"return more rows; vs_frozen is an upper bound on pure overlay overhead. live_fig11 repeats the " +
+	"frozen vs empty-delta contrast on the Figure 11 CONNECT workloads (obs-bench subset) through " +
+	"the full facade pipeline — the same search kernels over the overlay fast path. live_churn runs a " +
+	"writer and a reader flat out for ~1.5s with a low compaction threshold, so the throughput " +
+	"numbers include epochs republished by background compactions landing mid-stream."
+
+// medianOf sorts its argument in place and returns the median.
+func medianOf(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// liveQueryWorkload builds a deterministic two-hop query set over the
+// random graph's n1..nN labels.
+func liveQueryWorkload(nodes, count int) []string {
+	qs := make([]string, count)
+	for i := range qs {
+		qs[i] = fmt.Sprintf("SELECT ?x ?y WHERE { n%d knows ?x . ?x cites ?y . }", 1+(i*379)%nodes)
+	}
+	return qs
+}
+
+// fillDelta applies edge-add batches until the overlay holds want
+// delta edges, drawing endpoints from the existing n1..nN labels so no
+// batch can fail validation.
+func fillDelta(g *ctpquery.Graph, nodes, want int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"knows", "cites", "funds", "worksFor"}
+	for added := 0; added < want; {
+		n := want - added
+		if n > 256 {
+			n = 256
+		}
+		var b ctpquery.Batch
+		for i := 0; i < n; i++ {
+			b.AddEdges = append(b.AddEdges, ctpquery.Triple{
+				Source: fmt.Sprintf("n%d", 1+rng.Intn(nodes)),
+				Label:  labels[rng.Intn(len(labels))],
+				Target: fmt.Sprintf("n%d", 1+rng.Intn(nodes)),
+			})
+		}
+		if _, err := g.Mutate(b); err != nil {
+			return err
+		}
+		added += n
+	}
+	return nil
+}
+
+func liveBench() ([]liveBenchEntry, []liveFig11Entry, *liveChurnEntry, error) {
+	const (
+		nodes = 5000
+		edges = 20000
+		seed  = 11
+	)
+	ctx := context.Background()
+	labels := []string{"knows", "cites", "funds", "worksFor"}
+	queries := liveQueryWorkload(nodes, 16)
+
+	// All variants are built up front and measured interleaved, one
+	// testing.Benchmark run per variant per rep: the differences of
+	// interest are a few percent, and machine drift across a long suite
+	// run swamps them unless each rep's ratio is taken against a frozen
+	// run from the same moment (the obs bench's paired estimator).
+	variants := []struct {
+		name string
+		fill float64
+	}{
+		{"frozen", -1},
+		{"live-0pct", 0},
+		{"live-5pct", 0.05},
+		{"live-20pct", 0.20},
+	}
+	out := make([]liveBenchEntry, len(variants))
+	dbs := make([]*ctpquery.DB, len(variants))
+	graphs := make([]*ctpquery.Graph, len(variants))
+	for i, v := range variants {
+		g := ctpquery.RandomGraph(nodes, edges, labels, seed)
+		out[i] = liveBenchEntry{Variant: v.name}
+		if v.fill >= 0 {
+			g = g.LiveWithConfig(ctpquery.LiveConfig{CompactThreshold: -1})
+			if err := fillDelta(g, nodes, int(v.fill*edges), seed+7); err != nil {
+				return nil, nil, nil, fmt.Errorf("live bench %s: %w", v.name, err)
+			}
+			st, _ := g.StoreStats()
+			out[i].DeltaEdges, out[i].Epoch = st.DeltaEdges, st.Epoch
+		}
+		db, err := ctpquery.Open(g, nil)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("live bench %s: %w", v.name, err)
+		}
+		// Warm once so parse/plan setup and lazy indexes are off the clock.
+		if _, err := db.Query(ctx, queries[0]); err != nil {
+			return nil, nil, nil, fmt.Errorf("live bench %s: %w", v.name, err)
+		}
+		graphs[i], dbs[i] = g, db
+	}
+
+	const reps = 5
+	ns := make([][]float64, len(variants))
+	for rep := 0; rep < reps; rep++ {
+		for i := range variants {
+			db := dbs[i]
+			r := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					if _, err := db.Query(ctx, queries[j%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns[i] = append(ns[i], float64(r.T.Nanoseconds())/float64(r.N))
+		}
+	}
+	for i := range variants {
+		out[i].NsPerOp = medianOf(append([]float64(nil), ns[i]...))
+		ratios := make([]float64, reps)
+		for rep := 0; rep < reps; rep++ {
+			ratios[rep] = ns[i][rep] / ns[0][rep]
+		}
+		out[i].VsFrozen = medianOf(ratios)
+		if graphs[i].IsLive() {
+			graphs[i].Quiesce()
+		}
+		fmt.Fprintf(os.Stderr, "%-24s live   %12.0f ns/op  (delta %5d edges, x%.2f vs frozen)\n",
+			variants[i].name, out[i].NsPerOp, out[i].DeltaEdges, out[i].VsFrozen)
+	}
+
+	fig11, err := liveFig11(ctx)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	churn, err := liveChurn(ctx, nodes, edges, seed, queries)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, fig11, churn, nil
+}
+
+// liveFig11 cold-runs the Figure 11 CONNECT workloads (the obs-bench
+// subset) through the facade on the frozen graph and on a live store
+// with an empty delta — the same search kernels over the overlay's
+// fast path, pinning the acceptance claim that an empty-delta epoch
+// view stays within a few percent of the frozen CSR.
+func liveFig11(ctx context.Context) ([]liveFig11Entry, error) {
+	subset := map[string]bool{
+		"Fig11Line/m=10_sL=3": true,
+		"Fig11Comb/nA=4_sL=3": true,
+		"Fig11Star/m=5_sL=4":  true,
+	}
+	var out []liveFig11Entry
+	for _, wl := range fig11Workloads(false) {
+		if !subset[wl.name] {
+			continue
+		}
+		load := func() (*ctpquery.Graph, error) {
+			var buf bytes.Buffer
+			if err := graph.WriteTriples(&buf, wl.w.Graph); err != nil {
+				return nil, err
+			}
+			return ctpquery.LoadTriples(&buf)
+		}
+		members := make([]string, wl.w.M())
+		for i, set := range wl.w.Seeds {
+			members[i] = wl.w.Graph.NodeLabel(set[0])
+		}
+		query := fmt.Sprintf("SELECT ?w WHERE { CONNECT %s AS ?w . }", strings.Join(members, " "))
+
+		open := func(live bool) (*ctpquery.DB, int, error) {
+			g, err := load()
+			if err != nil {
+				return nil, 0, err
+			}
+			if live {
+				g = g.LiveWithConfig(ctpquery.LiveConfig{CompactThreshold: -1})
+			}
+			db, err := ctpquery.Open(g, nil)
+			if err != nil {
+				return nil, 0, err
+			}
+			res, err := db.Query(ctx, query)
+			if err != nil {
+				return nil, 0, err
+			}
+			return db, res.Len(), nil
+		}
+		frozenDB, rows, err := open(false)
+		if err != nil {
+			return nil, fmt.Errorf("live fig11 %s frozen: %w", wl.name, err)
+		}
+		liveDB, liveRows, err := open(true)
+		if err != nil {
+			return nil, fmt.Errorf("live fig11 %s live: %w", wl.name, err)
+		}
+		if liveRows != rows {
+			return nil, fmt.Errorf("live fig11 %s: empty-delta live view returned %d rows, frozen %d", wl.name, liveRows, rows)
+		}
+
+		// Paired reps, frozen and live back to back, median of per-rep
+		// ratios — same drift-cancelling estimator as the main sweep.
+		const reps = 5
+		bench := func(db *ctpquery.DB) float64 {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(ctx, query); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+		frozenNs := make([]float64, reps)
+		liveNs := make([]float64, reps)
+		ratios := make([]float64, reps)
+		for rep := 0; rep < reps; rep++ {
+			frozenNs[rep] = bench(frozenDB)
+			liveNs[rep] = bench(liveDB)
+			ratios[rep] = liveNs[rep] / frozenNs[rep]
+		}
+		e := liveFig11Entry{
+			Workload:      wl.name,
+			Rows:          rows,
+			FrozenNsPerOp: medianOf(frozenNs),
+			LiveNsPerOp:   medianOf(liveNs),
+			VsFrozen:      medianOf(ratios),
+		}
+		out = append(out, e)
+		fmt.Fprintf(os.Stderr, "%-24s live   %12.0f ns/op frozen %12.0f ns/op live-empty (x%.2f)\n",
+			wl.name, e.FrozenNsPerOp, e.LiveNsPerOp, e.VsFrozen)
+	}
+	return out, nil
+}
+
+// liveChurn runs one mutating writer and one querying reader flat out
+// against a live store whose compaction threshold guarantees background
+// compactions land repeatedly during the run.
+func liveChurn(ctx context.Context, nodes, edges int, seed int64, queries []string) (*liveChurnEntry, error) {
+	labels := []string{"knows", "cites", "funds", "worksFor"}
+	g := ctpquery.RandomGraph(nodes, edges, labels, seed).
+		LiveWithConfig(ctpquery.LiveConfig{CompactThreshold: 2048})
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	const d = 1500 * time.Millisecond
+	var (
+		stop     atomic.Bool
+		mutOps   int64
+		queryOps int64
+		wg       sync.WaitGroup
+		writeErr error
+		readErr  error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 13))
+		var added []ctpquery.Triple
+		for !stop.Load() {
+			var b ctpquery.Batch
+			for i := 0; i < 64; i++ {
+				t := ctpquery.Triple{
+					Source: fmt.Sprintf("n%d", 1+rng.Intn(nodes)),
+					Label:  labels[rng.Intn(len(labels))],
+					Target: fmt.Sprintf("n%d", 1+rng.Intn(nodes)),
+				}
+				// Mostly adds, some deletes of edges this writer added, so
+				// the delta both grows and shrinks under compaction.
+				if len(added) > 0 && rng.Float64() < 0.25 {
+					j := rng.Intn(len(added))
+					b.DelEdges = append(b.DelEdges, added[j])
+					added[j] = added[len(added)-1]
+					added = added[:len(added)-1]
+				} else {
+					b.AddEdges = append(b.AddEdges, t)
+					added = append(added, t)
+				}
+			}
+			res, err := g.Mutate(b)
+			if err != nil {
+				writeErr = err
+				return
+			}
+			atomic.AddInt64(&mutOps, int64(res.EdgesAdded+res.EdgesDeleted))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if _, err := db.Query(ctx, queries[i%len(queries)]); err != nil {
+				readErr = err
+				return
+			}
+			atomic.AddInt64(&queryOps, 1)
+		}
+	}()
+	start := time.Now()
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	g.Quiesce()
+	if writeErr != nil {
+		return nil, fmt.Errorf("live churn writer: %w", writeErr)
+	}
+	if readErr != nil {
+		return nil, fmt.Errorf("live churn reader: %w", readErr)
+	}
+
+	st, ok := g.StoreStats()
+	if !ok {
+		return nil, fmt.Errorf("live churn: no store stats")
+	}
+	e := &liveChurnEntry{
+		DurationS:       elapsed,
+		MutateOpsPerSec: float64(mutOps) / elapsed,
+		QueriesPerSec:   float64(queryOps) / elapsed,
+		FinalEpoch:      st.Epoch,
+		Compactions:     st.Compactions,
+		CompactAborts:   st.CompactAborts,
+		DeltaEdgesAfter: st.DeltaEdges,
+	}
+	if e.Compactions == 0 {
+		return nil, fmt.Errorf("live churn: no background compaction landed (epoch %d, %d pending ops)",
+			st.Epoch, st.PendingOps)
+	}
+	fmt.Fprintf(os.Stderr, "%-24s churn  %10.0f mut-ops/s %8.0f queries/s  (epoch %d, %d compactions)\n",
+		"live-churn", e.MutateOpsPerSec, e.QueriesPerSec, e.FinalEpoch, e.Compactions)
+	return e, nil
+}

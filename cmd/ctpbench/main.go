@@ -10,8 +10,9 @@
 //
 // With -json FILE it instead runs the fixed perf-tracking suite — the
 // CSR-expansion and signature-dedup micro-benchmarks, the Figure 11
-// workload grid, the parallel runtime sweep, and the result-cache
-// hit-vs-cold contrast — through testing.Benchmark and writes a
+// workload grid, the parallel runtime sweep, the result-cache
+// hit-vs-cold contrast, and the live-graph delta-overlay contrast —
+// through testing.Benchmark and writes a
 // machine-readable report (ns/op, allocs/op, bytes/op per entry), the
 // format of the repository's BENCH_pr*.json trajectory files. -baseline
 // FILE embeds a previous report for before/after comparison.
@@ -43,7 +44,7 @@ func main() {
 		alt      = flag.Bool("alternate", true, "alternate edge directions")
 		jsonOut  = flag.String("json", "", "run the perf-tracking suite and write a JSON report to FILE")
 		baseline = flag.String("baseline", "", "embed a previous -json report under \"baseline\"")
-		sections = flag.String("sections", "", "comma-separated subset of the -json suite to run: micro, grid, parallel, cache, cluster, obs (empty = all)")
+		sections = flag.String("sections", "", "comma-separated subset of the -json suite to run: micro, grid, parallel, cache, cluster, obs, live (empty = all)")
 	)
 	flag.Parse()
 

@@ -66,7 +66,14 @@ type benchReport struct {
 	// subset, pinning the claim that enabled tracing costs ≲2%.
 	ObsOverheadNote string          `json:"obs_overhead_note,omitempty"`
 	ObsOverhead     []obsBenchEntry `json:"obs_overhead,omitempty"`
-	Baseline        json.RawMessage `json:"baseline,omitempty"`
+	// LiveBench contrasts the frozen CSR with a live delta-overlay store
+	// at increasing delta fill, and LiveChurn measures sustained mixed
+	// read/write throughput with background compaction landing.
+	LiveBenchNote string           `json:"live_bench_note,omitempty"`
+	LiveBench     []liveBenchEntry `json:"live_bench,omitempty"`
+	LiveFig11     []liveFig11Entry `json:"live_fig11,omitempty"`
+	LiveChurn     *liveChurnEntry  `json:"live_churn,omitempty"`
+	Baseline      json.RawMessage  `json:"baseline,omitempty"`
 }
 
 // cacheBenchEntry is one Figure 11 workload measured cold (full BGP +
@@ -138,12 +145,12 @@ func parseSections(spec string) (sectionSet, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil // nil = all sections
 	}
-	known := map[string]bool{"micro": true, "grid": true, "parallel": true, "cache": true, "cluster": true, "obs": true}
+	known := map[string]bool{"micro": true, "grid": true, "parallel": true, "cache": true, "cluster": true, "obs": true, "live": true}
 	s := sectionSet{}
 	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
 		if !known[name] {
-			return nil, fmt.Errorf("unknown section %q (want micro, grid, parallel, cache, cluster, obs)", name)
+			return nil, fmt.Errorf("unknown section %q (want micro, grid, parallel, cache, cluster, obs, live)", name)
 		}
 		s[name] = true
 	}
@@ -158,7 +165,7 @@ func writeJSONReport(path, baselinePath, sections string) error {
 		return err
 	}
 	report := benchReport{
-		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path, cluster scatter-gather sweep, observability overhead contrast",
+		Description: "ctpquery perf-tracking suite: CSR expansion, signature dedup, Figure 11 GAM-variant grid, parallel runtime sweep, result-cache hit vs cold path, cluster scatter-gather sweep, observability overhead contrast, live-graph delta-overlay contrast",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -246,6 +253,17 @@ func writeJSONReport(path, baselinePath, sections string) error {
 			return err
 		}
 		report.ObsOverhead = ob
+	}
+
+	if sel.has("live") {
+		report.LiveBenchNote = liveBenchNote
+		lb, fig11, churn, err := liveBench()
+		if err != nil {
+			return err
+		}
+		report.LiveBench = lb
+		report.LiveFig11 = fig11
+		report.LiveChurn = churn
 	}
 
 	if baselinePath != "" {

@@ -8,11 +8,20 @@
 //
 //	ctpload -url http://localhost:8080 -mix burst -duration 10s -rps 30
 //	    replay one mix against a live server and print the report.
+//	    -mutate-rps N additionally streams mutation batches to
+//	    POST /ingest while the queries run (the server must be -live);
+//	    the report then includes ingest p50/p99 and the final epoch.
 //
 //	ctpload -suite -out BENCH_pr6.json -baseline BENCH_pr5.json
 //	    run the full self-contained suite (in-process servers, the
 //	    three canonical mixes, and the admission-on/off saturation
 //	    comparison) and write the benchmark trajectory file.
+//
+//	ctpload -live-smoke -scale 0.3
+//	    mixed read/write smoke: cache-heavy queries and an open-loop
+//	    ingest stream against one in-process live server, asserting no
+//	    query errors, no ingest failures, and that background
+//	    compaction ran under the load.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"ctpquery/internal/load"
@@ -41,6 +51,7 @@ func main() {
 		retryBudget = flag.Int64("retry-budget", 0, "total retries allowed per scheduling class across the replay (0 = unlimited while -retries > 0)")
 		retryBase   = flag.Duration("retry-base", 100*time.Millisecond, "base backoff before the first retry; doubles per attempt")
 		retryMax    = flag.Duration("retry-max", 5*time.Second, "cap on any single backoff wait")
+		mutateRPS   = flag.Float64("mutate-rps", 0, "additionally POST mutation batches to /ingest at this rate, concurrently with the query replay (live-replay mode; the server must run -live)")
 
 		// suite mode
 		suite    = flag.Bool("suite", false, "run the self-contained benchmark suite instead of a live replay")
@@ -54,6 +65,9 @@ func main() {
 
 		// scrape-smoke mode
 		scrapeSmoke = flag.Bool("scrape-smoke", false, "replay through an in-process 2-partition traced cluster, then assert /metrics parses and the shard traces join the coordinator's, and print the report as JSON")
+
+		// live-smoke mode
+		liveSmoke = flag.Bool("live-smoke", false, "replay queries and an ingest stream concurrently against an in-process live server (background compaction under load), and print the report as JSON")
 	)
 	flag.Parse()
 
@@ -69,6 +83,13 @@ func main() {
 	}
 	if *scrapeSmoke {
 		if err := runScrapeSmoke(ctx, *nodes, *edges, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "ctpload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *liveSmoke {
+		if err := runLiveSmoke(ctx, *nodes, *edges, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "ctpload:", err)
 			os.Exit(1)
 		}
@@ -92,7 +113,7 @@ func main() {
 		BaseBackoff: *retryBase,
 		MaxBackoff:  *retryMax,
 	}
-	if err := runLive(ctx, *urlFlag, *mixFlag, *duration, *rps, *nodes, *seed, *jsonOut, pol); err != nil {
+	if err := runLive(ctx, *urlFlag, *mixFlag, *duration, *rps, *mutateRPS, *nodes, *seed, *jsonOut, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "ctpload:", err)
 		os.Exit(1)
 	}
@@ -111,23 +132,64 @@ func buildPlan(mix string, d time.Duration, rps float64, nodes int, seed int64) 
 	}
 }
 
-func runLive(ctx context.Context, url, mix string, d time.Duration, rps float64, nodes int, seed int64, asJSON bool, pol load.RetryPolicy) error {
+func runLive(ctx context.Context, url, mix string, d time.Duration, rps, mutateRPS float64, nodes int, seed int64, asJSON bool, pol load.RetryPolicy) error {
 	plan, err := buildPlan(mix, d, rps, nodes, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "replaying %s against %s (%.0f rps, seed %d)\n", plan.Name, url, rps, seed)
+	var total time.Duration
+	for _, ph := range plan.Phases {
+		total += ph.Duration
+	}
+	var (
+		wg        sync.WaitGroup
+		ingestRes *load.IngestResult
+		ingestErr error
+	)
+	if mutateRPS > 0 {
+		fmt.Fprintf(os.Stderr, "mutating via /ingest at %.0f rps concurrently\n", mutateRPS)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ingestRes, ingestErr = load.IngestReplay(ctx, url, mutateRPS, total, nodes, seed+1)
+		}()
+	}
 	res, err := load.ReplayWithPolicy(ctx, url, plan, seed, pol)
+	wg.Wait()
 	if err != nil {
 		return err
+	}
+	if ingestErr != nil {
+		return ingestErr
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
+		if ingestRes != nil {
+			return enc.Encode(map[string]any{"replay": res, "ingest": ingestRes})
+		}
 		return enc.Encode(res)
 	}
 	printResult(res)
+	if ingestRes != nil {
+		fmt.Printf("ingest: %d batches (%d ok, %d failed), %.1f rps, p50 %.1fms p99 %.1fms, epoch %d\n",
+			ingestRes.Batches, ingestRes.OK, ingestRes.Failures, ingestRes.ThroughputRPS,
+			ingestRes.Latency.P50MS, ingestRes.Latency.P99MS, ingestRes.FinalEpoch)
+	}
 	return nil
+}
+
+func runLiveSmoke(ctx context.Context, nodes, edges int, seed int64, scale float64) error {
+	rep, err := load.RunLiveSmoke(ctx, load.LiveSmokeConfig{
+		Nodes: nodes, Edges: edges, Seed: seed, Scale: scale, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func printResult(r *load.Result) {

@@ -22,7 +22,12 @@
 //	                  and a per-query search report (trees generated/kept,
 //	                  peak queue length, peak live trees, allocations, and —
 //	                  for parallel queries — per-worker effort)
-//	GET  /healthz  liveness + graph size
+//	POST /ingest   (-live only) mutation batches in the mutation-stream
+//	               text format: "+n label [type...]", "+t node type",
+//	               "+e src label dst", "-e src label dst"; a blank line
+//	               separates batches, each batch applies atomically and
+//	               advances the graph epoch
+//	GET  /healthz  liveness + graph size (+ epoch when -live)
 //	GET  /stats    request metrics (counts, timeouts, in-flight, avg latency)
 //	               plus aggregated search-effort and per-worker counters
 //	GET  /metrics  the same counters in Prometheus text exposition format
@@ -83,6 +88,8 @@ func main() {
 		maxRows        = flag.Int("max-rows", 1000, "cap on rows serialized per response (0 = unlimited)")
 		pprofEnabled   = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		trackAllocs    = flag.Bool("track-allocs", true, "sample per-query heap allocation counts into the search report (two runtime.ReadMemStats calls per CONNECT search; disable for maximum throughput)")
+		live           = flag.Bool("live", false, "serve a live (mutable) graph: POST /ingest applies mutation batches, queries pin the epoch current at their entry, and the delta compacts into a fresh base in the background")
+		compactOps     = flag.Int("compact-threshold", 0, "delta ops that trigger a background compaction (0 = default, negative = never compact); only with -live")
 		cacheBytes     = flag.Int64("cache-bytes", 0, "query-result cache budget in bytes (0 = no cache); completed results are served from cache and concurrent identical queries collapse into one search")
 		cacheTTL       = flag.Duration("cache-ttl", 0, "expire cache entries this old (0 = never; the graph is immutable, so entries cannot go stale)")
 		admissionOn    = flag.Bool("admission", true, "enable admission control: requests are cost-classified (cheap vs analytical), queued in bounded two-class queues, and shed with 429 + Retry-After under saturation")
@@ -118,6 +125,8 @@ func main() {
 		maxRows:        *maxRows,
 		pprof:          *pprofEnabled,
 		trackAllocs:    *trackAllocs,
+		live:           *live,
+		compactOps:     *compactOps,
 		cacheBytes:     *cacheBytes,
 		cacheTTL:       *cacheTTL,
 		admission:      *admissionOn,
@@ -160,6 +169,8 @@ type serverConfig struct {
 	maxRows        int
 	pprof          bool
 	trackAllocs    bool
+	live           bool
+	compactOps     int
 	cacheBytes     int64
 	cacheTTL       time.Duration
 	admission      bool
@@ -198,6 +209,9 @@ func run(cfg serverConfig) error {
 			return fmt.Errorf("save snapshot: %w", err)
 		}
 		log.Printf("snapshot written to %s", cfg.saveSnapshot)
+	}
+	if cfg.live {
+		g = g.LiveWithConfig(ctpquery.LiveConfig{CompactThreshold: cfg.compactOps})
 	}
 	opts := &ctpquery.Options{
 		Algorithm: cfg.algo, Parallel: cfg.parallel, Parallelism: cfg.parallelism,
@@ -244,6 +258,11 @@ func run(cfg serverConfig) error {
 
 	log.Printf("graph %s: %d nodes, %d edges; algorithm %s",
 		desc, g.NumNodes(), g.NumEdges(), db.Options().Algorithm)
+	if cfg.live {
+		if st, ok := g.StoreStats(); ok {
+			log.Printf("live graph: POST /ingest enabled, compaction threshold %d ops", st.CompactThreshold)
+		}
+	}
 	if cfg.cacheBytes > 0 {
 		log.Printf("result cache: %d byte budget, ttl %v, graph fingerprint %#x",
 			cfg.cacheBytes, cfg.cacheTTL, g.Fingerprint())

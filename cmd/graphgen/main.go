@@ -8,6 +8,12 @@
 //	graphgen -topology star -m 5 -sl 3 -o star.triples
 //	graphgen -topology cdf -m 2 -nt 64 -nl 128 -sl 3 -o cdf.snap
 //	graphgen -topology yago -scale 1000 -o kg.snap
+//	graphgen -topology yago -scale 1000 -o kg.snap -mutations 200
+//
+// -mutations N additionally emits N replayable mutation batches (the
+// mutation-stream text format ctpserve's POST /ingest accepts) to
+// -mutations-out (default OUT.mut), each batch validated against a
+// live store of the generated graph.
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 		scale    = flag.Int("scale", 1000, "kg: entity scale")
 		seed     = flag.Int64("seed", 1, "kg: generation seed")
 		out      = flag.String("o", "", "output file (.snap for binary, else triples)")
+		mutN     = flag.Int("mutations", 0, "also emit N replayable mutation batches (edge adds/deletes, new nodes, type attachments) for the generated graph")
+		mutOut   = flag.String("mutations-out", "", "mutation stream output file (default: OUT.mut)")
 	)
 	flag.Parse()
 	if *topology == "" || *out == "" {
@@ -78,4 +86,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
+
+	if *mutN > 0 {
+		path := *mutOut
+		if path == "" {
+			path = *out + ".mut"
+		}
+		batches, err := genMutations(g, *mutN, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		mf, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		if err := graph.WriteMutations(mf, batches); err != nil {
+			mf.Close()
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		if err := mf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		ops := 0
+		for _, b := range batches {
+			ops += len(b.AddNodes) + len(b.AddTypes) + len(b.AddEdges) + len(b.DelEdges)
+		}
+		fmt.Printf("wrote %s: %d mutation batches (%d ops)\n", path, len(batches), ops)
+	}
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctpquery/internal/graph"
+)
+
+// genMutations produces n replayable mutation batches against base. Every
+// batch is validated by actually applying it to a throwaway live store as
+// it is generated, so the emitted stream replays cleanly (same node
+// resolution rules) against the base graph it was generated for.
+//
+// The mix leans toward edge churn — the workload the delta overlay is
+// built for: mostly edge adds between existing nodes, some brand-new
+// nodes arriving with an edge, some deletes (half of them targeting
+// previously added edges so the delta shrinks as well as grows), and the
+// occasional type attachment.
+func genMutations(base *graph.Graph, n int, seed int64) ([]graph.Batch, error) {
+	if base.NumNodes() == 0 {
+		return nil, fmt.Errorf("cannot mutate an empty graph")
+	}
+	st := graph.NewStore(base, graph.StoreOptions{CompactThreshold: -1})
+	defer st.Quiesce()
+	r := rand.New(rand.NewSource(seed))
+
+	// randomNode returns the label of a uniformly random node of the
+	// current view (so later batches can reference nodes earlier batches
+	// created).
+	randomNode := func() string {
+		v := st.View()
+		return v.NodeLabel(graph.NodeID(r.Intn(v.NumNodes())))
+	}
+	// randomEdge returns a random live edge as a triple; ok is false when
+	// the view has no live edges (or the sampler was unlucky).
+	randomEdge := func() (graph.Triple, bool) {
+		v := st.View()
+		if v.NumEdges() == 0 {
+			return graph.Triple{}, false
+		}
+		for try := 0; try < 8; try++ {
+			e := graph.EdgeID(r.Intn(v.NumEdges()))
+			if !v.EdgeAlive(e) {
+				continue
+			}
+			return graph.Triple{
+				Source: v.NodeLabel(v.Source(e)),
+				Label:  v.EdgeLabel(e),
+				Target: v.NodeLabel(v.Target(e)),
+			}, true
+		}
+		return graph.Triple{}, false
+	}
+	randomLabel := func() string {
+		if t, ok := randomEdge(); ok {
+			return t.Label
+		}
+		return "linksTo"
+	}
+
+	var added []graph.Triple // delta edges eligible for targeted deletes
+	var batches []graph.Batch
+	newNodes := 0
+	for attempts := 0; len(batches) < n && attempts < 20*n+100; attempts++ {
+		var b graph.Batch
+		for ops := 1 + r.Intn(3); ops > 0; ops-- {
+			switch roll := r.Float64(); {
+			case roll < 0.55:
+				t := graph.Triple{Source: randomNode(), Label: randomLabel(), Target: randomNode()}
+				b.AddEdges = append(b.AddEdges, t)
+				added = append(added, t)
+			case roll < 0.70:
+				newNodes++
+				label := fmt.Sprintf("mut%d", newNodes)
+				b.AddNodes = append(b.AddNodes, graph.NodeAdd{Label: label})
+				t := graph.Triple{Source: label, Label: randomLabel(), Target: randomNode()}
+				b.AddEdges = append(b.AddEdges, t)
+				added = append(added, t)
+			case roll < 0.90:
+				if len(added) > 0 && r.Intn(2) == 0 {
+					i := r.Intn(len(added))
+					b.DelEdges = append(b.DelEdges, added[i])
+					added[i] = added[len(added)-1]
+					added = added[:len(added)-1]
+				} else if t, ok := randomEdge(); ok {
+					b.DelEdges = append(b.DelEdges, t)
+				}
+			default:
+				b.AddTypes = append(b.AddTypes, graph.TypeAdd{Node: randomNode(), Type: "mutated"})
+			}
+		}
+		if b.Empty() {
+			continue
+		}
+		// Validate by applying: a batch the store rejects (e.g. it sampled
+		// an ambiguous label) is dropped and regenerated, so the written
+		// stream replays without errors.
+		if _, err := st.Mutate(b); err != nil {
+			continue
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) < n {
+		return nil, fmt.Errorf("generated only %d of %d valid batches", len(batches), n)
+	}
+	return batches, nil
+}

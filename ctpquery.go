@@ -161,15 +161,19 @@ func (q *Query) Variables() []string { return append([]string(nil), q.q.Head...)
 // connection-search algorithms (internal/core). A DB is cheap to create,
 // holds no mutable state, and is safe for concurrent use — a server can
 // share one DB (or several, with different Options) across all requests.
+//
+// Over a live graph (Graph.Live), every execution pins the epoch current
+// at entry: the whole run — cache key, search, result rendering — sees
+// that one immutable view, however many Mutate calls land meanwhile.
 type DB struct {
 	g    *Graph
-	eng  *engine.Engine
 	opts Options
 
 	// cache is the query-result cache (nil when Options.Cache is unset);
 	// optsSig is this DB's precomputed contribution to cache keys. Derived
-	// DBs (WithOptions, With) share the parent's cache instance — the
-	// options signature inside the key keeps their entries apart.
+	// DBs (WithOptions, With) share the parent's graph (and so its live
+	// store) and cache instance — the options signature inside the key
+	// keeps their entries apart.
 	cache   *qcache.Cache
 	optsSig string
 }
@@ -195,7 +199,6 @@ func Open(g *Graph, opts *Options, query ...QueryOption) (*DB, error) {
 	o.Algorithm = alg.String()
 	db := &DB{
 		g:       g,
-		eng:     engine.New(g.g, o.engineOptions(alg, nil)),
 		opts:    o,
 		optsSig: o.cacheSignature(),
 	}
@@ -294,12 +297,16 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 	if ctx.Err() == context.Canceled {
 		return nil, CacheInfo{Enabled: db.cache != nil}, ctx.Err()
 	}
+	// Pin the epoch before anything else: the cache key and the execution
+	// must describe the same view, or a mutation landing between them
+	// would file one epoch's answer under another's fingerprint.
+	pg := db.g.Snapshot()
 	if db.cache == nil {
-		res, err := db.runUncached(ctx, q)
+		res, err := db.runUncached(ctx, pg, q)
 		return res, CacheInfo{}, err
 	}
 	info := CacheInfo{Enabled: true}
-	key := qcache.Key{Graph: db.g.Fingerprint(), Query: q.String(), Opts: db.optsSig}
+	key := qcache.Key{Graph: pg.Fingerprint(), Query: q.String(), Opts: db.optsSig}
 	// Cache span: covers the lookup, a coalesced waiter's wait on the
 	// leader, or the leader's own execution (whose engine.eval span nests
 	// under it). Role attrs are attached once the outcome is known.
@@ -310,7 +317,7 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 	defer cacheSpan.End()
 	ctx = obs.With(ctx, cacheSpan)
 	v, hit, coalesced, err := db.cache.Do(ctx, key, func() (any, int64, bool, error) {
-		res, err := db.runUncached(ctx, q)
+		res, err := db.runUncached(ctx, pg, q)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -342,7 +349,7 @@ func (db *DB) RunWithInfo(ctx context.Context, q *Query) (*Results, CacheInfo, e
 		// run directly: the engine clamps the spent budget and returns
 		// immediately with whatever that allows.
 		if errors.Is(err, context.DeadlineExceeded) {
-			res, rerr := db.runUncached(ctx, q)
+			res, rerr := db.runUncached(ctx, pg, q)
 			cacheSpan.End()
 			return res, CacheInfo{Enabled: true}, rerr
 		}
@@ -369,13 +376,17 @@ func queryHasLimit(q *Query) bool {
 	return false
 }
 
-// runUncached executes q directly against the engine.
-func (db *DB) runUncached(ctx context.Context, q *Query) (*Results, error) {
-	res, err := db.eng.ExecuteContext(ctx, q.q)
+// runUncached executes q against pg, the view pinned at entry. The
+// Results keep pg, so rendering rows and trees later reads the same epoch
+// the search ran on. Engines are two-field structs — building one per run
+// costs nothing and removes any stale-graph state from the DB.
+func (db *DB) runUncached(ctx context.Context, pg *Graph, q *Query) (*Results, error) {
+	eng := engine.New(pg.view(), db.opts.engineOptions(mustAlgorithm(db.opts.Algorithm), nil))
+	res, err := eng.ExecuteContext(ctx, q.q)
 	if err != nil {
 		return nil, err
 	}
-	out := newResults(db.g, q.q, res)
+	out := newResults(pg, q.q, res)
 	out.traceID = obs.FromContext(ctx).TraceID()
 	return out, nil
 }
@@ -391,7 +402,7 @@ func (db *DB) Peek(q *Query) (*Results, bool) {
 	if db.cache == nil {
 		return nil, false
 	}
-	key := qcache.Key{Graph: db.g.Fingerprint(), Query: q.String(), Opts: db.optsSig}
+	key := qcache.Key{Graph: db.g.Snapshot().Fingerprint(), Query: q.String(), Opts: db.optsSig}
 	v, ok := db.cache.Peek(key)
 	if !ok {
 		return nil, false
@@ -444,22 +455,48 @@ type StreamFunc func(ctp int, t *Tree) bool
 // RunStream never consults the DB's cache: a cached result could not
 // replay the per-tree callback.
 func (db *DB) RunStream(ctx context.Context, q *Query, fn StreamFunc) (*Results, error) {
-	eng := engine.New(db.g.g, db.opts.engineOptions(
+	pg := db.g.Snapshot()
+	eng := engine.New(pg.view(), db.opts.engineOptions(
 		mustAlgorithm(db.opts.Algorithm),
 		func(ctp int, r core.Result) bool {
-			return fn(ctp, &Tree{g: db.g, t: r.Tree})
+			return fn(ctp, &Tree{g: pg, t: r.Tree})
 		}))
 	res, err := eng.ExecuteContext(ctx, q.q)
 	if err != nil {
 		return nil, err
 	}
-	return newResults(db.g, q.q, res), nil
+	return newResults(pg, q.q, res), nil
 }
 
 // Explain returns the query plan the engine would run for q — the BGP
 // access paths and join order, the derived CTP seed sets, and the chosen
-// search configuration — without executing it.
-func (db *DB) Explain(q *Query) (string, error) { return db.eng.Explain(q.q) }
+// search configuration — without executing it. On a live graph the plan
+// reflects the current epoch's statistics.
+func (db *DB) Explain(q *Query) (string, error) {
+	eng := engine.New(db.g.view(), db.opts.engineOptions(mustAlgorithm(db.opts.Algorithm), nil))
+	return eng.Explain(q.q)
+}
+
+// Mutate applies one atomic batch to the DB's live graph and publishes
+// the next epoch; see Graph.Mutate. Queries started before the call keep
+// their pinned epoch; queries started after see the new one (and miss the
+// cache, whose keys carry the per-epoch fingerprint). It fails on a DB
+// over a frozen graph.
+func (db *DB) Mutate(b Batch) (MutateResult, error) { return db.g.Mutate(b) }
+
+// Snapshot returns a DB pinned to the current epoch: its queries answer
+// from exactly this epoch's content forever, regardless of later Mutate
+// calls on the parent. The snapshot DB shares the parent's cache, so
+// queries already answered at this epoch are still warm. On a DB over a
+// frozen graph it returns the receiver.
+func (db *DB) Snapshot() *DB {
+	if !db.g.IsLive() {
+		return db
+	}
+	nd := *db
+	nd.g = db.g.Snapshot()
+	return &nd
+}
 
 // mustAlgorithm resolves a name already validated by Open.
 func mustAlgorithm(name string) core.Algorithm {

@@ -18,52 +18,61 @@ type NodeID int32
 // insertion order.
 type EdgeID int32
 
-// Graph is an immutable labeled graph (the data model of Definition 2.1:
-// directed labeled edges, optional node types and string properties).
-// Build one with a GraphBuilder or load one with LoadTriples, LoadSnapshot,
-// or OpenGraph. A frozen Graph is safe for concurrent readers, so one
-// Graph can back any number of concurrent queries.
+// Graph is a labeled graph (the data model of Definition 2.1: directed
+// labeled edges, optional node types and string properties). Build one
+// with a GraphBuilder or load one with LoadTriples, LoadSnapshot, or
+// OpenGraph; the result is frozen — safe for any number of concurrent
+// readers. Graph.Live upgrades a frozen graph to a mutable one (see
+// Mutate, Snapshot, Epoch): readers then see immutable per-epoch views,
+// so concurrency stays free.
 type Graph struct {
-	g *graph.Graph
+	g     *graph.Graph // frozen graph, or the pinned view of a Snapshot
+	store *graph.Store // non-nil for live graphs; g is nil then
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+func (g *Graph) NumNodes() int { return g.view().NumNodes() }
 
-// NumEdges returns the number of edges.
-func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+// NumEdges returns the number of edges. On a live graph this counts the
+// edge ID space, which may include slots of deleted edges until the next
+// compaction; Stats reports live edges.
+func (g *Graph) NumEdges() int { return g.view().NumEdges() }
 
 // NodeLabel returns the label of node n ("" for unlabeled nodes).
-func (g *Graph) NodeLabel(n NodeID) string { return g.g.NodeLabel(graph.NodeID(n)) }
+func (g *Graph) NodeLabel(n NodeID) string { return g.view().NodeLabel(graph.NodeID(n)) }
 
 // NodeByLabel returns the unique node labeled s; ok is false when the
 // label is absent or shared by several nodes.
 func (g *Graph) NodeByLabel(s string) (n NodeID, ok bool) {
-	id, ok := g.g.NodeByLabel(s)
+	id, ok := g.view().NodeByLabel(s)
 	return NodeID(id), ok
 }
 
 // Stats returns a one-line summary of the graph (node/edge/label counts,
 // degree statistics).
-func (g *Graph) Stats() string { return graph.ComputeStats(g.g).String() }
+func (g *Graph) Stats() string { return graph.ComputeStats(g.view()).String() }
 
 // Fingerprint returns a 64-bit digest of the graph's logical content
-// (labels, types, edges, properties), frozen at build time. Two loads of
-// the same data — including a snapshot or triples round trip — produce
-// the same fingerprint, so it identifies the graph across processes; the
+// (labels, types, edges, properties). Two loads of the same data —
+// including a snapshot or triples round trip — produce the same
+// fingerprint, so it identifies the graph across processes; the
 // query-result cache keys on it, which is also why cached entries never
-// need invalidating: a different graph is a different fingerprint.
-func (g *Graph) Fingerprint() uint64 { return g.g.Fingerprint() }
+// need invalidating: a different graph is a different fingerprint. On a
+// live graph the fingerprint advances deterministically with every
+// mutation batch (and survives compaction, which changes no content), so
+// each epoch keys its own cache entries.
+func (g *Graph) Fingerprint() uint64 { return g.view().Fingerprint() }
 
 // WriteTriples writes the graph in the line-oriented triple text format
 // ("src edgeLabel dst", "node type t" for types; see LoadTriples). Graphs
 // with duplicate or empty node labels cannot be serialized this way.
-func (g *Graph) WriteTriples(w io.Writer) error { return graph.WriteTriples(w, g.g) }
+func (g *Graph) WriteTriples(w io.Writer) error { return graph.WriteTriples(w, g.view()) }
 
 // WriteSnapshot writes the graph in the compact binary snapshot format
 // read by LoadSnapshot; unlike the triple text format it round-trips any
-// graph, including ones with duplicate labels and properties.
-func (g *Graph) WriteSnapshot(w io.Writer) error { return graph.WriteSnapshot(w, g.g) }
+// graph, including ones with duplicate labels and properties. A live
+// graph serializes the epoch current at the call.
+func (g *Graph) WriteSnapshot(w io.Writer) error { return graph.WriteSnapshot(w, g.view()) }
 
 // GraphBuilder assembles a Graph. It is not safe for concurrent use, and
 // must not be reused after Build.
@@ -166,7 +175,7 @@ func RandomGraph(n, e int, labels []string, seed int64) *Graph {
 
 // label renders node n for messages: its label, or #id when unlabeled.
 func (g *Graph) label(n graph.NodeID) string {
-	if l := g.g.NodeLabel(n); l != "" {
+	if l := g.view().NodeLabel(n); l != "" {
 		return l
 	}
 	return fmt.Sprintf("#%d", n)

@@ -168,7 +168,11 @@ func scanPattern(g *graph.Graph, ep eql.EdgePattern) *storage.Table {
 			}
 		}
 	default:
+		// Full ID-space scan: on a live epoch view, skip deleted slots.
 		for i := 0; i < g.NumEdges(); i++ {
+			if !g.EdgeAlive(graph.EdgeID(i)) {
+				continue
+			}
 			emit(graph.EdgeID(i))
 		}
 	}

@@ -183,6 +183,10 @@ func (p Predicate) SelectEdges(g *graph.Graph) []graph.EdgeID {
 	}
 	var out []graph.EdgeID
 	for i := 0; i < g.NumEdges(); i++ {
+		// Full ID-space scan: on a live epoch view, skip deleted slots.
+		if !g.EdgeAlive(graph.EdgeID(i)) {
+			continue
+		}
 		if p.MatchEdge(g, graph.EdgeID(i)) {
 			out = append(out, graph.EdgeID(i))
 		}

@@ -107,7 +107,6 @@ func (b *Builder) Build() *Graph {
 	}
 	b.built = true
 
-	n := len(b.nodeLabel)
 	g := &Graph{
 		labels:    b.labels,
 		nodeLabel: b.nodeLabel,
@@ -122,6 +121,17 @@ func (b *Builder) Build() *Graph {
 		ts := g.nodeTypes[i]
 		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 	}
+
+	freezeIndexes(g)
+	g.fingerprint = g.computeFingerprint()
+	return g
+}
+
+// freezeIndexes computes the CSR adjacency arrays and label/type indexes
+// from g's nodeLabel/nodeTypes/edges/labels fields — the freeze step shared
+// by Builder.Build and the Store's compaction rebuild.
+func freezeIndexes(g *Graph) {
+	n := len(g.nodeLabel)
 
 	// CSR adjacency: count degrees, prefix-sum into offsets, then fill in
 	// edge-ID order so every per-node run is ascending.
@@ -161,7 +171,7 @@ func (b *Builder) Build() *Graph {
 
 	// Label and type indexes, CSR keyed by the dense LabelID. Unlabeled
 	// nodes are not indexed; edges are indexed under every label.
-	nLabels := b.labels.Len()
+	nLabels := g.labels.Len()
 	g.labelNodeOff = make([]int32, nLabels+1)
 	for _, l := range g.nodeLabel {
 		if l != NoLabel {
@@ -205,9 +215,6 @@ func (b *Builder) Build() *Graph {
 			tnCur[t]++
 		}
 	}
-
-	g.fingerprint = g.computeFingerprint()
-	return g
 }
 
 // prefixSum turns per-bucket counts (stored at index i+1) into CSR

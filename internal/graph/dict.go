@@ -27,6 +27,22 @@ func (d *Dict) Intern(s string) LabelID {
 	return id
 }
 
+// Clone returns an independent copy of d. The Store write path clones the
+// dictionary before interning a batch's new labels: published epoch views
+// keep reading the old Dict (whose maps are never written again) while the
+// clone absorbs the growth, so concurrent Lookup/String on a view never
+// races a mutation.
+func (d *Dict) Clone() *Dict {
+	nd := &Dict{
+		byString: make(map[string]LabelID, len(d.byString)),
+		byID:     append([]string(nil), d.byID...),
+	}
+	for s, id := range d.byString {
+		nd.byString[s] = id
+	}
+	return nd
+}
+
 // Lookup returns the ID for s without adding it.
 func (d *Dict) Lookup(s string) (LabelID, bool) {
 	id, ok := d.byString[s]

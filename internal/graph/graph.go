@@ -5,9 +5,13 @@
 // property graphs at the level of detail the connection-search algorithms
 // need.
 //
-// Graphs are built once through a Builder and are immutable afterwards; all
-// query-time structures (adjacency lists, label and type indexes, degrees)
-// are computed at freeze time so concurrent readers need no locking.
+// Graphs built through a Builder are immutable after Build; all query-time
+// structures (adjacency lists, label and type indexes, degrees) are computed
+// at freeze time so concurrent readers need no locking. A live, mutating
+// graph is a Store (store.go): every published epoch view is again an
+// immutable *Graph — a copy of the frozen base plus a frozen delta overlay
+// (overlay.go) — so readers of either kind of graph share one accessor
+// surface and one concurrency story.
 package graph
 
 import "fmt"
@@ -32,13 +36,20 @@ type Edge struct {
 	Label  LabelID
 }
 
-// Graph is an immutable labeled graph. Create one with a Builder.
+// Graph is an immutable labeled graph. Create one with a Builder, or obtain
+// an epoch view of a live Store.
 //
 // Adjacency and the label/type indexes use a CSR (compressed sparse row)
 // layout: one flat ID array plus one offsets array per index, frozen at
 // Build time. Accessors return sub-slices of the flat arrays, so the hot
 // expansion path of a connection search never allocates and scans
 // contiguous memory.
+//
+// An epoch view of a Store additionally carries a frozen delta overlay
+// (ov != nil): accessors consult the overlay's materialized per-node and
+// per-label lists for nodes and labels the delta touched, and fall through
+// to the base CSR arrays — copied into this struct — for everything else.
+// Frozen graphs pay one nil-check per accessor for this.
 type Graph struct {
 	labels *Dict
 
@@ -70,42 +81,94 @@ type Graph struct {
 	nodeProps map[string]map[NodeID]string
 	edgeProps map[string]map[EdgeID]string
 
-	// fingerprint digests the logical content, frozen at Build time; see
-	// Fingerprint (fingerprint.go).
+	// fingerprint digests the logical content: frozen at Build time for
+	// built graphs, chained per epoch for Store views; see Fingerprint
+	// (fingerprint.go).
 	fingerprint uint64
+
+	// epoch is the Store epoch this view was published at; 0 for graphs
+	// frozen by Build.
+	epoch uint64
+
+	// ov is the frozen delta overlay of a Store epoch view; nil for graphs
+	// frozen by Build and for views whose delta is empty.
+	ov *overlay
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodeLabel) }
+func (g *Graph) NumNodes() int {
+	if g.ov != nil {
+		return g.ov.numNodes
+	}
+	return len(g.nodeLabel)
+}
 
-// NumEdges returns the number of edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+// NumEdges returns the size of the edge-ID space: every EdgeID in
+// [0, NumEdges) may be passed to Edge and friends. On a Store epoch view
+// this includes edges deleted by the delta — full ID-space scans must skip
+// IDs for which EdgeAlive is false; the adjacency and label indexes never
+// contain dead edges.
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return g.ov.numEdges
+	}
+	return len(g.edges)
+}
+
+// EdgeAlive reports whether edge e is present in this view. Always true on
+// graphs frozen by Build; on a Store epoch view it is false for edges the
+// delta deleted (their IDs stay valid for Edge et al. so ID-indexed
+// structures keep working, but they appear in no adjacency or label list).
+func (g *Graph) EdgeAlive(e EdgeID) bool {
+	if g.ov == nil {
+		return true
+	}
+	return !g.ov.dead(e)
+}
+
+// Epoch returns the Store epoch this view was published at, 0 for graphs
+// frozen by Build (and for a Store's initial, unmutated view).
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // NodeLabelID returns the interned label of node n.
-func (g *Graph) NodeLabelID(n NodeID) LabelID { return g.nodeLabel[n] }
+func (g *Graph) NodeLabelID(n NodeID) LabelID {
+	if g.ov != nil {
+		if d := int(n) - g.ov.baseNodes; d >= 0 {
+			return g.ov.addedLabel[d]
+		}
+	}
+	return g.nodeLabel[n]
+}
 
 // NodeLabel returns the label string of node n.
-func (g *Graph) NodeLabel(n NodeID) string { return g.labels.String(g.nodeLabel[n]) }
+func (g *Graph) NodeLabel(n NodeID) string { return g.labels.String(g.NodeLabelID(n)) }
 
 // EdgeLabelID returns the interned label of edge e.
-func (g *Graph) EdgeLabelID(e EdgeID) LabelID { return g.edges[e].Label }
+func (g *Graph) EdgeLabelID(e EdgeID) LabelID { return g.Edge(e).Label }
 
 // EdgeLabel returns the label string of edge e.
-func (g *Graph) EdgeLabel(e EdgeID) string { return g.labels.String(g.edges[e].Label) }
+func (g *Graph) EdgeLabel(e EdgeID) string { return g.labels.String(g.Edge(e).Label) }
 
 // Edge returns the endpoints and label of e.
-func (g *Graph) Edge(e EdgeID) Edge { return g.edges[e] }
+func (g *Graph) Edge(e EdgeID) Edge {
+	if g.ov != nil {
+		if d := int(e) - g.ov.baseEdges; d >= 0 {
+			return g.ov.deltaEdges[d]
+		}
+	}
+	return g.edges[e]
+}
 
 // Source returns the source node of e.
-func (g *Graph) Source(e EdgeID) NodeID { return g.edges[e].Source }
+func (g *Graph) Source(e EdgeID) NodeID { return g.Edge(e).Source }
 
 // Target returns the target node of e.
-func (g *Graph) Target(e EdgeID) NodeID { return g.edges[e].Target }
+func (g *Graph) Target(e EdgeID) NodeID { return g.Edge(e).Target }
 
 // Other returns the endpoint of e that is not n. It panics if n is not an
 // endpoint of e; self-loops return n itself.
 func (g *Graph) Other(e EdgeID, n NodeID) NodeID {
-	ed := g.edges[e]
+	ed := g.Edge(e)
 	switch n {
 	case ed.Source:
 		return ed.Target
@@ -119,16 +182,40 @@ func (g *Graph) Other(e EdgeID, n NodeID) NodeID {
 // a zero-alloc sub-slice of the CSR array, ascending by edge ID. The slice
 // is shared; callers must not modify it.
 func (g *Graph) IncidentEdges(n NodeID) []EdgeID {
+	if g.ov != nil {
+		if s, ok := g.ov.adj[n]; ok {
+			return s
+		}
+		if int(n) >= g.ov.baseNodes {
+			return nil
+		}
+	}
 	return g.adjEdges[g.adjOff[n]:g.adjOff[n+1]:g.adjOff[n+1]]
 }
 
 // OutEdges returns the edges whose source is n (zero-alloc sub-slice).
 func (g *Graph) OutEdges(n NodeID) []EdgeID {
+	if g.ov != nil {
+		if s, ok := g.ov.out[n]; ok {
+			return s
+		}
+		if int(n) >= g.ov.baseNodes {
+			return nil
+		}
+	}
 	return g.outEdges[g.outOff[n]:g.outOff[n+1]:g.outOff[n+1]]
 }
 
 // InEdges returns the edges whose target is n (zero-alloc sub-slice).
 func (g *Graph) InEdges(n NodeID) []EdgeID {
+	if g.ov != nil {
+		if s, ok := g.ov.in[n]; ok {
+			return s
+		}
+		if int(n) >= g.ov.baseNodes {
+			return nil
+		}
+	}
 	return g.inEdges[g.inOff[n]:g.inOff[n+1]:g.inOff[n+1]]
 }
 
@@ -143,7 +230,17 @@ func (g *Graph) In(n NodeID) []EdgeID { return g.InEdges(n) }
 
 // Degree returns d_n, the number of edges adjacent to n in either
 // direction. Section 4.6 uses it in the LESP pruning exemption.
-func (g *Graph) Degree(n NodeID) int { return int(g.adjOff[n+1] - g.adjOff[n]) }
+func (g *Graph) Degree(n NodeID) int {
+	if g.ov != nil {
+		if s, ok := g.ov.adj[n]; ok {
+			return len(s)
+		}
+		if int(n) >= g.ov.baseNodes {
+			return 0
+		}
+	}
+	return int(g.adjOff[n+1] - g.adjOff[n])
+}
 
 // Labels exposes the label dictionary.
 func (g *Graph) Labels() *Dict { return g.labels }
@@ -155,6 +252,11 @@ func (g *Graph) LabelIDOf(s string) (LabelID, bool) { return g.labels.Lookup(s) 
 // zero-alloc CSR sub-slice. The slice is shared. Unlabeled nodes are not
 // indexed: NodesWithLabel(NoLabel) is empty.
 func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
+	if g.ov != nil {
+		if s, ok := g.ov.labelNodes[l]; ok {
+			return s
+		}
+	}
 	if l <= NoLabel || int(l) >= len(g.labelNodeOff)-1 {
 		return nil
 	}
@@ -164,6 +266,11 @@ func (g *Graph) NodesWithLabel(l LabelID) []NodeID {
 // EdgesWithLabel returns all edges labeled l (including ε), ascending by
 // edge ID, as a zero-alloc CSR sub-slice. The slice is shared.
 func (g *Graph) EdgesWithLabel(l LabelID) []EdgeID {
+	if g.ov != nil {
+		if s, ok := g.ov.labelEdges[l]; ok {
+			return s
+		}
+	}
 	if l < 0 || int(l) >= len(g.labelEdgeOff)-1 {
 		return nil
 	}
@@ -173,6 +280,11 @@ func (g *Graph) EdgesWithLabel(l LabelID) []EdgeID {
 // NodesWithType returns all nodes having type t, ascending by node ID, as
 // a zero-alloc CSR sub-slice. The slice is shared.
 func (g *Graph) NodesWithType(t LabelID) []NodeID {
+	if g.ov != nil {
+		if s, ok := g.ov.typeNodes[t]; ok {
+			return s
+		}
+	}
 	if t < 0 || int(t) >= len(g.typeNodeOff)-1 {
 		return nil
 	}
@@ -180,11 +292,21 @@ func (g *Graph) NodesWithType(t LabelID) []NodeID {
 }
 
 // NodeTypes returns the sorted type IDs of n (nil when none).
-func (g *Graph) NodeTypes(n NodeID) []LabelID { return g.nodeTypes[n] }
+func (g *Graph) NodeTypes(n NodeID) []LabelID {
+	if g.ov != nil {
+		if ts, ok := g.ov.nodeTypes[n]; ok {
+			return ts
+		}
+		if int(n) >= g.ov.baseNodes {
+			return nil
+		}
+	}
+	return g.nodeTypes[n]
+}
 
 // HasType reports whether node n carries type t.
 func (g *Graph) HasType(n NodeID, t LabelID) bool {
-	for _, x := range g.nodeTypes[n] {
+	for _, x := range g.NodeTypes(n) {
 		if x == t {
 			return true
 		}
@@ -197,6 +319,8 @@ func (g *Graph) HasType(n NodeID, t LabelID) bool {
 
 // NodeProp returns the value of property p on node n, if set. The label
 // and type pseudo-properties are not served here; use NodeLabel/NodeTypes.
+// Properties are frozen at Build time — the Store write path does not
+// mutate them — so delta-added nodes have none.
 func (g *Graph) NodeProp(p string, n NodeID) (string, bool) {
 	m := g.nodeProps[p]
 	if m == nil {

@@ -87,6 +87,9 @@ func WriteTriples(w io.Writer, g *Graph) error {
 		}
 	}
 	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(EdgeID(i)) {
+			continue
+		}
 		e := g.Edge(EdgeID(i))
 		if _, err := fmt.Fprintf(bw, "%s %s %s\n",
 			quoteField(g.NodeLabel(e.Source)),

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The mutation stream format is the write-path companion to the triples
+// format: one operation per line, blank lines separating batches, '#'
+// starting a comment line. Fields follow the same quoting rules as
+// triples (double quotes with backslash escapes).
+//
+//	+n <label> [<type> ...]   add a node (upsert by label; types attached)
+//	+t <node> <type>          attach a type to an existing node
+//	+e <src> <label> <dst>    add an edge
+//	-e <src> <label> <dst>    delete every live edge matching the triple
+//
+// graphgen -mutations emits this format; ctpload and the ingest endpoint
+// replay it with ReadMutations.
+
+// WriteMutations writes batches in the mutation stream format, separated
+// by blank lines. Empty batches are skipped (a blank-line separator with
+// nothing before it would not round-trip).
+func WriteMutations(w io.Writer, batches []Batch) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	for _, b := range batches {
+		if b.Empty() {
+			continue
+		}
+		if !first {
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+		first = false
+		for _, n := range b.AddNodes {
+			fields := []string{"+n", quoteField(n.Label)}
+			for _, t := range n.Types {
+				fields = append(fields, quoteField(t))
+			}
+			if _, err := fmt.Fprintln(bw, strings.Join(fields, " ")); err != nil {
+				return err
+			}
+		}
+		for _, t := range b.AddTypes {
+			if _, err := fmt.Fprintf(bw, "+t %s %s\n", quoteField(t.Node), quoteField(t.Type)); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.AddEdges {
+			if _, err := fmt.Fprintf(bw, "+e %s %s %s\n",
+				quoteField(e.Source), quoteField(e.Label), quoteField(e.Target)); err != nil {
+				return err
+			}
+		}
+		for _, e := range b.DelEdges {
+			if _, err := fmt.Fprintf(bw, "-e %s %s %s\n",
+				quoteField(e.Source), quoteField(e.Label), quoteField(e.Target)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMutations parses a mutation stream into batches.
+//
+// Within one batch the ops regroup into the Batch field order, which is
+// also the order Mutate applies them — a stream that interleaves kinds
+// inside a batch (say +e before a +n it depends on) still applies, because
+// node adds always run first.
+func ReadMutations(r io.Reader) ([]Batch, error) {
+	var batches []Batch
+	var cur Batch
+	flush := func() {
+		if !cur.Empty() {
+			batches = append(batches, cur)
+			cur = Batch{}
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := splitTriple(line)
+		if err != nil {
+			return nil, fmt.Errorf("graph: mutation line %d: %w", lineNo, err)
+		}
+		op := fields[0]
+		args := fields[1:]
+		switch op {
+		case "+n":
+			if len(args) < 1 {
+				return nil, fmt.Errorf("graph: mutation line %d: +n wants a label", lineNo)
+			}
+			cur.AddNodes = append(cur.AddNodes, NodeAdd{Label: args[0], Types: append([]string(nil), args[1:]...)})
+		case "+t":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("graph: mutation line %d: +t wants node and type", lineNo)
+			}
+			cur.AddTypes = append(cur.AddTypes, TypeAdd{Node: args[0], Type: args[1]})
+		case "+e", "-e":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("graph: mutation line %d: %s wants src, label, dst", lineNo, op)
+			}
+			t := Triple{Source: args[0], Label: args[1], Target: args[2]}
+			if op == "+e" {
+				cur.AddEdges = append(cur.AddEdges, t)
+			} else {
+				cur.DelEdges = append(cur.DelEdges, t)
+			}
+		default:
+			return nil, fmt.Errorf("graph: mutation line %d: unknown op %q", lineNo, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading mutations: %w", err)
+	}
+	flush()
+	return batches, nil
+}

@@ -1,0 +1,57 @@
+package graph
+
+// overlay is the frozen per-epoch delta a Store attaches to a published
+// view. Everything in it is immutable after freeze: the materialized lists
+// replace — never extend in place — the base CSR sub-slices for exactly
+// the nodes and labels the delta touched, so the accessor fast path for
+// untouched entities is still one map miss plus the base sub-slice.
+//
+// Invariants, relied on by the accessors in graph.go:
+//   - deltaEdges occupy edge IDs [baseEdges, numEdges); their slots are
+//     never reused, deleted delta edges keep their Edge value (EdgeAlive
+//     reports them dead).
+//   - Every materialized edge list (adj/out/in/labelEdges) is ascending by
+//     edge ID and contains no dead edges. Because delta IDs are all larger
+//     than base IDs, "filtered base prefix ++ delta suffix" preserves the
+//     ascending order the kernels' merge-joins rely on.
+//   - adj/out/in have an entry for every node whose edge set differs from
+//     the base — endpoints of live delta edges and of deleted base edges.
+//     A node absent from the maps either is an added node with no edges
+//     (ID >= baseNodes) or serves the base sub-slice unchanged.
+//   - labelNodes/labelEdges/typeNodes mirror that per label: an entry
+//     exists iff the delta changed that label's membership.
+//   - nodeTypes has the full, sorted type list for every node whose types
+//     the delta extended (including added nodes with types).
+type overlay struct {
+	baseNodes int // nodes in the base CSR arrays
+	baseEdges int // edge-ID space of the base (delta IDs start here)
+	numNodes  int
+	numEdges  int
+
+	addedLabel []LabelID // labels of added nodes, indexed by NodeID - baseNodes
+	deltaEdges []Edge    // indexed by EdgeID - baseEdges
+
+	// deadBits marks deleted edges over the full [0, numEdges) ID space;
+	// nil when the delta deleted nothing.
+	deadBits []uint64
+
+	adj map[NodeID][]EdgeID
+	out map[NodeID][]EdgeID
+	in  map[NodeID][]EdgeID
+
+	labelNodes map[LabelID][]NodeID
+	labelEdges map[LabelID][]EdgeID
+	typeNodes  map[LabelID][]NodeID
+	nodeTypes  map[NodeID][]LabelID
+}
+
+func (ov *overlay) dead(e EdgeID) bool {
+	if ov.deadBits == nil {
+		return false
+	}
+	return ov.deadBits[uint(e)>>6]&(1<<(uint(e)&63)) != 0
+}
+
+func (ov *overlay) markDead(e EdgeID) {
+	ov.deadBits[uint(e)>>6] |= 1 << (uint(e) & 63)
+}

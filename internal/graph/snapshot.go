@@ -92,6 +92,9 @@ func (w *snapWriter) endSection() {
 
 // WriteSnapshot serializes g into w.
 func WriteSnapshot(w io.Writer, g *Graph) error {
+	// A live epoch view serializes its logical content: compact the
+	// overlay away first so the raw-field walk below sees a plain base.
+	g = g.Compact()
 	sw := &snapWriter{bw: bufio.NewWriter(w)}
 	sw.raw([]byte(snapshotMagic))
 	var vbuf [4]byte

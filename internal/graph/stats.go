@@ -18,11 +18,21 @@ type Stats struct {
 	LargestComp int
 }
 
-// ComputeStats walks the graph once and returns its Stats.
+// ComputeStats walks the graph once and returns its Stats. On a live
+// epoch view, Edges counts live edges only.
 func ComputeStats(g *Graph) Stats {
+	edges := g.NumEdges()
+	if g.ov != nil {
+		edges = 0
+		for i := 0; i < g.NumEdges(); i++ {
+			if g.EdgeAlive(EdgeID(i)) {
+				edges++
+			}
+		}
+	}
 	s := Stats{
 		Nodes:  g.NumNodes(),
-		Edges:  g.NumEdges(),
+		Edges:  edges,
 		Labels: g.Labels().Len(),
 	}
 	totalDeg := 0

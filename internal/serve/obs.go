@@ -23,6 +23,10 @@ type serveMetrics struct {
 	// Figure 11 decomposition as real histograms, so stage p99s are
 	// observable without a profiler.
 	stageDur *obs.HistogramVec
+	// ingestDur is the POST /ingest handler latency by terminal status
+	// (ok, bad_request, internal_error), so write-path slowdowns — say a
+	// compaction replay storm — are visible next to the read-path p99s.
+	ingestDur *obs.HistogramVec
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -36,6 +40,9 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		stageDur: reg.NewHistogramVec("ctp_stage_duration_seconds",
 			"Per-stage query latency (parse, admission_wait, bgp, ctp, join, encode).",
 			nil, "stage"),
+		ingestDur: reg.NewHistogramVec("ctp_ingest_duration_seconds",
+			"End-to-end /ingest handler latency by terminal status.",
+			nil, "status"),
 	}
 }
 
@@ -81,6 +88,12 @@ type statsSnapshot struct {
 	admission *admission.Stats
 	estimator *admission.EstimatorStats
 
+	// Live-graph state: store is nil when the served graph is frozen.
+	store          *ctpquery.StoreStats
+	ingestBatches  int64
+	ingestOps      int64
+	ingestFailures int64
+
 	wdLevel       int
 	wdTransitions int64
 	wdShedBytes   int64
@@ -115,6 +128,12 @@ func (s *Server) snapshot() statsSnapshot {
 	}
 	g := s.base.Graph()
 	snap.nodes, snap.edges = g.NumNodes(), g.NumEdges()
+	if st, ok := g.StoreStats(); ok {
+		snap.store = &st
+	}
+	snap.ingestBatches = s.ingestBatches.Load()
+	snap.ingestOps = s.ingestOps.Load()
+	snap.ingestFailures = s.ingestFailures.Load()
 	s.workerMu.Lock()
 	snap.workers = append([]workerAgg(nil), s.workerAgg...)
 	s.workerMu.Unlock()
@@ -241,6 +260,23 @@ func (s *Server) registerCollectors() {
 			}
 		}
 
+		if snap.store != nil {
+			st := snap.store
+			counter("ctp_ingest_batches_total", "Mutation batches applied via POST /ingest.", float64(snap.ingestBatches))
+			counter("ctp_ingest_ops_total", "Individual mutation ops applied via POST /ingest.", float64(snap.ingestOps))
+			counter("ctp_ingest_failures_total", "Ingest requests answered with an error status.", float64(snap.ingestFailures))
+			gauge("ctp_store_epoch", "Current graph epoch (one per applied batch; compaction keeps it).", float64(st.Epoch))
+			gauge("ctp_store_base_gen", "Compacted-base generation (bumps when a compaction lands).", float64(st.BaseGen))
+			gauge("ctp_store_delta_edges", "Edges resident in the delta overlay.", float64(st.DeltaEdges))
+			gauge("ctp_store_added_nodes", "Nodes added since the last compaction.", float64(st.AddedNodes))
+			gauge("ctp_store_dead_edges", "Base edges tombstoned since the last compaction.", float64(st.DeadEdges))
+			gauge("ctp_store_pending_ops", "Delta ops accumulated toward the compaction threshold.", float64(st.PendingOps))
+			gauge("ctp_store_compacting", "1 while a background compaction is rebuilding the base.", boolGauge(st.Compacting))
+			counter("ctp_store_compactions_total", "Background compactions that landed a new base.", float64(st.Compactions))
+			counter("ctp_store_compact_aborts_total", "Compactions aborted by a contained panic or replay failure.", float64(st.CompactAborts))
+			gauge("ctp_store_last_compaction_seconds", "Wall time of the most recent compaction.", float64(st.LastCompactNS)/1e9)
+		}
+
 		if snap.hasWatchdog {
 			gauge("ctp_watchdog_level", "Memory-pressure ladder level (0 none, 1 soft, 2 hard).", float64(snap.wdLevel))
 			counter("ctp_watchdog_transitions_total", "Ladder level changes.", float64(snap.wdTransitions))
@@ -256,6 +292,14 @@ func (s *Server) registerCollectors() {
 		counter("ctp_traces_finished_total", "Traces finalized into the flight recorder.", float64(tFinished))
 		counter("ctp_traces_slow_total", "Traces past the slow-query threshold.", float64(tSlow))
 	})
+}
+
+// boolGauge renders a bool as 0/1.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Tracer exposes the server's tracer (flight recorder, span

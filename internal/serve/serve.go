@@ -90,11 +90,14 @@ type Config struct {
 	TraceLogf func(format string, args ...any)
 }
 
-// Server serves concurrent EQL queries over one immutable graph. The
-// graph is loaded once and shared by every DB handle, so a request
-// picking its own algorithm only costs a small engine struct. All
-// mutable state is the atomic request metrics and the admission layer,
-// keeping every handler safe under arbitrary concurrency.
+// Server serves concurrent EQL queries over one graph. The graph is
+// loaded once and shared by every DB handle, so a request picking its
+// own algorithm only costs a small engine struct. When the graph is live
+// (-live), POST /ingest applies mutation batches; queries pin the epoch
+// current at their entry, so reads and writes never block each other.
+// All other mutable state is the atomic request metrics and the
+// admission layer, keeping every handler safe under arbitrary
+// concurrency.
 type Server struct {
 	base *ctpquery.DB
 
@@ -120,6 +123,11 @@ type Server struct {
 	// and before it executes — while it holds its admission slot — so
 	// tests can saturate the server deterministically.
 	testExecGate func(admission.Class)
+
+	// Ingest counters (POST /ingest; only a live graph accepts it).
+	ingestBatches  atomic.Int64
+	ingestOps      atomic.Int64
+	ingestFailures atomic.Int64
 
 	started        time.Time
 	requests       atomic.Int64
@@ -249,11 +257,15 @@ func New(db *ctpquery.DB, cfg Config) (*Server, error) {
 	s.reg = obs.NewRegistry()
 	s.met = newServeMetrics(s.reg)
 	s.registerCollectors()
+	if g := db.Graph(); g.IsLive() {
+		g.OnCompaction(s.noteCompaction)
+	}
 	return s, nil
 }
 
-// Handler returns the HTTP routes: POST /query, GET /healthz, GET /stats,
-// GET /metrics (Prometheus text format), GET /debug/traces (the flight
+// Handler returns the HTTP routes: POST /query, POST /ingest (mutation
+// batches; live graphs only), GET /healthz, GET /stats, GET /metrics
+// (Prometheus text format), GET /debug/traces (the flight
 // recorder; ?id= looks one trace up), and — when enablePprof is set —
 // the net/http/pprof profiling endpoints under /debug/pprof/ (CPU,
 // heap, allocs, goroutine, ...), so a live server can be profiled
@@ -261,6 +273,7 @@ func New(db *ctpquery.DB, cfg Config) (*Server, error) {
 func (s *Server) Handler(enablePprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.reg.ServeMetrics)
@@ -813,7 +826,10 @@ func (s *Server) encodeResults(res *ctpquery.Results, algorithm string, maxRows 
 			}
 			tj := &treeJSON{Size: t.Size()}
 			if !omitTrees {
-				tj.Root = s.base.Graph().NodeLabel(t.Root())
+				// Render against the run's own pinned view, not the server's
+				// live graph: a mutation landing between execution and
+				// encoding must not relabel (or misname) this result's nodes.
+				tj.Root = res.Graph().NodeLabel(t.Root())
 				for _, e := range t.Edges() {
 					tj.Edges = append(tj.Edges, edgeJSON{Src: e.SrcLabel, Label: e.Label, Dst: e.DstLabel})
 				}
@@ -841,6 +857,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status": h.String(),
 		"nodes":  g.NumNodes(),
 		"edges":  g.NumEdges(),
+	}
+	if g.IsLive() {
+		payload["live"] = true
+		payload["epoch"] = g.Epoch()
 	}
 	if s.wd != nil {
 		payload["memory"] = s.wd.snapshot()
@@ -876,6 +896,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"peak_trees":      snap.peakTrees,
 			"workers":         workersJSON(snap.workers),
 		},
+	}
+	if snap.store != nil {
+		payload["store"] = storeJSON(*snap.store)
+		payload["ingest"] = map[string]any{
+			"batches":  snap.ingestBatches,
+			"ops":      snap.ingestOps,
+			"failures": snap.ingestFailures,
+		}
 	}
 	if snap.cache != nil {
 		cs := snap.cache

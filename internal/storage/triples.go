@@ -23,6 +23,10 @@ func (s *TripleStore) Graph() *graph.Graph { return s.g }
 func (s *TripleStore) Scan() *Table {
 	t := NewTable("id", "source", "label", "target")
 	for i := 0; i < s.g.NumEdges(); i++ {
+		// Full ID-space scan: on a live epoch view, skip deleted slots.
+		if !s.g.EdgeAlive(graph.EdgeID(i)) {
+			continue
+		}
 		e := s.g.Edge(graph.EdgeID(i))
 		t.AddRow(int32(i), int32(e.Source), int32(e.Label), int32(e.Target))
 	}

@@ -1,0 +1,150 @@
+package ctpquery
+
+import (
+	"fmt"
+	"io"
+
+	"ctpquery/internal/graph"
+)
+
+// Live graphs. A Graph loaded or built through this package is frozen;
+// calling Live upgrades it to a mutable store: an immutable CSR base plus
+// a delta overlay of added nodes/edges/types and deleted edges, published
+// as a sequence of immutable epoch views. Readers — every query run
+// through a DB — pin the current view at entry and never observe a
+// half-applied batch; Mutate applies one atomic batch and bumps the
+// epoch. Past a configurable delta size the store compacts in the
+// background, folding the delta into a fresh CSR base without changing
+// the epoch, the fingerprint, or any pinned reader's world.
+
+// Batch is one atomic group of mutations; see the field docs for the
+// application order and the label-based node identity rules.
+type Batch = graph.Batch
+
+// Triple names an edge by node labels, as in the triples text format.
+type Triple = graph.Triple
+
+// NodeAdd declares a node by label with optional types (an upsert when
+// the label already names exactly one node).
+type NodeAdd = graph.NodeAdd
+
+// TypeAdd attaches a type to an existing node.
+type TypeAdd = graph.TypeAdd
+
+// MutateResult reports what one Mutate applied and the epoch it created.
+type MutateResult = graph.MutateResult
+
+// StoreStats is a point-in-time snapshot of a live graph's store.
+type StoreStats = graph.StoreStats
+
+// CompactionInfo describes one compaction attempt, delivered to the
+// observer installed with OnCompaction.
+type CompactionInfo = graph.CompactionInfo
+
+// LiveConfig configures Live.
+type LiveConfig struct {
+	// CompactThreshold is the number of delta operations that triggers a
+	// background compaction; 0 selects the default, negative disables
+	// automatic compaction (CompactNow still works).
+	CompactThreshold int
+}
+
+// Live returns a mutable version of g with the default configuration.
+// The receiver is unchanged (and shares no mutable state with the
+// returned graph); queries against the live graph pin the epoch current
+// when they start.
+func (g *Graph) Live() *Graph { return g.LiveWithConfig(LiveConfig{}) }
+
+// LiveWithConfig is Live with an explicit configuration.
+func (g *Graph) LiveWithConfig(cfg LiveConfig) *Graph {
+	return &Graph{store: graph.NewStore(g.view(), graph.StoreOptions{
+		CompactThreshold: cfg.CompactThreshold,
+	})}
+}
+
+// IsLive reports whether g accepts mutations.
+func (g *Graph) IsLive() bool { return g.store != nil }
+
+// Epoch returns the graph's epoch: 0 for a frozen graph or a fresh live
+// graph, incremented by every applied batch. A Snapshot keeps the epoch
+// it pinned.
+func (g *Graph) Epoch() uint64 { return g.view().Epoch() }
+
+// Mutate applies one batch atomically and publishes the next epoch. It
+// fails on a frozen graph, and on validation errors (an ambiguous node
+// label, a type for an unknown node) — in which case nothing is applied.
+// In-flight queries are unaffected either way: they hold the view they
+// pinned at entry.
+func (g *Graph) Mutate(b Batch) (MutateResult, error) {
+	if g.store == nil {
+		return MutateResult{}, fmt.Errorf("ctpquery: Mutate on a frozen graph (call Live first)")
+	}
+	return g.store.Mutate(b)
+}
+
+// Snapshot pins the current epoch: the returned frozen Graph serves
+// exactly this epoch's content forever, regardless of later mutations or
+// compactions. On a frozen graph it returns the receiver.
+func (g *Graph) Snapshot() *Graph {
+	if g.store == nil {
+		return g
+	}
+	return &Graph{g: g.store.Snapshot()}
+}
+
+// StoreStats returns the live store's counters; ok is false on a frozen
+// graph.
+func (g *Graph) StoreStats() (StoreStats, bool) {
+	if g.store == nil {
+		return StoreStats{}, false
+	}
+	return g.store.Stats(), true
+}
+
+// CompactNow synchronously folds the delta into a fresh CSR base,
+// whatever its size. It fails on a frozen graph or when a background
+// compaction is already running.
+func (g *Graph) CompactNow() error {
+	if g.store == nil {
+		return fmt.Errorf("ctpquery: CompactNow on a frozen graph")
+	}
+	return g.store.CompactNow()
+}
+
+// Quiesce blocks until any in-flight background compaction finishes. A
+// no-op on frozen graphs.
+func (g *Graph) Quiesce() {
+	if g.store != nil {
+		g.store.Quiesce()
+	}
+}
+
+// OnCompaction installs fn, called after every compaction attempt
+// (including aborted ones) from the compaction goroutine. Servers hang
+// their metrics and tracing here.
+func (g *Graph) OnCompaction(fn func(CompactionInfo)) {
+	if g.store != nil {
+		g.store.SetCompactionObserver(fn)
+	}
+}
+
+// view returns the graph to read: the current epoch view for a live
+// graph, the frozen graph otherwise. Callers that must observe a single
+// consistent epoch across several reads (every query does) call it once
+// and hold the result.
+func (g *Graph) view() *graph.Graph {
+	if g.store != nil {
+		return g.store.View()
+	}
+	return g.g
+}
+
+// ReadMutations parses the mutation stream format emitted by graphgen
+// -mutations (one op per line — "+n label types...", "+t node type",
+// "+e src label dst", "-e src label dst" — blank lines separating
+// batches) into batches for Graph.Mutate.
+func ReadMutations(r io.Reader) ([]Batch, error) { return graph.ReadMutations(r) }
+
+// WriteMutations writes batches in the mutation stream format read by
+// ReadMutations.
+func WriteMutations(w io.Writer, batches []Batch) error { return graph.WriteMutations(w, batches) }

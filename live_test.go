@@ -1,0 +1,313 @@
+// End-to-end tests of live graphs through the public facade: mutation,
+// epoch pinning, snapshot DBs, cache interaction, and derived-DB sharing.
+package ctpquery_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ctpquery"
+)
+
+func liveSample(t *testing.T) *ctpquery.Graph {
+	t.Helper()
+	g := ctpquery.SampleGraph().Live()
+	if !g.IsLive() {
+		t.Fatal("Live graph reports IsLive == false")
+	}
+	return g
+}
+
+// TestLiveQueryUnchanged: queries over an unmutated live graph return
+// exactly what the frozen graph returns.
+func TestLiveQueryUnchanged(t *testing.T) {
+	frozen := mustOpenSample(t, nil)
+	live, err := ctpquery.Open(liveSample(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := frozen.Query(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := live.Query(context.Background(), figure1Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStrings(got), rowStrings(want)) {
+		t.Fatalf("live (epoch 0) diverged from frozen:\n%v\nvs\n%v",
+			rowStrings(got), rowStrings(want))
+	}
+	if got.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0", got.Epoch())
+	}
+}
+
+// TestLiveMutationChangesAnswers: adding and deleting edges changes query
+// results at the next epoch; a Results handle keeps rendering against its
+// pinned epoch.
+func TestLiveMutationChangesAnswers(t *testing.T) {
+	g := liveSample(t)
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?x WHERE { ?x citizenOf USA . }`
+	before, err := db.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Mutate(ctpquery.Batch{
+		AddNodes: []ctpquery.NodeAdd{{Label: "Zed", Types: []string{"entrepreneur"}}},
+		AddEdges: []ctpquery.Triple{{Source: "Zed", Label: "citizenOf", Target: "USA"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.NodesAdded != 1 || res.EdgesAdded != 1 {
+		t.Fatalf("MutateResult = %+v", res)
+	}
+
+	after, err := db.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Len() != before.Len()+1 {
+		t.Fatalf("rows: %d before, %d after add", before.Len(), after.Len())
+	}
+	if !strings.Contains(strings.Join(rowStrings(after), "\n"), "Zed") {
+		t.Fatal("added node missing from results")
+	}
+	// The pre-mutation Results still render the old epoch.
+	if got := before.Len(); got != len(rowStrings(before)) || before.Epoch() != 0 {
+		t.Fatalf("pinned results changed: len=%d epoch=%d", got, before.Epoch())
+	}
+
+	if _, err := db.Mutate(ctpquery.Batch{
+		DelEdges: []ctpquery.Triple{{Source: "Zed", Label: "citizenOf", Target: "USA"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final, err := db.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStrings(final), rowStrings(before)) {
+		t.Fatalf("delete did not restore answers:\n%v\nvs\n%v",
+			rowStrings(final), rowStrings(before))
+	}
+}
+
+// TestLiveCacheInvalidation is the cache acceptance check: after Mutate a
+// repeated query misses (new fingerprint) while a DB snapshotted at the
+// old epoch still hits its warm entry.
+func TestLiveCacheInvalidation(t *testing.T) {
+	g := liveSample(t)
+	db, err := ctpquery.Open(g, &ctpquery.Options{Cache: &ctpquery.CacheConfig{MaxBytes: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, info, err := db.QueryWithInfo(ctx, figure1Query); err != nil || info.Hit {
+		t.Fatalf("first run: hit=%v err=%v", info.Hit, err)
+	}
+	if _, info, err := db.QueryWithInfo(ctx, figure1Query); err != nil || !info.Hit {
+		t.Fatalf("repeat at same epoch: hit=%v err=%v", info.Hit, err)
+	}
+
+	pinned := db.Snapshot()
+
+	if _, err := db.Mutate(ctpquery.Batch{
+		AddEdges: []ctpquery.Triple{{Source: "Alice", Label: "knows", Target: "Bob"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live DB is at a new epoch: fingerprint changed, must miss.
+	if _, info, err := db.QueryWithInfo(ctx, figure1Query); err != nil || info.Hit {
+		t.Fatalf("after mutation: hit=%v err=%v (stale hit would be a correctness bug)", info.Hit, err)
+	}
+	// The pinned snapshot shares the cache and its old fingerprint: hits.
+	res, info, err := pinned.QueryWithInfo(ctx, figure1Query)
+	if err != nil || !info.Hit {
+		t.Fatalf("pinned snapshot: hit=%v err=%v", info.Hit, err)
+	}
+	if res.Epoch() != 0 {
+		t.Fatalf("pinned snapshot answered epoch %d", res.Epoch())
+	}
+}
+
+// TestDerivedDBsShareStoreAndCache is the With/WithOptions regression
+// test: a derived DB must see the parent's mutations (shared store) and
+// share its cache instance.
+func TestDerivedDBsShareStoreAndCache(t *testing.T) {
+	g := liveSample(t)
+	cfg := &ctpquery.CacheConfig{MaxBytes: 1 << 20}
+	db, err := ctpquery.Open(g, &ctpquery.Options{Cache: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := db.With(ctpquery.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const q = `SELECT ?x WHERE { ?x citizenOf USA . }`
+
+	if _, err := db.Mutate(ctpquery.Batch{
+		AddNodes: []ctpquery.NodeAdd{{Label: "Zed"}},
+		AddEdges: []ctpquery.Triple{{Source: "Zed", Label: "citizenOf", Target: "USA"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared store: the derived DB sees the mutation...
+	res, err := derived.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rowStrings(res), "\n"), "Zed") {
+		t.Fatal("derived DB does not see parent's mutation (store not shared)")
+	}
+	if res.Epoch() != 1 {
+		t.Fatalf("derived DB pinned epoch %d, want 1", res.Epoch())
+	}
+	// ...and mutations through the derived DB reach the parent.
+	if _, err := derived.Mutate(ctpquery.Batch{
+		DelEdges: []ctpquery.Triple{{Source: "Zed", Label: "citizenOf", Target: "USA"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Graph().Epoch(); got != 2 {
+		t.Fatalf("parent epoch = %d after derived mutation, want 2", got)
+	}
+
+	// Shared cache: both DBs report the same cache instance's stats.
+	if _, err := db.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	st1 := mustCacheStats(t, db)
+	st2 := mustCacheStats(t, derived)
+	if st1 != st2 {
+		t.Fatalf("parent and derived caches diverge: %+v vs %+v (cache not shared)", st1, st2)
+	}
+}
+
+// TestLiveQueryPinnedDuringCompaction is the epoch-isolation acceptance
+// check: a query's results at epoch N are byte-identical whether or not a
+// compaction (and further mutations) run concurrently.
+func TestLiveQueryPinnedDuringCompaction(t *testing.T) {
+	g := ctpquery.RandomGraph(400, 1200, []string{"knows", "cites"}, 11).Live()
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT ?w WHERE { CONNECT n1 n200 AS ?w MAX 5 . }`
+	ctx := context.Background()
+
+	want, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := rowStrings(want)
+	pinned := db.Snapshot()
+
+	// Churn: concurrent mutations and a forced compaction while the pinned
+	// DB re-runs the query.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_, err := db.Mutate(ctpquery.Batch{
+				AddEdges: []ctpquery.Triple{{Source: "n1", Label: "knows", Target: "n200"}},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := g.CompactNow(); err != nil {
+			t.Error(err)
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		res, err := pinned.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rowStrings(res); !reflect.DeepEqual(got, wantRows) {
+			t.Fatalf("pinned query diverged under concurrent churn (iteration %d):\n%v\nvs\n%v",
+				i, got, wantRows)
+		}
+	}
+	wg.Wait()
+	g.Quiesce()
+
+	// And after the dust settles, the pinned DB still answers epoch 0.
+	res, err := pinned.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rowStrings(res); !reflect.DeepEqual(got, wantRows) {
+		t.Fatal("pinned query diverged after compaction settled")
+	}
+	// The live DB, meanwhile, sees the extra direct edges.
+	live, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() <= want.Len() {
+		t.Fatalf("live query does not see added edges: %d <= %d", live.Len(), want.Len())
+	}
+}
+
+// TestLiveErrors: mutating a frozen graph fails; a frozen DB's Snapshot
+// is itself.
+func TestLiveErrors(t *testing.T) {
+	g := ctpquery.SampleGraph()
+	if _, err := g.Mutate(ctpquery.Batch{}); err == nil {
+		t.Fatal("Mutate on frozen graph succeeded")
+	}
+	if err := g.CompactNow(); err == nil {
+		t.Fatal("CompactNow on frozen graph succeeded")
+	}
+	db, err := ctpquery.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Snapshot() != db {
+		t.Fatal("Snapshot of frozen DB is not the DB itself")
+	}
+	if _, ok := g.StoreStats(); ok {
+		t.Fatal("frozen graph reports store stats")
+	}
+}
+
+// TestLiveWriteFormats: a mutated live graph round-trips through triples
+// and snapshot serialization at its current epoch.
+func TestLiveWriteFormats(t *testing.T) {
+	g := liveSample(t)
+	if _, err := g.Mutate(ctpquery.Batch{
+		AddNodes: []ctpquery.NodeAdd{{Label: "Zed", Types: []string{"entrepreneur"}}},
+		AddEdges: []ctpquery.Triple{{Source: "Zed", Label: "citizenOf", Target: "USA"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WriteTriples(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ctpquery.LoadTriples(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Fatalf("triples round trip: %d nodes, want %d", back.NumNodes(), g.NumNodes())
+	}
+}

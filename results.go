@@ -38,6 +38,15 @@ func newResults(g *Graph, q *eql.Query, res *engine.Result) *Results {
 	return &Results{g: g, q: q, res: res, treeCols: tc}
 }
 
+// Graph returns the graph view this run executed against — on a live
+// graph, the epoch pinned when the query started. Render rows and trees
+// through it (not through the DB's possibly-advanced live graph) for a
+// consistent picture.
+func (r *Results) Graph() *Graph { return r.g }
+
+// Epoch returns the epoch the run was pinned to (0 for frozen graphs).
+func (r *Results) Epoch() uint64 { return r.g.Epoch() }
+
 // Len returns the number of result rows.
 func (r *Results) Len() int { return r.res.Table.NumRows() }
 
@@ -120,7 +129,7 @@ func (r *Results) MergeKey(i int) string {
 		}
 		var sc float64
 		if f := r.scoreFor(col); f != nil {
-			sc = f(r.g.g, t)
+			sc = f(r.g.view(), t)
 		}
 		appendScoreDesc(&b, sc)
 		b.WriteByte(':')
@@ -363,7 +372,7 @@ func (w Row) Tree(col string) *Tree {
 
 // String renders the row with node labels resolved, e.g.
 // "?x=Alice ?w={2 edges}".
-func (w Row) String() string { return w.r.res.FormatRow(w.r.g.g, w.r.q, w.i) }
+func (w Row) String() string { return w.r.res.FormatRow(w.r.g.view(), w.r.q, w.i) }
 
 // Tree is one connecting tree: a set of graph edges forming a tree that
 // joins one node from each CONNECT member's seed set (Definition 2.5).
@@ -404,12 +413,12 @@ type TreeEdge struct {
 func (t *Tree) Edges() []TreeEdge {
 	out := make([]TreeEdge, len(t.t.Edges))
 	for i, e := range t.t.Edges {
-		ed := t.g.g.Edge(e)
+		ed := t.g.view().Edge(e)
 		out[i] = TreeEdge{
 			Src:      NodeID(ed.Source),
 			Dst:      NodeID(ed.Target),
 			SrcLabel: t.g.label(ed.Source),
-			Label:    t.g.g.EdgeLabel(e),
+			Label:    t.g.view().EdgeLabel(e),
 			DstLabel: t.g.label(ed.Target),
 		}
 	}
@@ -422,4 +431,4 @@ func (t *Tree) Edges() []TreeEdge {
 //	Doug -[investsIn]-> OrgC
 //
 // Single-node trees render as the node label.
-func (t *Tree) Format() string { return engine.FormatTree(t.g.g, t.t) }
+func (t *Tree) Format() string { return engine.FormatTree(t.g.view(), t.t) }
